@@ -1,0 +1,142 @@
+//! Microbenchmarks of the hot components under every experiment: the
+//! event queue, spatial grid, routing substrate, strategy math, energy
+//! models, and a full single-flow simulation.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::sync::Arc;
+use std::time::Duration;
+
+use imobif::{
+    install_flow, FlowSpec, ImobifApp, ImobifConfig, MaxLifetimeStrategy, MinEnergyStrategy,
+    MobilityMode, MobilityStrategy, StrategyInputs,
+};
+use imobif_bench::paper_topology;
+use imobif_energy::{Battery, LinearMobilityCost, PowerLawModel, TxEnergyModel};
+use imobif_geom::{Point2, SpatialGrid};
+use imobif_netsim::routing::{AodvRouter, DijkstraRouter, GreedyRouter, LinkWeight, Router};
+use imobif_netsim::{EventQueue, FlowId, NodeId, SimConfig, SimTime, World};
+
+fn bench_event_queue(c: &mut Criterion) {
+    c.bench_function("event_queue_push_pop_10k", |b| {
+        b.iter(|| {
+            let mut q = EventQueue::new();
+            for i in 0u64..10_000 {
+                q.push(SimTime::from_micros(i * 7919 % 10_000), i);
+            }
+            let mut sum = 0u64;
+            while let Some((_, e)) = q.pop() {
+                sum = sum.wrapping_add(e);
+            }
+            black_box(sum)
+        })
+    });
+}
+
+fn bench_spatial_grid(c: &mut Criterion) {
+    let mut grid = SpatialGrid::new(30.0);
+    for i in 0..100u32 {
+        let t = i as f64;
+        grid.insert(i, Point2::new((t * 13.7) % 150.0, (t * 29.3) % 150.0));
+    }
+    c.bench_function("spatial_grid_range_query", |b| {
+        b.iter(|| black_box(grid.query_range(black_box(Point2::new(75.0, 75.0)), 30.0)))
+    });
+}
+
+fn bench_routing(c: &mut Criterion) {
+    let topo = paper_topology(5);
+    let (src, dst) = (NodeId::new(0), NodeId::new(99));
+    let mut group = c.benchmark_group("routing_100_nodes");
+    group.bench_function("greedy", |b| {
+        b.iter(|| black_box(GreedyRouter.route(black_box(&topo), src, dst)))
+    });
+    group.bench_function("dijkstra_hops", |b| {
+        let r = DijkstraRouter::new(LinkWeight::Hops);
+        b.iter(|| black_box(r.route(black_box(&topo), src, dst)))
+    });
+    group.bench_function("dijkstra_energy", |b| {
+        let r = DijkstraRouter::new(LinkWeight::Energy(
+            PowerLawModel::paper_default(2.0).expect("valid"),
+        ));
+        b.iter(|| black_box(r.route(black_box(&topo), src, dst)))
+    });
+    group.bench_function("aodv_discover", |b| {
+        b.iter(|| black_box(AodvRouter.discover(black_box(&topo), src, dst)))
+    });
+    group.finish();
+}
+
+fn bench_strategies(c: &mut Criterion) {
+    let inputs = StrategyInputs {
+        prev_position: Point2::new(0.0, 0.0),
+        prev_residual: 7.0,
+        self_position: Point2::new(12.0, 9.0),
+        self_residual: 3.0,
+        next_position: Point2::new(25.0, -2.0),
+        next_residual: 9.0,
+    };
+    let min_energy = MinEnergyStrategy::new();
+    let max_lifetime = MaxLifetimeStrategy::new(1.8).expect("valid alpha'");
+    let mut group = c.benchmark_group("strategy_next_position");
+    group.bench_function("min_energy", |b| {
+        b.iter(|| black_box(min_energy.next_position(black_box(&inputs))))
+    });
+    group.bench_function("max_lifetime", |b| {
+        b.iter(|| black_box(max_lifetime.next_position(black_box(&inputs))))
+    });
+    group.finish();
+}
+
+fn bench_energy_models(c: &mut Criterion) {
+    let model = PowerLawModel::paper_default(3.0).expect("valid");
+    c.bench_function("power_law_energy_per_bit", |b| {
+        b.iter(|| black_box(model.energy_per_bit(black_box(23.4))))
+    });
+}
+
+fn bench_full_instance(c: &mut Criterion) {
+    c.bench_function("full_flow_instance_1mb_informed", |b| {
+        b.iter(|| {
+            let strategy: Arc<dyn MobilityStrategy> = Arc::new(MinEnergyStrategy::new());
+            let mut world: World<ImobifApp> = World::new(
+                SimConfig::default(),
+                Box::new(PowerLawModel::paper_default(2.0).expect("valid")),
+                Box::new(LinearMobilityCost::new(0.5).expect("valid")),
+            )
+            .expect("valid config");
+            let cfg = ImobifConfig { mode: MobilityMode::Informed, ..Default::default() };
+            let pts = [(0.0, 0.0), (14.0, 10.0), (32.0, -10.0), (50.0, 10.0), (64.0, 0.0)];
+            let ids: Vec<NodeId> = pts
+                .iter()
+                .map(|&(x, y)| {
+                    world.add_node(
+                        Point2::new(x, y),
+                        Battery::new(100_000.0).expect("valid"),
+                        ImobifApp::new(cfg, strategy.clone()),
+                    )
+                })
+                .collect();
+            world.start();
+            let spec = FlowSpec::paper_default(FlowId::new(0), ids.clone(), 8_000_000);
+            install_flow(&mut world, &spec).expect("valid flow");
+            world.run_while(|w| w.time() < SimTime::from_micros(1_100_000_000));
+            black_box(world.ledger().totals().total())
+        })
+    });
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(3))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = components;
+    config = configure();
+    targets = bench_event_queue, bench_spatial_grid, bench_routing, bench_strategies,
+        bench_energy_models, bench_full_instance
+}
+criterion_main!(components);

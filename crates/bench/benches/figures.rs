@@ -1,0 +1,74 @@
+//! One bench target per paper artifact: regenerates each figure's data at
+//! reduced scale (the full-scale regeneration is
+//! `cargo run -p imobif-experiments --release -- all`).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+use std::time::Duration;
+
+use imobif_experiments::figures::{ext, fig5, fig6, fig7, fig8};
+
+const FLOWS: u64 = 4;
+const SEED: u64 = 11;
+
+fn bench_fig5(c: &mut Criterion) {
+    c.bench_function("fig5_placement_snapshots", |b| {
+        b.iter(|| black_box(fig5::run(black_box(SEED))))
+    });
+}
+
+fn bench_fig6(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig6_energy_ratio_panels");
+    for variant in fig6::variants() {
+        group.bench_function(&variant.label, |b| {
+            b.iter(|| black_box(fig6::run_variant(black_box(&variant), FLOWS, SEED)))
+        });
+    }
+    group.finish();
+}
+
+fn bench_fig7(c: &mut Criterion) {
+    c.bench_function("fig7_notification_counts", |b| {
+        b.iter(|| black_box(fig7::run(FLOWS, SEED)))
+    });
+}
+
+fn bench_fig8(c: &mut Criterion) {
+    c.bench_function("fig8_lifetime_cdf", |b| {
+        b.iter(|| black_box(fig8::run(FLOWS, SEED)))
+    });
+}
+
+fn bench_extensions(c: &mut Criterion) {
+    let mut group = c.benchmark_group("extensions");
+    group.bench_function("ext_estimate", |b| {
+        b.iter(|| black_box(ext::run_estimate_sensitivity(2, SEED)))
+    });
+    group.bench_function("ext_oracle", |b| {
+        b.iter(|| black_box(ext::run_oracle_comparison(2, SEED)))
+    });
+    group.bench_function("ext_initial", |b| {
+        b.iter(|| black_box(ext::run_initial_status(2, SEED)))
+    });
+    group.bench_function("ext_step", |b| {
+        b.iter(|| black_box(ext::run_step_sweep(2, SEED)))
+    });
+    group.bench_function("ext_relay", |b| {
+        b.iter(|| black_box(ext::run_relay_selection(2, SEED)))
+    });
+    group.finish();
+}
+
+fn configure() -> Criterion {
+    Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(4))
+        .warm_up_time(Duration::from_secs(1))
+}
+
+criterion_group! {
+    name = figures;
+    config = configure();
+    targets = bench_fig5, bench_fig6, bench_fig7, bench_fig8, bench_extensions
+}
+criterion_main!(figures);

@@ -1,0 +1,477 @@
+//! `ImobifApp`: the iMobif framework as a [`imobif_netsim::Application`].
+//!
+//! This module is the paper's Fig. 1 (`FlowOperations`) made executable:
+//! sources stamp strategy/status/flow-length into data headers and pace the
+//! flow; relays compute their preferred position, fold the with/without-
+//! mobility cost-benefit sample into the header, forward, and move when
+//! enabled; destinations compare the aggregated hypotheses and send
+//! enable/disable notifications back to the source.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use imobif_geom::Point2;
+use imobif_netsim::{
+    Action, Application, EnergyCategory, FlowId, NodeCtx, NodeId, SimDuration,
+};
+use serde::{Deserialize, Serialize};
+
+use crate::{
+    Aggregate, DataHeader, FlowEntry, FlowRole, FlowTable, ImobifMsg, MobilityMode,
+    MobilityStrategy, Notification, PerfSample, StrategyKind, StrategyRegistry,
+};
+
+/// Node-level iMobif configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct ImobifConfig {
+    /// The control mode (no-mobility / cost-unaware / informed).
+    pub mode: MobilityMode,
+    /// Maximum movement per processed data packet, in meters (paper §4).
+    pub max_step: f64,
+    /// Size of a notification packet in bits.
+    pub notification_bits: u64,
+}
+
+impl Default for ImobifConfig {
+    fn default() -> Self {
+        ImobifConfig {
+            mode: MobilityMode::Informed,
+            max_step: 1.0,
+            notification_bits: 512,
+        }
+    }
+}
+
+/// Source-side state of one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SourceFlow {
+    /// Total flow length in bits.
+    pub total_bits: u64,
+    /// Bits handed to the network so far.
+    pub sent_bits: u64,
+    /// Data packet payload size in bits.
+    pub packet_bits: u64,
+    /// Packet pacing interval (paper: 1 KB/s ⇒ one 8000-bit packet/second).
+    pub interval: SimDuration,
+    /// Current mobility status (enabled/disabled), as selected by the
+    /// source and updated by destination notifications.
+    pub mobility_enabled: bool,
+    /// Multiplier applied to the true residual flow length when stamping
+    /// headers — 1.0 for perfect estimates; the `ext_estimate` experiment
+    /// studies the paper's future-work question of inaccurate estimates.
+    pub estimate_factor: f64,
+    /// Next sequence number.
+    pub seq: u64,
+    /// How many times notifications flipped the status.
+    pub status_changes: u64,
+    /// The mobility strategy this source selected for the flow (paper §2:
+    /// "flow sources select the mobility strategy and status").
+    pub strategy: StrategyKind,
+}
+
+impl SourceFlow {
+    /// Bits not yet sent.
+    #[must_use]
+    pub fn remaining_bits(&self) -> u64 {
+        self.total_bits - self.sent_bits
+    }
+
+    /// Returns `true` once the whole flow has been handed to the network.
+    #[must_use]
+    pub fn is_finished(&self) -> bool {
+        self.sent_bits >= self.total_bits
+    }
+}
+
+/// Destination-side state of one flow.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DestFlow {
+    /// Payload bits received.
+    pub received_bits: u64,
+    /// Data packets received.
+    pub received_packets: u64,
+    /// Notifications sent back to the source (paper Fig. 7's metric).
+    pub notifications_sent: u64,
+    /// The last aggregate seen, for inspection.
+    pub last_aggregate: Option<Aggregate>,
+}
+
+/// Miscellaneous per-node protocol counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub struct ImobifCounters {
+    /// Data packets this node forwarded as a relay.
+    pub data_packets_relayed: u64,
+    /// Notifications this node forwarded toward a source.
+    pub notifications_forwarded: u64,
+    /// Times the neighbor table lacked fresh prev/next info, so the relay
+    /// forwarded without computing mobility.
+    pub info_misses: u64,
+    /// Packets for flows with no local flow-table entry.
+    pub unroutable_packets: u64,
+    /// Movement actions issued.
+    pub moves_executed: u64,
+    /// Packets naming a strategy absent from this node's registry; they
+    /// are forwarded without mobility processing.
+    pub unknown_strategy: u64,
+}
+
+/// The iMobif protocol agent running on every node.
+///
+/// One instance per node; the same type plays source, relay and destination
+/// according to the flow table installed by [`crate::install_flow`].
+///
+/// # Example
+///
+/// See [`crate::install_flow`] for an end-to-end example; unit tests in
+/// this module exercise each role in isolation.
+#[derive(Debug)]
+pub struct ImobifApp {
+    config: ImobifConfig,
+    registry: Arc<StrategyRegistry>,
+    flows: FlowTable,
+    sources: HashMap<FlowId, SourceFlow>,
+    dests: HashMap<FlowId, DestFlow>,
+    /// Latest per-flow movement targets; multiple concurrent flows are
+    /// superposed by [`ImobifApp::combined_target`].
+    targets: HashMap<FlowId, Point2>,
+    counters: ImobifCounters,
+}
+
+impl ImobifApp {
+    /// Creates an agent whose strategy list holds exactly `strategy` — the
+    /// common single-goal deployment.
+    #[must_use]
+    pub fn new(config: ImobifConfig, strategy: Arc<dyn MobilityStrategy>) -> Self {
+        ImobifApp::with_registry(config, Arc::new(StrategyRegistry::single(strategy)))
+    }
+
+    /// Creates an agent with a full strategy list (paper Assumption 1);
+    /// packet headers name which entry applies to each flow.
+    #[must_use]
+    pub fn with_registry(config: ImobifConfig, registry: Arc<StrategyRegistry>) -> Self {
+        ImobifApp {
+            config,
+            registry,
+            flows: FlowTable::new(),
+            sources: HashMap::new(),
+            dests: HashMap::new(),
+            targets: HashMap::new(),
+            counters: ImobifCounters::default(),
+        }
+    }
+
+    /// The agent's configuration.
+    #[must_use]
+    pub fn config(&self) -> &ImobifConfig {
+        &self.config
+    }
+
+    /// The agent's strategy list.
+    #[must_use]
+    pub fn registry(&self) -> &Arc<StrategyRegistry> {
+        &self.registry
+    }
+
+    /// Installs a flow-table entry (done by [`crate::install_flow`] at flow
+    /// setup; the paper pins each flow's path when routing resolves it).
+    pub fn install_entry(&mut self, entry: FlowEntry) {
+        self.flows.install(entry);
+    }
+
+    /// Registers this node as the source of `flow`.
+    pub fn register_source(&mut self, flow: FlowId, source: SourceFlow) {
+        self.sources.insert(flow, source);
+    }
+
+    /// The flow table.
+    #[must_use]
+    pub fn flow_table(&self) -> &FlowTable {
+        &self.flows
+    }
+
+    /// Source-side state of `flow`, if this node sources it.
+    #[must_use]
+    pub fn source(&self, flow: FlowId) -> Option<&SourceFlow> {
+        self.sources.get(&flow)
+    }
+
+    /// Destination-side state of `flow`, if this node has received any of
+    /// it.
+    #[must_use]
+    pub fn dest(&self, flow: FlowId) -> Option<&DestFlow> {
+        self.dests.get(&flow)
+    }
+
+    /// Protocol counters.
+    #[must_use]
+    pub fn counters(&self) -> &ImobifCounters {
+        &self.counters
+    }
+
+    /// The movement target this node currently pursues for `flow`.
+    #[must_use]
+    pub fn target(&self, flow: FlowId) -> Option<Point2> {
+        self.targets.get(&flow).copied()
+    }
+
+    /// Superposes the targets of all flows traversing this node, weighted
+    /// by each flow's residual length in bits.
+    ///
+    /// For a single flow this is that flow's target. With several flows a
+    /// node cannot satisfy all of them, so it aims for the residual-traffic-
+    /// weighted centroid — longer remaining flows pull harder. This is the
+    /// multi-flow composition sketched in the paper's §2 (detailed in its
+    /// technical report \[13\]).
+    #[must_use]
+    pub fn combined_target(&self) -> Option<Point2> {
+        let mut weight_sum = 0.0;
+        let mut x = 0.0;
+        let mut y = 0.0;
+        for (flow, target) in &self.targets {
+            let w = self
+                .flows
+                .get(*flow)
+                .map(|e| e.residual_bits.max(1.0))
+                .unwrap_or(1.0);
+            weight_sum += w;
+            x += target.x * w;
+            y += target.y * w;
+        }
+        (weight_sum > 0.0).then(|| Point2::new(x / weight_sum, y / weight_sum))
+    }
+
+    /// Relay-side handling of a data packet (Fig. 1 lines 12–27).
+    fn relay_data(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        strategy: Option<Arc<dyn MobilityStrategy>>,
+        mut header: DataHeader,
+        next: NodeId,
+        prev: NodeId,
+    ) -> Vec<Action<ImobifMsg>> {
+        self.counters.data_packets_relayed += 1;
+        let mut move_action = None;
+        match (strategy, ctx.peer_info(prev), ctx.peer_info(next)) {
+            (Some(strategy), Some(prev_info), Some(next_info)) => {
+                let inputs = crate::StrategyInputs {
+                    prev_position: prev_info.position,
+                    prev_residual: prev_info.residual_energy,
+                    self_position: ctx.position(),
+                    self_residual: ctx.residual_energy(),
+                    next_position: next_info.position,
+                    next_residual: next_info.residual_energy,
+                };
+                if let Some(target) = strategy.next_position(&inputs) {
+                    let sample = PerfSample::compute(
+                        ctx.residual_energy(),
+                        ctx.position(),
+                        target,
+                        next_info.position,
+                        header.residual_flow_bits,
+                        ctx.tx_model(),
+                        ctx.mobility_model(),
+                    );
+                    strategy.fold(&mut header.aggregate, sample);
+                    self.targets.insert(header.flow, target);
+                    if self.config.mode.should_move(header.mobility_enabled) {
+                        if let Some(combined) = self.combined_target() {
+                            self.counters.moves_executed += 1;
+                            move_action = Some(Action::MoveToward {
+                                target: combined,
+                                max_step: self.config.max_step,
+                            });
+                        }
+                    }
+                }
+            }
+            (None, _, _) => self.counters.unknown_strategy += 1,
+            _ => self.counters.info_misses += 1,
+        }
+        // Fig. 1: forward first (line 22), then move (line 26) — the packet
+        // is transmitted from the pre-move position.
+        let mut actions = vec![Action::Send {
+            to: next,
+            bits: header.payload_bits,
+            msg: ImobifMsg::Data(header),
+            category: EnergyCategory::Data,
+        }];
+        actions.extend(move_action);
+        actions
+    }
+
+    /// Destination-side handling (Fig. 1 lines 7–11 and
+    /// `UpdateMobilityStatus`, lines 29–36).
+    fn deliver_data(
+        &mut self,
+        strategy: Option<Arc<dyn MobilityStrategy>>,
+        header: DataHeader,
+        prev: NodeId,
+    ) -> Vec<Action<ImobifMsg>> {
+        let dest = self.dests.entry(header.flow).or_default();
+        dest.received_bits += header.payload_bits;
+        dest.received_packets += 1;
+        dest.last_aggregate = Some(header.aggregate);
+        if !self.config.mode.uses_notifications() {
+            return Vec::new();
+        }
+        let Some(strategy) = strategy else {
+            self.counters.unknown_strategy += 1;
+            return Vec::new();
+        };
+        let preference = strategy.mobility_preference(&header.aggregate);
+        let request = match (preference, header.mobility_enabled) {
+            // Mobility is hurting and is on: ask to disable.
+            (std::cmp::Ordering::Less, true) => Some(false),
+            // Mobility would help and is off: ask to enable.
+            (std::cmp::Ordering::Greater, false) => Some(true),
+            _ => None,
+        };
+        let Some(enable) = request else {
+            return Vec::new();
+        };
+        dest.notifications_sent += 1;
+        vec![Action::Send {
+            to: prev,
+            bits: self.config.notification_bits,
+            msg: ImobifMsg::Notification(Notification {
+                flow: header.flow,
+                enable,
+                aggregate: header.aggregate,
+            }),
+            category: EnergyCategory::Notification,
+        }]
+    }
+
+    fn handle_data(&mut self, ctx: &NodeCtx<'_>, header: DataHeader) -> Vec<Action<ImobifMsg>> {
+        let Some(entry) = self.flows.get_mut(header.flow) else {
+            self.counters.unroutable_packets += 1;
+            return Vec::new();
+        };
+        entry.residual_bits = header.residual_flow_bits;
+        entry.mobility_enabled = header.mobility_enabled;
+        let (role, prev, next) = (entry.role, entry.prev, entry.next);
+        // Resolve the strategy the header names against the local list
+        // (Assumption 1); unknown strategies degrade to plain forwarding.
+        let strategy = self.registry.get(header.strategy).cloned();
+        match role {
+            FlowRole::Destination => {
+                let prev = prev.expect("destination entries have a prev");
+                self.deliver_data(strategy, header, prev)
+            }
+            FlowRole::Relay => {
+                let next = next.expect("relay entries have a next");
+                let prev = prev.expect("relay entries have a prev");
+                self.relay_data(ctx, strategy, header, next, prev)
+            }
+            FlowRole::Source => {
+                // A data packet delivered to its own source is a routing
+                // bug upstream; drop it.
+                self.counters.unroutable_packets += 1;
+                Vec::new()
+            }
+        }
+    }
+
+    fn handle_notification(&mut self, n: Notification) -> Vec<Action<ImobifMsg>> {
+        let Some(entry) = self.flows.get(n.flow) else {
+            self.counters.unroutable_packets += 1;
+            return Vec::new();
+        };
+        match entry.role {
+            FlowRole::Source => {
+                if let Some(sf) = self.sources.get_mut(&n.flow) {
+                    if sf.mobility_enabled != n.enable {
+                        sf.mobility_enabled = n.enable;
+                        sf.status_changes += 1;
+                    }
+                }
+                Vec::new()
+            }
+            FlowRole::Relay | FlowRole::Destination => match entry.prev {
+                Some(prev) => {
+                    self.counters.notifications_forwarded += 1;
+                    vec![Action::Send {
+                        to: prev,
+                        bits: self.config.notification_bits,
+                        msg: ImobifMsg::Notification(n),
+                        category: EnergyCategory::Notification,
+                    }]
+                }
+                None => Vec::new(),
+            },
+        }
+    }
+
+    /// Emits the next data packet of `flow` (source role).
+    fn emit_packet(&mut self, ctx: &NodeCtx<'_>, flow: FlowId) -> Vec<Action<ImobifMsg>> {
+        let Some(entry) = self.flows.get(flow).copied() else {
+            return Vec::new();
+        };
+        let Some(next) = entry.next else {
+            return Vec::new();
+        };
+        let Some(sf) = self.sources.get_mut(&flow) else {
+            return Vec::new();
+        };
+        if sf.is_finished() {
+            return Vec::new();
+        }
+        // A source whose own list lacks the selected strategy still ships
+        // the data — mobility simply stays off for the flow.
+        let (aggregate, mobility_enabled) = match self.registry.get(sf.strategy) {
+            Some(strategy) => (strategy.init_aggregate(), sf.mobility_enabled),
+            None => {
+                self.counters.unknown_strategy += 1;
+                (Aggregate::min_identity(), false)
+            }
+        };
+        let sf = self.sources.get_mut(&flow).expect("checked above");
+        let payload = sf.packet_bits.min(sf.remaining_bits());
+        // `f_ℓ`: the residual flow length *including* this packet, scaled by
+        // the (possibly imperfect) application estimate.
+        let residual_estimate = (sf.remaining_bits() as f64) * sf.estimate_factor;
+        sf.sent_bits += payload;
+        let header = DataHeader {
+            flow,
+            source: ctx.id(),
+            destination: entry.destination,
+            strategy: sf.strategy,
+            mobility_enabled,
+            residual_flow_bits: residual_estimate,
+            payload_bits: payload,
+            seq: sf.seq,
+            aggregate,
+        };
+        sf.seq += 1;
+        let mut actions = vec![Action::Send {
+            to: next,
+            bits: payload,
+            msg: ImobifMsg::Data(header),
+            category: EnergyCategory::Data,
+        }];
+        if !sf.is_finished() {
+            actions.push(Action::SetTimer { delay: sf.interval, tag: flow.raw() as u64 });
+        }
+        actions
+    }
+}
+
+impl Application for ImobifApp {
+    type Msg = ImobifMsg;
+
+    fn on_message(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        _from: NodeId,
+        msg: ImobifMsg,
+    ) -> Vec<Action<ImobifMsg>> {
+        match msg {
+            ImobifMsg::Data(header) => self.handle_data(ctx, header),
+            ImobifMsg::Notification(n) => self.handle_notification(n),
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &NodeCtx<'_>, tag: u64) -> Vec<Action<ImobifMsg>> {
+        self.emit_packet(ctx, FlowId::new(tag as u32))
+    }
+}

@@ -1,0 +1,84 @@
+//! The three mobility control modes compared in the paper's evaluation.
+
+use serde::{Deserialize, Serialize};
+use std::fmt;
+
+/// How a node decides whether to execute its mobility strategy.
+///
+/// Paper §4 compares exactly three approaches: "an approach without
+/// mobility, an approach with only cost-unaware mobility, and the approach
+/// using the imobif framework, which is benefit- and cost-aware".
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum MobilityMode {
+    /// Relays never move (the baseline of every figure).
+    NoMobility,
+    /// Relays always execute the strategy, regardless of cost.
+    CostUnaware,
+    /// Relays move only while the flow's mobility status is enabled; the
+    /// destination flips the status from the cost/benefit aggregates —
+    /// the iMobif framework proper.
+    Informed,
+}
+
+impl MobilityMode {
+    /// Whether a relay should move, given the current header status.
+    #[must_use]
+    pub fn should_move(self, header_enabled: bool) -> bool {
+        match self {
+            MobilityMode::NoMobility => false,
+            MobilityMode::CostUnaware => true,
+            MobilityMode::Informed => header_enabled,
+        }
+    }
+
+    /// Whether the destination evaluates aggregates and sends notifications.
+    #[must_use]
+    pub fn uses_notifications(self) -> bool {
+        matches!(self, MobilityMode::Informed)
+    }
+
+    /// All three modes, in the order the paper's figures present them.
+    #[must_use]
+    pub fn all() -> [MobilityMode; 3] {
+        [MobilityMode::NoMobility, MobilityMode::CostUnaware, MobilityMode::Informed]
+    }
+}
+
+impl fmt::Display for MobilityMode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MobilityMode::NoMobility => write!(f, "no-mobility"),
+            MobilityMode::CostUnaware => write!(f, "cost-unaware"),
+            MobilityMode::Informed => write!(f, "informed"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn movement_decisions() {
+        assert!(!MobilityMode::NoMobility.should_move(true));
+        assert!(!MobilityMode::NoMobility.should_move(false));
+        assert!(MobilityMode::CostUnaware.should_move(false));
+        assert!(MobilityMode::Informed.should_move(true));
+        assert!(!MobilityMode::Informed.should_move(false));
+    }
+
+    #[test]
+    fn only_informed_notifies() {
+        assert!(MobilityMode::Informed.uses_notifications());
+        assert!(!MobilityMode::CostUnaware.uses_notifications());
+        assert!(!MobilityMode::NoMobility.uses_notifications());
+    }
+
+    #[test]
+    fn all_lists_three_distinct_modes() {
+        let all = MobilityMode::all();
+        assert_eq!(all.len(), 3);
+        assert_ne!(all[0], all[1]);
+        assert_ne!(all[1], all[2]);
+    }
+}

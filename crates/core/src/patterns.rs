@@ -1,0 +1,292 @@
+//! One-to-many and many-to-one flow patterns.
+//!
+//! Paper §1: "imobif supports multiple one-to-one, one-to-many, and
+//! many-to-one flows. For clarity, we only discuss the case of a single
+//! one-to-one flow in this paper." This module provides the two composite
+//! patterns on top of the unicast machinery: each branch is an independent
+//! iMobif flow (with its own header aggregation and notifications), and
+//! relays shared between branches superpose their movement targets via
+//! [`crate::ImobifApp::combined_target`] — the composition rule the
+//! technical report sketches.
+//!
+//! A typical many-to-one instance is the sensor-collection workload of the
+//! paper's motivation: several sensors stream readings to one sink, and
+//! energy-sufficient relays reposition to serve the union of flows.
+
+use std::error::Error;
+use std::fmt;
+
+use imobif_netsim::routing::Router;
+use imobif_netsim::{FlowId, NodeId, RouteError, World};
+
+use crate::{install_flow, FlowSetupError, FlowSpec, ImobifApp};
+
+/// Errors from composite-flow installation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum PatternError {
+    /// No branch endpoints were given.
+    NoEndpoints,
+    /// A branch could not be routed.
+    Routing {
+        /// The branch's far endpoint.
+        endpoint: NodeId,
+        /// Why routing failed.
+        source: RouteError,
+    },
+    /// A routed branch failed flow validation.
+    Setup {
+        /// The branch's far endpoint.
+        endpoint: NodeId,
+        /// Why installation failed.
+        source: FlowSetupError,
+    },
+}
+
+impl fmt::Display for PatternError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PatternError::NoEndpoints => write!(f, "composite flow needs at least one endpoint"),
+            PatternError::Routing { endpoint, source } => {
+                write!(f, "routing branch to/from {endpoint} failed: {source}")
+            }
+            PatternError::Setup { endpoint, source } => {
+                write!(f, "installing branch to/from {endpoint} failed: {source}")
+            }
+        }
+    }
+}
+
+impl Error for PatternError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            PatternError::NoEndpoints => None,
+            PatternError::Routing { source, .. } => Some(source),
+            PatternError::Setup { source, .. } => Some(source),
+        }
+    }
+}
+
+/// Installs a one-to-many flow set: one iMobif branch from `source` to each
+/// destination, routed over the world's current topology. Branch flow ids
+/// are allocated sequentially from `first_flow`.
+///
+/// Returns the installed branch specs (in destination order) so the caller
+/// can track per-branch progress.
+///
+/// # Errors
+///
+/// Returns [`PatternError`] if no destinations are given, a branch cannot
+/// be routed, or a routed branch fails validation. Installation is
+/// all-or-nothing in effect ordering: branches are validated by routing
+/// first; any failure aborts before the first timer fires (already
+/// installed entries for earlier branches remain, but no packet has been
+/// sent — callers treat the world as disposable on error, as experiments
+/// do).
+pub fn install_one_to_many(
+    world: &mut World<ImobifApp>,
+    router: &dyn Router,
+    source: NodeId,
+    destinations: &[NodeId],
+    total_bits: u64,
+    first_flow: FlowId,
+) -> Result<Vec<FlowSpec>, PatternError> {
+    if destinations.is_empty() {
+        return Err(PatternError::NoEndpoints);
+    }
+    let topo = world.topology_view();
+    let mut specs = Vec::with_capacity(destinations.len());
+    for (i, &dst) in destinations.iter().enumerate() {
+        let path = router
+            .route(&topo, source, dst)
+            .map_err(|source| PatternError::Routing { endpoint: dst, source })?;
+        let flow = FlowId::new(first_flow.raw() + i as u32);
+        specs.push(FlowSpec::paper_default(flow, path, total_bits));
+    }
+    for (spec, &dst) in specs.iter().zip(destinations) {
+        install_flow(world, spec)
+            .map_err(|source| PatternError::Setup { endpoint: dst, source })?;
+    }
+    Ok(specs)
+}
+
+/// Installs a many-to-one flow set: one iMobif branch from each source to
+/// `sink` — the sensor-data-collection pattern of the paper's motivation.
+///
+/// # Errors
+///
+/// Same contract as [`install_one_to_many`].
+pub fn install_many_to_one(
+    world: &mut World<ImobifApp>,
+    router: &dyn Router,
+    sources: &[NodeId],
+    sink: NodeId,
+    total_bits: u64,
+    first_flow: FlowId,
+) -> Result<Vec<FlowSpec>, PatternError> {
+    if sources.is_empty() {
+        return Err(PatternError::NoEndpoints);
+    }
+    let topo = world.topology_view();
+    let mut specs = Vec::with_capacity(sources.len());
+    for (i, &src) in sources.iter().enumerate() {
+        let path = router
+            .route(&topo, src, sink)
+            .map_err(|source| PatternError::Routing { endpoint: src, source })?;
+        let flow = FlowId::new(first_flow.raw() + i as u32);
+        specs.push(FlowSpec::paper_default(flow, path, total_bits));
+    }
+    for (spec, &src) in specs.iter().zip(sources) {
+        install_flow(world, spec)
+            .map_err(|source| PatternError::Setup { endpoint: src, source })?;
+    }
+    Ok(specs)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{ImobifConfig, MinEnergyStrategy, MobilityMode};
+    use imobif_energy::{Battery, LinearMobilityCost, PowerLawModel};
+    use imobif_geom::Point2;
+    use imobif_netsim::routing::GreedyRouter;
+    use imobif_netsim::{SimConfig, SimTime};
+    use std::sync::Arc;
+
+    fn world_with(points: &[(f64, f64)]) -> (World<ImobifApp>, Vec<NodeId>) {
+        let strategy = Arc::new(MinEnergyStrategy::new());
+        let mut world = World::new(
+            SimConfig::default(),
+            Box::new(PowerLawModel::paper_default(2.0).unwrap()),
+            Box::new(LinearMobilityCost::new(0.5).unwrap()),
+        )
+        .unwrap();
+        let cfg = ImobifConfig { mode: MobilityMode::Informed, ..Default::default() };
+        let ids = points
+            .iter()
+            .map(|&(x, y)| {
+                world.add_node(
+                    Point2::new(x, y),
+                    Battery::new(10_000.0).unwrap(),
+                    ImobifApp::new(cfg, strategy.clone()),
+                )
+            })
+            .collect();
+        world.start();
+        (world, ids)
+    }
+
+    /// A hub topology: 0 in the middle, arms reaching out via relays.
+    ///
+    /// ```text
+    ///     3 -- 1 -- 0 -- 2 -- 4
+    /// ```
+    fn hub() -> (World<ImobifApp>, Vec<NodeId>) {
+        world_with(&[
+            (50.0, 50.0), // 0 hub
+            (30.0, 50.0), // 1 relay west
+            (70.0, 50.0), // 2 relay east
+            (10.0, 50.0), // 3 west end
+            (90.0, 50.0), // 4 east end
+        ])
+    }
+
+    #[test]
+    fn one_to_many_reaches_all_destinations() {
+        let (mut w, ids) = hub();
+        let specs = install_one_to_many(
+            &mut w,
+            &GreedyRouter,
+            ids[0],
+            &[ids[3], ids[4]],
+            80_000,
+            FlowId::new(0),
+        )
+        .unwrap();
+        assert_eq!(specs.len(), 2);
+        w.run_while(|w| w.time() < SimTime::from_micros(60_000_000));
+        assert_eq!(w.app(ids[3]).dest(specs[0].flow).unwrap().received_bits, 80_000);
+        assert_eq!(w.app(ids[4]).dest(specs[1].flow).unwrap().received_bits, 80_000);
+    }
+
+    #[test]
+    fn many_to_one_collects_at_the_sink() {
+        let (mut w, ids) = hub();
+        let specs = install_many_to_one(
+            &mut w,
+            &GreedyRouter,
+            &[ids[3], ids[4]],
+            ids[0],
+            80_000,
+            FlowId::new(10),
+        )
+        .unwrap();
+        w.run_while(|w| w.time() < SimTime::from_micros(60_000_000));
+        let sink = w.app(ids[0]);
+        let total: u64 =
+            specs.iter().map(|s| sink.dest(s.flow).map_or(0, |d| d.received_bits)).sum();
+        assert_eq!(total, 160_000);
+        // The relays each carried exactly one branch.
+        assert_eq!(w.app(ids[1]).flow_table().len(), 1);
+        assert_eq!(w.app(ids[2]).flow_table().len(), 1);
+    }
+
+    #[test]
+    fn shared_relay_serves_multiple_branches() {
+        // Two destinations behind the SAME relay.
+        let (mut w, ids) = world_with(&[
+            (0.0, 50.0),  // 0 source
+            (25.0, 50.0), // 1 shared relay
+            (50.0, 60.0), // 2 dest A
+            (50.0, 40.0), // 3 dest B
+        ]);
+        let specs = install_one_to_many(
+            &mut w,
+            &GreedyRouter,
+            ids[0],
+            &[ids[2], ids[3]],
+            80_000,
+            FlowId::new(0),
+        )
+        .unwrap();
+        w.run_while(|w| w.time() < SimTime::from_micros(60_000_000));
+        assert_eq!(w.app(ids[1]).flow_table().len(), 2, "relay carries both branches");
+        for (spec, dst) in specs.iter().zip([ids[2], ids[3]]) {
+            assert_eq!(w.app(dst).dest(spec.flow).unwrap().received_bits, 80_000);
+        }
+    }
+
+    #[test]
+    fn empty_endpoint_lists_are_rejected() {
+        let (mut w, ids) = hub();
+        assert_eq!(
+            install_one_to_many(&mut w, &GreedyRouter, ids[0], &[], 1_000, FlowId::new(0))
+                .unwrap_err(),
+            PatternError::NoEndpoints
+        );
+        assert_eq!(
+            install_many_to_one(&mut w, &GreedyRouter, &[], ids[0], 1_000, FlowId::new(0))
+                .unwrap_err(),
+            PatternError::NoEndpoints
+        );
+    }
+
+    #[test]
+    fn unroutable_branch_is_reported() {
+        let (mut w, ids) = world_with(&[(0.0, 0.0), (20.0, 0.0), (500.0, 0.0)]);
+        let err = install_one_to_many(
+            &mut w,
+            &GreedyRouter,
+            ids[0],
+            &[ids[1], ids[2]],
+            1_000,
+            FlowId::new(0),
+        )
+        .unwrap_err();
+        match err {
+            PatternError::Routing { endpoint, .. } => assert_eq!(endpoint, ids[2]),
+            other => panic!("expected routing error, got {other:?}"),
+        }
+        assert!(err.to_string().contains("n2"));
+    }
+}

@@ -1,0 +1,237 @@
+//! Synchronous relaxation analysis of mobility strategies.
+//!
+//! The paper's convergence claims — Goldenberg's midpoint iteration reaches
+//! the evenly spaced line (§3.1), and the lifetime split of Theorem 1
+//! equalizes `P(d_i)/e_i` (§3.2) — are statements about the *fixed point*
+//! of repeatedly applying a strategy's `GetNextPosition()` to every relay.
+//! This module runs that iteration directly on a [`Polyline`], without the
+//! simulator, so tests and analyses can verify the fixed points exactly and
+//! measure convergence speed.
+//!
+//! The per-packet execution inside the simulator is the same dynamical
+//! system with bounded step size and HELLO-delayed inputs; the integration
+//! tests check that both settle on the same geometry.
+
+use imobif_geom::Polyline;
+use serde::{Deserialize, Serialize};
+
+use crate::{MobilityStrategy, StrategyInputs};
+
+/// Outcome of a relaxation run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Relaxation {
+    /// The final path.
+    pub path: Polyline,
+    /// Iterations executed.
+    pub iterations: usize,
+    /// Largest single-vertex displacement in the final iteration, in
+    /// meters — the convergence residual.
+    pub residual: f64,
+    /// `true` if the residual fell below the tolerance before the
+    /// iteration limit.
+    pub converged: bool,
+}
+
+/// Iterates a strategy synchronously on `path` until no relay wants to move
+/// more than `tolerance` meters, or `max_iterations` is reached.
+///
+/// `energies` gives each vertex's residual energy (constant during the
+/// relaxation — this analyzes the placement map itself, not battery drain).
+/// Endpoints never move, matching the framework (sources and destinations
+/// have no flow predecessor/successor pair).
+///
+/// # Panics
+///
+/// Panics if `energies.len() != path.len()` or `tolerance` is not positive.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif::{relax, MinEnergyStrategy};
+/// use imobif_geom::{Point2, Polyline};
+///
+/// let zigzag = Polyline::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(10.0, 8.0),
+///     Point2::new(22.0, -8.0),
+///     Point2::new(30.0, 0.0),
+/// ]).unwrap();
+/// let result = relax(&MinEnergyStrategy::new(), &zigzag, &[1.0; 4], 1e-6, 10_000);
+/// assert!(result.converged);
+/// assert!(result.path.max_chord_deviation() < 1e-3);
+/// assert!(result.path.spacing_spread() < 1e-3);
+/// ```
+#[must_use]
+pub fn relax(
+    strategy: &dyn MobilityStrategy,
+    path: &Polyline,
+    energies: &[f64],
+    tolerance: f64,
+    max_iterations: usize,
+) -> Relaxation {
+    assert_eq!(energies.len(), path.len(), "one energy per vertex");
+    assert!(tolerance > 0.0, "tolerance must be positive");
+    let mut current = path.clone();
+    let mut residual = f64::INFINITY;
+    for iteration in 0..max_iterations {
+        let snapshot = current.clone();
+        residual = 0.0;
+        for i in 1..snapshot.len() - 1 {
+            let v = snapshot.vertices();
+            let inputs = StrategyInputs {
+                prev_position: v[i - 1],
+                prev_residual: energies[i - 1],
+                self_position: v[i],
+                self_residual: energies[i],
+                next_position: v[i + 1],
+                next_residual: energies[i + 1],
+            };
+            if let Some(target) = strategy.next_position(&inputs) {
+                residual = residual.max(v[i].distance_to(target));
+                current.set_vertex(i, target);
+            }
+        }
+        if residual <= tolerance {
+            return Relaxation {
+                path: current,
+                iterations: iteration + 1,
+                residual,
+                converged: true,
+            };
+        }
+    }
+    Relaxation { path: current, iterations: max_iterations, residual, converged: false }
+}
+
+/// Measures how far a placement is from Theorem 1's optimality condition:
+/// the relative spread of `d_i^{α'} / e_i` across hops, where hop `i` is
+/// transmitted by node `i`. Zero at the lifetime-optimal placement (under
+/// the paper's power-law approximation).
+///
+/// # Panics
+///
+/// Panics if `energies.len() != path.len()`.
+#[must_use]
+pub fn lifetime_optimality_gap(path: &Polyline, energies: &[f64], alpha_prime: f64) -> f64 {
+    assert_eq!(energies.len(), path.len(), "one energy per vertex");
+    let ratios: Vec<f64> = path
+        .hop_lengths()
+        .iter()
+        .zip(energies)
+        .map(|(d, e)| d.powf(alpha_prime) / e.max(1e-12))
+        .collect();
+    let mean = ratios.iter().sum::<f64>() / ratios.len() as f64;
+    if mean <= 0.0 {
+        return 0.0;
+    }
+    let max = ratios.iter().fold(f64::MIN, |a, &b| a.max(b));
+    let min = ratios.iter().fold(f64::MAX, |a, &b| a.min(b));
+    (max - min) / mean
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::{MaxLifetimeStrategy, MinEnergyStrategy};
+    use imobif_geom::Point2;
+    use proptest::prelude::*;
+
+    fn zigzag(n: usize) -> (Polyline, Vec<f64>) {
+        let pts: Vec<Point2> = (0..n)
+            .map(|i| {
+                let y = if i == 0 || i == n - 1 { 0.0 } else if i % 2 == 0 { -9.0 } else { 9.0 };
+                Point2::new(i as f64 * 15.0, y)
+            })
+            .collect();
+        let energies = (0..n).map(|i| 2.0 + (i as f64 * 1.7) % 8.0).collect();
+        (Polyline::new(pts).unwrap(), energies)
+    }
+
+    #[test]
+    fn min_energy_fixed_point_is_even_straight_line() {
+        let (path, energies) = zigzag(6);
+        let r = relax(&MinEnergyStrategy::new(), &path, &energies, 1e-9, 100_000);
+        assert!(r.converged, "residual {}", r.residual);
+        assert!(r.path.max_chord_deviation() < 1e-6);
+        assert!(r.path.spacing_spread() < 1e-6);
+        // Endpoints are pinned.
+        assert_eq!(r.path.first(), path.first());
+        assert_eq!(r.path.last(), path.last());
+    }
+
+    #[test]
+    fn max_lifetime_fixed_point_satisfies_theorem_1() {
+        let (path, energies) = zigzag(6);
+        let alpha_prime = 2.0;
+        let s = MaxLifetimeStrategy::new(alpha_prime).unwrap();
+        let r = relax(&s, &path, &energies, 1e-10, 200_000);
+        assert!(r.converged);
+        assert!(r.path.max_chord_deviation() < 1e-6);
+        let gap = lifetime_optimality_gap(&r.path, &energies, alpha_prime);
+        assert!(gap < 1e-4, "optimality gap {gap}");
+    }
+
+    #[test]
+    fn equal_energies_make_both_strategies_agree() {
+        let (path, _) = zigzag(5);
+        let energies = vec![3.0; 5];
+        let a = relax(&MinEnergyStrategy::new(), &path, &energies, 1e-9, 100_000);
+        let b = relax(
+            &MaxLifetimeStrategy::new(2.0).unwrap(),
+            &path,
+            &energies,
+            1e-9,
+            100_000,
+        );
+        for (va, vb) in a.path.vertices().iter().zip(b.path.vertices()) {
+            assert!(va.distance_to(*vb) < 1e-5, "{va} vs {vb}");
+        }
+    }
+
+    #[test]
+    fn iteration_limit_reports_non_convergence() {
+        let (path, energies) = zigzag(6);
+        let r = relax(&MinEnergyStrategy::new(), &path, &energies, 1e-12, 3);
+        assert!(!r.converged);
+        assert_eq!(r.iterations, 3);
+        assert!(r.residual > 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "one energy per vertex")]
+    fn mismatched_energies_panic() {
+        let (path, _) = zigzag(4);
+        let _ = relax(&MinEnergyStrategy::new(), &path, &[1.0; 3], 1e-6, 10);
+    }
+
+    proptest! {
+        /// The min-energy relaxation always converges to the chord from
+        /// random starts.
+        #[test]
+        fn prop_min_energy_always_converges(
+            ys in proptest::collection::vec(-20.0..20.0f64, 2..6),
+        ) {
+            let n = ys.len() + 2;
+            let mut pts = vec![Point2::new(0.0, 0.0)];
+            for (i, y) in ys.iter().enumerate() {
+                pts.push(Point2::new(60.0 * (i + 1) as f64 / (n - 1) as f64, *y));
+            }
+            pts.push(Point2::new(60.0, 0.0));
+            let path = Polyline::new(pts).unwrap();
+            let energies = vec![1.0; n];
+            let r = relax(&MinEnergyStrategy::new(), &path, &energies, 1e-8, 200_000);
+            prop_assert!(r.converged);
+            prop_assert!(r.path.max_chord_deviation() < 1e-5);
+        }
+
+        /// The lifetime optimality gap is scale-invariant in energy.
+        #[test]
+        fn prop_gap_scale_invariant(scale in 0.1..10.0f64) {
+            let (path, energies) = zigzag(5);
+            let scaled: Vec<f64> = energies.iter().map(|e| e * scale).collect();
+            let g1 = lifetime_optimality_gap(&path, &energies, 2.0);
+            let g2 = lifetime_optimality_gap(&path, &scaled, 2.0);
+            prop_assert!((g1 - g2).abs() < 1e-9);
+        }
+    }
+}

@@ -1,0 +1,182 @@
+//! A tunable blend of the two paper strategies.
+//!
+//! Paper §2: "imobif can be tuned for different energy optimization goals by
+//! changing the mobility strategy and the corresponding cost-benefit
+//! aggregate function." The two published strategies sit at the extremes —
+//! total energy ignores who pays, lifetime cares only about the bottleneck.
+//! Real deployments often want something in between: save energy overall
+//! *without* sacrificing the weakest node. [`HybridStrategy`] interpolates
+//! the two placement targets with a weight `λ` and uses the conservative
+//! (bottleneck) aggregate, demonstrating how cleanly new goals drop into
+//! the framework.
+
+use imobif_geom::Point2;
+
+use crate::{
+    Aggregate, MaxLifetimeStrategy, MinEnergyStrategy, MobilityStrategy, PerfSample,
+    StrategyInputs, StrategyKind,
+};
+
+/// Linear interpolation between the min-total-energy target (`λ = 0`) and
+/// the max-lifetime target (`λ = 1`).
+///
+/// # Example
+///
+/// ```rust
+/// use imobif::{HybridStrategy, MobilityStrategy, StrategyInputs};
+/// use imobif_geom::Point2;
+///
+/// let inputs = StrategyInputs {
+///     prev_position: Point2::new(0.0, 0.0),
+///     prev_residual: 16.0,
+///     self_position: Point2::new(8.0, 6.0),
+///     self_residual: 1.0,
+///     next_position: Point2::new(20.0, 0.0),
+///     next_residual: 4.0,
+/// };
+/// let energy_only = HybridStrategy::new(0.0, 2.0)?;
+/// let lifetime_only = HybridStrategy::new(1.0, 2.0)?;
+/// let halfway = HybridStrategy::new(0.5, 2.0)?;
+/// let te = energy_only.next_position(&inputs).unwrap();
+/// let tl = lifetime_only.next_position(&inputs).unwrap();
+/// let th = halfway.next_position(&inputs).unwrap();
+/// assert_eq!(te, Point2::new(10.0, 0.0));     // midpoint
+/// assert_eq!(tl, Point2::new(16.0, 0.0));     // energy-proportional split
+/// assert_eq!(th, te.midpoint(tl));            // the blend
+/// # Ok::<(), imobif_energy::EnergyError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct HybridStrategy {
+    lambda: f64,
+    min_energy: MinEnergyStrategy,
+    max_lifetime: MaxLifetimeStrategy,
+}
+
+impl HybridStrategy {
+    /// Creates a hybrid with weight `lambda ∈ [0, 1]` toward the lifetime
+    /// target, using `alpha_prime` for the lifetime split.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`imobif_energy::EnergyError::InvalidParameter`] if `lambda`
+    /// is outside `[0, 1]` or `alpha_prime` is invalid.
+    pub fn new(lambda: f64, alpha_prime: f64) -> Result<Self, imobif_energy::EnergyError> {
+        if !(0.0..=1.0).contains(&lambda) || !lambda.is_finite() {
+            return Err(imobif_energy::EnergyError::InvalidParameter { name: "lambda" });
+        }
+        Ok(HybridStrategy {
+            lambda,
+            min_energy: MinEnergyStrategy::new(),
+            max_lifetime: MaxLifetimeStrategy::new(alpha_prime)?,
+        })
+    }
+
+    /// The blend weight toward the lifetime target.
+    #[must_use]
+    pub fn lambda(&self) -> f64 {
+        self.lambda
+    }
+}
+
+impl MobilityStrategy for HybridStrategy {
+    /// Reported as the max-lifetime kind: the hybrid uses the conservative
+    /// bottleneck aggregate, so destinations evaluate it identically.
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::MaxSystemLifetime
+    }
+
+    fn next_position(&self, inputs: &StrategyInputs) -> Option<Point2> {
+        let te = self.min_energy.next_position(inputs)?;
+        let tl = self.max_lifetime.next_position(inputs)?;
+        let target = te.lerp(tl, self.lambda);
+        target.is_finite().then_some(target)
+    }
+
+    fn init_aggregate(&self) -> Aggregate {
+        Aggregate::min_identity()
+    }
+
+    /// Bottleneck (min/min) aggregation: the conservative choice, correct
+    /// for any λ because a placement that starves the bottleneck is
+    /// unacceptable under either extreme.
+    fn fold(&self, aggregate: &mut Aggregate, sample: PerfSample) {
+        aggregate.bits_no_move = aggregate.bits_no_move.min(sample.bits_no_move);
+        aggregate.resi_no_move = aggregate.resi_no_move.min(sample.resi_no_move);
+        aggregate.bits_move = aggregate.bits_move.min(sample.bits_move);
+        aggregate.resi_move = aggregate.resi_move.min(sample.resi_move);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn inputs() -> StrategyInputs {
+        StrategyInputs {
+            prev_position: Point2::new(0.0, 0.0),
+            prev_residual: 16.0,
+            self_position: Point2::new(8.0, 6.0),
+            self_residual: 1.0,
+            next_position: Point2::new(20.0, 0.0),
+            next_residual: 4.0,
+        }
+    }
+
+    #[test]
+    fn rejects_bad_lambda() {
+        assert!(HybridStrategy::new(-0.1, 2.0).is_err());
+        assert!(HybridStrategy::new(1.1, 2.0).is_err());
+        assert!(HybridStrategy::new(f64::NAN, 2.0).is_err());
+        assert!(HybridStrategy::new(0.5, 0.0).is_err());
+    }
+
+    #[test]
+    fn extremes_match_the_pure_strategies() {
+        let i = inputs();
+        let e = HybridStrategy::new(0.0, 2.0).unwrap();
+        let l = HybridStrategy::new(1.0, 2.0).unwrap();
+        assert_eq!(
+            e.next_position(&i),
+            MinEnergyStrategy::new().next_position(&i)
+        );
+        assert_eq!(
+            l.next_position(&i),
+            MaxLifetimeStrategy::new(2.0).unwrap().next_position(&i)
+        );
+    }
+
+    #[test]
+    fn aggregate_is_bottleneck_min() {
+        let h = HybridStrategy::new(0.3, 2.0).unwrap();
+        let mut agg = h.init_aggregate();
+        h.fold(
+            &mut agg,
+            PerfSample { bits_no_move: 5.0, resi_no_move: 2.0, bits_move: 9.0, resi_move: 1.0 },
+        );
+        h.fold(
+            &mut agg,
+            PerfSample { bits_no_move: 7.0, resi_no_move: 1.0, bits_move: 3.0, resi_move: 6.0 },
+        );
+        assert_eq!(agg.bits_no_move, 5.0);
+        assert_eq!(agg.resi_no_move, 1.0);
+        assert_eq!(agg.bits_move, 3.0);
+        assert_eq!(agg.resi_move, 1.0);
+    }
+
+    proptest! {
+        /// The blended target always lies on the segment between the two
+        /// pure targets.
+        #[test]
+        fn prop_blend_is_between_extremes(lambda in 0.0..=1.0f64) {
+            let i = inputs();
+            let h = HybridStrategy::new(lambda, 2.0).unwrap();
+            let t = h.next_position(&i).unwrap();
+            let te = MinEnergyStrategy::new().next_position(&i).unwrap();
+            let tl = MaxLifetimeStrategy::new(2.0).unwrap().next_position(&i).unwrap();
+            let chord = imobif_geom::Segment::new(te, tl);
+            prop_assert!(chord.distance_to_point(t) < 1e-9);
+            prop_assert!(t.distance_to(te) <= te.distance_to(tl) + 1e-9);
+        }
+    }
+}

@@ -1,0 +1,173 @@
+//! The incremental-horizon combinator: an alternate reading of Fig. 1's
+//! cost/benefit evaluation.
+//!
+//! The paper's Fig. 1 evaluates mobility by comparing staying put against
+//! moving to `GetNextPosition()`'s target, charging `E_M(d(x, x'))` — the
+//! *full walk*. An equally defensible reading, given the paper's bounded
+//! per-step movement, evaluates only the *next step*: is walking at most
+//! `max_step` meters toward the target worth it for the remaining flow?
+//!
+//! The two readings behave differently: the full-walk estimate is
+//! conservative (it charges the entire journey against a benefit computed
+//! from a single reference position) and tends to freeze convergence
+//! part-way; the per-step estimate is a gradient test that keeps mobility
+//! on until the marginal meter stops paying. [`IncrementalStrategy`] wraps
+//! any base strategy and clips its target to one step, so experiments can
+//! quantify the difference (`ext_horizon`).
+
+use imobif_geom::Point2;
+
+use crate::{Aggregate, MobilityStrategy, PerfSample, StrategyInputs, StrategyKind};
+
+/// Wraps a strategy so that `next_position` returns the bounded next step
+/// toward the base target instead of the target itself.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif::{IncrementalStrategy, MinEnergyStrategy, MobilityStrategy, StrategyInputs};
+/// use imobif_geom::Point2;
+///
+/// let base = MinEnergyStrategy::new();
+/// let stepwise = IncrementalStrategy::new(base, 1.0)?;
+/// let inputs = StrategyInputs {
+///     prev_position: Point2::new(0.0, 0.0),
+///     prev_residual: 5.0,
+///     self_position: Point2::new(10.0, 8.0),
+///     self_residual: 5.0,
+///     next_position: Point2::new(20.0, 0.0),
+///     next_residual: 5.0,
+/// };
+/// let step = stepwise.next_position(&inputs).unwrap();
+/// // One meter toward the midpoint (10, 0), not the midpoint itself.
+/// assert!((inputs.self_position.distance_to(step) - 1.0).abs() < 1e-9);
+/// # Ok::<(), imobif_energy::EnergyError>(())
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct IncrementalStrategy<S> {
+    base: S,
+    max_step: f64,
+}
+
+impl<S: MobilityStrategy> IncrementalStrategy<S> {
+    /// Wraps `base`, clipping targets to `max_step` meters per evaluation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`imobif_energy::EnergyError::InvalidParameter`] unless
+    /// `max_step` is positive and finite.
+    pub fn new(base: S, max_step: f64) -> Result<Self, imobif_energy::EnergyError> {
+        if !max_step.is_finite() || max_step <= 0.0 {
+            return Err(imobif_energy::EnergyError::InvalidParameter { name: "max_step" });
+        }
+        Ok(IncrementalStrategy { base, max_step })
+    }
+
+    /// The wrapped strategy.
+    #[must_use]
+    pub fn base(&self) -> &S {
+        &self.base
+    }
+}
+
+impl<S: MobilityStrategy> MobilityStrategy for IncrementalStrategy<S> {
+    fn kind(&self) -> StrategyKind {
+        self.base.kind()
+    }
+
+    fn next_position(&self, inputs: &StrategyInputs) -> Option<Point2> {
+        let target = self.base.next_position(inputs)?;
+        let (step, moved) = inputs.self_position.step_toward(target, self.max_step);
+        (moved > 0.0).then_some(step)
+    }
+
+    fn init_aggregate(&self) -> Aggregate {
+        self.base.init_aggregate()
+    }
+
+    fn fold(&self, aggregate: &mut Aggregate, sample: PerfSample) {
+        self.base.fold(aggregate, sample);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::MinEnergyStrategy;
+    use proptest::prelude::*;
+
+    fn inputs() -> StrategyInputs {
+        StrategyInputs {
+            prev_position: Point2::new(0.0, 0.0),
+            prev_residual: 5.0,
+            self_position: Point2::new(10.0, 8.0),
+            self_residual: 5.0,
+            next_position: Point2::new(20.0, 0.0),
+            next_residual: 5.0,
+        }
+    }
+
+    #[test]
+    fn rejects_bad_step() {
+        assert!(IncrementalStrategy::new(MinEnergyStrategy::new(), 0.0).is_err());
+        assert!(IncrementalStrategy::new(MinEnergyStrategy::new(), -1.0).is_err());
+        assert!(IncrementalStrategy::new(MinEnergyStrategy::new(), f64::NAN).is_err());
+    }
+
+    #[test]
+    fn step_points_toward_base_target() {
+        let base = MinEnergyStrategy::new();
+        let inc = IncrementalStrategy::new(base, 1.0).unwrap();
+        let i = inputs();
+        let full = base.next_position(&i).unwrap();
+        let step = inc.next_position(&i).unwrap();
+        // The step lies on the segment from the current position to the
+        // full target.
+        let seg = imobif_geom::Segment::new(i.self_position, full);
+        assert!(seg.distance_to_point(step) < 1e-9);
+        assert!((i.self_position.distance_to(step) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn converged_relay_yields_none() {
+        let base = MinEnergyStrategy::new();
+        let inc = IncrementalStrategy::new(base, 1.0).unwrap();
+        let mut i = inputs();
+        i.self_position = Point2::new(10.0, 0.0); // already at the midpoint
+        assert_eq!(inc.next_position(&i), None);
+    }
+
+    #[test]
+    fn aggregation_passes_through() {
+        let base = MinEnergyStrategy::new();
+        let inc = IncrementalStrategy::new(base, 1.0).unwrap();
+        assert_eq!(inc.init_aggregate(), base.init_aggregate());
+        assert_eq!(inc.kind(), base.kind());
+        let sample =
+            PerfSample { bits_no_move: 1.0, resi_no_move: 2.0, bits_move: 3.0, resi_move: 4.0 };
+        let mut a = inc.init_aggregate();
+        let mut b = base.init_aggregate();
+        inc.fold(&mut a, sample);
+        base.fold(&mut b, sample);
+        assert_eq!(a, b);
+    }
+
+    proptest! {
+        /// The step never exceeds the bound and never overshoots the base
+        /// target.
+        #[test]
+        fn prop_step_is_bounded(
+            sx in -30.0..30.0f64, sy in -30.0..30.0f64, max_step in 0.1..5.0f64,
+        ) {
+            let base = MinEnergyStrategy::new();
+            let inc = IncrementalStrategy::new(base, max_step).unwrap();
+            let mut i = inputs();
+            i.self_position = Point2::new(sx, sy);
+            if let Some(step) = inc.next_position(&i) {
+                let full = base.next_position(&i).unwrap();
+                prop_assert!(i.self_position.distance_to(step) <= max_step + 1e-9);
+                prop_assert!(step.distance_to(full) <= i.self_position.distance_to(full) + 1e-9);
+            }
+        }
+    }
+}

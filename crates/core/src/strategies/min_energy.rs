@@ -1,0 +1,200 @@
+//! Minimizing total energy consumption (paper §3.1, Fig. 3).
+
+use imobif_geom::Point2;
+
+use crate::{Aggregate, MobilityStrategy, PerfSample, StrategyInputs, StrategyKind};
+
+/// The minimum-total-energy mobility strategy, adopted from Goldenberg et
+/// al. (MobiHoc'04): the optimum places all relays of a one-to-one flow on
+/// the source–destination line, evenly spaced, and the localized rule that
+/// reaches it is *move toward the midpoint of your flow neighbors*
+/// (paper Fig. 2).
+///
+/// The aggregate function (paper Fig. 3) folds the *smaller* number of
+/// sustainable data bits (the bottleneck decides how much traffic the path
+/// can carry) and the *sum* of expected residual energies (total energy is
+/// what this strategy minimizes).
+///
+/// # Example
+///
+/// ```rust
+/// use imobif::{MinEnergyStrategy, MobilityStrategy, StrategyInputs};
+/// use imobif_geom::Point2;
+///
+/// let strategy = MinEnergyStrategy::new();
+/// let inputs = StrategyInputs {
+///     prev_position: Point2::new(0.0, 0.0),
+///     prev_residual: 10.0,
+///     self_position: Point2::new(10.0, 8.0),
+///     self_residual: 10.0,
+///     next_position: Point2::new(20.0, 0.0),
+///     next_residual: 10.0,
+/// };
+/// // The target is the midpoint of the flow neighbors, regardless of
+/// // residual energy.
+/// assert_eq!(strategy.next_position(&inputs), Some(Point2::new(10.0, 0.0)));
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct MinEnergyStrategy;
+
+impl MinEnergyStrategy {
+    /// Creates the strategy.
+    #[must_use]
+    pub fn new() -> Self {
+        MinEnergyStrategy
+    }
+}
+
+impl MobilityStrategy for MinEnergyStrategy {
+    fn kind(&self) -> StrategyKind {
+        StrategyKind::MinTotalEnergy
+    }
+
+    /// Fig. 3: `return (f.prev.x + f.next.x) / 2`.
+    fn next_position(&self, inputs: &StrategyInputs) -> Option<Point2> {
+        let target = inputs.prev_position.midpoint(inputs.next_position);
+        target.is_finite().then_some(target)
+    }
+
+    fn init_aggregate(&self) -> Aggregate {
+        Aggregate::min_bits_sum_resi_identity()
+    }
+
+    /// Fig. 3: `m.bits = min(m.bits, bits); m.resi = m.resi + resi` for
+    /// both the no-mobility and mobility hypotheses.
+    fn fold(&self, aggregate: &mut Aggregate, sample: PerfSample) {
+        aggregate.bits_no_move = aggregate.bits_no_move.min(sample.bits_no_move);
+        aggregate.resi_no_move += sample.resi_no_move;
+        aggregate.bits_move = aggregate.bits_move.min(sample.bits_move);
+        aggregate.resi_move += sample.resi_move;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use std::cmp::Ordering;
+
+    fn inputs(prev: (f64, f64), me: (f64, f64), next: (f64, f64)) -> StrategyInputs {
+        StrategyInputs {
+            prev_position: prev.into(),
+            prev_residual: 5.0,
+            self_position: me.into(),
+            self_residual: 5.0,
+            next_position: next.into(),
+            next_residual: 5.0,
+        }
+    }
+
+    #[test]
+    fn target_is_midpoint_independent_of_energy() {
+        let s = MinEnergyStrategy::new();
+        let mut i = inputs((0.0, 0.0), (3.0, 9.0), (10.0, 0.0));
+        let t1 = s.next_position(&i).unwrap();
+        i.self_residual = 0.001;
+        i.prev_residual = 100.0;
+        let t2 = s.next_position(&i).unwrap();
+        assert_eq!(t1, t2);
+        assert_eq!(t1, Point2::new(5.0, 0.0));
+    }
+
+    #[test]
+    fn fold_takes_min_bits_and_sums_resi() {
+        let s = MinEnergyStrategy::new();
+        let mut agg = s.init_aggregate();
+        s.fold(
+            &mut agg,
+            PerfSample { bits_no_move: 100.0, resi_no_move: 3.0, bits_move: 50.0, resi_move: 4.0 },
+        );
+        s.fold(
+            &mut agg,
+            PerfSample { bits_no_move: 80.0, resi_no_move: 2.0, bits_move: 90.0, resi_move: -1.0 },
+        );
+        assert_eq!(agg.bits_no_move, 80.0);
+        assert_eq!(agg.resi_no_move, 5.0);
+        assert_eq!(agg.bits_move, 50.0);
+        assert_eq!(agg.resi_move, 3.0);
+    }
+
+    #[test]
+    fn preference_uses_folded_values() {
+        let s = MinEnergyStrategy::new();
+        let mut agg = s.init_aggregate();
+        s.fold(
+            &mut agg,
+            PerfSample { bits_no_move: 10.0, resi_no_move: 1.0, bits_move: 20.0, resi_move: 1.0 },
+        );
+        assert_eq!(s.mobility_preference(&agg), Ordering::Greater);
+    }
+
+    #[test]
+    fn repeated_midpoint_iterations_straighten_a_path() {
+        // Synchronous midpoint relaxation on a zigzag converges to the
+        // chord with even spacing — the Goldenberg result the paper adopts.
+        let s = MinEnergyStrategy::new();
+        let mut pts = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(5.0, 9.0),
+            Point2::new(13.0, -7.0),
+            Point2::new(22.0, 11.0),
+            Point2::new(30.0, 0.0),
+        ];
+        for _ in 0..200 {
+            let prev_pts = pts.clone();
+            for i in 1..pts.len() - 1 {
+                let inp = StrategyInputs {
+                    prev_position: prev_pts[i - 1],
+                    prev_residual: 5.0,
+                    self_position: prev_pts[i],
+                    self_residual: 5.0,
+                    next_position: prev_pts[i + 1],
+                    next_residual: 5.0,
+                };
+                pts[i] = s.next_position(&inp).unwrap();
+            }
+        }
+        let line = imobif_geom::Polyline::new(pts).unwrap();
+        assert!(line.max_chord_deviation() < 1e-3, "deviation {}", line.max_chord_deviation());
+        assert!(line.spacing_spread() < 1e-3, "spread {}", line.spacing_spread());
+    }
+
+    proptest! {
+        /// The midpoint target never increases the larger of the two
+        /// adjacent hop distances (contraction property).
+        #[test]
+        fn prop_midpoint_contracts_worst_hop(
+            px in -50.0..50.0f64, py in -50.0..50.0f64,
+            sx in -50.0..50.0f64, sy in -50.0..50.0f64,
+            nx in -50.0..50.0f64, ny in -50.0..50.0f64,
+        ) {
+            let s = MinEnergyStrategy::new();
+            let i = inputs((px, py), (sx, sy), (nx, ny));
+            let t = s.next_position(&i).unwrap();
+            let before = i.self_position.distance_to(i.prev_position)
+                .max(i.self_position.distance_to(i.next_position));
+            let after = t.distance_to(i.prev_position).max(t.distance_to(i.next_position));
+            prop_assert!(after <= before + 1e-9);
+        }
+
+        /// Fold is insensitive to sample order for the min/sum aggregate.
+        #[test]
+        fn prop_fold_is_order_insensitive(
+            samples in proptest::collection::vec(
+                (0.0..1e3f64, -10.0..10.0f64, 0.0..1e3f64, -10.0..10.0f64), 1..8),
+        ) {
+            let s = MinEnergyStrategy::new();
+            let to_sample = |t: &(f64, f64, f64, f64)| PerfSample {
+                bits_no_move: t.0, resi_no_move: t.1, bits_move: t.2, resi_move: t.3,
+            };
+            let mut fwd = s.init_aggregate();
+            for t in &samples { s.fold(&mut fwd, to_sample(t)); }
+            let mut rev = s.init_aggregate();
+            for t in samples.iter().rev() { s.fold(&mut rev, to_sample(t)); }
+            prop_assert!((fwd.bits_no_move - rev.bits_no_move).abs() < 1e-9);
+            prop_assert!((fwd.resi_no_move - rev.resi_no_move).abs() < 1e-9);
+            prop_assert!((fwd.bits_move - rev.bits_move).abs() < 1e-9);
+            prop_assert!((fwd.resi_move - rev.resi_move).abs() < 1e-9);
+        }
+    }
+}

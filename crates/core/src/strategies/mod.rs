@@ -1,0 +1,11 @@
+//! The paper's two mobility strategies plus the workspace's extensions.
+
+mod hybrid;
+mod incremental;
+mod max_lifetime;
+mod min_energy;
+
+pub use hybrid::HybridStrategy;
+pub use incremental::IncrementalStrategy;
+pub use max_lifetime::MaxLifetimeStrategy;
+pub use min_energy::MinEnergyStrategy;

@@ -1,0 +1,144 @@
+//! The mobility-strategy abstraction.
+//!
+//! iMobif "can be tuned for different energy optimization goals by changing
+//! the mobility strategy and the corresponding cost-benefit aggregate
+//! function" (paper §2). A strategy supplies exactly the two
+//! application-specific functions of Fig. 1 — `GetNextPosition()` and
+//! `AggregateMobilityPerformance()` — plus the aggregate's fold identity.
+
+use std::cmp::Ordering;
+use std::fmt;
+
+use imobif_geom::Point2;
+use serde::{Deserialize, Serialize};
+
+use crate::{Aggregate, PerfSample};
+
+/// Serializable identifier of a mobility strategy, carried in packet
+/// headers (each node "maintains a list of application-specific mobility
+/// strategies"; the header names which one is active).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
+pub enum StrategyKind {
+    /// Minimize total communication energy (paper §3.1, from Goldenberg et
+    /// al. \[6\]).
+    MinTotalEnergy,
+    /// Maximize system lifetime (paper §3.2, novel in this paper).
+    MaxSystemLifetime,
+}
+
+impl fmt::Display for StrategyKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StrategyKind::MinTotalEnergy => write!(f, "min-total-energy"),
+            StrategyKind::MaxSystemLifetime => write!(f, "max-system-lifetime"),
+        }
+    }
+}
+
+/// The local information available to `GetNextPosition()`: positions and
+/// residual energies of the flow-path predecessor, the node itself, and the
+/// successor. All of it comes from the node's own state and its
+/// HELLO-maintained neighbor table — nothing global.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct StrategyInputs {
+    /// Position of the previous node on the flow path.
+    pub prev_position: Point2,
+    /// Residual energy of the previous node (J), from its last HELLO.
+    pub prev_residual: f64,
+    /// This node's position.
+    pub self_position: Point2,
+    /// This node's residual energy (J).
+    pub self_residual: f64,
+    /// Position of the next node on the flow path.
+    pub next_position: Point2,
+    /// Residual energy of the next node (J), from its last HELLO.
+    pub next_residual: f64,
+}
+
+/// A mobility strategy: where a relay should move, and how per-node
+/// cost/benefit samples fold into the packet-header aggregate.
+pub trait MobilityStrategy: fmt::Debug + Send + Sync {
+    /// The strategy's wire identifier.
+    fn kind(&self) -> StrategyKind;
+
+    /// `GetNextPosition()` — the position this relay should move toward,
+    /// or `None` when no sensible target exists (degenerate geometry).
+    fn next_position(&self, inputs: &StrategyInputs) -> Option<Point2>;
+
+    /// The identity value a source places in a fresh packet header.
+    fn init_aggregate(&self) -> Aggregate;
+
+    /// `AggregateMobilityPerformance()` — folds one node's sample into the
+    /// header aggregate.
+    fn fold(&self, aggregate: &mut Aggregate, sample: PerfSample);
+
+    /// Compares the mobility hypothesis against the no-mobility hypothesis
+    /// at the destination (Fig. 1, `UpdateMobilityStatus`):
+    /// lexicographically on (sustainable bits, expected residual energy).
+    ///
+    /// `Ordering::Greater` means mobility is preferable.
+    fn mobility_preference(&self, aggregate: &Aggregate) -> Ordering {
+        match total_cmp(aggregate.bits_move, aggregate.bits_no_move) {
+            Ordering::Equal => total_cmp(aggregate.resi_move, aggregate.resi_no_move),
+            other => other,
+        }
+    }
+}
+
+/// Total order on the (never-NaN) aggregate fields.
+fn total_cmp(a: f64, b: f64) -> Ordering {
+    a.partial_cmp(&b).unwrap_or(Ordering::Equal)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Debug)]
+    struct Dummy;
+
+    impl MobilityStrategy for Dummy {
+        fn kind(&self) -> StrategyKind {
+            StrategyKind::MinTotalEnergy
+        }
+        fn next_position(&self, _: &StrategyInputs) -> Option<Point2> {
+            None
+        }
+        fn init_aggregate(&self) -> Aggregate {
+            Aggregate::min_identity()
+        }
+        fn fold(&self, _: &mut Aggregate, _: PerfSample) {}
+    }
+
+    fn agg(bits_no: f64, resi_no: f64, bits_mv: f64, resi_mv: f64) -> Aggregate {
+        Aggregate {
+            bits_no_move: bits_no,
+            resi_no_move: resi_no,
+            bits_move: bits_mv,
+            resi_move: resi_mv,
+        }
+    }
+
+    #[test]
+    fn preference_is_lexicographic() {
+        let d = Dummy;
+        assert_eq!(d.mobility_preference(&agg(10.0, 5.0, 20.0, 1.0)), Ordering::Greater);
+        assert_eq!(d.mobility_preference(&agg(20.0, 1.0, 10.0, 9.0)), Ordering::Less);
+        // Equal bits: residual energy breaks the tie.
+        assert_eq!(d.mobility_preference(&agg(10.0, 1.0, 10.0, 2.0)), Ordering::Greater);
+        assert_eq!(d.mobility_preference(&agg(10.0, 2.0, 10.0, 1.0)), Ordering::Less);
+        assert_eq!(d.mobility_preference(&agg(10.0, 2.0, 10.0, 2.0)), Ordering::Equal);
+    }
+
+    #[test]
+    fn strategy_kind_displays() {
+        assert_eq!(StrategyKind::MinTotalEnergy.to_string(), "min-total-energy");
+        assert_eq!(StrategyKind::MaxSystemLifetime.to_string(), "max-system-lifetime");
+    }
+
+    #[test]
+    fn trait_is_object_safe() {
+        let s: Box<dyn MobilityStrategy> = Box::new(Dummy);
+        assert_eq!(s.kind(), StrategyKind::MinTotalEnergy);
+    }
+}

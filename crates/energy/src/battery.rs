@@ -1,0 +1,232 @@
+//! Per-node residual-energy accounting.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::EnergyError;
+
+/// A node battery tracking residual energy in joules.
+///
+/// Paper Assumption 3: "each node can measure (or estimate from historical
+/// data) the energy needed to move", justified because "usually a node can
+/// measure its residual energy" — the battery is that measurable quantity.
+/// It enforces the invariant `0 ≤ residual ≤ initial` and refuses (rather
+/// than silently overdrawing) consumption beyond the residual, which is how
+/// the simulator detects node death.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_energy::Battery;
+///
+/// let mut b = Battery::new(10.0)?;
+/// b.try_consume(4.0)?;
+/// assert_eq!(b.residual(), 6.0);
+/// assert_eq!(b.consumed(), 4.0);
+/// assert!(b.try_consume(7.0).is_err()); // refused, residual unchanged
+/// assert_eq!(b.residual(), 6.0);
+/// # Ok::<(), imobif_energy::EnergyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Battery {
+    initial: f64,
+    residual: f64,
+}
+
+impl Battery {
+    /// Creates a full battery holding `initial` joules.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::InvalidParameter`] unless `initial` is finite
+    /// and non-negative.
+    pub fn new(initial: f64) -> Result<Self, EnergyError> {
+        if !initial.is_finite() || initial < 0.0 {
+            return Err(EnergyError::InvalidParameter { name: "initial" });
+        }
+        Ok(Battery { initial, residual: initial })
+    }
+
+    /// Initial capacity in joules.
+    #[must_use]
+    pub fn initial(&self) -> f64 {
+        self.initial
+    }
+
+    /// Residual energy in joules.
+    #[must_use]
+    pub fn residual(&self) -> f64 {
+        self.residual
+    }
+
+    /// Energy consumed so far, in joules.
+    #[must_use]
+    pub fn consumed(&self) -> f64 {
+        self.initial - self.residual
+    }
+
+    /// Fraction of the initial capacity remaining, in `[0, 1]`.
+    ///
+    /// Returns `0.0` for a battery with zero initial capacity.
+    #[must_use]
+    pub fn fraction(&self) -> f64 {
+        if self.initial <= 0.0 {
+            0.0
+        } else {
+            self.residual / self.initial
+        }
+    }
+
+    /// Returns `true` if no usable energy remains.
+    #[must_use]
+    pub fn is_depleted(&self) -> bool {
+        self.residual <= 0.0
+    }
+
+    /// Consumes `joules` from the battery.
+    ///
+    /// On failure the battery is left unchanged: the caller decides whether
+    /// the node dies ([`Battery::drain`]) or retries a cheaper action.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::Depleted`] if `joules` exceeds the residual,
+    /// and [`EnergyError::InvalidParameter`] for negative or non-finite
+    /// `joules`.
+    pub fn try_consume(&mut self, joules: f64) -> Result<(), EnergyError> {
+        if !joules.is_finite() || joules < 0.0 {
+            return Err(EnergyError::InvalidParameter { name: "joules" });
+        }
+        if joules > self.residual {
+            return Err(EnergyError::Depleted {
+                required: joules,
+                available: self.residual,
+            });
+        }
+        self.residual -= joules;
+        Ok(())
+    }
+
+    /// Empties the battery, returning the energy that was left.
+    ///
+    /// Used when a node dies attempting an unaffordable transmission: the
+    /// paper's lifetime metric treats the node as gone even though a little
+    /// charge remained.
+    pub fn drain(&mut self) -> f64 {
+        std::mem::replace(&mut self.residual, 0.0)
+    }
+
+    /// Restores the battery to a given residual (used by what-if analyses).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::InvalidParameter`] if `residual` is not within
+    /// `[0, initial]`.
+    pub fn set_residual(&mut self, residual: f64) -> Result<(), EnergyError> {
+        if !residual.is_finite() || residual < 0.0 || residual > self.initial {
+            return Err(EnergyError::InvalidParameter { name: "residual" });
+        }
+        self.residual = residual;
+        Ok(())
+    }
+}
+
+impl fmt::Display for Battery {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.3}/{:.3} J", self.residual, self.initial)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn new_battery_is_full() {
+        let b = Battery::new(5.0).unwrap();
+        assert_eq!(b.residual(), 5.0);
+        assert_eq!(b.consumed(), 0.0);
+        assert_eq!(b.fraction(), 1.0);
+        assert!(!b.is_depleted());
+    }
+
+    #[test]
+    fn rejects_invalid_capacity() {
+        assert!(Battery::new(-1.0).is_err());
+        assert!(Battery::new(f64::NAN).is_err());
+        assert!(Battery::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn zero_capacity_battery_is_depleted() {
+        let b = Battery::new(0.0).unwrap();
+        assert!(b.is_depleted());
+        assert_eq!(b.fraction(), 0.0);
+    }
+
+    #[test]
+    fn consume_exact_residual_succeeds() {
+        let mut b = Battery::new(2.0).unwrap();
+        b.try_consume(2.0).unwrap();
+        assert!(b.is_depleted());
+        assert_eq!(b.residual(), 0.0);
+    }
+
+    #[test]
+    fn failed_consume_leaves_battery_unchanged() {
+        let mut b = Battery::new(1.0).unwrap();
+        let err = b.try_consume(1.5).unwrap_err();
+        assert_eq!(err, EnergyError::Depleted { required: 1.5, available: 1.0 });
+        assert_eq!(b.residual(), 1.0);
+    }
+
+    #[test]
+    fn rejects_negative_consumption() {
+        let mut b = Battery::new(1.0).unwrap();
+        assert!(b.try_consume(-0.1).is_err());
+        assert!(b.try_consume(f64::NAN).is_err());
+        assert_eq!(b.residual(), 1.0);
+    }
+
+    #[test]
+    fn drain_returns_leftover() {
+        let mut b = Battery::new(3.0).unwrap();
+        b.try_consume(1.0).unwrap();
+        assert_eq!(b.drain(), 2.0);
+        assert!(b.is_depleted());
+        assert_eq!(b.drain(), 0.0);
+    }
+
+    #[test]
+    fn set_residual_validates_range() {
+        let mut b = Battery::new(3.0).unwrap();
+        b.set_residual(1.5).unwrap();
+        assert_eq!(b.residual(), 1.5);
+        assert!(b.set_residual(4.0).is_err());
+        assert!(b.set_residual(-1.0).is_err());
+    }
+
+    #[test]
+    fn display_shows_residual_and_initial() {
+        let b = Battery::new(3.0).unwrap();
+        assert_eq!(b.to_string(), "3.000/3.000 J");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_consumed_plus_residual_is_initial(
+            initial in 0.0..100.0f64,
+            draws in proptest::collection::vec(0.0..10.0f64, 0..20),
+        ) {
+            let mut b = Battery::new(initial).unwrap();
+            for d in draws {
+                let _ = b.try_consume(d);
+                prop_assert!(b.residual() >= 0.0);
+                prop_assert!(b.residual() <= b.initial());
+                prop_assert!((b.consumed() + b.residual() - b.initial()).abs() < 1e-9);
+            }
+        }
+    }
+}

@@ -1,0 +1,302 @@
+//! Mobility cost models: `E_M(d) = k·d`.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::EnergyError;
+
+/// A model of the energy a node spends to move.
+///
+/// The paper (§4) uses `E_M(d) = k·d`, where `k` "denotes the energy
+/// consumption for traversing unit distance, and thus is dependent on the
+/// path condition and the node mass". The trait exists so ablations can
+/// substitute other locomotion laws without touching the framework.
+///
+/// Implementations must satisfy `cost(0) = 0` and be monotone non-decreasing
+/// in `d`.
+pub trait MobilityCostModel: fmt::Debug + Send + Sync {
+    /// Energy in joules to move `d` meters. `d` must be non-negative;
+    /// implementations may clamp small negative floating-point noise.
+    fn cost(&self, d: f64) -> f64;
+
+    /// Farthest distance reachable with `budget` joules, in meters.
+    ///
+    /// Default implementation bisects `cost`; linear models override with
+    /// the closed form.
+    fn reachable_distance(&self, budget: f64) -> f64 {
+        if budget <= 0.0 {
+            return 0.0;
+        }
+        let (mut lo, mut hi) = (0.0, 1.0);
+        while self.cost(hi) < budget && hi < 1e12 {
+            hi *= 2.0;
+        }
+        for _ in 0..128 {
+            let mid = 0.5 * (lo + hi);
+            if self.cost(mid) <= budget {
+                lo = mid;
+            } else {
+                hi = mid;
+            }
+        }
+        lo
+    }
+}
+
+/// The paper's linear locomotion law `E_M(d) = k·d`.
+///
+/// The evaluation sweeps `k ∈ {0.1, 0.5, 1.0}` J/m.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_energy::{LinearMobilityCost, MobilityCostModel};
+///
+/// let m = LinearMobilityCost::new(0.5)?;
+/// assert_eq!(m.cost(10.0), 5.0);
+/// assert_eq!(m.reachable_distance(5.0), 10.0);
+/// # Ok::<(), imobif_energy::EnergyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct LinearMobilityCost {
+    k: f64,
+}
+
+impl LinearMobilityCost {
+    /// Creates the model with per-meter cost `k` (J/m).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::InvalidParameter`] unless `k` is finite and
+    /// non-negative. `k = 0` models free mobility (useful in tests and as an
+    /// upper bound on achievable savings).
+    pub fn new(k: f64) -> Result<Self, EnergyError> {
+        if !k.is_finite() || k < 0.0 {
+            return Err(EnergyError::InvalidParameter { name: "k" });
+        }
+        Ok(LinearMobilityCost { k })
+    }
+
+    /// The per-meter cost `k`, in J/m.
+    #[must_use]
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+}
+
+impl MobilityCostModel for LinearMobilityCost {
+    fn cost(&self, d: f64) -> f64 {
+        debug_assert!(d >= -1e-9, "negative movement distance {d}");
+        self.k * d.max(0.0)
+    }
+
+    fn reachable_distance(&self, budget: f64) -> f64 {
+        if budget <= 0.0 || self.k == 0.0 {
+            if self.k == 0.0 && budget > 0.0 {
+                return f64::INFINITY;
+            }
+            return 0.0;
+        }
+        budget / self.k
+    }
+}
+
+impl fmt::Display for LinearMobilityCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E_M(d) = {}·d", self.k)
+    }
+}
+
+/// A locomotion law with a fixed start-up overhead:
+/// `E_M(d) = c₀·1{d>0} + k·d`.
+///
+/// Real actuators pay to spin up regardless of distance. The paper's model
+/// is the `c₀ = 0` special case; the workspace uses this variant in
+/// ablations to show how start-up costs shift the mobility break-even
+/// threshold (frequent tiny per-packet steps become disproportionately
+/// expensive).
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_energy::{MobilityCostModel, StartupMobilityCost};
+///
+/// let m = StartupMobilityCost::new(0.2, 0.5)?;
+/// assert_eq!(m.cost(0.0), 0.0);       // not moving is free
+/// assert_eq!(m.cost(10.0), 5.2);      // 0.2 start-up + 5.0 travel
+/// # Ok::<(), imobif_energy::EnergyError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct StartupMobilityCost {
+    startup: f64,
+    k: f64,
+}
+
+impl StartupMobilityCost {
+    /// Creates the model with start-up cost `startup` (J) and per-meter
+    /// cost `k` (J/m).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::InvalidParameter`] unless both are finite and
+    /// non-negative.
+    pub fn new(startup: f64, k: f64) -> Result<Self, EnergyError> {
+        if !startup.is_finite() || startup < 0.0 {
+            return Err(EnergyError::InvalidParameter { name: "startup" });
+        }
+        if !k.is_finite() || k < 0.0 {
+            return Err(EnergyError::InvalidParameter { name: "k" });
+        }
+        Ok(StartupMobilityCost { startup, k })
+    }
+
+    /// The start-up overhead in joules.
+    #[must_use]
+    pub fn startup(&self) -> f64 {
+        self.startup
+    }
+
+    /// The per-meter cost in J/m.
+    #[must_use]
+    pub fn k(&self) -> f64 {
+        self.k
+    }
+}
+
+impl MobilityCostModel for StartupMobilityCost {
+    fn cost(&self, d: f64) -> f64 {
+        debug_assert!(d >= -1e-9, "negative movement distance {d}");
+        let d = d.max(0.0);
+        if d == 0.0 {
+            0.0
+        } else {
+            self.startup + self.k * d
+        }
+    }
+
+    fn reachable_distance(&self, budget: f64) -> f64 {
+        if budget <= self.startup {
+            return 0.0;
+        }
+        if self.k == 0.0 {
+            return f64::INFINITY;
+        }
+        (budget - self.startup) / self.k
+    }
+}
+
+impl fmt::Display for StartupMobilityCost {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "E_M(d) = {} + {}·d", self.startup, self.k)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_k() {
+        assert!(LinearMobilityCost::new(-0.1).is_err());
+        assert!(LinearMobilityCost::new(f64::INFINITY).is_err());
+        assert!(LinearMobilityCost::new(0.0).is_ok());
+    }
+
+    #[test]
+    fn linear_cost() {
+        let m = LinearMobilityCost::new(0.5).unwrap();
+        assert_eq!(m.cost(0.0), 0.0);
+        assert_eq!(m.cost(4.0), 2.0);
+    }
+
+    #[test]
+    fn free_mobility_reaches_infinitely_far() {
+        let m = LinearMobilityCost::new(0.0).unwrap();
+        assert_eq!(m.cost(1e6), 0.0);
+        assert_eq!(m.reachable_distance(1.0), f64::INFINITY);
+        assert_eq!(m.reachable_distance(0.0), 0.0);
+    }
+
+    #[test]
+    fn default_bisection_matches_closed_form() {
+        /// A quadratic locomotion law used to exercise the default method.
+        #[derive(Debug)]
+        struct Quadratic;
+        impl MobilityCostModel for Quadratic {
+            fn cost(&self, d: f64) -> f64 {
+                d * d
+            }
+        }
+        let q = Quadratic;
+        assert!((q.reachable_distance(9.0) - 3.0).abs() < 1e-6);
+        assert_eq!(q.reachable_distance(0.0), 0.0);
+    }
+
+    #[test]
+    fn startup_cost_is_zero_at_rest() {
+        let m = StartupMobilityCost::new(0.2, 0.5).unwrap();
+        assert_eq!(m.cost(0.0), 0.0);
+        assert!((m.cost(1e-9) - 0.2).abs() < 1e-9);
+        assert_eq!(m.startup(), 0.2);
+        assert_eq!(m.k(), 0.5);
+    }
+
+    #[test]
+    fn startup_reachable_distance_accounts_for_overhead() {
+        let m = StartupMobilityCost::new(1.0, 0.5).unwrap();
+        assert_eq!(m.reachable_distance(0.5), 0.0); // cannot even start
+        assert_eq!(m.reachable_distance(1.0), 0.0);
+        assert_eq!(m.reachable_distance(2.0), 2.0); // 1 J overhead + 1 J travel
+        let free = StartupMobilityCost::new(1.0, 0.0).unwrap();
+        assert_eq!(free.reachable_distance(2.0), f64::INFINITY);
+    }
+
+    #[test]
+    fn startup_rejects_bad_parameters() {
+        assert!(StartupMobilityCost::new(-1.0, 0.5).is_err());
+        assert!(StartupMobilityCost::new(0.1, -0.5).is_err());
+        assert!(StartupMobilityCost::new(f64::NAN, 0.5).is_err());
+    }
+
+    #[test]
+    fn zero_startup_matches_linear() {
+        let s = StartupMobilityCost::new(0.0, 0.7).unwrap();
+        let l = LinearMobilityCost::new(0.7).unwrap();
+        for d in [0.0, 0.5, 3.0, 100.0] {
+            assert_eq!(s.cost(d), l.cost(d));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_startup_reachable_inverts_cost(
+            c0 in 0.0..5.0f64, k in 0.01..10.0f64, budget in 0.0..100.0f64,
+        ) {
+            let m = StartupMobilityCost::new(c0, k).unwrap();
+            let d = m.reachable_distance(budget);
+            if d > 0.0 {
+                prop_assert!((m.cost(d) - budget).abs() < 1e-9);
+            } else {
+                prop_assert!(budget <= c0 + 1e-12);
+            }
+        }
+
+        #[test]
+        fn prop_reachable_distance_inverts_cost(
+            k in 0.01..10.0f64, budget in 0.0..100.0f64,
+        ) {
+            let m = LinearMobilityCost::new(k).unwrap();
+            let d = m.reachable_distance(budget);
+            prop_assert!((m.cost(d) - budget).abs() < 1e-9);
+        }
+
+        #[test]
+        fn prop_cost_monotone(k in 0.0..10.0f64, d1 in 0.0..1e3f64, d2 in 0.0..1e3f64) {
+            let m = LinearMobilityCost::new(k).unwrap();
+            let (lo, hi) = if d1 <= d2 { (d1, d2) } else { (d2, d1) };
+            prop_assert!(m.cost(lo) <= m.cost(hi));
+        }
+    }
+}

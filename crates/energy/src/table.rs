@@ -1,0 +1,310 @@
+//! The power–distance table of paper Assumption 4.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{EnergyError, TxEnergyModel};
+
+/// A quantized table of per-bit transmission energy versus distance, learned
+/// from observations.
+///
+/// Paper Assumption 4 requires that "each node can determine the minimum
+/// transmission power needed to reach nodes within a specific distance", and
+/// suggests that "a node can maintain a power-distance table based on
+/// historical data, or exploit hardware support". This type is that table:
+/// distances are bucketed at a fixed resolution, each bucket keeps the mean
+/// of the samples it has received, and lookups interpolate linearly between
+/// the two nearest non-empty buckets (extrapolating flat at the ends).
+///
+/// The table itself implements [`TxEnergyModel`], so a trained table can be
+/// swapped in anywhere the analytic model is used — which is exactly how a
+/// deployed iMobif node would run.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_energy::{PowerDistanceTable, PowerLawModel, TxEnergyModel};
+///
+/// let truth = PowerLawModel::paper_default(2.0)?;
+/// let mut table = PowerDistanceTable::new(1.0, 50.0)?;
+/// for i in 0..=50 {
+///     let d = i as f64;
+///     table.record(d, truth.energy_per_bit(d));
+/// }
+/// let err = (table.energy_per_bit(17.3) - truth.energy_per_bit(17.3)).abs();
+/// assert!(err / truth.energy_per_bit(17.3) < 0.05);
+/// # Ok::<(), imobif_energy::EnergyError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct PowerDistanceTable {
+    resolution: f64,
+    max_distance: f64,
+    /// Per-bucket running `(sum, count)` of observed per-bit energies.
+    buckets: Vec<(f64, u64)>,
+}
+
+impl PowerDistanceTable {
+    /// Creates an empty table covering `[0, max_distance]` with buckets of
+    /// width `resolution` meters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EnergyError::InvalidParameter`] unless both arguments are
+    /// finite and positive with `resolution ≤ max_distance`.
+    pub fn new(resolution: f64, max_distance: f64) -> Result<Self, EnergyError> {
+        if !resolution.is_finite() || resolution <= 0.0 {
+            return Err(EnergyError::InvalidParameter { name: "resolution" });
+        }
+        if !max_distance.is_finite() || max_distance < resolution {
+            return Err(EnergyError::InvalidParameter { name: "max_distance" });
+        }
+        let n = (max_distance / resolution).ceil() as usize + 1;
+        Ok(PowerDistanceTable {
+            resolution,
+            max_distance,
+            buckets: vec![(0.0, 0); n],
+        })
+    }
+
+    /// Trains a table directly from a model, sampling each bucket center.
+    ///
+    /// Convenience for simulations where the "historical data" is generated
+    /// by the analytic law; tests use it to show table ≈ model.
+    ///
+    /// # Errors
+    ///
+    /// Propagates the validation errors of [`PowerDistanceTable::new`].
+    pub fn from_model(
+        model: &dyn TxEnergyModel,
+        resolution: f64,
+        max_distance: f64,
+    ) -> Result<Self, EnergyError> {
+        let mut table = PowerDistanceTable::new(resolution, max_distance)?;
+        for i in 0..table.buckets.len() {
+            let d = i as f64 * resolution;
+            table.record(d, model.energy_per_bit(d));
+        }
+        Ok(table)
+    }
+
+    fn bucket_of(&self, d: f64) -> usize {
+        ((d / self.resolution).round() as usize).min(self.buckets.len() - 1)
+    }
+
+    /// Records an observed per-bit energy at distance `d`.
+    ///
+    /// Out-of-range, negative or non-finite observations are ignored — a
+    /// real radio produces occasional garbage readings and the table must
+    /// shrug them off.
+    pub fn record(&mut self, d: f64, energy_per_bit: f64) {
+        if !d.is_finite() || d < 0.0 || d > self.max_distance {
+            return;
+        }
+        if !energy_per_bit.is_finite() || energy_per_bit < 0.0 {
+            return;
+        }
+        let i = self.bucket_of(d);
+        let (sum, count) = &mut self.buckets[i];
+        *sum += energy_per_bit;
+        *count += 1;
+    }
+
+    /// Number of samples recorded overall.
+    #[must_use]
+    pub fn sample_count(&self) -> u64 {
+        self.buckets.iter().map(|&(_, c)| c).sum()
+    }
+
+    /// Returns `true` if no samples have been recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.sample_count() == 0
+    }
+
+    /// The distances (bucket centers) that currently hold samples, with
+    /// their mean per-bit energies — the node's "historical data", ready to
+    /// feed [`crate::fit_power_law`].
+    #[must_use]
+    pub fn samples(&self) -> Vec<(f64, f64)> {
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|(_, (_, c))| *c > 0)
+            .map(|(i, (sum, c))| (i as f64 * self.resolution, sum / *c as f64))
+            .collect()
+    }
+
+    fn mean_at(&self, i: usize) -> Option<f64> {
+        let (sum, count) = self.buckets[i];
+        (count > 0).then(|| sum / count as f64)
+    }
+
+    /// Looks up the per-bit energy at distance `d` by linear interpolation
+    /// between the nearest trained buckets.
+    ///
+    /// Returns `None` if the table holds no samples at all.
+    #[must_use]
+    pub fn lookup(&self, d: f64) -> Option<f64> {
+        if self.is_empty() {
+            return None;
+        }
+        let d = d.clamp(0.0, self.max_distance);
+        let exact = d / self.resolution;
+        let lo_start = exact.floor() as usize;
+        // Nearest trained bucket at or below (scanning down), and above.
+        let below = (0..=lo_start.min(self.buckets.len() - 1))
+            .rev()
+            .find(|&i| self.buckets[i].1 > 0);
+        let above = (lo_start..self.buckets.len()).find(|&i| self.buckets[i].1 > 0);
+        match (below, above) {
+            (Some(b), Some(a)) if a != b => {
+                let eb = self.mean_at(b).expect("bucket b trained");
+                let ea = self.mean_at(a).expect("bucket a trained");
+                let t = (exact - b as f64) / (a as f64 - b as f64);
+                Some(eb + (ea - eb) * t.clamp(0.0, 1.0))
+            }
+            (Some(b), _) => self.mean_at(b),
+            (_, Some(a)) => self.mean_at(a),
+            (None, None) => None,
+        }
+    }
+}
+
+impl TxEnergyModel for PowerDistanceTable {
+    /// Table lookup with flat extrapolation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the table is completely untrained — querying an empty
+    /// power–distance table is a programming error (a node always boots by
+    /// observing at least its own HELLO transmissions).
+    fn energy_per_bit(&self, d: f64) -> f64 {
+        self.lookup(d)
+            .expect("power-distance table queried before any sample was recorded")
+    }
+}
+
+impl fmt::Display for PowerDistanceTable {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "power-distance table: {} buckets x {:.2} m, {} samples",
+            self.buckets.len(),
+            self.resolution,
+            self.sample_count()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::PowerLawModel;
+    use proptest::prelude::*;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(PowerDistanceTable::new(0.0, 50.0).is_err());
+        assert!(PowerDistanceTable::new(-1.0, 50.0).is_err());
+        assert!(PowerDistanceTable::new(2.0, 1.0).is_err());
+        assert!(PowerDistanceTable::new(f64::NAN, 50.0).is_err());
+    }
+
+    #[test]
+    fn empty_table_lookup_is_none() {
+        let t = PowerDistanceTable::new(1.0, 50.0).unwrap();
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(10.0), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "queried before any sample")]
+    fn empty_table_model_panics() {
+        let t = PowerDistanceTable::new(1.0, 50.0).unwrap();
+        let _ = t.energy_per_bit(10.0);
+    }
+
+    #[test]
+    fn single_sample_extrapolates_flat() {
+        let mut t = PowerDistanceTable::new(1.0, 50.0).unwrap();
+        t.record(10.0, 3.0);
+        assert_eq!(t.lookup(0.0), Some(3.0));
+        assert_eq!(t.lookup(10.0), Some(3.0));
+        assert_eq!(t.lookup(49.0), Some(3.0));
+    }
+
+    #[test]
+    fn interpolates_between_buckets() {
+        let mut t = PowerDistanceTable::new(1.0, 50.0).unwrap();
+        t.record(10.0, 1.0);
+        t.record(20.0, 2.0);
+        let mid = t.lookup(15.0).unwrap();
+        assert!((mid - 1.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn bucket_means_average_samples() {
+        let mut t = PowerDistanceTable::new(1.0, 50.0).unwrap();
+        t.record(10.0, 1.0);
+        t.record(10.2, 3.0);
+        assert_eq!(t.lookup(10.0), Some(2.0));
+        assert_eq!(t.sample_count(), 2);
+    }
+
+    #[test]
+    fn ignores_junk_observations() {
+        let mut t = PowerDistanceTable::new(1.0, 50.0).unwrap();
+        t.record(-5.0, 1.0);
+        t.record(100.0, 1.0);
+        t.record(10.0, f64::NAN);
+        t.record(10.0, -1.0);
+        assert!(t.is_empty());
+    }
+
+    #[test]
+    fn trained_table_approximates_model() {
+        let truth = PowerLawModel::paper_default(2.0).unwrap();
+        let t = PowerDistanceTable::from_model(&truth, 0.5, 40.0).unwrap();
+        for i in 1..80 {
+            let d = i as f64 * 0.5;
+            let rel = (t.energy_per_bit(d) - truth.energy_per_bit(d)).abs()
+                / truth.energy_per_bit(d);
+            assert!(rel < 0.02, "relative error {rel} at d={d}");
+        }
+    }
+
+    #[test]
+    fn samples_feed_regression() {
+        let truth = PowerLawModel::new(0.0, 1e-9, 2.0).unwrap();
+        let t = PowerDistanceTable::from_model(&truth, 1.0, 40.0).unwrap();
+        let fit = crate::fit_power_law(&t.samples()).unwrap();
+        assert!((fit.exponent - 2.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn display_reports_counts() {
+        let t = PowerDistanceTable::new(1.0, 10.0).unwrap();
+        assert!(t.to_string().contains("0 samples"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_lookup_within_sample_range(
+            samples in proptest::collection::vec((0.0..50.0f64, 0.1..10.0f64), 1..32),
+            query in 0.0..50.0f64,
+        ) {
+            let mut t = PowerDistanceTable::new(0.5, 50.0).unwrap();
+            let mut lo = f64::MAX;
+            let mut hi = f64::MIN;
+            for (d, e) in &samples {
+                t.record(*d, *e);
+                lo = lo.min(*e);
+                hi = hi.max(*e);
+            }
+            let v = t.lookup(query).unwrap();
+            // Interpolation never leaves the observed range.
+            prop_assert!(v >= lo - 1e-9 && v <= hi + 1e-9);
+        }
+    }
+}

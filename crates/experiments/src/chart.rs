@@ -1,0 +1,281 @@
+//! Tiny dependency-free SVG charts: scatter plots and step lines.
+//!
+//! The paper's Figs. 6 and 8 are a ratio scatter and a CDF; this module
+//! renders both shapes from raw series so the harness can emit figure
+//! artifacts next to the CSVs. It is deliberately minimal — linear axes,
+//! auto-scaled, with ticks and a legend — not a plotting library.
+
+use std::fmt::Write as _;
+
+/// Chart canvas size.
+const W: f64 = 560.0;
+const H: f64 = 360.0;
+/// Margins: left, right, top, bottom.
+const ML: f64 = 62.0;
+const MR: f64 = 16.0;
+const MT: f64 = 34.0;
+const MB: f64 = 46.0;
+
+/// Colorblind-safe series palette.
+const PALETTE: [&str; 4] = ["#4477aa", "#ee6677", "#228833", "#ccbb44"];
+
+/// One named data series.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Series {
+    /// Legend label.
+    pub label: String,
+    /// `(x, y)` points.
+    pub points: Vec<(f64, f64)>,
+}
+
+impl Series {
+    /// Creates a series.
+    #[must_use]
+    pub fn new(label: impl Into<String>, points: Vec<(f64, f64)>) -> Self {
+        Series { label: label.into(), points }
+    }
+}
+
+/// How a chart draws its series.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Mark {
+    /// One small circle per point (Fig. 6's ratio scatter).
+    Scatter,
+    /// A step line through the sorted points (Fig. 8's CDF).
+    StepLine,
+}
+
+fn bounds(series: &[Series]) -> Option<(f64, f64, f64, f64)> {
+    let mut it = series.iter().flat_map(|s| &s.points).copied();
+    let (x0, y0) = it.next()?;
+    let mut b = (x0, x0, y0, y0);
+    for (x, y) in it {
+        b.0 = b.0.min(x);
+        b.1 = b.1.max(x);
+        b.2 = b.2.min(y);
+        b.3 = b.3.max(y);
+    }
+    // Degenerate ranges get a unit of slack so scaling stays finite.
+    if b.0 == b.1 {
+        b.1 += 1.0;
+    }
+    if b.2 == b.3 {
+        b.3 += 1.0;
+    }
+    Some(b)
+}
+
+fn ticks(lo: f64, hi: f64, n: usize) -> Vec<f64> {
+    (0..=n).map(|i| lo + (hi - lo) * i as f64 / n as f64).collect()
+}
+
+/// Renders a chart as an SVG document.
+///
+/// Returns a minimal empty document when no series has any points.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_experiments::chart::{render_chart, Mark, Series};
+///
+/// let svg = render_chart(
+///     "energy ratio per flow",
+///     "flow",
+///     "ratio",
+///     Mark::Scatter,
+///     &[Series::new("cost-unaware", vec![(0.0, 2.5), (1.0, 1.8)])],
+///     Some(1.0), // reference line at ratio = 1
+/// );
+/// assert!(svg.contains("<circle"));
+/// assert!(svg.contains("cost-unaware"));
+/// ```
+#[must_use]
+pub fn render_chart(
+    title: &str,
+    x_label: &str,
+    y_label: &str,
+    mark: Mark,
+    series: &[Series],
+    y_reference: Option<f64>,
+) -> String {
+    let mut svg = String::new();
+    let _ = write!(
+        svg,
+        r#"<svg xmlns="http://www.w3.org/2000/svg" width="{W}" height="{H}" viewBox="0 0 {W} {H}">"#
+    );
+    let _ = write!(svg, r#"<rect width="{W}" height="{H}" fill="white"/>"#);
+    let Some((min_x, max_x, min_y, mut max_y)) = bounds(series) else {
+        svg.push_str("</svg>");
+        return svg;
+    };
+    let min_y = min_y.min(y_reference.unwrap_or(min_y));
+    if let Some(r) = y_reference {
+        max_y = max_y.max(r);
+    }
+    let sx = |x: f64| ML + (x - min_x) / (max_x - min_x) * (W - ML - MR);
+    let sy = |y: f64| H - MB - (y - min_y) / (max_y - min_y) * (H - MT - MB);
+
+    // Frame, title, axis labels.
+    let _ = write!(
+        svg,
+        r##"<rect x="{ML}" y="{MT}" width="{:.1}" height="{:.1}" fill="none" stroke="#888"/>"##,
+        W - ML - MR,
+        H - MT - MB
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{:.1}" y="20" text-anchor="middle" font-family="sans-serif" font-size="14">{}</text>"#,
+        W / 2.0,
+        esc(title)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="{:.1}" y="{:.1}" text-anchor="middle" font-family="sans-serif" font-size="12">{}</text>"#,
+        W / 2.0,
+        H - 10.0,
+        esc(x_label)
+    );
+    let _ = write!(
+        svg,
+        r#"<text x="14" y="{:.1}" text-anchor="middle" font-family="sans-serif" font-size="12" transform="rotate(-90 14 {:.1})">{}</text>"#,
+        H / 2.0,
+        H / 2.0,
+        esc(y_label)
+    );
+    // Ticks.
+    for t in ticks(min_x, max_x, 5) {
+        let _ = write!(
+            svg,
+            r##"<line x1="{0:.1}" y1="{1:.1}" x2="{0:.1}" y2="{2:.1}" stroke="#888"/><text x="{0:.1}" y="{3:.1}" text-anchor="middle" font-family="sans-serif" font-size="10">{4:.2}</text>"##,
+            sx(t),
+            H - MB,
+            H - MB + 4.0,
+            H - MB + 16.0,
+            t
+        );
+    }
+    for t in ticks(min_y, max_y, 5) {
+        let _ = write!(
+            svg,
+            r##"<line x1="{1:.1}" y1="{0:.1}" x2="{2:.1}" y2="{0:.1}" stroke="#888"/><text x="{3:.1}" y="{4:.1}" text-anchor="end" font-family="sans-serif" font-size="10">{5:.2}</text>"##,
+            sy(t),
+            ML - 4.0,
+            ML,
+            ML - 7.0,
+            sy(t) + 3.5,
+            t
+        );
+    }
+    // Reference line (ratio = 1 in the paper's figures).
+    if let Some(r) = y_reference {
+        let _ = write!(
+            svg,
+            r##"<line x1="{ML}" y1="{0:.1}" x2="{1:.1}" y2="{0:.1}" stroke="#999" stroke-dasharray="5 4"/>"##,
+            sy(r),
+            W - MR
+        );
+    }
+    // Series.
+    for (si, s) in series.iter().enumerate() {
+        let color = PALETTE[si % PALETTE.len()];
+        match mark {
+            Mark::Scatter => {
+                for &(x, y) in &s.points {
+                    let _ = write!(
+                        svg,
+                        r#"<circle cx="{:.1}" cy="{:.1}" r="2.6" fill="{color}" fill-opacity="0.75"/>"#,
+                        sx(x),
+                        sy(y)
+                    );
+                }
+            }
+            Mark::StepLine => {
+                let mut pts = s.points.clone();
+                pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite points"));
+                let mut d = String::new();
+                for (i, &(x, y)) in pts.iter().enumerate() {
+                    if i == 0 {
+                        let _ = write!(d, "M {:.1} {:.1}", sx(x), sy(y));
+                    } else {
+                        // Horizontal then vertical: an empirical CDF step.
+                        let _ = write!(d, " H {:.1} V {:.1}", sx(x), sy(y));
+                    }
+                }
+                let _ = write!(
+                    svg,
+                    r#"<path d="{d}" fill="none" stroke="{color}" stroke-width="1.8"/>"#
+                );
+            }
+        }
+        // Legend swatch + label.
+        let ly = MT + 14.0 + 16.0 * si as f64;
+        let _ = write!(
+            svg,
+            r#"<rect x="{:.1}" y="{:.1}" width="10" height="10" fill="{color}"/><text x="{:.1}" y="{:.1}" font-family="sans-serif" font-size="11">{}</text>"#,
+            ML + 8.0,
+            ly - 9.0,
+            ML + 22.0,
+            ly,
+            esc(&s.label)
+        );
+    }
+    svg.push_str("</svg>");
+    svg
+}
+
+fn esc(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn demo() -> Vec<Series> {
+        vec![
+            Series::new("a", vec![(0.0, 1.0), (1.0, 2.0), (2.0, 0.5)]),
+            Series::new("b", vec![(0.0, 3.0), (1.0, 2.5)]),
+        ]
+    }
+
+    #[test]
+    fn scatter_has_one_circle_per_point() {
+        let svg = render_chart("t", "x", "y", Mark::Scatter, &demo(), Some(1.0));
+        assert_eq!(svg.matches("<circle").count(), 5);
+        assert!(svg.contains("stroke-dasharray"), "reference line missing");
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+    }
+
+    #[test]
+    fn step_line_has_one_path_per_series() {
+        let svg = render_chart("t", "x", "y", Mark::StepLine, &demo(), None);
+        assert_eq!(svg.matches("<path").count(), 2);
+        assert!(!svg.contains("<circle"));
+    }
+
+    #[test]
+    fn empty_series_render_empty_document() {
+        let svg = render_chart("t", "x", "y", Mark::Scatter, &[], None);
+        assert!(svg.starts_with("<svg") && svg.ends_with("</svg>"));
+        assert!(!svg.contains("circle"));
+        let empty = render_chart("t", "x", "y", Mark::Scatter, &[Series::new("e", vec![])], None);
+        assert!(!empty.contains("circle"));
+    }
+
+    #[test]
+    fn degenerate_ranges_stay_finite() {
+        let one_point = vec![Series::new("p", vec![(5.0, 5.0)])];
+        let svg = render_chart("t", "x", "y", Mark::Scatter, &one_point, None);
+        assert!(!svg.contains("NaN"));
+        assert!(!svg.contains("inf"));
+    }
+
+    #[test]
+    fn labels_and_legend_are_escaped() {
+        let s = vec![Series::new("a<b", vec![(0.0, 1.0)])];
+        let svg = render_chart("t&u", "x<y", "y>z", Mark::Scatter, &s, None);
+        assert!(svg.contains("t&amp;u"));
+        assert!(svg.contains("x&lt;y"));
+        assert!(svg.contains("a&lt;b"));
+    }
+}

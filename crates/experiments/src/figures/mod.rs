@@ -1,0 +1,9 @@
+//! One module per paper artifact. Each returns a serializable result
+//! struct with `to_markdown()` / `to_csv()` renderers, so the CLI, the
+//! benches and EXPERIMENTS.md all read from the same source of truth.
+
+pub mod ext;
+pub mod fig5;
+pub mod fig6;
+pub mod fig7;
+pub mod fig8;

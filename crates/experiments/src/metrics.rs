@@ -1,0 +1,173 @@
+//! Summary statistics and CDFs for experiment reporting.
+
+use serde::{Deserialize, Serialize};
+
+/// Five-number-ish summary of a sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Summary {
+    /// Sample size.
+    pub count: usize,
+    /// Arithmetic mean.
+    pub mean: f64,
+    /// Minimum.
+    pub min: f64,
+    /// Median (50th percentile).
+    pub median: f64,
+    /// Maximum.
+    pub max: f64,
+    /// Sample standard deviation (0 for a single-element sample).
+    pub std_dev: f64,
+}
+
+impl Summary {
+    /// Summarizes a sample. Returns `None` for an empty sample.
+    ///
+    /// Non-finite values are ignored (they indicate a degenerate ratio,
+    /// e.g. a zero-energy baseline, which reports should not silently
+    /// average in).
+    #[must_use]
+    pub fn of(values: &[f64]) -> Option<Summary> {
+        let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+        if v.is_empty() {
+            return None;
+        }
+        v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+        let count = v.len();
+        let mean = v.iter().sum::<f64>() / count as f64;
+        let std_dev = if count > 1 {
+            (v.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / (count - 1) as f64).sqrt()
+        } else {
+            0.0
+        };
+        Some(Summary {
+            count,
+            mean,
+            min: v[0],
+            median: percentile_sorted(&v, 50.0),
+            max: v[count - 1],
+            std_dev,
+        })
+    }
+}
+
+impl std::fmt::Display for Summary {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "n={} mean={:.3} min={:.3} median={:.3} max={:.3}",
+            self.count, self.mean, self.min, self.median, self.max
+        )
+    }
+}
+
+/// Percentile (0–100) of a **sorted** sample by linear interpolation.
+///
+/// # Panics
+///
+/// Panics on an empty slice.
+#[must_use]
+pub fn percentile_sorted(sorted: &[f64], p: f64) -> f64 {
+    assert!(!sorted.is_empty(), "percentile of empty sample");
+    let p = p.clamp(0.0, 100.0);
+    if sorted.len() == 1 {
+        return sorted[0];
+    }
+    let rank = p / 100.0 * (sorted.len() - 1) as f64;
+    let lo = rank.floor() as usize;
+    let hi = rank.ceil() as usize;
+    let t = rank - lo as f64;
+    sorted[lo] + (sorted[hi] - sorted[lo]) * t
+}
+
+/// Empirical CDF of a sample: `(value, cumulative fraction)` pairs, sorted
+/// by value — the form paper Fig. 8 plots.
+#[must_use]
+pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
+    let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
+    v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
+    let n = v.len() as f64;
+    v.into_iter()
+        .enumerate()
+        .map(|(i, x)| (x, (i + 1) as f64 / n))
+        .collect()
+}
+
+/// Fraction of the sample strictly below `threshold`.
+#[must_use]
+pub fn fraction_below(values: &[f64], threshold: f64) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    values.iter().filter(|&&v| v < threshold).count() as f64 / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn summary_of_known_sample() {
+        let s = Summary::of(&[4.0, 1.0, 3.0, 2.0]).unwrap();
+        assert_eq!(s.count, 4);
+        assert_eq!(s.mean, 2.5);
+        assert_eq!(s.min, 1.0);
+        assert_eq!(s.median, 2.5);
+        assert_eq!(s.max, 4.0);
+        assert!(s.to_string().contains("n=4"));
+    }
+
+    #[test]
+    fn summary_skips_non_finite() {
+        let s = Summary::of(&[1.0, f64::NAN, 3.0, f64::INFINITY]).unwrap();
+        assert_eq!(s.count, 2);
+        assert_eq!(s.mean, 2.0);
+        assert!(Summary::of(&[f64::NAN]).is_none());
+        assert!(Summary::of(&[]).is_none());
+    }
+
+    #[test]
+    fn percentiles_interpolate() {
+        let v = [1.0, 2.0, 3.0, 4.0, 5.0];
+        assert_eq!(percentile_sorted(&v, 0.0), 1.0);
+        assert_eq!(percentile_sorted(&v, 100.0), 5.0);
+        assert_eq!(percentile_sorted(&v, 50.0), 3.0);
+        assert_eq!(percentile_sorted(&v, 25.0), 2.0);
+        assert_eq!(percentile_sorted(&[7.0], 99.0), 7.0);
+    }
+
+    #[test]
+    fn cdf_reaches_one() {
+        let c = cdf(&[3.0, 1.0, 2.0]);
+        assert_eq!(c.len(), 3);
+        assert_eq!(c[0], (1.0, 1.0 / 3.0));
+        assert_eq!(c[2], (3.0, 1.0));
+    }
+
+    #[test]
+    fn fraction_below_counts_strictly() {
+        let v = [0.5, 1.0, 1.5];
+        assert_eq!(fraction_below(&v, 1.0), 1.0 / 3.0);
+        assert_eq!(fraction_below(&[], 1.0), 0.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_cdf_is_monotone(values in proptest::collection::vec(-1e3..1e3f64, 1..64)) {
+            let c = cdf(&values);
+            for w in c.windows(2) {
+                prop_assert!(w[0].0 <= w[1].0);
+                prop_assert!(w[0].1 <= w[1].1);
+            }
+            prop_assert!((c.last().unwrap().1 - 1.0).abs() < 1e-12);
+        }
+
+        #[test]
+        fn prop_summary_bounds_mean(values in proptest::collection::vec(-1e3..1e3f64, 1..64)) {
+            let s = Summary::of(&values).unwrap();
+            prop_assert!(s.min <= s.mean + 1e-9);
+            prop_assert!(s.mean <= s.max + 1e-9);
+            prop_assert!(s.min <= s.median && s.median <= s.max);
+        }
+    }
+}

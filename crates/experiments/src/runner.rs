@@ -1,0 +1,325 @@
+//! Instance and batch runners: one flow under one mobility mode, end to end.
+
+use std::sync::Arc;
+
+use imobif::{
+    install_flow, FlowSpec, ImobifApp, ImobifConfig, MaxLifetimeStrategy, MinEnergyStrategy,
+    MobilityMode, MobilityStrategy,
+};
+use imobif_energy::Battery;
+use imobif_geom::Point2;
+use imobif_netsim::{FlowId, NodeId, SimDuration, SimTime, World};
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::config::ScenarioConfig;
+use crate::topology::{draw_scenario, TopologyDraw};
+
+/// Which of the paper's two strategies an experiment runs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum StrategyChoice {
+    /// Minimize total energy (paper §3.1; Figs. 5(b), 6, 7).
+    MinEnergy,
+    /// Maximize system lifetime (paper §3.2; Figs. 5(c), 8).
+    MaxLifetime,
+}
+
+/// Instantiates a strategy for a scenario. The max-lifetime exponent `α'`
+/// is fitted by regression over the operating distance range `[1, range]`,
+/// exactly as the paper prescribes.
+///
+/// # Panics
+///
+/// Panics if the scenario's power model is invalid (call
+/// [`ScenarioConfig::validate`] first).
+#[must_use]
+pub fn build_strategy(cfg: &ScenarioConfig, choice: StrategyChoice) -> Arc<dyn MobilityStrategy> {
+    match choice {
+        StrategyChoice::MinEnergy => Arc::new(MinEnergyStrategy::new()),
+        StrategyChoice::MaxLifetime => {
+            let model = cfg.tx_model().expect("validated config");
+            Arc::new(
+                MaxLifetimeStrategy::fitted(&model, 1.0, cfg.range)
+                    .expect("regression over a valid range"),
+            )
+        }
+    }
+}
+
+/// Everything measured from one `(flow, mode)` run.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct InstanceResult {
+    /// The mode this instance ran under.
+    pub mode: MobilityMode,
+    /// Flow length in bits.
+    pub flow_bits: u64,
+    /// Path length in nodes (incl. endpoints).
+    pub path_len: usize,
+    /// Total energy spent (data + mobility + notifications), in joules.
+    pub total_energy: f64,
+    /// Data transmission energy, in joules.
+    pub data_energy: f64,
+    /// Movement energy, in joules.
+    pub mobility_energy: f64,
+    /// Notification energy, in joules.
+    pub notification_energy: f64,
+    /// Payload bits that reached the destination.
+    pub delivered_bits: u64,
+    /// `true` if every flow bit was delivered.
+    pub completed: bool,
+    /// Notifications the destination sent (paper Fig. 7).
+    pub notifications: u64,
+    /// Times the source's mobility status flipped.
+    pub status_changes: u64,
+    /// System lifetime in seconds: first on-path node death, or flow
+    /// completion time if nobody died.
+    pub lifetime_secs: f64,
+    /// `true` if some path node died.
+    pub node_died: bool,
+    /// Final positions of the path nodes, in path order.
+    pub final_positions: Vec<Point2>,
+    /// Final residual energies of the path nodes, in path order.
+    pub final_energies: Vec<f64>,
+}
+
+/// Runs one flow instance under `mode`.
+///
+/// The world contains only the flow-path nodes: the paper's other 90+ nodes
+/// neither transmit nor move during a single one-to-one flow, so omitting
+/// them changes no measured quantity while keeping batches fast. Routing
+/// already happened against the full topology in [`draw_scenario`].
+///
+/// # Panics
+///
+/// Panics if the scenario config is invalid or flow installation fails —
+/// both indicate a bug in the experiment driver, not a runtime condition.
+#[must_use]
+pub fn run_instance(
+    cfg: &ScenarioConfig,
+    draw: &TopologyDraw,
+    mode: MobilityMode,
+    strategy: &Arc<dyn MobilityStrategy>,
+) -> InstanceResult {
+    let tx = cfg.tx_model().expect("validated config");
+    let mv = cfg.mobility_model().expect("validated config");
+    let mut world: World<ImobifApp> =
+        World::new(cfg.sim_config(), Box::new(tx), Box::new(mv)).expect("validated sim config");
+    let app_cfg = ImobifConfig { mode, max_step: cfg.max_step, notification_bits: 512 };
+    let ids: Vec<NodeId> = draw
+        .flow
+        .path
+        .iter()
+        .map(|&orig| {
+            world.add_node(
+                draw.positions[orig.index()],
+                Battery::new(draw.energies[orig.index()]).expect("sampled energies are valid"),
+                ImobifApp::new(app_cfg, Arc::clone(strategy)),
+            )
+        })
+        .collect();
+    world.start();
+
+    let flow = FlowId::new(0);
+    let spec = FlowSpec {
+        flow,
+        path: ids.clone(),
+        total_bits: draw.flow.flow_bits,
+        packet_bits: cfg.packet_bits,
+        interval: cfg.packet_interval(),
+        initial_mobility_enabled: cfg.initial_mobility_enabled,
+        estimate_factor: cfg.estimate_factor,
+        start_delay: SimDuration::from_millis(500),
+        // The flow selects whatever strategy the experiment equipped the
+        // nodes with.
+        strategy: strategy.kind(),
+    };
+    install_flow(&mut world, &spec).expect("drawn paths are valid");
+
+    let total = draw.flow.flow_bits;
+    let src = ids[0];
+    let dst = *ids.last().expect("paths have >= 3 nodes");
+    // Generous cap: pacing time plus slack for in-flight packets.
+    let cap = SimTime::ZERO
+        + SimDuration::from_secs_f64(
+            0.5 + spec.packet_count() as f64 * cfg.packet_interval_secs + 60.0,
+        );
+    world.run_while(|w| {
+        w.time() < cap
+            && w.ledger().first_death().is_none()
+            && w.app(dst).dest(flow).is_none_or(|d| d.received_bits < total)
+    });
+
+    let totals = world.ledger().totals();
+    let delivered = world.app(dst).dest(flow).map_or(0, |d| d.received_bits);
+    let notifications = world.app(dst).dest(flow).map_or(0, |d| d.notifications_sent);
+    let status_changes = world.app(src).source(flow).map_or(0, |s| s.status_changes);
+    let death = world.ledger().first_death();
+    InstanceResult {
+        mode,
+        flow_bits: total,
+        path_len: ids.len(),
+        total_energy: totals.total(),
+        data_energy: totals.data,
+        mobility_energy: totals.mobility,
+        notification_energy: totals.notification,
+        delivered_bits: delivered,
+        completed: delivered >= total,
+        notifications,
+        status_changes,
+        lifetime_secs: death
+            .map_or_else(|| world.time().as_secs_f64(), |(_, t)| t.as_secs_f64()),
+        node_died: death.is_some(),
+        final_positions: ids.iter().map(|&id| world.position(id)).collect(),
+        final_energies: ids.iter().map(|&id| world.residual_energy(id)).collect(),
+    }
+}
+
+/// One flow case: the same drawn flow run under all three modes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CaseResult {
+    /// Index of the draw (for reproducibility).
+    pub draw_index: u64,
+    /// Flow length in bits.
+    pub flow_bits: u64,
+    /// Path length in nodes.
+    pub path_len: usize,
+    /// Result without mobility.
+    pub no_mobility: InstanceResult,
+    /// Result with cost-unaware mobility.
+    pub cost_unaware: InstanceResult,
+    /// Result under iMobif.
+    pub informed: InstanceResult,
+}
+
+impl CaseResult {
+    /// Energy-consumption ratio of cost-unaware mobility vs the baseline
+    /// (paper Fig. 6's metric).
+    #[must_use]
+    pub fn cost_unaware_energy_ratio(&self) -> f64 {
+        self.cost_unaware.total_energy / self.no_mobility.total_energy
+    }
+
+    /// Energy-consumption ratio of iMobif vs the baseline.
+    #[must_use]
+    pub fn informed_energy_ratio(&self) -> f64 {
+        self.informed.total_energy / self.no_mobility.total_energy
+    }
+
+    /// System-lifetime ratio of cost-unaware mobility vs the baseline
+    /// (paper Fig. 8's metric).
+    #[must_use]
+    pub fn cost_unaware_lifetime_ratio(&self) -> f64 {
+        self.cost_unaware.lifetime_secs / self.no_mobility.lifetime_secs
+    }
+
+    /// System-lifetime ratio of iMobif vs the baseline.
+    #[must_use]
+    pub fn informed_lifetime_ratio(&self) -> f64 {
+        self.informed.lifetime_secs / self.no_mobility.lifetime_secs
+    }
+}
+
+/// Runs `n_flows` random flows, each under all three modes, in parallel.
+///
+/// Deterministic for a given config: each flow's scenario derives from
+/// `(cfg.seed, index)` regardless of thread scheduling.
+#[must_use]
+pub fn run_batch(cfg: &ScenarioConfig, n_flows: u64, choice: StrategyChoice) -> Vec<CaseResult> {
+    let strategy = build_strategy(cfg, choice);
+    let results: Mutex<Vec<CaseResult>> = Mutex::new(Vec::with_capacity(n_flows as usize));
+    let threads = std::thread::available_parallelism().map_or(4, usize::from).min(16);
+    let next = std::sync::atomic::AtomicU64::new(0);
+    crossbeam::scope(|scope| {
+        for _ in 0..threads {
+            scope.spawn(|_| loop {
+                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+                if i >= n_flows {
+                    break;
+                }
+                let draw = draw_scenario(cfg, i);
+                let case = CaseResult {
+                    draw_index: i,
+                    flow_bits: draw.flow.flow_bits,
+                    path_len: draw.flow.path.len(),
+                    no_mobility: run_instance(cfg, &draw, MobilityMode::NoMobility, &strategy),
+                    cost_unaware: run_instance(cfg, &draw, MobilityMode::CostUnaware, &strategy),
+                    informed: run_instance(cfg, &draw, MobilityMode::Informed, &strategy),
+                };
+                results.lock().push(case);
+            });
+        }
+    })
+    .expect("worker threads do not panic");
+    let mut out = results.into_inner();
+    out.sort_by_key(|c| c.draw_index);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_cfg() -> ScenarioConfig {
+        ScenarioConfig {
+            mean_flow_bits: 2e5, // keep unit tests fast
+            ..ScenarioConfig::paper_default()
+        }
+    }
+
+    #[test]
+    fn instance_runs_and_accounts_energy() {
+        let cfg = quick_cfg();
+        let draw = draw_scenario(&cfg, 0);
+        let strategy = build_strategy(&cfg, StrategyChoice::MinEnergy);
+        let r = run_instance(&cfg, &draw, MobilityMode::NoMobility, &strategy);
+        assert!(r.completed, "abundant batteries should complete the flow");
+        assert_eq!(r.delivered_bits, draw.flow.flow_bits);
+        assert_eq!(r.mobility_energy, 0.0);
+        assert!(r.data_energy > 0.0);
+        assert!((r.total_energy - (r.data_energy + r.mobility_energy + r.notification_energy))
+            .abs()
+            < 1e-9);
+        assert_eq!(r.final_positions.len(), draw.flow.path.len());
+    }
+
+    #[test]
+    fn cost_unaware_always_pays_mobility() {
+        let cfg = quick_cfg();
+        let draw = draw_scenario(&cfg, 1);
+        let strategy = build_strategy(&cfg, StrategyChoice::MinEnergy);
+        let r = run_instance(&cfg, &draw, MobilityMode::CostUnaware, &strategy);
+        assert!(r.mobility_energy > 0.0);
+    }
+
+    #[test]
+    fn batch_is_deterministic_and_sorted() {
+        let cfg = quick_cfg();
+        let a = run_batch(&cfg, 4, StrategyChoice::MinEnergy);
+        let b = run_batch(&cfg, 4, StrategyChoice::MinEnergy);
+        assert_eq!(a, b);
+        let idx: Vec<u64> = a.iter().map(|c| c.draw_index).collect();
+        assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn lifetime_runs_record_deaths() {
+        let cfg = ScenarioConfig {
+            mean_flow_bits: 8e6,
+            ..ScenarioConfig::paper_lifetime()
+        };
+        let strategy = build_strategy(&cfg, StrategyChoice::MaxLifetime);
+        // Find a draw where the baseline dies (most do, by design).
+        let mut found = false;
+        for i in 0..8 {
+            let draw = draw_scenario(&cfg, i);
+            let r = run_instance(&cfg, &draw, MobilityMode::NoMobility, &strategy);
+            if r.node_died {
+                assert!(!r.completed);
+                assert!(r.lifetime_secs > 0.0);
+                found = true;
+                break;
+            }
+        }
+        assert!(found, "low-energy scenarios should produce deaths");
+    }
+}

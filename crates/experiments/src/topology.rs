@@ -1,0 +1,187 @@
+//! Random topologies and flow draws.
+
+use imobif_geom::{Point2, Rect};
+use imobif_netsim::routing::{GreedyRouter, Router};
+use imobif_netsim::{NodeId, TopologyView};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{EnergyInit, ScenarioConfig};
+
+/// One randomly drawn flow: endpoints and the pinned greedy route.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FlowDraw {
+    /// Source node (index into the topology).
+    pub src: NodeId,
+    /// Destination node.
+    pub dst: NodeId,
+    /// Greedy route, source first.
+    pub path: Vec<NodeId>,
+    /// Flow length in bits (exponentially distributed).
+    pub flow_bits: u64,
+}
+
+/// A generated random scenario instance: node positions, initial energies
+/// and one flow draw.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TopologyDraw {
+    /// All node positions.
+    pub positions: Vec<Point2>,
+    /// Initial battery energies, one per node.
+    pub energies: Vec<f64>,
+    /// The drawn flow.
+    pub flow: FlowDraw,
+}
+
+/// Samples node positions uniformly in the arena.
+///
+/// # Panics
+///
+/// Panics if the config's area is invalid (checked by
+/// [`ScenarioConfig::validate`] first in normal use).
+#[must_use]
+pub fn sample_positions(cfg: &ScenarioConfig, rng: &mut StdRng) -> Vec<Point2> {
+    let arena = Rect::square(cfg.area_side).expect("validated area");
+    (0..cfg.node_count).map(|_| arena.sample_uniform(rng)).collect()
+}
+
+/// Samples initial battery energies per the config.
+#[must_use]
+pub fn sample_energies(cfg: &ScenarioConfig, rng: &mut StdRng) -> Vec<f64> {
+    (0..cfg.node_count)
+        .map(|_| match cfg.initial_energy {
+            EnergyInit::Fixed(e) => e,
+            EnergyInit::Uniform(lo, hi) => rng.gen_range(lo..hi),
+        })
+        .collect()
+}
+
+/// Samples an exponentially distributed flow length with the configured
+/// mean, rounded up to at least one packet.
+#[must_use]
+pub fn sample_flow_bits(cfg: &ScenarioConfig, rng: &mut StdRng) -> u64 {
+    let u: f64 = rng.gen_range(0.0..1.0);
+    let bits = -cfg.mean_flow_bits * (1.0 - u).ln();
+    (bits.round() as u64).max(cfg.packet_bits)
+}
+
+/// Draws a complete scenario instance: a fresh topology, energies, and a
+/// random source/destination pair whose greedy route succeeds with at least
+/// one relay. Topologies where no such pair exists after a bounded number
+/// of tries are redrawn — the standard protocol for random-topology studies
+/// (greedy routing can stall at local maxima; the paper simply reports
+/// statistics over successfully routed flows).
+///
+/// Deterministic per `(cfg.seed, index)`.
+#[must_use]
+pub fn draw_scenario(cfg: &ScenarioConfig, index: u64) -> TopologyDraw {
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
+    loop {
+        let positions = sample_positions(cfg, &mut rng);
+        let energies = sample_energies(cfg, &mut rng);
+        let topo = TopologyView::new(positions.clone(), vec![true; positions.len()], cfg.range);
+        // Try a bounded number of endpoint pairs on this topology.
+        for _ in 0..64 {
+            let src = NodeId::new(rng.gen_range(0..cfg.node_count as u32));
+            let dst = NodeId::new(rng.gen_range(0..cfg.node_count as u32));
+            if src == dst {
+                continue;
+            }
+            let Ok(path) = GreedyRouter.route(&topo, src, dst) else {
+                continue;
+            };
+            if path.len() < 3 {
+                continue; // no relay to move: mobility is moot
+            }
+            let flow_bits = sample_flow_bits(cfg, &mut rng);
+            return TopologyDraw {
+                positions,
+                energies,
+                flow: FlowDraw { src, dst, path, flow_bits },
+            };
+        }
+        // Pathological topology: redraw everything.
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> ScenarioConfig {
+        ScenarioConfig::paper_default()
+    }
+
+    #[test]
+    fn positions_fill_the_arena() {
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(1);
+        let pts = sample_positions(&c, &mut rng);
+        assert_eq!(pts.len(), 100);
+        assert!(pts.iter().all(|p| p.x >= 0.0 && p.x <= 150.0 && p.y >= 0.0 && p.y <= 150.0));
+    }
+
+    #[test]
+    fn paper_topology_has_about_twelve_neighbors() {
+        // The paper: "The resultant average number of neighbors per node is
+        // approximately [12]". Average over seeds.
+        let c = cfg();
+        let mut total = 0.0;
+        for seed in 0..10 {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let pts = sample_positions(&c, &mut rng);
+            let topo = TopologyView::new(pts, vec![true; 100], c.range);
+            total += topo.average_degree();
+        }
+        let avg = total / 10.0;
+        assert!((9.0..15.0).contains(&avg), "average degree {avg}");
+    }
+
+    #[test]
+    fn exponential_flow_lengths_have_roughly_the_mean() {
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(7);
+        let n = 4000;
+        let mean: f64 =
+            (0..n).map(|_| sample_flow_bits(&c, &mut rng) as f64).sum::<f64>() / n as f64;
+        let rel = (mean - c.mean_flow_bits).abs() / c.mean_flow_bits;
+        assert!(rel < 0.1, "sample mean {mean} too far from {}", c.mean_flow_bits);
+    }
+
+    #[test]
+    fn flow_bits_never_below_one_packet() {
+        let c = cfg();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..1000 {
+            assert!(sample_flow_bits(&c, &mut rng) >= c.packet_bits);
+        }
+    }
+
+    #[test]
+    fn uniform_energies_are_in_range() {
+        let mut c = cfg();
+        c.initial_energy = EnergyInit::Uniform(5.0, 10.0);
+        let mut rng = StdRng::seed_from_u64(9);
+        let es = sample_energies(&c, &mut rng);
+        assert!(es.iter().all(|&e| (5.0..10.0).contains(&e)));
+    }
+
+    #[test]
+    fn draw_scenario_is_deterministic_and_valid() {
+        let c = cfg();
+        let a = draw_scenario(&c, 5);
+        let b = draw_scenario(&c, 5);
+        assert_eq!(a, b);
+        assert!(a.flow.path.len() >= 3);
+        assert_eq!(a.flow.path.first(), Some(&a.flow.src));
+        assert_eq!(a.flow.path.last(), Some(&a.flow.dst));
+        // Hops respect the radio range.
+        for w in a.flow.path.windows(2) {
+            let d = a.positions[w[0].index()].distance_to(a.positions[w[1].index()]);
+            assert!(d <= c.range + 1e-9);
+        }
+        // Different indices give different draws.
+        let other = draw_scenario(&c, 6);
+        assert_ne!(a, other);
+    }
+}

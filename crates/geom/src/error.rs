@@ -1,0 +1,67 @@
+//! Error type for geometric operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by geometric operations.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_geom::{GeomError, Point2, Segment};
+///
+/// let p = Point2::new(1.0, 1.0);
+/// let degenerate = Segment::new(p, p);
+/// assert_eq!(degenerate.direction().unwrap_err(), GeomError::DegenerateSegment);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum GeomError {
+    /// A segment's endpoints coincide, so it has no direction.
+    DegenerateSegment,
+    /// A coordinate was not a finite number.
+    NonFiniteCoordinate,
+    /// A polyline operation required at least two vertices.
+    TooFewVertices,
+    /// A rectangle was constructed with non-positive extent.
+    EmptyRect,
+}
+
+impl fmt::Display for GeomError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeomError::DegenerateSegment => write!(f, "segment endpoints coincide"),
+            GeomError::NonFiniteCoordinate => write!(f, "coordinate is not finite"),
+            GeomError::TooFewVertices => write!(f, "polyline needs at least two vertices"),
+            GeomError::EmptyRect => write!(f, "rectangle has non-positive extent"),
+        }
+    }
+}
+
+impl Error for GeomError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_nonempty_and_lowercase() {
+        for e in [
+            GeomError::DegenerateSegment,
+            GeomError::NonFiniteCoordinate,
+            GeomError::TooFewVertices,
+            GeomError::EmptyRect,
+        ] {
+            let msg = e.to_string();
+            assert!(!msg.is_empty());
+            assert!(msg.chars().next().unwrap().is_lowercase());
+            assert!(!msg.ends_with('.'));
+        }
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<GeomError>();
+    }
+}

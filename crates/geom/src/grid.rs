@@ -1,0 +1,263 @@
+//! A uniform spatial hash grid for range queries.
+
+use std::collections::HashMap;
+
+use crate::Point2;
+
+/// A uniform grid ("spatial hash") over the plane, bucketing items by cell so
+/// that *k*-nearest / within-range queries touch only nearby cells.
+///
+/// The simulator uses it for radio neighborhood computation: with 100 nodes
+/// and a 30 m range a linear scan would also work, but the grid keeps
+/// neighbor discovery `O(items in range)` for the larger ablation topologies
+/// and is itself a well-specified substrate worth testing.
+///
+/// Items are identified by a caller-chosen `u32` key (node ids). Positions
+/// may be updated in place as nodes move.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_geom::{Point2, SpatialGrid};
+///
+/// let mut grid = SpatialGrid::new(30.0);
+/// grid.insert(0, Point2::new(0.0, 0.0));
+/// grid.insert(1, Point2::new(20.0, 0.0));
+/// grid.insert(2, Point2::new(100.0, 0.0));
+///
+/// let mut near = grid.query_range(Point2::new(0.0, 0.0), 30.0);
+/// near.sort_unstable();
+/// assert_eq!(near, vec![0, 1]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct SpatialGrid {
+    cell_size: f64,
+    cells: HashMap<(i64, i64), Vec<u32>>,
+    positions: HashMap<u32, Point2>,
+}
+
+impl SpatialGrid {
+    /// Creates an empty grid with the given cell size in meters.
+    ///
+    /// A cell size close to the typical query radius is the sweet spot: a
+    /// radius-`r` query then touches at most 9 cells.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cell_size` is not a positive finite number.
+    #[must_use]
+    pub fn new(cell_size: f64) -> Self {
+        assert!(
+            cell_size.is_finite() && cell_size > 0.0,
+            "cell_size must be positive and finite"
+        );
+        SpatialGrid {
+            cell_size,
+            cells: HashMap::new(),
+            positions: HashMap::new(),
+        }
+    }
+
+    fn cell_of(&self, p: Point2) -> (i64, i64) {
+        (
+            (p.x / self.cell_size).floor() as i64,
+            (p.y / self.cell_size).floor() as i64,
+        )
+    }
+
+    /// Number of items currently stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Returns `true` if no items are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.positions.is_empty()
+    }
+
+    /// Inserts an item, or moves it if the key is already present.
+    pub fn insert(&mut self, key: u32, position: Point2) {
+        if self.positions.contains_key(&key) {
+            self.update(key, position);
+            return;
+        }
+        let cell = self.cell_of(position);
+        self.cells.entry(cell).or_default().push(key);
+        self.positions.insert(key, position);
+    }
+
+    /// Updates the position of an existing item; inserts it if absent.
+    pub fn update(&mut self, key: u32, position: Point2) {
+        let Some(&old) = self.positions.get(&key) else {
+            self.insert(key, position);
+            return;
+        };
+        let old_cell = self.cell_of(old);
+        let new_cell = self.cell_of(position);
+        if old_cell != new_cell {
+            if let Some(bucket) = self.cells.get_mut(&old_cell) {
+                bucket.retain(|&k| k != key);
+                if bucket.is_empty() {
+                    self.cells.remove(&old_cell);
+                }
+            }
+            self.cells.entry(new_cell).or_default().push(key);
+        }
+        self.positions.insert(key, position);
+    }
+
+    /// Removes an item, returning its last position if it was present.
+    pub fn remove(&mut self, key: u32) -> Option<Point2> {
+        let position = self.positions.remove(&key)?;
+        let cell = self.cell_of(position);
+        if let Some(bucket) = self.cells.get_mut(&cell) {
+            bucket.retain(|&k| k != key);
+            if bucket.is_empty() {
+                self.cells.remove(&cell);
+            }
+        }
+        Some(position)
+    }
+
+    /// Position of an item, if present.
+    #[must_use]
+    pub fn position(&self, key: u32) -> Option<Point2> {
+        self.positions.get(&key).copied()
+    }
+
+    /// All item keys within `radius` meters of `center` (inclusive),
+    /// including an item exactly at `center`.
+    ///
+    /// The result order is unspecified; callers that need determinism should
+    /// sort. The query itself is exact — the grid only prunes candidates.
+    #[must_use]
+    pub fn query_range(&self, center: Point2, radius: f64) -> Vec<u32> {
+        let mut out = Vec::new();
+        if !(radius.is_finite() && radius >= 0.0) {
+            return out;
+        }
+        let r_sq = radius * radius;
+        let span = (radius / self.cell_size).ceil() as i64;
+        let (cx, cy) = self.cell_of(center);
+        for gx in (cx - span)..=(cx + span) {
+            for gy in (cy - span)..=(cy + span) {
+                let Some(bucket) = self.cells.get(&(gx, gy)) else {
+                    continue;
+                };
+                for &key in bucket {
+                    let p = self.positions[&key];
+                    if center.distance_sq_to(p) <= r_sq {
+                        out.push(key);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Iterates over all `(key, position)` pairs in unspecified order.
+    pub fn iter(&self) -> impl Iterator<Item = (u32, Point2)> + '_ {
+        self.positions.iter().map(|(&k, &p)| (k, p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    #[should_panic(expected = "cell_size must be positive")]
+    fn zero_cell_size_panics() {
+        let _ = SpatialGrid::new(0.0);
+    }
+
+    #[test]
+    fn insert_query_remove_roundtrip() {
+        let mut g = SpatialGrid::new(10.0);
+        assert!(g.is_empty());
+        g.insert(7, Point2::new(5.0, 5.0));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.position(7), Some(Point2::new(5.0, 5.0)));
+        assert_eq!(g.query_range(Point2::new(5.0, 5.0), 0.0), vec![7]);
+        assert_eq!(g.remove(7), Some(Point2::new(5.0, 5.0)));
+        assert!(g.is_empty());
+        assert_eq!(g.remove(7), None);
+    }
+
+    #[test]
+    fn update_moves_between_cells() {
+        let mut g = SpatialGrid::new(10.0);
+        g.insert(1, Point2::new(1.0, 1.0));
+        g.update(1, Point2::new(95.0, 95.0));
+        assert!(g.query_range(Point2::new(1.0, 1.0), 5.0).is_empty());
+        assert_eq!(g.query_range(Point2::new(95.0, 95.0), 5.0), vec![1]);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
+    fn insert_existing_key_updates() {
+        let mut g = SpatialGrid::new(10.0);
+        g.insert(1, Point2::new(1.0, 1.0));
+        g.insert(1, Point2::new(50.0, 50.0));
+        assert_eq!(g.len(), 1);
+        assert_eq!(g.position(1), Some(Point2::new(50.0, 50.0)));
+    }
+
+    #[test]
+    fn query_respects_exact_radius() {
+        let mut g = SpatialGrid::new(30.0);
+        g.insert(0, Point2::new(0.0, 0.0));
+        g.insert(1, Point2::new(30.0, 0.0));
+        g.insert(2, Point2::new(30.1, 0.0));
+        let mut near = g.query_range(Point2::new(0.0, 0.0), 30.0);
+        near.sort_unstable();
+        assert_eq!(near, vec![0, 1]);
+    }
+
+    #[test]
+    fn query_handles_negative_coordinates() {
+        let mut g = SpatialGrid::new(10.0);
+        g.insert(3, Point2::new(-25.0, -25.0));
+        assert_eq!(g.query_range(Point2::new(-20.0, -20.0), 10.0), vec![3]);
+    }
+
+    #[test]
+    fn invalid_radius_returns_empty() {
+        let mut g = SpatialGrid::new(10.0);
+        g.insert(0, Point2::ORIGIN);
+        assert!(g.query_range(Point2::ORIGIN, f64::NAN).is_empty());
+        assert!(g.query_range(Point2::ORIGIN, -1.0).is_empty());
+    }
+
+    proptest! {
+        /// The grid query must agree exactly with the brute-force scan.
+        #[test]
+        fn prop_query_matches_brute_force(
+            items in proptest::collection::vec((0u32..64, -200.0..200.0f64, -200.0..200.0f64), 0..64),
+            qx in -200.0..200.0f64,
+            qy in -200.0..200.0f64,
+            radius in 0.0..100.0f64,
+        ) {
+            let mut g = SpatialGrid::new(17.0);
+            let mut truth: std::collections::HashMap<u32, Point2> = Default::default();
+            for (k, x, y) in items {
+                let p = Point2::new(x, y);
+                g.insert(k, p);
+                truth.insert(k, p);
+            }
+            let center = Point2::new(qx, qy);
+            let mut got = g.query_range(center, radius);
+            got.sort_unstable();
+            let mut want: Vec<u32> = truth
+                .iter()
+                .filter(|(_, p)| center.distance_to(**p) <= radius)
+                .map(|(&k, _)| k)
+                .collect();
+            want.sort_unstable();
+            prop_assert_eq!(got, want);
+        }
+    }
+}

@@ -1,0 +1,453 @@
+//! Points and vectors on the plane.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Div, Mul, Neg, Sub, SubAssign};
+
+use serde::{Deserialize, Serialize};
+
+use crate::GeomError;
+
+/// A position on the plane, in meters.
+///
+/// Points are positions; displacements between points are [`Vec2`]. Keeping
+/// the two apart prevents the classic "added two positions" bug when
+/// computing relay targets.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_geom::Point2;
+///
+/// let a = Point2::new(0.0, 0.0);
+/// let b = Point2::new(3.0, 4.0);
+/// assert_eq!(a.distance_to(b), 5.0);
+/// assert_eq!(a.midpoint(b), Point2::new(1.5, 2.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Point2 {
+    /// Horizontal coordinate in meters.
+    pub x: f64,
+    /// Vertical coordinate in meters.
+    pub y: f64,
+}
+
+/// A displacement on the plane, in meters.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_geom::Vec2;
+///
+/// let v = Vec2::new(3.0, 4.0);
+/// assert_eq!(v.length(), 5.0);
+/// let u = v.normalized().unwrap();
+/// assert!((u.length() - 1.0).abs() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Vec2 {
+    /// Horizontal component in meters.
+    pub x: f64,
+    /// Vertical component in meters.
+    pub y: f64,
+}
+
+impl Point2 {
+    /// The origin, `(0, 0)`.
+    pub const ORIGIN: Point2 = Point2 { x: 0.0, y: 0.0 };
+
+    /// Creates a point from coordinates in meters.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Point2 { x, y }
+    }
+
+    /// Returns `true` if both coordinates are finite numbers.
+    #[must_use]
+    pub fn is_finite(self) -> bool {
+        self.x.is_finite() && self.y.is_finite()
+    }
+
+    /// Validates that both coordinates are finite.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::NonFiniteCoordinate`] if either coordinate is NaN
+    /// or infinite.
+    pub fn validated(self) -> Result<Self, GeomError> {
+        if self.is_finite() {
+            Ok(self)
+        } else {
+            Err(GeomError::NonFiniteCoordinate)
+        }
+    }
+
+    /// Euclidean distance to `other`, in meters.
+    #[must_use]
+    pub fn distance_to(self, other: Point2) -> f64 {
+        (other - self).length()
+    }
+
+    /// Squared Euclidean distance to `other` (avoids the square root).
+    #[must_use]
+    pub fn distance_sq_to(self, other: Point2) -> f64 {
+        (other - self).length_sq()
+    }
+
+    /// The point halfway between `self` and `other`.
+    ///
+    /// This is the per-step target of the minimum-total-energy mobility
+    /// strategy (paper Fig. 2): a relay moves toward the midpoint of its
+    /// upstream and downstream flow neighbors.
+    #[must_use]
+    pub fn midpoint(self, other: Point2) -> Point2 {
+        self.lerp(other, 0.5)
+    }
+
+    /// Linear interpolation: `t = 0` yields `self`, `t = 1` yields `other`.
+    ///
+    /// `t` is not clamped; values outside `[0, 1]` extrapolate.
+    #[must_use]
+    pub fn lerp(self, other: Point2, t: f64) -> Point2 {
+        Point2 {
+            x: self.x + (other.x - self.x) * t,
+            y: self.y + (other.y - self.y) * t,
+        }
+    }
+
+    /// Moves from `self` toward `target` by at most `max_step` meters.
+    ///
+    /// Returns the new position together with the distance actually moved.
+    /// This implements the paper's bounded per-packet movement ("the maximum
+    /// distance traveled is set \[per\] step"): if the target is closer than
+    /// `max_step` the node arrives exactly, otherwise it advances `max_step`
+    /// along the straight line toward the target.
+    ///
+    /// # Panics
+    ///
+    /// Panics in debug builds if `max_step` is negative.
+    #[must_use]
+    pub fn step_toward(self, target: Point2, max_step: f64) -> (Point2, f64) {
+        debug_assert!(max_step >= 0.0, "max_step must be non-negative");
+        let d = self.distance_to(target);
+        if d <= max_step || d == 0.0 {
+            (target, d)
+        } else {
+            let t = max_step / d;
+            (self.lerp(target, t), max_step)
+        }
+    }
+
+    /// Converts the point to the displacement from the origin.
+    #[must_use]
+    pub fn to_vec(self) -> Vec2 {
+        Vec2 { x: self.x, y: self.y }
+    }
+}
+
+impl Vec2 {
+    /// The zero displacement.
+    pub const ZERO: Vec2 = Vec2 { x: 0.0, y: 0.0 };
+
+    /// Creates a vector from components in meters.
+    #[must_use]
+    pub const fn new(x: f64, y: f64) -> Self {
+        Vec2 { x, y }
+    }
+
+    /// Euclidean length in meters.
+    #[must_use]
+    pub fn length(self) -> f64 {
+        self.length_sq().sqrt()
+    }
+
+    /// Squared Euclidean length.
+    #[must_use]
+    pub fn length_sq(self) -> f64 {
+        self.x * self.x + self.y * self.y
+    }
+
+    /// Dot product with `other`.
+    #[must_use]
+    pub fn dot(self, other: Vec2) -> f64 {
+        self.x * other.x + self.y * other.y
+    }
+
+    /// 2-D cross product (the z-component of the 3-D cross product).
+    ///
+    /// Its magnitude is twice the area of the triangle spanned by the two
+    /// vectors; its sign gives orientation.
+    #[must_use]
+    pub fn cross(self, other: Vec2) -> f64 {
+        self.x * other.y - self.y * other.x
+    }
+
+    /// The unit vector pointing in the same direction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::DegenerateSegment`] for the zero vector, which
+    /// has no direction.
+    pub fn normalized(self) -> Result<Vec2, GeomError> {
+        let len = self.length();
+        if len <= f64::EPSILON {
+            Err(GeomError::DegenerateSegment)
+        } else {
+            Ok(self / len)
+        }
+    }
+}
+
+impl Add<Vec2> for Point2 {
+    type Output = Point2;
+    fn add(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign<Vec2> for Point2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub<Vec2> for Point2 {
+    type Output = Point2;
+    fn sub(self, rhs: Vec2) -> Point2 {
+        Point2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Sub for Point2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Point2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl Add for Vec2 {
+    type Output = Vec2;
+    fn add(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x + rhs.x, self.y + rhs.y)
+    }
+}
+
+impl AddAssign for Vec2 {
+    fn add_assign(&mut self, rhs: Vec2) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for Vec2 {
+    type Output = Vec2;
+    fn sub(self, rhs: Vec2) -> Vec2 {
+        Vec2::new(self.x - rhs.x, self.y - rhs.y)
+    }
+}
+
+impl SubAssign for Vec2 {
+    fn sub_assign(&mut self, rhs: Vec2) {
+        *self = *self - rhs;
+    }
+}
+
+impl Mul<f64> for Vec2 {
+    type Output = Vec2;
+    fn mul(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x * rhs, self.y * rhs)
+    }
+}
+
+impl Mul<Vec2> for f64 {
+    type Output = Vec2;
+    fn mul(self, rhs: Vec2) -> Vec2 {
+        rhs * self
+    }
+}
+
+impl Div<f64> for Vec2 {
+    type Output = Vec2;
+    fn div(self, rhs: f64) -> Vec2 {
+        Vec2::new(self.x / rhs, self.y / rhs)
+    }
+}
+
+impl Neg for Vec2 {
+    type Output = Vec2;
+    fn neg(self) -> Vec2 {
+        Vec2::new(-self.x, -self.y)
+    }
+}
+
+impl fmt::Display for Point2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "({:.3}, {:.3})", self.x, self.y)
+    }
+}
+
+impl fmt::Display for Vec2 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "<{:.3}, {:.3}>", self.x, self.y)
+    }
+}
+
+impl From<(f64, f64)> for Point2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Point2::new(x, y)
+    }
+}
+
+impl From<(f64, f64)> for Vec2 {
+    fn from((x, y): (f64, f64)) -> Self {
+        Vec2::new(x, y)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn distance_is_symmetric_345() {
+        let a = Point2::new(1.0, 2.0);
+        let b = Point2::new(4.0, 6.0);
+        assert_eq!(a.distance_to(b), 5.0);
+        assert_eq!(b.distance_to(a), 5.0);
+    }
+
+    #[test]
+    fn midpoint_is_halfway() {
+        let a = Point2::new(-2.0, 0.0);
+        let b = Point2::new(4.0, 6.0);
+        let m = a.midpoint(b);
+        assert_eq!(m, Point2::new(1.0, 3.0));
+        assert!(crate::approx_eq(a.distance_to(m), b.distance_to(m)));
+    }
+
+    #[test]
+    fn lerp_endpoints_and_extrapolation() {
+        let a = Point2::new(0.0, 0.0);
+        let b = Point2::new(10.0, 0.0);
+        assert_eq!(a.lerp(b, 0.0), a);
+        assert_eq!(a.lerp(b, 1.0), b);
+        assert_eq!(a.lerp(b, 2.0), Point2::new(20.0, 0.0));
+    }
+
+    #[test]
+    fn step_toward_caps_distance() {
+        let a = Point2::new(0.0, 0.0);
+        let target = Point2::new(10.0, 0.0);
+        let (p, moved) = a.step_toward(target, 1.0);
+        assert_eq!(p, Point2::new(1.0, 0.0));
+        assert_eq!(moved, 1.0);
+    }
+
+    #[test]
+    fn step_toward_arrives_when_close() {
+        let a = Point2::new(0.0, 0.0);
+        let target = Point2::new(0.5, 0.0);
+        let (p, moved) = a.step_toward(target, 1.0);
+        assert_eq!(p, target);
+        assert_eq!(moved, 0.5);
+    }
+
+    #[test]
+    fn step_toward_self_is_noop() {
+        let a = Point2::new(3.0, 4.0);
+        let (p, moved) = a.step_toward(a, 1.0);
+        assert_eq!(p, a);
+        assert_eq!(moved, 0.0);
+    }
+
+    #[test]
+    fn zero_vector_has_no_direction() {
+        assert_eq!(Vec2::ZERO.normalized().unwrap_err(), GeomError::DegenerateSegment);
+    }
+
+    #[test]
+    fn validated_rejects_nan() {
+        assert_eq!(
+            Point2::new(f64::NAN, 0.0).validated().unwrap_err(),
+            GeomError::NonFiniteCoordinate
+        );
+        assert!(Point2::new(1.0, 2.0).validated().is_ok());
+    }
+
+    #[test]
+    fn vector_algebra_identities() {
+        let v = Vec2::new(2.0, -3.0);
+        let w = Vec2::new(-1.0, 5.0);
+        assert_eq!(v + w, Vec2::new(1.0, 2.0));
+        assert_eq!(v - w, Vec2::new(3.0, -8.0));
+        assert_eq!(-v, Vec2::new(-2.0, 3.0));
+        assert_eq!(v * 2.0, Vec2::new(4.0, -6.0));
+        assert_eq!(2.0 * v, v * 2.0);
+        assert_eq!(v / 2.0, Vec2::new(1.0, -1.5));
+        assert_eq!(v.dot(w), -17.0);
+        assert_eq!(v.cross(w), 7.0);
+    }
+
+    #[test]
+    fn display_formats() {
+        assert_eq!(Point2::new(1.0, 2.5).to_string(), "(1.000, 2.500)");
+        assert_eq!(Vec2::new(1.0, 2.5).to_string(), "<1.000, 2.500>");
+    }
+
+    fn finite_coord() -> impl Strategy<Value = f64> {
+        -1e4..1e4
+    }
+
+    proptest! {
+        #[test]
+        fn prop_distance_triangle_inequality(
+            ax in finite_coord(), ay in finite_coord(),
+            bx in finite_coord(), by in finite_coord(),
+            cx in finite_coord(), cy in finite_coord(),
+        ) {
+            let a = Point2::new(ax, ay);
+            let b = Point2::new(bx, by);
+            let c = Point2::new(cx, cy);
+            prop_assert!(a.distance_to(c) <= a.distance_to(b) + b.distance_to(c) + 1e-6);
+        }
+
+        #[test]
+        fn prop_step_toward_never_overshoots(
+            ax in finite_coord(), ay in finite_coord(),
+            bx in finite_coord(), by in finite_coord(),
+            step in 0.0..100.0f64,
+        ) {
+            let a = Point2::new(ax, ay);
+            let b = Point2::new(bx, by);
+            let (p, moved) = a.step_toward(b, step);
+            prop_assert!(moved <= step + 1e-9);
+            // Moving brings us (weakly) closer to the target.
+            prop_assert!(p.distance_to(b) <= a.distance_to(b) + 1e-9);
+            // The moved distance matches the displacement.
+            prop_assert!((a.distance_to(p) - moved).abs() < 1e-6);
+        }
+
+        #[test]
+        fn prop_normalized_has_unit_length(
+            x in finite_coord(), y in finite_coord(),
+        ) {
+            let v = Vec2::new(x, y);
+            if let Ok(u) = v.normalized() {
+                prop_assert!((u.length() - 1.0).abs() < 1e-9);
+                // Same direction: cross product ~ 0, dot > 0.
+                prop_assert!(u.cross(v).abs() < 1e-4);
+                prop_assert!(u.dot(v) >= 0.0);
+            }
+        }
+
+        #[test]
+        fn prop_midpoint_equidistant(
+            ax in finite_coord(), ay in finite_coord(),
+            bx in finite_coord(), by in finite_coord(),
+        ) {
+            let a = Point2::new(ax, ay);
+            let b = Point2::new(bx, by);
+            let m = a.midpoint(b);
+            prop_assert!((a.distance_to(m) - b.distance_to(m)).abs() < 1e-6);
+        }
+    }
+}

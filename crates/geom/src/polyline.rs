@@ -1,0 +1,277 @@
+//! Polylines: ordered vertex chains modeling flow paths.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeomError, Point2, Segment};
+
+/// An ordered chain of vertices, modeling the positions of the nodes on a
+/// flow path (source, relays, destination).
+///
+/// The convergence results the paper relies on are statements about
+/// polylines: the minimum-total-energy strategy drives the path toward its
+/// chord with evenly spaced vertices (paper §3.1), and the maximum-lifetime
+/// strategy drives it toward the chord with energy-proportional spacing
+/// (Theorem 1). [`Polyline::max_chord_deviation`] and
+/// [`Polyline::spacing_spread`] are the metrics the test-suite uses to verify
+/// those claims.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_geom::{Point2, Polyline};
+///
+/// let path = Polyline::new(vec![
+///     Point2::new(0.0, 0.0),
+///     Point2::new(5.0, 5.0),
+///     Point2::new(10.0, 0.0),
+/// ])?;
+/// assert!((path.total_length() - 2.0 * 50.0_f64.sqrt()).abs() < 1e-9);
+/// assert!((path.max_chord_deviation() - 5.0).abs() < 1e-9);
+/// # Ok::<(), imobif_geom::GeomError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Polyline {
+    vertices: Vec<Point2>,
+}
+
+impl Polyline {
+    /// Creates a polyline from at least two vertices.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::TooFewVertices`] for fewer than two vertices and
+    /// [`GeomError::NonFiniteCoordinate`] if any vertex is non-finite.
+    pub fn new(vertices: Vec<Point2>) -> Result<Self, GeomError> {
+        if vertices.len() < 2 {
+            return Err(GeomError::TooFewVertices);
+        }
+        if !vertices.iter().all(|v| v.is_finite()) {
+            return Err(GeomError::NonFiniteCoordinate);
+        }
+        Ok(Polyline { vertices })
+    }
+
+    /// The vertices in order.
+    #[must_use]
+    pub fn vertices(&self) -> &[Point2] {
+        &self.vertices
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.vertices.len()
+    }
+
+    /// Always `false`: a polyline has at least two vertices.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// First vertex (the flow source position).
+    #[must_use]
+    pub fn first(&self) -> Point2 {
+        self.vertices[0]
+    }
+
+    /// Last vertex (the flow destination position).
+    #[must_use]
+    pub fn last(&self) -> Point2 {
+        *self.vertices.last().expect("polyline has >= 2 vertices")
+    }
+
+    /// The chord: the segment from the first to the last vertex.
+    #[must_use]
+    pub fn chord(&self) -> Segment {
+        Segment::new(self.first(), self.last())
+    }
+
+    /// Iterator over consecutive hop segments.
+    pub fn hops(&self) -> impl Iterator<Item = Segment> + '_ {
+        self.vertices.windows(2).map(|w| Segment::new(w[0], w[1]))
+    }
+
+    /// Lengths of the consecutive hops, in meters.
+    #[must_use]
+    pub fn hop_lengths(&self) -> Vec<f64> {
+        self.hops().map(Segment::length).collect()
+    }
+
+    /// Total arc length of the path, in meters.
+    #[must_use]
+    pub fn total_length(&self) -> f64 {
+        self.hops().map(|s| s.length()).sum()
+    }
+
+    /// Maximum distance of any interior vertex from the chord, in meters.
+    ///
+    /// Zero iff all relays are on the straight line between source and
+    /// destination — the necessary condition of both optimal placements.
+    #[must_use]
+    pub fn max_chord_deviation(&self) -> f64 {
+        let chord = self.chord();
+        self.vertices[1..self.vertices.len() - 1]
+            .iter()
+            .map(|&v| chord.distance_to_point(v))
+            .fold(0.0, f64::max)
+    }
+
+    /// Relative spread of hop lengths: `(max - min) / mean`.
+    ///
+    /// Zero iff the vertices are evenly spaced — the sufficient condition for
+    /// minimum total energy (paper §3.1). Returns `0.0` for a path whose mean
+    /// hop length is zero.
+    #[must_use]
+    pub fn spacing_spread(&self) -> f64 {
+        let lengths = self.hop_lengths();
+        let mean = lengths.iter().sum::<f64>() / lengths.len() as f64;
+        if mean <= crate::EPSILON {
+            return 0.0;
+        }
+        let max = lengths.iter().fold(f64::MIN, |a, &b| a.max(b));
+        let min = lengths.iter().fold(f64::MAX, |a, &b| a.min(b));
+        (max - min) / mean
+    }
+
+    /// Replaces the vertex at `index` with `p`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is out of bounds.
+    pub fn set_vertex(&mut self, index: usize, p: Point2) {
+        self.vertices[index] = p;
+    }
+
+    /// The evenly spaced straight-line placement with the same endpoints and
+    /// vertex count: the minimum-total-energy optimum (paper §3.1).
+    #[must_use]
+    pub fn evenly_spaced_optimum(&self) -> Polyline {
+        let n = self.vertices.len();
+        let chord = self.chord();
+        let vertices = (0..n)
+            .map(|i| chord.point_at(i as f64 / (n - 1) as f64))
+            .collect();
+        Polyline { vertices }
+    }
+}
+
+impl fmt::Display for Polyline {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[")?;
+        for (i, v) in self.vertices.iter().enumerate() {
+            if i > 0 {
+                write!(f, " -> ")?;
+            }
+            write!(f, "{v}")?;
+        }
+        write!(f, "]")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn zigzag() -> Polyline {
+        Polyline::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(3.0, 4.0),
+            Point2::new(6.0, -4.0),
+            Point2::new(9.0, 0.0),
+        ])
+        .unwrap()
+    }
+
+    #[test]
+    fn rejects_too_few_vertices() {
+        assert_eq!(Polyline::new(vec![]).unwrap_err(), GeomError::TooFewVertices);
+        assert_eq!(
+            Polyline::new(vec![Point2::ORIGIN]).unwrap_err(),
+            GeomError::TooFewVertices
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_vertices() {
+        assert_eq!(
+            Polyline::new(vec![Point2::ORIGIN, Point2::new(f64::INFINITY, 0.0)]).unwrap_err(),
+            GeomError::NonFiniteCoordinate
+        );
+    }
+
+    #[test]
+    fn total_length_sums_hops() {
+        let p = zigzag();
+        assert_eq!(p.hop_lengths(), vec![5.0, (9.0f64 + 64.0).sqrt(), 5.0]);
+        assert!(crate::approx_eq(p.total_length(), 10.0 + 73.0f64.sqrt()));
+    }
+
+    #[test]
+    fn chord_deviation_of_straight_line_is_zero() {
+        let p = Polyline::new(vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(5.0, 0.0),
+            Point2::new(10.0, 0.0),
+        ])
+        .unwrap();
+        assert_eq!(p.max_chord_deviation(), 0.0);
+        assert_eq!(p.spacing_spread(), 0.0);
+    }
+
+    #[test]
+    fn chord_deviation_of_zigzag() {
+        assert!(crate::approx_eq(zigzag().max_chord_deviation(), 4.0));
+    }
+
+    #[test]
+    fn evenly_spaced_optimum_is_straight_and_even() {
+        let opt = zigzag().evenly_spaced_optimum();
+        assert_eq!(opt.len(), 4);
+        assert_eq!(opt.first(), zigzag().first());
+        assert_eq!(opt.last(), zigzag().last());
+        assert!(opt.max_chord_deviation() < 1e-12);
+        assert!(opt.spacing_spread() < 1e-12);
+        assert!(crate::approx_eq(opt.total_length(), 9.0));
+    }
+
+    #[test]
+    fn set_vertex_updates_metrics() {
+        let mut p = zigzag();
+        p.set_vertex(1, Point2::new(3.0, 0.0));
+        p.set_vertex(2, Point2::new(6.0, 0.0));
+        assert!(p.max_chord_deviation() < 1e-12);
+    }
+
+    #[test]
+    fn display_contains_arrows() {
+        let s = zigzag().to_string();
+        assert!(s.contains("->"));
+        assert!(s.starts_with('['));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_path_length_at_least_chord(
+            coords in proptest::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 2..10),
+        ) {
+            let pts: Vec<Point2> = coords.into_iter().map(Point2::from).collect();
+            let p = Polyline::new(pts).unwrap();
+            prop_assert!(p.total_length() + 1e-6 >= p.chord().length());
+        }
+
+        #[test]
+        fn prop_optimum_never_longer(
+            coords in proptest::collection::vec((-1e3..1e3f64, -1e3..1e3f64), 3..10),
+        ) {
+            let pts: Vec<Point2> = coords.into_iter().map(Point2::from).collect();
+            let p = Polyline::new(pts).unwrap();
+            let opt = p.evenly_spaced_optimum();
+            prop_assert!(opt.total_length() <= p.total_length() + 1e-6);
+            prop_assert!(opt.max_chord_deviation() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,201 @@
+//! Axis-aligned rectangles: the deployment area.
+
+use std::fmt;
+
+use rand::Rng;
+use serde::{Deserialize, Serialize};
+
+use crate::{GeomError, Point2};
+
+/// An axis-aligned rectangle, used as the node deployment area (the paper
+/// distributes 100 nodes uniformly in a square arena).
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_geom::{Point2, Rect};
+///
+/// let arena = Rect::square(150.0)?;
+/// assert!(arena.contains(Point2::new(75.0, 75.0)));
+/// assert!(!arena.contains(Point2::new(-1.0, 0.0)));
+/// # Ok::<(), imobif_geom::GeomError>(())
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Rect {
+    min: Point2,
+    max: Point2,
+}
+
+impl Rect {
+    /// Creates a rectangle from its lower-left and upper-right corners.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::EmptyRect`] if either extent is non-positive and
+    /// [`GeomError::NonFiniteCoordinate`] for non-finite corners.
+    pub fn new(min: Point2, max: Point2) -> Result<Self, GeomError> {
+        min.validated()?;
+        max.validated()?;
+        if max.x <= min.x || max.y <= min.y {
+            return Err(GeomError::EmptyRect);
+        }
+        Ok(Rect { min, max })
+    }
+
+    /// A `side × side` square with its lower-left corner at the origin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::EmptyRect`] if `side` is non-positive.
+    pub fn square(side: f64) -> Result<Self, GeomError> {
+        Rect::new(Point2::ORIGIN, Point2::new(side, side))
+    }
+
+    /// Lower-left corner.
+    #[must_use]
+    pub fn min(&self) -> Point2 {
+        self.min
+    }
+
+    /// Upper-right corner.
+    #[must_use]
+    pub fn max(&self) -> Point2 {
+        self.max
+    }
+
+    /// Width in meters.
+    #[must_use]
+    pub fn width(&self) -> f64 {
+        self.max.x - self.min.x
+    }
+
+    /// Height in meters.
+    #[must_use]
+    pub fn height(&self) -> f64 {
+        self.max.y - self.min.y
+    }
+
+    /// Area in square meters.
+    #[must_use]
+    pub fn area(&self) -> f64 {
+        self.width() * self.height()
+    }
+
+    /// Center point.
+    #[must_use]
+    pub fn center(&self) -> Point2 {
+        self.min.midpoint(self.max)
+    }
+
+    /// Returns `true` if `p` lies inside or on the boundary.
+    #[must_use]
+    pub fn contains(&self, p: Point2) -> bool {
+        p.x >= self.min.x && p.x <= self.max.x && p.y >= self.min.y && p.y <= self.max.y
+    }
+
+    /// The point inside the rectangle closest to `p`.
+    #[must_use]
+    pub fn clamp(&self, p: Point2) -> Point2 {
+        Point2::new(p.x.clamp(self.min.x, self.max.x), p.y.clamp(self.min.y, self.max.y))
+    }
+
+    /// Samples a uniformly distributed point inside the rectangle.
+    ///
+    /// Used to place the paper's random topologies; determinism comes from
+    /// the caller's seeded RNG.
+    pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Point2 {
+        Point2::new(
+            rng.gen_range(self.min.x..=self.max.x),
+            rng.gen_range(self.min.y..=self.max.y),
+        )
+    }
+}
+
+impl fmt::Display for Rect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "[{} .. {}]", self.min, self.max)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn square_has_expected_dimensions() {
+        let r = Rect::square(150.0).unwrap();
+        assert_eq!(r.width(), 150.0);
+        assert_eq!(r.height(), 150.0);
+        assert_eq!(r.area(), 22_500.0);
+        assert_eq!(r.center(), Point2::new(75.0, 75.0));
+    }
+
+    #[test]
+    fn rejects_empty_rects() {
+        assert_eq!(Rect::square(0.0).unwrap_err(), GeomError::EmptyRect);
+        assert_eq!(Rect::square(-5.0).unwrap_err(), GeomError::EmptyRect);
+        assert_eq!(
+            Rect::new(Point2::new(1.0, 1.0), Point2::new(1.0, 5.0)).unwrap_err(),
+            GeomError::EmptyRect
+        );
+    }
+
+    #[test]
+    fn rejects_non_finite_corners() {
+        assert_eq!(
+            Rect::new(Point2::new(f64::NAN, 0.0), Point2::new(1.0, 1.0)).unwrap_err(),
+            GeomError::NonFiniteCoordinate
+        );
+    }
+
+    #[test]
+    fn contains_boundary() {
+        let r = Rect::square(10.0).unwrap();
+        assert!(r.contains(Point2::ORIGIN));
+        assert!(r.contains(Point2::new(10.0, 10.0)));
+        assert!(!r.contains(Point2::new(10.000001, 5.0)));
+    }
+
+    #[test]
+    fn clamp_projects_outside_points() {
+        let r = Rect::square(10.0).unwrap();
+        assert_eq!(r.clamp(Point2::new(-3.0, 5.0)), Point2::new(0.0, 5.0));
+        assert_eq!(r.clamp(Point2::new(12.0, 15.0)), Point2::new(10.0, 10.0));
+        let inside = Point2::new(4.0, 6.0);
+        assert_eq!(r.clamp(inside), inside);
+    }
+
+    #[test]
+    fn sampling_is_deterministic_per_seed() {
+        let r = Rect::square(150.0).unwrap();
+        let mut a = StdRng::seed_from_u64(42);
+        let mut b = StdRng::seed_from_u64(42);
+        for _ in 0..16 {
+            assert_eq!(r.sample_uniform(&mut a), r.sample_uniform(&mut b));
+        }
+    }
+
+    proptest! {
+        #[test]
+        fn prop_samples_are_contained(seed in 0u64..1000) {
+            let r = Rect::square(150.0).unwrap();
+            let mut rng = StdRng::seed_from_u64(seed);
+            for _ in 0..32 {
+                prop_assert!(r.contains(r.sample_uniform(&mut rng)));
+            }
+        }
+
+        #[test]
+        fn prop_clamp_is_idempotent_and_contained(
+            px in -1e3..1e3f64, py in -1e3..1e3f64,
+        ) {
+            let r = Rect::square(100.0).unwrap();
+            let c = r.clamp(Point2::new(px, py));
+            prop_assert!(r.contains(c));
+            prop_assert_eq!(r.clamp(c), c);
+        }
+    }
+}

@@ -1,0 +1,242 @@
+//! Line segments with projection and interpolation.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+use crate::{GeomError, Point2, Vec2};
+
+/// A directed line segment from `a` to `b`.
+///
+/// Both optimal placements in the paper live on the segment between the flow
+/// source and destination (paper §3.1 and Theorem 1), so placing, projecting
+/// onto and interpolating along segments is core vocabulary.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_geom::{Point2, Segment};
+///
+/// let s = Segment::new(Point2::new(0.0, 0.0), Point2::new(10.0, 0.0));
+/// assert_eq!(s.length(), 10.0);
+/// assert_eq!(s.point_at(0.25), Point2::new(2.5, 0.0));
+/// assert_eq!(s.distance_to_point(Point2::new(5.0, 3.0)), 3.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Segment {
+    /// Start point.
+    pub a: Point2,
+    /// End point.
+    pub b: Point2,
+}
+
+impl Segment {
+    /// Creates the segment from `a` to `b`.
+    #[must_use]
+    pub const fn new(a: Point2, b: Point2) -> Self {
+        Segment { a, b }
+    }
+
+    /// Length of the segment in meters.
+    #[must_use]
+    pub fn length(self) -> f64 {
+        self.a.distance_to(self.b)
+    }
+
+    /// Returns `true` if the endpoints coincide (within [`crate::EPSILON`]).
+    #[must_use]
+    pub fn is_degenerate(self) -> bool {
+        self.length() <= crate::EPSILON
+    }
+
+    /// Unit vector from `a` toward `b`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::DegenerateSegment`] if the endpoints coincide.
+    pub fn direction(self) -> Result<Vec2, GeomError> {
+        (self.b - self.a).normalized()
+    }
+
+    /// Point at parameter `t` along the segment (`t = 0` ⇒ `a`, `t = 1` ⇒ `b`).
+    ///
+    /// `t` is not clamped.
+    #[must_use]
+    pub fn point_at(self, t: f64) -> Point2 {
+        self.a.lerp(self.b, t)
+    }
+
+    /// Point at arc distance `d` meters from `a` along the segment.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`GeomError::DegenerateSegment`] if the segment has zero
+    /// length (no direction to walk along).
+    pub fn point_at_distance(self, d: f64) -> Result<Point2, GeomError> {
+        let len = self.length();
+        if len <= crate::EPSILON {
+            return Err(GeomError::DegenerateSegment);
+        }
+        Ok(self.point_at(d / len))
+    }
+
+    /// Parameter of the orthogonal projection of `p` onto the *infinite line*
+    /// through the segment. Unclamped: values outside `[0, 1]` indicate the
+    /// foot of the perpendicular lies beyond an endpoint.
+    ///
+    /// For a degenerate segment the parameter is defined as `0`.
+    #[must_use]
+    pub fn project_parameter(self, p: Point2) -> f64 {
+        let ab = self.b - self.a;
+        let len_sq = ab.length_sq();
+        if len_sq <= crate::EPSILON * crate::EPSILON {
+            0.0
+        } else {
+            (p - self.a).dot(ab) / len_sq
+        }
+    }
+
+    /// Closest point to `p` on the segment (clamped to the endpoints).
+    #[must_use]
+    pub fn closest_point(self, p: Point2) -> Point2 {
+        let t = self.project_parameter(p).clamp(0.0, 1.0);
+        self.point_at(t)
+    }
+
+    /// Distance from `p` to the segment, in meters.
+    ///
+    /// This is the "deviation from the chord" metric used to verify that the
+    /// midpoint strategy straightens flow paths (paper Fig. 5(b)).
+    #[must_use]
+    pub fn distance_to_point(self, p: Point2) -> f64 {
+        p.distance_to(self.closest_point(p))
+    }
+
+    /// The segment with swapped endpoints.
+    #[must_use]
+    pub fn reversed(self) -> Segment {
+        Segment::new(self.b, self.a)
+    }
+}
+
+impl fmt::Display for Segment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} -> {}", self.a, self.b)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn horizontal() -> Segment {
+        Segment::new(Point2::new(0.0, 0.0), Point2::new(10.0, 0.0))
+    }
+
+    #[test]
+    fn length_and_direction() {
+        let s = Segment::new(Point2::new(1.0, 1.0), Point2::new(4.0, 5.0));
+        assert_eq!(s.length(), 5.0);
+        let d = s.direction().unwrap();
+        assert!(crate::approx_eq(d.x, 0.6));
+        assert!(crate::approx_eq(d.y, 0.8));
+    }
+
+    #[test]
+    fn degenerate_segment_has_no_direction() {
+        let p = Point2::new(2.0, 3.0);
+        let s = Segment::new(p, p);
+        assert!(s.is_degenerate());
+        assert_eq!(s.direction().unwrap_err(), GeomError::DegenerateSegment);
+        assert_eq!(s.point_at_distance(1.0).unwrap_err(), GeomError::DegenerateSegment);
+    }
+
+    #[test]
+    fn point_at_distance_walks_meters() {
+        let s = horizontal();
+        assert_eq!(s.point_at_distance(3.0).unwrap(), Point2::new(3.0, 0.0));
+        assert_eq!(s.point_at_distance(0.0).unwrap(), s.a);
+        assert_eq!(s.point_at_distance(10.0).unwrap(), s.b);
+    }
+
+    #[test]
+    fn projection_inside_and_outside() {
+        let s = horizontal();
+        assert!(crate::approx_eq(s.project_parameter(Point2::new(5.0, 7.0)), 0.5));
+        assert!(s.project_parameter(Point2::new(-5.0, 0.0)) < 0.0);
+        assert!(s.project_parameter(Point2::new(15.0, 0.0)) > 1.0);
+    }
+
+    #[test]
+    fn closest_point_clamps_to_endpoints() {
+        let s = horizontal();
+        assert_eq!(s.closest_point(Point2::new(-5.0, 3.0)), s.a);
+        assert_eq!(s.closest_point(Point2::new(25.0, -3.0)), s.b);
+        assert_eq!(s.closest_point(Point2::new(4.0, 9.0)), Point2::new(4.0, 0.0));
+    }
+
+    #[test]
+    fn distance_to_point_perpendicular() {
+        let s = horizontal();
+        assert_eq!(s.distance_to_point(Point2::new(5.0, 3.0)), 3.0);
+        assert_eq!(s.distance_to_point(Point2::new(13.0, 4.0)), 5.0);
+    }
+
+    #[test]
+    fn reversed_swaps_endpoints() {
+        let s = horizontal();
+        let r = s.reversed();
+        assert_eq!(r.a, s.b);
+        assert_eq!(r.b, s.a);
+        assert_eq!(r.length(), s.length());
+    }
+
+    #[test]
+    fn degenerate_projection_parameter_is_zero() {
+        let p = Point2::new(1.0, 1.0);
+        let s = Segment::new(p, p);
+        assert_eq!(s.project_parameter(Point2::new(9.0, 9.0)), 0.0);
+        assert_eq!(s.closest_point(Point2::new(9.0, 9.0)), p);
+    }
+
+    fn coord() -> impl Strategy<Value = f64> {
+        -1e3..1e3
+    }
+
+    proptest! {
+        #[test]
+        fn prop_closest_point_is_closest(
+            ax in coord(), ay in coord(), bx in coord(), by in coord(),
+            px in coord(), py in coord(), t in 0.0..1.0f64,
+        ) {
+            let s = Segment::new(Point2::new(ax, ay), Point2::new(bx, by));
+            let p = Point2::new(px, py);
+            let best = s.closest_point(p);
+            let candidate = s.point_at(t);
+            prop_assert!(p.distance_to(best) <= p.distance_to(candidate) + 1e-6);
+        }
+
+        #[test]
+        fn prop_point_on_segment_has_zero_distance(
+            ax in coord(), ay in coord(), bx in coord(), by in coord(),
+            t in 0.0..1.0f64,
+        ) {
+            let s = Segment::new(Point2::new(ax, ay), Point2::new(bx, by));
+            let p = s.point_at(t);
+            prop_assert!(s.distance_to_point(p) < 1e-6);
+        }
+
+        #[test]
+        fn prop_point_at_distance_matches_length(
+            ax in coord(), ay in coord(), bx in coord(), by in coord(),
+            frac in 0.0..1.0f64,
+        ) {
+            let s = Segment::new(Point2::new(ax, ay), Point2::new(bx, by));
+            prop_assume!(!s.is_degenerate());
+            let d = frac * s.length();
+            let p = s.point_at_distance(d).unwrap();
+            prop_assert!((s.a.distance_to(p) - d).abs() < 1e-6);
+        }
+    }
+}

@@ -1,0 +1,197 @@
+//! The application layer: the trait protocol code implements to run on
+//! simulated nodes.
+
+use imobif_energy::{MobilityCostModel, TxEnergyModel};
+use imobif_geom::Point2;
+
+use crate::{EnergyCategory, NeighborEntry, NodeId, NodeState, SimDuration, SimTime};
+
+/// A protocol running on every node of a [`crate::World`].
+///
+/// One application instance exists per node. The kernel calls the trait's
+/// hooks when events reach the node; the application returns a list of
+/// [`Action`]s, which the kernel applies (charging energy, scheduling
+/// deliveries, moving the node). Applications hold all protocol state (for
+/// iMobif: the flow table, mobility strategy and status); the kernel owns
+/// the physical state (position, battery, neighbor table).
+///
+/// Hooks receive a read-only [`NodeCtx`]; returning actions instead of
+/// mutating the world directly keeps every energy expenditure flowing
+/// through one accounting path.
+pub trait Application: Sized {
+    /// The message type this protocol exchanges.
+    type Msg: Clone + std::fmt::Debug;
+
+    /// Called once when the world starts, in node-id order.
+    fn on_start(&mut self, ctx: &NodeCtx<'_>) -> Vec<Action<Self::Msg>> {
+        let _ = ctx;
+        Vec::new()
+    }
+
+    /// Called when a message addressed to this node arrives.
+    fn on_message(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        from: NodeId,
+        msg: Self::Msg,
+    ) -> Vec<Action<Self::Msg>>;
+
+    /// Called when a timer set with [`Action::SetTimer`] fires.
+    fn on_timer(&mut self, ctx: &NodeCtx<'_>, tag: u64) -> Vec<Action<Self::Msg>> {
+        let _ = (ctx, tag);
+        Vec::new()
+    }
+}
+
+/// An effect an application asks the kernel to perform.
+#[derive(Debug, Clone)]
+pub enum Action<M> {
+    /// Unicast `msg` to `to`, transmitting `bits` bits at the minimum power
+    /// for the current sender–receiver distance (paper Assumption 4). The
+    /// sender is charged `E_T(d, bits)`; an unaffordable send kills the
+    /// sender and drops the packet.
+    Send {
+        /// Receiver.
+        to: NodeId,
+        /// Packet size in bits.
+        bits: u64,
+        /// Payload.
+        msg: M,
+        /// Ledger category for the transmission energy.
+        category: EnergyCategory,
+    },
+    /// Deliver `tag` back to `on_timer` after `delay`.
+    SetTimer {
+        /// How long from now the timer fires.
+        delay: SimDuration,
+        /// Opaque tag returned to the application.
+        tag: u64,
+    },
+    /// Move toward `target`, at most `max_step` meters (the paper's bounded
+    /// per-packet movement). The mover is charged `E_M(moved)`; if the
+    /// battery cannot cover the full step the node moves as far as it can
+    /// afford and dies.
+    MoveToward {
+        /// Where the node wants to end up.
+        target: Point2,
+        /// Per-step movement bound in meters.
+        max_step: f64,
+    },
+}
+
+/// What a node can observe about a peer: position and residual energy.
+///
+/// With HELLO beaconing enabled this is the (possibly slightly stale)
+/// neighbor-table view the paper describes; with beaconing disabled the
+/// kernel substitutes ground truth (a perfect-information mode for tests).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PeerInfo {
+    /// The peer's position.
+    pub position: Point2,
+    /// The peer's residual energy in joules.
+    pub residual_energy: f64,
+}
+
+/// Read-only view of a node's world, handed to application hooks.
+///
+/// Everything here is information the paper's assumptions grant a node:
+/// its own position (GPS) and residual energy, its neighbor table, and its
+/// power-distance / movement-cost estimators.
+#[derive(Debug)]
+pub struct NodeCtx<'a> {
+    pub(crate) id: NodeId,
+    pub(crate) now: SimTime,
+    pub(crate) nodes: &'a [NodeState],
+    pub(crate) tx_model: &'a dyn TxEnergyModel,
+    pub(crate) mobility_model: &'a dyn MobilityCostModel,
+    pub(crate) hello_enabled: bool,
+}
+
+impl NodeCtx<'_> {
+    /// This node's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// This node's current position.
+    #[must_use]
+    pub fn position(&self) -> Point2 {
+        self.nodes[self.id.index()].position()
+    }
+
+    /// This node's residual energy in joules.
+    #[must_use]
+    pub fn residual_energy(&self) -> f64 {
+        self.nodes[self.id.index()].residual_energy()
+    }
+
+    /// Fresh neighbor-table entries, sorted by id.
+    #[must_use]
+    pub fn neighbors(&self) -> Vec<NeighborEntry> {
+        self.nodes[self.id.index()].neighbor_table().fresh(self.now)
+    }
+
+    /// What this node knows about `peer`.
+    ///
+    /// With HELLO enabled, the knowledge comes from the neighbor table and
+    /// is `None` for peers never heard from (or heard too long ago). With
+    /// HELLO disabled, ground truth is returned for any live node.
+    #[must_use]
+    pub fn peer_info(&self, peer: NodeId) -> Option<PeerInfo> {
+        if self.hello_enabled {
+            self.nodes[self.id.index()]
+                .neighbor_table()
+                .get(peer, self.now)
+                .map(|e| PeerInfo {
+                    position: e.position,
+                    residual_energy: e.residual_energy,
+                })
+        } else {
+            let n = self.nodes.get(peer.index())?;
+            n.is_alive().then(|| PeerInfo {
+                position: n.position(),
+                residual_energy: n.residual_energy(),
+            })
+        }
+    }
+
+    /// Energy to transmit `bits` bits across `d` meters — the paper's
+    /// `E_T(d, l)`.
+    #[must_use]
+    pub fn tx_energy(&self, d: f64, bits: f64) -> f64 {
+        self.tx_model.energy(d, bits)
+    }
+
+    /// Per-bit transmission energy across `d` meters — `E_T(d, 1)`.
+    #[must_use]
+    pub fn tx_energy_per_bit(&self, d: f64) -> f64 {
+        self.tx_model.energy_per_bit(d)
+    }
+
+    /// Energy to move `d` meters — the paper's `E_M(d)`.
+    #[must_use]
+    pub fn mobility_cost(&self, d: f64) -> f64 {
+        self.mobility_model.cost(d)
+    }
+
+    /// The node's transmission-energy estimator, for callers that need to
+    /// sample it (e.g. fitting the max-lifetime exponent `α'`).
+    #[must_use]
+    pub fn tx_model(&self) -> &dyn TxEnergyModel {
+        self.tx_model
+    }
+
+    /// The node's movement-cost estimator (paper Assumption 3: nodes can
+    /// measure or estimate the energy needed to move).
+    #[must_use]
+    pub fn mobility_model(&self) -> &dyn MobilityCostModel {
+        self.mobility_model
+    }
+}

@@ -1,0 +1,182 @@
+//! The deterministic event queue at the heart of the simulator.
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use crate::SimTime;
+
+/// A future-event list with deterministic tie-breaking.
+///
+/// Events are ordered by `(time, insertion sequence)`: two events scheduled
+/// for the same instant pop in the order they were pushed. This is what
+/// makes whole-simulation runs bit-for-bit reproducible from a seed, which
+/// the integration tests assert.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_netsim::{EventQueue, SimTime};
+///
+/// let mut q = EventQueue::new();
+/// q.push(SimTime::from_micros(20), "late");
+/// q.push(SimTime::from_micros(10), "early");
+/// q.push(SimTime::from_micros(10), "early-second");
+///
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(10), "early")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(10), "early-second")));
+/// assert_eq!(q.pop(), Some((SimTime::from_micros(20), "late")));
+/// assert_eq!(q.pop(), None);
+/// ```
+#[derive(Debug)]
+pub struct EventQueue<E> {
+    heap: BinaryHeap<Scheduled<E>>,
+    next_seq: u64,
+}
+
+#[derive(Debug)]
+struct Scheduled<E> {
+    time: SimTime,
+    seq: u64,
+    event: E,
+}
+
+// Reverse ordering: BinaryHeap is a max-heap, we want earliest first.
+impl<E> Ord for Scheduled<E> {
+    fn cmp(&self, other: &Self) -> Ordering {
+        (other.time, other.seq).cmp(&(self.time, self.seq))
+    }
+}
+
+impl<E> PartialOrd for Scheduled<E> {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl<E> PartialEq for Scheduled<E> {
+    fn eq(&self, other: &Self) -> bool {
+        self.time == other.time && self.seq == other.seq
+    }
+}
+
+impl<E> Eq for Scheduled<E> {}
+
+impl<E> EventQueue<E> {
+    /// Creates an empty queue.
+    #[must_use]
+    pub fn new() -> Self {
+        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+    }
+
+    /// Schedules `event` at `time`.
+    ///
+    /// Scheduling in the past is allowed (the event fires "immediately" from
+    /// the caller's perspective); the world clamps such events to its
+    /// current clock.
+    pub fn push(&mut self, time: SimTime, event: E) {
+        let seq = self.next_seq;
+        self.next_seq += 1;
+        self.heap.push(Scheduled { time, seq, event });
+    }
+
+    /// Removes and returns the earliest event.
+    pub fn pop(&mut self) -> Option<(SimTime, E)> {
+        self.heap.pop().map(|s| (s.time, s.event))
+    }
+
+    /// Time of the earliest pending event, if any.
+    #[must_use]
+    pub fn peek_time(&self) -> Option<SimTime> {
+        self.heap.peek().map(|s| s.time)
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// Returns `true` if no events are pending.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+impl<E> Default for EventQueue<E> {
+    fn default() -> Self {
+        EventQueue::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn empty_queue_behaves() {
+        let mut q: EventQueue<u8> = EventQueue::new();
+        assert!(q.is_empty());
+        assert_eq!(q.len(), 0);
+        assert_eq!(q.peek_time(), None);
+        assert_eq!(q.pop(), None);
+    }
+
+    #[test]
+    fn fifo_within_same_time() {
+        let mut q = EventQueue::new();
+        for i in 0..10 {
+            q.push(SimTime::from_micros(5), i);
+        }
+        for i in 0..10 {
+            assert_eq!(q.pop(), Some((SimTime::from_micros(5), i)));
+        }
+    }
+
+    #[test]
+    fn peek_matches_pop() {
+        let mut q = EventQueue::new();
+        q.push(SimTime::from_micros(30), 'c');
+        q.push(SimTime::from_micros(10), 'a');
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(10)));
+        assert_eq!(q.pop().unwrap().1, 'a');
+        assert_eq!(q.peek_time(), Some(SimTime::from_micros(30)));
+    }
+
+    proptest! {
+        /// Popping always yields a non-decreasing time sequence, and
+        /// same-time events come out in push order.
+        #[test]
+        fn prop_pop_order_is_total(times in proptest::collection::vec(0u64..100, 0..64)) {
+            let mut q = EventQueue::new();
+            for (i, t) in times.iter().enumerate() {
+                q.push(SimTime::from_micros(*t), i);
+            }
+            let mut last: Option<(SimTime, usize)> = None;
+            while let Some((t, i)) = q.pop() {
+                if let Some((lt, li)) = last {
+                    prop_assert!(t >= lt);
+                    if t == lt {
+                        prop_assert!(i > li, "same-time events must pop in push order");
+                    }
+                }
+                last = Some((t, i));
+            }
+        }
+
+        #[test]
+        fn prop_len_tracks_pushes_and_pops(n in 0usize..100) {
+            let mut q = EventQueue::new();
+            for i in 0..n {
+                q.push(SimTime::from_micros(i as u64 % 7), i);
+            }
+            prop_assert_eq!(q.len(), n);
+            let mut popped = 0;
+            while q.pop().is_some() {
+                popped += 1;
+            }
+            prop_assert_eq!(popped, n);
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Neighbor tables fed by HELLO beacons.
+
+use std::collections::HashMap;
+
+use imobif_geom::Point2;
+use serde::{Deserialize, Serialize};
+
+use crate::{NodeId, SimDuration, SimTime};
+
+/// One neighbor-table entry: what a node knows about a peer from the peer's
+/// most recent HELLO beacon.
+///
+/// Paper §2 requires exactly these fields: "a neighbor table with the
+/// identity, location, and residual energy of each neighbor".
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct NeighborEntry {
+    /// The neighbor's identity.
+    pub id: NodeId,
+    /// The neighbor's position at beacon time.
+    pub position: Point2,
+    /// The neighbor's residual energy at beacon time, in joules.
+    pub residual_energy: f64,
+    /// When the beacon was received.
+    pub heard_at: SimTime,
+}
+
+/// A node's view of its radio neighborhood, maintained from HELLO beacons
+/// and aged out after a TTL.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_geom::Point2;
+/// use imobif_netsim::{NeighborTable, NodeId, SimDuration, SimTime};
+///
+/// let mut table = NeighborTable::new(SimDuration::from_secs(3));
+/// table.observe(NodeId::new(1), Point2::new(5.0, 0.0), 9.5, SimTime::ZERO);
+///
+/// // Fresh at t=2s…
+/// assert!(table.get(NodeId::new(1), SimTime::from_micros(2_000_000)).is_some());
+/// // …expired at t=4s.
+/// assert!(table.get(NodeId::new(1), SimTime::from_micros(4_000_000)).is_none());
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct NeighborTable {
+    ttl: SimDuration,
+    entries: HashMap<NodeId, NeighborEntry>,
+}
+
+impl NeighborTable {
+    /// Creates an empty table whose entries expire after `ttl`.
+    #[must_use]
+    pub fn new(ttl: SimDuration) -> Self {
+        NeighborTable { ttl, entries: HashMap::new() }
+    }
+
+    /// The configured entry lifetime.
+    #[must_use]
+    pub fn ttl(&self) -> SimDuration {
+        self.ttl
+    }
+
+    /// Records (or refreshes) a neighbor observation from a beacon.
+    pub fn observe(&mut self, id: NodeId, position: Point2, residual_energy: f64, now: SimTime) {
+        self.entries.insert(
+            id,
+            NeighborEntry { id, position, residual_energy, heard_at: now },
+        );
+    }
+
+    /// Removes a neighbor explicitly (e.g. on death notification).
+    pub fn forget(&mut self, id: NodeId) {
+        self.entries.remove(&id);
+    }
+
+    /// Looks up a neighbor, returning `None` if unknown or stale at `now`.
+    #[must_use]
+    pub fn get(&self, id: NodeId, now: SimTime) -> Option<&NeighborEntry> {
+        self.entries
+            .get(&id)
+            .filter(|e| now - e.heard_at <= self.ttl)
+    }
+
+    /// All entries fresh at `now`, sorted by node id for determinism.
+    #[must_use]
+    pub fn fresh(&self, now: SimTime) -> Vec<NeighborEntry> {
+        let mut v: Vec<NeighborEntry> = self
+            .entries
+            .values()
+            .filter(|e| now - e.heard_at <= self.ttl)
+            .copied()
+            .collect();
+        v.sort_by_key(|e| e.id);
+        v
+    }
+
+    /// Drops entries stale at `now`, returning how many were removed.
+    ///
+    /// Freshness is already enforced on read; this is housekeeping to bound
+    /// memory in long simulations.
+    pub fn sweep(&mut self, now: SimTime) -> usize {
+        let before = self.entries.len();
+        let ttl = self.ttl;
+        self.entries.retain(|_, e| now - e.heard_at <= ttl);
+        before - self.entries.len()
+    }
+
+    /// Number of stored (possibly stale) entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Returns `true` if the table stores no entries at all.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn t(secs: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(secs)
+    }
+
+    #[test]
+    fn observe_and_get() {
+        let mut nt = NeighborTable::new(SimDuration::from_secs(3));
+        nt.observe(NodeId::new(1), Point2::new(1.0, 2.0), 5.0, t(0));
+        let e = nt.get(NodeId::new(1), t(1)).unwrap();
+        assert_eq!(e.position, Point2::new(1.0, 2.0));
+        assert_eq!(e.residual_energy, 5.0);
+        assert!(nt.get(NodeId::new(2), t(1)).is_none());
+    }
+
+    #[test]
+    fn refresh_updates_entry() {
+        let mut nt = NeighborTable::new(SimDuration::from_secs(3));
+        nt.observe(NodeId::new(1), Point2::new(1.0, 2.0), 5.0, t(0));
+        nt.observe(NodeId::new(1), Point2::new(3.0, 4.0), 4.0, t(2));
+        let e = nt.get(NodeId::new(1), t(4)).unwrap();
+        assert_eq!(e.position, Point2::new(3.0, 4.0));
+        assert_eq!(e.residual_energy, 4.0);
+        assert_eq!(nt.len(), 1);
+    }
+
+    #[test]
+    fn expiry_boundary_is_inclusive() {
+        let mut nt = NeighborTable::new(SimDuration::from_secs(3));
+        nt.observe(NodeId::new(1), Point2::ORIGIN, 1.0, t(0));
+        assert!(nt.get(NodeId::new(1), t(3)).is_some());
+        assert!(nt.get(NodeId::new(1), t(4)).is_none());
+    }
+
+    #[test]
+    fn fresh_is_sorted_and_filtered() {
+        let mut nt = NeighborTable::new(SimDuration::from_secs(3));
+        nt.observe(NodeId::new(5), Point2::ORIGIN, 1.0, t(0));
+        nt.observe(NodeId::new(2), Point2::ORIGIN, 1.0, t(5));
+        nt.observe(NodeId::new(9), Point2::ORIGIN, 1.0, t(5));
+        let fresh = nt.fresh(t(6));
+        let ids: Vec<NodeId> = fresh.iter().map(|e| e.id).collect();
+        assert_eq!(ids, vec![NodeId::new(2), NodeId::new(9)]);
+    }
+
+    #[test]
+    fn sweep_removes_stale() {
+        let mut nt = NeighborTable::new(SimDuration::from_secs(3));
+        nt.observe(NodeId::new(1), Point2::ORIGIN, 1.0, t(0));
+        nt.observe(NodeId::new(2), Point2::ORIGIN, 1.0, t(10));
+        assert_eq!(nt.sweep(t(10)), 1);
+        assert_eq!(nt.len(), 1);
+        assert!(!nt.is_empty());
+    }
+
+    #[test]
+    fn forget_removes_entry() {
+        let mut nt = NeighborTable::new(SimDuration::from_secs(3));
+        nt.observe(NodeId::new(1), Point2::ORIGIN, 1.0, t(0));
+        nt.forget(NodeId::new(1));
+        assert!(nt.is_empty());
+    }
+}

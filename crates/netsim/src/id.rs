@@ -1,0 +1,121 @@
+//! Identifier newtypes for simulation entities.
+
+use std::fmt;
+
+use serde::{Deserialize, Serialize};
+
+/// Identifier of a node in the simulated network.
+///
+/// Node ids are dense indices assigned by the world in creation order, which
+/// makes them usable as `Vec` indices while staying type-distinct from flow
+/// ids and raw integers.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_netsim::NodeId;
+///
+/// let n = NodeId::new(3);
+/// assert_eq!(n.index(), 3);
+/// assert_eq!(n.to_string(), "n3");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct NodeId(u32);
+
+impl NodeId {
+    /// Creates a node id from its dense index.
+    #[must_use]
+    pub const fn new(index: u32) -> Self {
+        NodeId(index)
+    }
+
+    /// The dense index backing this id.
+    #[must_use]
+    pub const fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// The raw `u32` value (for spatial-grid keys).
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for NodeId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "n{}", self.0)
+    }
+}
+
+impl From<u32> for NodeId {
+    fn from(v: u32) -> Self {
+        NodeId(v)
+    }
+}
+
+/// Identifier of a data flow.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_netsim::FlowId;
+///
+/// assert_eq!(FlowId::new(0).to_string(), "f0");
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Serialize, Deserialize)]
+pub struct FlowId(u32);
+
+impl FlowId {
+    /// Creates a flow id.
+    #[must_use]
+    pub const fn new(v: u32) -> Self {
+        FlowId(v)
+    }
+
+    /// The raw `u32` value.
+    #[must_use]
+    pub const fn raw(self) -> u32 {
+        self.0
+    }
+}
+
+impl fmt::Display for FlowId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "f{}", self.0)
+    }
+}
+
+impl From<u32> for FlowId {
+    fn from(v: u32) -> Self {
+        FlowId(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn node_id_roundtrip() {
+        let n = NodeId::new(42);
+        assert_eq!(n.index(), 42);
+        assert_eq!(n.raw(), 42);
+        assert_eq!(NodeId::from(42u32), n);
+    }
+
+    #[test]
+    fn ids_are_ordered_and_hashable() {
+        use std::collections::HashSet;
+        assert!(NodeId::new(1) < NodeId::new(2));
+        assert!(FlowId::new(1) < FlowId::new(2));
+        let set: HashSet<NodeId> = [NodeId::new(1), NodeId::new(1)].into_iter().collect();
+        assert_eq!(set.len(), 1);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NodeId::new(7).to_string(), "n7");
+        assert_eq!(FlowId::new(9).to_string(), "f9");
+    }
+}

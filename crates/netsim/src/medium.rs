@@ -1,0 +1,230 @@
+//! Topology snapshots of the unit-disk radio medium.
+
+use std::collections::VecDeque;
+
+use imobif_geom::{Point2, SpatialGrid};
+
+use crate::NodeId;
+
+/// An immutable snapshot of the connectivity graph: node positions, liveness
+/// and the unit-disk radio range.
+///
+/// Routing operates on snapshots rather than the live world so that route
+/// computation is a pure function (easy to test, impossible to mutate the
+/// simulation by accident). The paper pins each flow's path at setup time,
+/// so a snapshot at flow start is exactly the information routing may use.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_geom::Point2;
+/// use imobif_netsim::{NodeId, TopologyView};
+///
+/// let topo = TopologyView::new(
+///     vec![Point2::new(0.0, 0.0), Point2::new(20.0, 0.0), Point2::new(100.0, 0.0)],
+///     vec![true, true, true],
+///     30.0,
+/// );
+/// assert_eq!(topo.neighbors(NodeId::new(0)), vec![NodeId::new(1)]);
+/// assert!(!topo.is_connected());
+/// ```
+#[derive(Debug, Clone)]
+pub struct TopologyView {
+    positions: Vec<Point2>,
+    alive: Vec<bool>,
+    range: f64,
+    grid: SpatialGrid,
+}
+
+impl TopologyView {
+    /// Creates a snapshot from positions, liveness flags and radio range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the two vectors differ in length or `range` is not
+    /// positive and finite.
+    #[must_use]
+    pub fn new(positions: Vec<Point2>, alive: Vec<bool>, range: f64) -> Self {
+        assert_eq!(positions.len(), alive.len(), "positions/alive length mismatch");
+        assert!(range.is_finite() && range > 0.0, "range must be positive");
+        let mut grid = SpatialGrid::new(range.max(1.0));
+        for (i, (&p, &a)) in positions.iter().zip(&alive).enumerate() {
+            if a {
+                grid.insert(i as u32, p);
+            }
+        }
+        TopologyView { positions, alive, range, grid }
+    }
+
+    /// Number of nodes (alive or dead).
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.positions.len()
+    }
+
+    /// Radio range in meters.
+    #[must_use]
+    pub fn range(&self) -> f64 {
+        self.range
+    }
+
+    /// Position of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn position(&self, id: NodeId) -> Point2 {
+        self.positions[id.index()]
+    }
+
+    /// Whether a node is alive.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.alive[id.index()]
+    }
+
+    /// Whether two nodes are within radio range of each other.
+    #[must_use]
+    pub fn in_range(&self, a: NodeId, b: NodeId) -> bool {
+        self.position(a).distance_to(self.position(b)) <= self.range
+    }
+
+    /// Live neighbors of `id` within radio range, sorted by id (excludes
+    /// `id` itself and returns an empty list for a dead node).
+    #[must_use]
+    pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
+        if !self.is_alive(id) {
+            return Vec::new();
+        }
+        let mut v: Vec<NodeId> = self
+            .grid
+            .query_range(self.position(id), self.range)
+            .into_iter()
+            .filter(|&k| k != id.raw())
+            .map(NodeId::new)
+            .collect();
+        v.sort_unstable();
+        v
+    }
+
+    /// Mean number of live neighbors per live node (the paper reports
+    /// "approximately 12" for its topology).
+    #[must_use]
+    pub fn average_degree(&self) -> f64 {
+        let live: Vec<NodeId> = (0..self.node_count() as u32)
+            .map(NodeId::new)
+            .filter(|&id| self.is_alive(id))
+            .collect();
+        if live.is_empty() {
+            return 0.0;
+        }
+        let total: usize = live.iter().map(|&id| self.neighbors(id).len()).sum();
+        total as f64 / live.len() as f64
+    }
+
+    /// Returns `true` if every live node can reach every other live node.
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        let live: Vec<NodeId> = (0..self.node_count() as u32)
+            .map(NodeId::new)
+            .filter(|&id| self.is_alive(id))
+            .collect();
+        let Some(&start) = live.first() else {
+            return true; // vacuously connected
+        };
+        let mut seen = vec![false; self.node_count()];
+        seen[start.index()] = true;
+        let mut queue = VecDeque::from([start]);
+        let mut count = 1;
+        while let Some(u) = queue.pop_front() {
+            for v in self.neighbors(u) {
+                if !seen[v.index()] {
+                    seen[v.index()] = true;
+                    count += 1;
+                    queue.push_back(v);
+                }
+            }
+        }
+        count == live.len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn line(spacing: f64, n: usize, range: f64) -> TopologyView {
+        let positions = (0..n).map(|i| Point2::new(i as f64 * spacing, 0.0)).collect();
+        TopologyView::new(positions, vec![true; n], range)
+    }
+
+    #[test]
+    fn line_topology_neighbors() {
+        let t = line(20.0, 5, 30.0);
+        assert_eq!(t.neighbors(NodeId::new(0)), vec![NodeId::new(1)]);
+        assert_eq!(
+            t.neighbors(NodeId::new(2)),
+            vec![NodeId::new(1), NodeId::new(3)]
+        );
+        assert!(t.in_range(NodeId::new(0), NodeId::new(1)));
+        assert!(!t.in_range(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn dead_nodes_are_invisible() {
+        let positions = vec![
+            Point2::new(0.0, 0.0),
+            Point2::new(20.0, 0.0),
+            Point2::new(40.0, 0.0),
+        ];
+        let t = TopologyView::new(positions, vec![true, false, true], 30.0);
+        assert!(t.neighbors(NodeId::new(0)).is_empty());
+        assert!(t.neighbors(NodeId::new(1)).is_empty());
+        // 0 and 2 are out of range of each other; dead 1 no longer bridges.
+        assert!(!t.is_connected());
+    }
+
+    #[test]
+    fn connectivity() {
+        assert!(line(20.0, 5, 30.0).is_connected());
+        assert!(!line(40.0, 5, 30.0).is_connected());
+        // Single node and empty network are connected.
+        assert!(line(20.0, 1, 30.0).is_connected());
+        assert!(TopologyView::new(vec![], vec![], 30.0).is_connected());
+    }
+
+    #[test]
+    fn average_degree_of_line() {
+        let t = line(20.0, 3, 30.0);
+        // Degrees: 1, 2, 1 -> mean 4/3.
+        assert!((t.average_degree() - 4.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "length mismatch")]
+    fn mismatched_lengths_panic() {
+        let _ = TopologyView::new(vec![Point2::ORIGIN], vec![], 30.0);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_neighbor_relation_is_symmetric(
+            coords in proptest::collection::vec((0.0..150.0f64, 0.0..150.0f64), 2..40),
+        ) {
+            let positions: Vec<Point2> = coords.into_iter().map(Point2::from).collect();
+            let n = positions.len();
+            let t = TopologyView::new(positions, vec![true; n], 30.0);
+            for i in 0..n as u32 {
+                for j in t.neighbors(NodeId::new(i)) {
+                    prop_assert!(t.neighbors(j).contains(&NodeId::new(i)));
+                }
+            }
+        }
+    }
+}

@@ -1,0 +1,141 @@
+//! Per-node simulator state.
+
+use imobif_energy::Battery;
+use imobif_geom::Point2;
+
+use crate::{NeighborTable, NodeId};
+
+/// The kernel-side state of one wireless node.
+///
+/// This is the physical substrate the paper's Assumptions 1–4 talk about:
+/// position (GPS), battery (residual-energy measurement), and the
+/// HELLO-maintained neighbor table. Protocol state (flow tables, mobility
+/// strategies) lives in the application object, not here.
+#[derive(Debug, Clone)]
+pub struct NodeState {
+    id: NodeId,
+    position: Point2,
+    battery: Battery,
+    alive: bool,
+    neighbors: NeighborTable,
+    total_moved: f64,
+}
+
+impl NodeState {
+    pub(crate) fn new(id: NodeId, position: Point2, battery: Battery, neighbors: NeighborTable) -> Self {
+        NodeState {
+            id,
+            position,
+            battery,
+            alive: !battery.is_depleted(),
+            neighbors,
+            total_moved: 0.0,
+        }
+    }
+
+    /// The node's identity.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// Current position.
+    #[must_use]
+    pub fn position(&self) -> Point2 {
+        self.position
+    }
+
+    /// The battery.
+    #[must_use]
+    pub fn battery(&self) -> &Battery {
+        &self.battery
+    }
+
+    /// Residual energy in joules.
+    #[must_use]
+    pub fn residual_energy(&self) -> f64 {
+        self.battery.residual()
+    }
+
+    /// Returns `true` while the node can still participate.
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.alive
+    }
+
+    /// Total distance moved so far, in meters.
+    #[must_use]
+    pub fn total_moved(&self) -> f64 {
+        self.total_moved
+    }
+
+    /// The node's neighbor table.
+    #[must_use]
+    pub fn neighbor_table(&self) -> &NeighborTable {
+        &self.neighbors
+    }
+
+    pub(crate) fn neighbor_table_mut(&mut self) -> &mut NeighborTable {
+        &mut self.neighbors
+    }
+
+    pub(crate) fn battery_mut(&mut self) -> &mut Battery {
+        &mut self.battery
+    }
+
+    pub(crate) fn set_position(&mut self, p: Point2, moved: f64) {
+        self.position = p;
+        self.total_moved += moved;
+    }
+
+    pub(crate) fn kill(&mut self) -> f64 {
+        self.alive = false;
+        self.battery.drain()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::SimDuration;
+
+    fn node(joules: f64) -> NodeState {
+        NodeState::new(
+            NodeId::new(0),
+            Point2::new(1.0, 2.0),
+            Battery::new(joules).unwrap(),
+            NeighborTable::new(SimDuration::from_secs(3)),
+        )
+    }
+
+    #[test]
+    fn fresh_node_is_alive() {
+        let n = node(5.0);
+        assert!(n.is_alive());
+        assert_eq!(n.residual_energy(), 5.0);
+        assert_eq!(n.total_moved(), 0.0);
+        assert_eq!(n.position(), Point2::new(1.0, 2.0));
+    }
+
+    #[test]
+    fn node_with_empty_battery_starts_dead() {
+        assert!(!node(0.0).is_alive());
+    }
+
+    #[test]
+    fn kill_drains_battery() {
+        let mut n = node(5.0);
+        assert_eq!(n.kill(), 5.0);
+        assert!(!n.is_alive());
+        assert!(n.battery().is_depleted());
+    }
+
+    #[test]
+    fn set_position_accumulates_movement() {
+        let mut n = node(5.0);
+        n.set_position(Point2::new(2.0, 2.0), 1.0);
+        n.set_position(Point2::new(2.0, 4.0), 2.0);
+        assert_eq!(n.total_moved(), 3.0);
+        assert_eq!(n.position(), Point2::new(2.0, 4.0));
+    }
+}

@@ -1,0 +1,184 @@
+//! Simplified AODV route discovery.
+
+use std::collections::VecDeque;
+
+use crate::{NodeId, RouteError, TopologyView};
+
+use super::{check_endpoints, Router};
+
+/// Control-plane cost of one AODV discovery.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct AodvStats {
+    /// RREQ broadcasts performed (one per node that rebroadcast the query).
+    pub rreq_broadcasts: u64,
+    /// RREP unicast hops along the reverse path.
+    pub rrep_hops: u64,
+}
+
+/// A simplified AODV (Ad hoc On-demand Distance Vector, Perkins & Royer)
+/// route discovery.
+///
+/// The paper names AODV as the routing protocol whose HELLO messages iMobif
+/// piggybacks (§2). This implementation models the *discovery outcome* and
+/// its control cost rather than every timer of RFC 3561: an RREQ flood
+/// expands breadth-first from the source (each live node rebroadcasts the
+/// first copy it hears, exactly as AODV suppresses duplicate RREQ ids), the
+/// destination answers with an RREP unicast along the reverse path, and the
+/// resulting route is the first-arrival (minimum-hop) path. This matches
+/// AODV's behavior on an idle, loss-free network — which is what the paper
+/// simulates — while letting experiments count control packets.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_geom::Point2;
+/// use imobif_netsim::routing::{AodvRouter, Router};
+/// use imobif_netsim::{NodeId, TopologyView};
+///
+/// let topo = TopologyView::new(
+///     vec![
+///         Point2::new(0.0, 0.0),
+///         Point2::new(25.0, 0.0),
+///         Point2::new(50.0, 0.0),
+///     ],
+///     vec![true, true, true],
+///     30.0,
+/// );
+/// let (path, stats) = AodvRouter.discover(&topo, NodeId::new(0), NodeId::new(2)).unwrap();
+/// assert_eq!(path.len(), 3);
+/// assert_eq!(stats.rrep_hops, 2);
+/// ```
+#[derive(Debug, Clone, Copy, Default)]
+pub struct AodvRouter;
+
+impl AodvRouter {
+    /// Performs a route discovery, returning the path and control-plane
+    /// statistics.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Router::route`].
+    pub fn discover(
+        &self,
+        topo: &TopologyView,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<(Vec<NodeId>, AodvStats), RouteError> {
+        check_endpoints(topo, src, dst)?;
+        let n = topo.node_count();
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        let mut visited = vec![false; n];
+        let mut stats = AodvStats::default();
+        let mut queue = VecDeque::from([src]);
+        visited[src.index()] = true;
+        'flood: while let Some(u) = queue.pop_front() {
+            // `u` rebroadcasts the RREQ (the destination does not).
+            if u != dst {
+                stats.rreq_broadcasts += 1;
+            }
+            for v in topo.neighbors(u) {
+                if !visited[v.index()] {
+                    visited[v.index()] = true;
+                    prev[v.index()] = Some(u);
+                    if v == dst {
+                        // AODV: the destination replies immediately; the
+                        // remaining flood is moot for the route.
+                        break 'flood;
+                    }
+                    queue.push_back(v);
+                }
+            }
+        }
+        if !visited[dst.index()] {
+            return Err(RouteError::Disconnected);
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while let Some(p) = prev[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        stats.rrep_hops = (path.len() - 1) as u64;
+        Ok((path, stats))
+    }
+}
+
+impl Router for AodvRouter {
+    fn route(
+        &self,
+        topo: &TopologyView,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<Vec<NodeId>, RouteError> {
+        self.discover(topo, src, dst).map(|(p, _)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{is_valid_path, DijkstraRouter, LinkWeight};
+    use imobif_geom::Point2;
+    use proptest::prelude::*;
+
+    fn topo(points: Vec<(f64, f64)>, range: f64) -> TopologyView {
+        let n = points.len();
+        TopologyView::new(
+            points.into_iter().map(Point2::from).collect(),
+            vec![true; n],
+            range,
+        )
+    }
+
+    #[test]
+    fn discovery_on_line() {
+        let t = topo(vec![(0.0, 0.0), (25.0, 0.0), (50.0, 0.0), (75.0, 0.0)], 30.0);
+        let (path, stats) = AodvRouter.discover(&t, NodeId::new(0), NodeId::new(3)).unwrap();
+        assert_eq!(path.len(), 4);
+        assert_eq!(stats.rrep_hops, 3);
+        assert!(stats.rreq_broadcasts >= 3);
+    }
+
+    #[test]
+    fn disconnected_discovery_fails() {
+        let t = topo(vec![(0.0, 0.0), (100.0, 0.0)], 30.0);
+        assert_eq!(
+            AodvRouter.discover(&t, NodeId::new(0), NodeId::new(1)).unwrap_err(),
+            RouteError::Disconnected
+        );
+    }
+
+    #[test]
+    fn rreq_count_bounded_by_nodes() {
+        let t = topo(
+            vec![(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (10.0, 10.0), (20.0, 10.0)],
+            30.0,
+        );
+        let (_, stats) = AodvRouter.discover(&t, NodeId::new(0), NodeId::new(2)).unwrap();
+        assert!(stats.rreq_broadcasts <= t.node_count() as u64);
+    }
+
+    proptest! {
+        /// AODV (BFS first-arrival) finds hop counts equal to Dijkstra
+        /// min-hop.
+        #[test]
+        fn prop_aodv_is_min_hop(
+            coords in proptest::collection::vec((0.0..150.0f64, 0.0..150.0f64), 5..40),
+        ) {
+            let t = topo(coords, 30.0);
+            let src = NodeId::new(0);
+            let dst = NodeId::new((t.node_count() - 1) as u32);
+            let aodv = AodvRouter.discover(&t, src, dst);
+            let dij = DijkstraRouter::new(LinkWeight::Hops).route(&t, src, dst);
+            match (aodv, dij) {
+                (Ok((ap, _)), Ok(dp)) => {
+                    prop_assert_eq!(ap.len(), dp.len());
+                    prop_assert!(is_valid_path(&t, &ap, src, dst));
+                }
+                (Err(_), Err(_)) => {}
+                (a, d) => prop_assert!(false, "disagreement: aodv={a:?} dijkstra={d:?}"),
+            }
+        }
+    }
+}

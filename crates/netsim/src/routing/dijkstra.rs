@@ -1,0 +1,242 @@
+//! Global shortest-path routing (baseline and test oracle).
+
+use std::cmp::Ordering;
+use std::collections::BinaryHeap;
+
+use imobif_energy::{PowerLawModel, TxEnergyModel};
+
+use crate::{NodeId, RouteError, TopologyView};
+
+use super::{check_endpoints, Router};
+
+/// Edge-weight choices for [`DijkstraRouter`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum LinkWeight {
+    /// Every in-range link costs 1: minimum hop count.
+    Hops,
+    /// A link costs its Euclidean length: minimum total distance.
+    Distance,
+    /// A link costs the per-bit transmission energy under the given power
+    /// model: minimum-energy path for a static network.
+    Energy(PowerLawModel),
+}
+
+impl LinkWeight {
+    fn weight(&self, d: f64) -> f64 {
+        match self {
+            LinkWeight::Hops => 1.0,
+            LinkWeight::Distance => d,
+            LinkWeight::Energy(m) => m.energy_per_bit(d),
+        }
+    }
+}
+
+/// Dijkstra shortest paths over the range graph.
+///
+/// The paper's system doesn't use global routing — it's the *contrast*: what
+/// an omniscient baseline would pick. Experiments use it to sanity-check
+/// greedy paths and to measure how far greedy routing is from hop-optimal.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_geom::Point2;
+/// use imobif_netsim::routing::{DijkstraRouter, LinkWeight, Router};
+/// use imobif_netsim::{NodeId, TopologyView};
+///
+/// let topo = TopologyView::new(
+///     vec![
+///         Point2::new(0.0, 0.0),
+///         Point2::new(25.0, 0.0),
+///         Point2::new(50.0, 0.0),
+///     ],
+///     vec![true, true, true],
+///     30.0,
+/// );
+/// let router = DijkstraRouter::new(LinkWeight::Hops);
+/// let path = router.route(&topo, NodeId::new(0), NodeId::new(2)).unwrap();
+/// assert_eq!(path.len(), 3);
+/// ```
+#[derive(Debug, Clone, Copy)]
+pub struct DijkstraRouter {
+    weight: LinkWeight,
+}
+
+#[derive(Debug, PartialEq)]
+struct QueueItem {
+    cost: f64,
+    node: NodeId,
+}
+
+impl Eq for QueueItem {}
+
+impl Ord for QueueItem {
+    fn cmp(&self, other: &Self) -> Ordering {
+        // Min-heap on (cost, node id); costs are finite by construction.
+        other
+            .cost
+            .partial_cmp(&self.cost)
+            .expect("finite costs")
+            .then_with(|| other.node.cmp(&self.node))
+    }
+}
+
+impl PartialOrd for QueueItem {
+    fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl DijkstraRouter {
+    /// Creates a router with the given link weight.
+    #[must_use]
+    pub fn new(weight: LinkWeight) -> Self {
+        DijkstraRouter { weight }
+    }
+
+    /// Computes the path and its total weight.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Router::route`].
+    pub fn route_with_cost(
+        &self,
+        topo: &TopologyView,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<(Vec<NodeId>, f64), RouteError> {
+        check_endpoints(topo, src, dst)?;
+        let n = topo.node_count();
+        let mut dist = vec![f64::INFINITY; n];
+        let mut prev: Vec<Option<NodeId>> = vec![None; n];
+        let mut heap = BinaryHeap::new();
+        dist[src.index()] = 0.0;
+        heap.push(QueueItem { cost: 0.0, node: src });
+        while let Some(QueueItem { cost, node }) = heap.pop() {
+            if node == dst {
+                break;
+            }
+            if cost > dist[node.index()] {
+                continue; // stale entry
+            }
+            let here = topo.position(node);
+            for nb in topo.neighbors(node) {
+                let w = self.weight.weight(here.distance_to(topo.position(nb)));
+                let next_cost = cost + w;
+                if next_cost < dist[nb.index()] {
+                    dist[nb.index()] = next_cost;
+                    prev[nb.index()] = Some(node);
+                    heap.push(QueueItem { cost: next_cost, node: nb });
+                }
+            }
+        }
+        if dist[dst.index()].is_infinite() {
+            return Err(RouteError::Disconnected);
+        }
+        let mut path = vec![dst];
+        let mut cur = dst;
+        while let Some(p) = prev[cur.index()] {
+            path.push(p);
+            cur = p;
+        }
+        path.reverse();
+        debug_assert_eq!(path[0], src);
+        Ok((path, dist[dst.index()]))
+    }
+}
+
+impl Router for DijkstraRouter {
+    fn route(
+        &self,
+        topo: &TopologyView,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<Vec<NodeId>, RouteError> {
+        self.route_with_cost(topo, src, dst).map(|(p, _)| p)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::routing::{is_valid_path, GreedyRouter};
+    use imobif_geom::Point2;
+    use proptest::prelude::*;
+
+    fn topo(points: Vec<(f64, f64)>, range: f64) -> TopologyView {
+        let n = points.len();
+        TopologyView::new(
+            points.into_iter().map(Point2::from).collect(),
+            vec![true; n],
+            range,
+        )
+    }
+
+    #[test]
+    fn min_hop_path_on_line() {
+        let t = topo(vec![(0.0, 0.0), (25.0, 0.0), (50.0, 0.0), (75.0, 0.0)], 30.0);
+        let (path, cost) = DijkstraRouter::new(LinkWeight::Hops)
+            .route_with_cost(&t, NodeId::new(0), NodeId::new(3))
+            .unwrap();
+        assert_eq!(path.len(), 4);
+        assert_eq!(cost, 3.0);
+    }
+
+    #[test]
+    fn disconnected_is_detected() {
+        let t = topo(vec![(0.0, 0.0), (100.0, 0.0)], 30.0);
+        assert_eq!(
+            DijkstraRouter::new(LinkWeight::Hops)
+                .route(&t, NodeId::new(0), NodeId::new(1))
+                .unwrap_err(),
+            RouteError::Disconnected
+        );
+    }
+
+    #[test]
+    fn energy_weight_prefers_short_hops() {
+        // Direct 30 m hop vs two 15 m hops through node 1. With alpha=2 and
+        // b dominating, two short hops are cheaper.
+        let t = topo(vec![(0.0, 0.0), (15.0, 0.1), (30.0, 0.0)], 30.0);
+        let model = PowerLawModel::new(0.0, 1e-9, 2.0).unwrap();
+        let path = DijkstraRouter::new(LinkWeight::Energy(model))
+            .route(&t, NodeId::new(0), NodeId::new(2))
+            .unwrap();
+        assert_eq!(path.len(), 3, "should relay through the midpoint node");
+        // Min-hop takes the direct link instead.
+        let hop_path = DijkstraRouter::new(LinkWeight::Hops)
+            .route(&t, NodeId::new(0), NodeId::new(2))
+            .unwrap();
+        assert_eq!(hop_path.len(), 2);
+    }
+
+    #[test]
+    fn distance_weight_roundtrip() {
+        let t = topo(vec![(0.0, 0.0), (20.0, 0.0), (40.0, 0.0)], 30.0);
+        let (path, cost) = DijkstraRouter::new(LinkWeight::Distance)
+            .route_with_cost(&t, NodeId::new(0), NodeId::new(2))
+            .unwrap();
+        assert!(is_valid_path(&t, &path, NodeId::new(0), NodeId::new(2)));
+        assert!((cost - 40.0).abs() < 1e-9);
+    }
+
+    proptest! {
+        /// Dijkstra min-hop never uses more hops than greedy (when greedy
+        /// succeeds) — the oracle check for the greedy implementation.
+        #[test]
+        fn prop_dijkstra_never_longer_than_greedy(
+            coords in proptest::collection::vec((0.0..150.0f64, 0.0..150.0f64), 10..50),
+        ) {
+            let t = topo(coords, 30.0);
+            let src = NodeId::new(0);
+            let dst = NodeId::new((t.node_count() - 1) as u32);
+            if let Ok(greedy) = GreedyRouter.route(&t, src, dst) {
+                let dij = DijkstraRouter::new(LinkWeight::Hops)
+                    .route(&t, src, dst)
+                    .expect("greedy found a path, so the graph is connected");
+                prop_assert!(dij.len() <= greedy.len());
+                prop_assert!(is_valid_path(&t, &dij, src, dst));
+            }
+        }
+    }
+}

@@ -1,0 +1,200 @@
+//! Virtual time for the discrete-event simulator.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// A point in virtual time, in integer microseconds since simulation start.
+///
+/// Integer time makes event ordering exact and the simulation bit-for-bit
+/// reproducible: two events scheduled at the same instant are further ordered
+/// by insertion sequence, never by floating-point noise.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_netsim::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_secs_f64(1.5);
+/// assert_eq!(t.as_secs_f64(), 1.5);
+/// assert_eq!(t - SimTime::ZERO, SimDuration::from_micros(1_500_000));
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+/// A span of virtual time, in integer microseconds.
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimTime {
+    /// The simulation start instant.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Creates a time from microseconds since start.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        SimTime(us)
+    }
+
+    /// Microseconds since start.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since start, as a float (for reporting).
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+impl SimDuration {
+    /// The zero-length duration.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Creates a duration from microseconds.
+    #[must_use]
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us)
+    }
+
+    /// Creates a duration from milliseconds.
+    #[must_use]
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000)
+    }
+
+    /// Creates a duration from whole seconds.
+    #[must_use]
+    pub const fn from_secs(s: u64) -> Self {
+        SimDuration(s * 1_000_000)
+    }
+
+    /// Creates a duration from fractional seconds, rounding to the nearest
+    /// microsecond and saturating at zero for negative input.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `s` is NaN or too large to represent.
+    #[must_use]
+    pub fn from_secs_f64(s: f64) -> Self {
+        assert!(!s.is_nan(), "duration must not be NaN");
+        let us = (s * 1e6).round();
+        assert!(us < u64::MAX as f64, "duration too large");
+        SimDuration(us.max(0.0) as u64)
+    }
+
+    /// Microseconds in this duration.
+    #[must_use]
+    pub const fn as_micros(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds in this duration, as a float.
+    #[must_use]
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 / 1e6
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, rhs: SimDuration) -> SimTime {
+        SimTime(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, rhs: SimDuration) {
+        *self = *self + rhs;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_add(rhs.0))
+    }
+}
+
+impl fmt::Display for SimTime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+impl fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:.6}s", self.as_secs_f64())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn conversions_roundtrip() {
+        assert_eq!(SimDuration::from_secs(2).as_micros(), 2_000_000);
+        assert_eq!(SimDuration::from_millis(3).as_micros(), 3_000);
+        assert_eq!(SimDuration::from_secs_f64(0.25).as_micros(), 250_000);
+        assert_eq!(SimTime::from_micros(1_500_000).as_secs_f64(), 1.5);
+    }
+
+    #[test]
+    fn negative_float_duration_saturates_to_zero() {
+        assert_eq!(SimDuration::from_secs_f64(-1.0), SimDuration::ZERO);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be NaN")]
+    fn nan_duration_panics() {
+        let _ = SimDuration::from_secs_f64(f64::NAN);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let t = SimTime::ZERO + SimDuration::from_secs(1);
+        let u = t + SimDuration::from_millis(500);
+        assert_eq!(u - t, SimDuration::from_millis(500));
+        assert_eq!(u - SimTime::ZERO, SimDuration::from_micros(1_500_000));
+        // Saturating subtraction: earlier minus later is zero, not underflow.
+        assert_eq!(t - u, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn display_is_seconds() {
+        assert_eq!(SimTime::from_micros(1_500_000).to_string(), "1.500000s");
+    }
+
+    proptest! {
+        #[test]
+        fn prop_time_ordering_matches_micros(a in 0u64..1u64 << 40, b in 0u64..1u64 << 40) {
+            prop_assert_eq!(
+                SimTime::from_micros(a) < SimTime::from_micros(b),
+                a < b
+            );
+        }
+
+        #[test]
+        fn prop_add_then_sub_roundtrips(t in 0u64..1u64 << 40, d in 0u64..1u64 << 30) {
+            let start = SimTime::from_micros(t);
+            let later = start + SimDuration::from_micros(d);
+            prop_assert_eq!(later - start, SimDuration::from_micros(d));
+        }
+    }
+}

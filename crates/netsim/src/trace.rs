@@ -1,0 +1,192 @@
+//! Structured event tracing.
+//!
+//! The kernel can mirror every externally visible state change — sends,
+//! deliveries, drops, movements, deaths — into a [`TraceSink`]. Traces are
+//! how the integration tests assert causality ("the disable notification
+//! was sent *before* the relay stopped moving") and how users debug
+//! protocol behavior without println-ing from inside applications.
+//!
+//! Tracing is off by default and costs nothing when disabled.
+
+use std::collections::VecDeque;
+
+use imobif_geom::Point2;
+
+use crate::{EnergyCategory, NodeId, SimTime};
+
+/// One kernel event.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum TraceEvent {
+    /// A unicast transmission was paid for and put in flight.
+    Sent {
+        /// When.
+        time: SimTime,
+        /// Transmitting node.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Packet size in bits.
+        bits: u64,
+        /// Ledger category.
+        category: EnergyCategory,
+        /// Energy charged, in joules.
+        energy: f64,
+    },
+    /// A packet reached a live receiver.
+    Delivered {
+        /// When.
+        time: SimTime,
+        /// Sender.
+        from: NodeId,
+        /// Receiver.
+        to: NodeId,
+    },
+    /// A packet was dropped (dead receiver, or unaffordable transmission).
+    Dropped {
+        /// When.
+        time: SimTime,
+        /// Intended receiver.
+        to: NodeId,
+    },
+    /// A node moved.
+    Moved {
+        /// When.
+        time: SimTime,
+        /// Who.
+        node: NodeId,
+        /// Where from.
+        from: Point2,
+        /// Where to.
+        to: Point2,
+        /// Energy charged, in joules.
+        energy: f64,
+    },
+    /// A node died.
+    Died {
+        /// When.
+        time: SimTime,
+        /// Who.
+        node: NodeId,
+    },
+}
+
+impl TraceEvent {
+    /// The event's timestamp.
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        match *self {
+            TraceEvent::Sent { time, .. }
+            | TraceEvent::Delivered { time, .. }
+            | TraceEvent::Dropped { time, .. }
+            | TraceEvent::Moved { time, .. }
+            | TraceEvent::Died { time, .. } => time,
+        }
+    }
+}
+
+/// A consumer of kernel events.
+pub trait TraceSink {
+    /// Called once per event, in simulation order.
+    fn record(&mut self, event: &TraceEvent);
+}
+
+/// A bounded in-memory trace: keeps the most recent `capacity` events.
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_netsim::trace::{RingTrace, TraceEvent, TraceSink};
+/// use imobif_netsim::{NodeId, SimTime};
+///
+/// let mut ring = RingTrace::new(2);
+/// for i in 0..3 {
+///     ring.record(&TraceEvent::Died { time: SimTime::from_micros(i), node: NodeId::new(0) });
+/// }
+/// // Only the two most recent events survive.
+/// assert_eq!(ring.events().len(), 2);
+/// assert_eq!(ring.events()[0].time(), SimTime::from_micros(1));
+/// ```
+#[derive(Debug, Clone)]
+pub struct RingTrace {
+    capacity: usize,
+    events: VecDeque<TraceEvent>,
+    total_recorded: u64,
+}
+
+impl RingTrace {
+    /// Creates a ring keeping at most `capacity` events.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        assert!(capacity > 0, "trace capacity must be positive");
+        RingTrace { capacity, events: VecDeque::with_capacity(capacity), total_recorded: 0 }
+    }
+
+    /// The retained events, oldest first.
+    #[must_use]
+    pub fn events(&self) -> Vec<TraceEvent> {
+        self.events.iter().copied().collect()
+    }
+
+    /// Total events ever recorded (including evicted ones).
+    #[must_use]
+    pub fn total_recorded(&self) -> u64 {
+        self.total_recorded
+    }
+
+    /// Retained events matching a predicate, oldest first.
+    pub fn filtered(&self, mut keep: impl FnMut(&TraceEvent) -> bool) -> Vec<TraceEvent> {
+        self.events.iter().filter(|e| keep(e)).copied().collect()
+    }
+}
+
+impl TraceSink for RingTrace {
+    fn record(&mut self, event: &TraceEvent) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+        }
+        self.events.push_back(*event);
+        self.total_recorded += 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn died(us: u64) -> TraceEvent {
+        TraceEvent::Died { time: SimTime::from_micros(us), node: NodeId::new(7) }
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity must be positive")]
+    fn zero_capacity_panics() {
+        let _ = RingTrace::new(0);
+    }
+
+    #[test]
+    fn ring_evicts_oldest() {
+        let mut r = RingTrace::new(3);
+        for i in 0..5 {
+            r.record(&died(i));
+        }
+        let ev = r.events();
+        assert_eq!(ev.len(), 3);
+        assert_eq!(ev[0].time(), SimTime::from_micros(2));
+        assert_eq!(ev[2].time(), SimTime::from_micros(4));
+        assert_eq!(r.total_recorded(), 5);
+    }
+
+    #[test]
+    fn filtered_selects_kinds() {
+        let mut r = RingTrace::new(8);
+        r.record(&died(1));
+        r.record(&TraceEvent::Dropped { time: SimTime::from_micros(2), to: NodeId::new(1) });
+        r.record(&died(3));
+        let deaths = r.filtered(|e| matches!(e, TraceEvent::Died { .. }));
+        assert_eq!(deaths.len(), 2);
+    }
+}

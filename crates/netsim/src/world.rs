@@ -1,0 +1,751 @@
+//! The simulation kernel: event loop, energy charging, movement, HELLO.
+
+use imobif_energy::{Battery, MobilityCostModel, TxEnergyModel};
+use imobif_geom::{Point2, SpatialGrid};
+
+use crate::trace::{RingTrace, TraceEvent, TraceSink};
+use crate::{
+    Action, Application, EnergyCategory, EnergyLedger, EventQueue, NeighborTable, NodeCtx,
+    NodeId, NodeState, SimConfig, SimDuration, SimError, SimTime, TopologyView,
+};
+
+/// Internal kernel events.
+#[derive(Debug)]
+enum Event<M> {
+    /// A packet arriving at `to`.
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    /// An application timer firing at `node`.
+    AppTimer { node: NodeId, tag: u64 },
+    /// A periodic HELLO beacon due at `node`.
+    HelloBeacon { node: NodeId },
+}
+
+/// The deterministic discrete-event world: nodes, radio medium, batteries,
+/// application instances and the event loop tying them together.
+///
+/// # Determinism
+///
+/// All state evolution is driven by the [`EventQueue`], which orders events
+/// by `(time, insertion sequence)`. Given identical configuration, node
+/// setup and application behavior, two runs produce identical traces — the
+/// workspace integration tests assert this bit-for-bit.
+///
+/// # Energy accounting
+///
+/// Every joule leaves a battery through exactly one of three kernel paths —
+/// unicast send, HELLO beacon, movement — and each mirrors the expenditure
+/// into the [`EnergyLedger`] with its category. A node whose battery cannot
+/// cover a transmission or a movement step dies (paper §4: the lifetime
+/// experiments hinge on exactly when bottleneck nodes die).
+///
+/// # Example
+///
+/// ```rust
+/// use imobif_energy::{Battery, LinearMobilityCost, PowerLawModel};
+/// use imobif_geom::Point2;
+/// use imobif_netsim::{Application, NodeCtx, NodeId, SimConfig, SimTime, World};
+///
+/// /// An application that does nothing.
+/// struct Idle;
+/// impl Application for Idle {
+///     type Msg = ();
+///     fn on_message(&mut self, _: &NodeCtx<'_>, _: NodeId, _: ()) -> Vec<imobif_netsim::Action<()>> {
+///         Vec::new()
+///     }
+/// }
+///
+/// let mut world = World::new(
+///     SimConfig::default(),
+///     Box::new(PowerLawModel::paper_default(2.0).unwrap()),
+///     Box::new(LinearMobilityCost::new(0.5).unwrap()),
+/// ).unwrap();
+/// let a = world.add_node(Point2::new(0.0, 0.0), Battery::new(10.0).unwrap(), Idle);
+/// world.start();
+/// world.run_until(SimTime::from_micros(5_000_000));
+/// assert!(world.is_alive(a));
+/// ```
+pub struct World<A: Application> {
+    cfg: SimConfig,
+    tx_model: Box<dyn TxEnergyModel>,
+    mobility_model: Box<dyn MobilityCostModel>,
+    time: SimTime,
+    queue: EventQueue<Event<A::Msg>>,
+    nodes: Vec<NodeState>,
+    apps: Vec<A>,
+    grid: SpatialGrid,
+    ledger: EnergyLedger,
+    trace: Option<RingTrace>,
+    started: bool,
+}
+
+impl<A: Application> World<A> {
+    /// Creates an empty world.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration fails
+    /// [`SimConfig::validate`].
+    pub fn new(
+        cfg: SimConfig,
+        tx_model: Box<dyn TxEnergyModel>,
+        mobility_model: Box<dyn MobilityCostModel>,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
+        Ok(World {
+            grid: SpatialGrid::new(cfg.range.max(1.0)),
+            cfg,
+            tx_model,
+            mobility_model,
+            time: SimTime::ZERO,
+            queue: EventQueue::new(),
+            nodes: Vec::new(),
+            apps: Vec::new(),
+            ledger: EnergyLedger::new(),
+            trace: None,
+            started: false,
+        })
+    }
+
+    /// Adds a node with its application instance, returning its id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called after [`World::start`].
+    pub fn add_node(&mut self, position: Point2, battery: Battery, app: A) -> NodeId {
+        assert!(!self.started, "nodes must be added before start()");
+        let id = NodeId::new(self.nodes.len() as u32);
+        let node = NodeState::new(id, position, battery, NeighborTable::new(self.cfg.hello.ttl));
+        if node.is_alive() {
+            self.grid.insert(id.raw(), position);
+        }
+        self.nodes.push(node);
+        self.apps.push(app);
+        self.ledger.grow_to(self.nodes.len());
+        id
+    }
+
+    /// Starts the world: schedules HELLO beacons and runs each
+    /// application's `on_start` hook in node-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(&mut self) {
+        assert!(!self.started, "start() called twice");
+        self.started = true;
+        if self.cfg.hello.enabled {
+            // Beacons fire immediately at start so neighbor tables are
+            // populated before the first data packet; the queue's sequence
+            // numbers give a deterministic beacon order.
+            for i in 0..self.nodes.len() {
+                self.queue.push(self.time, Event::HelloBeacon { node: NodeId::new(i as u32) });
+            }
+        }
+        for i in 0..self.nodes.len() {
+            let id = NodeId::new(i as u32);
+            if !self.nodes[i].is_alive() {
+                continue;
+            }
+            let actions = self.with_app(id, |app, ctx| app.on_start(ctx));
+            self.apply_actions(id, actions);
+        }
+    }
+
+    /// Runs one application hook with a context built from disjoint field
+    /// borrows (`apps` mutable, everything else shared), then returns the
+    /// produced actions.
+    fn with_app<F>(&mut self, id: NodeId, f: F) -> Vec<Action<A::Msg>>
+    where
+        F: FnOnce(&mut A, &NodeCtx<'_>) -> Vec<Action<A::Msg>>,
+    {
+        let ctx = NodeCtx {
+            id,
+            now: self.time,
+            nodes: &self.nodes,
+            tx_model: self.tx_model.as_ref(),
+            mobility_model: self.mobility_model.as_ref(),
+            hello_enabled: self.cfg.hello.enabled,
+        };
+        f(&mut self.apps[id.index()], &ctx)
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world was not started.
+    pub fn step(&mut self) -> bool {
+        assert!(self.started, "step() before start()");
+        let Some((t, event)) = self.queue.pop() else {
+            return false;
+        };
+        // The clock never runs backwards even if an action scheduled
+        // something "in the past".
+        self.time = self.time.max(t);
+        match event {
+            Event::Deliver { from, to, msg } => self.deliver(from, to, msg),
+            Event::AppTimer { node, tag } => self.fire_timer(node, tag),
+            Event::HelloBeacon { node } => self.hello_beacon(node),
+        }
+        true
+    }
+
+    /// Runs until the clock passes `deadline` or the queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.time = self.time.max(deadline);
+    }
+
+    /// Runs until `stop` returns `true` (checked after every event) or the
+    /// queue drains. Returns the number of events processed.
+    pub fn run_while<F: FnMut(&World<A>) -> bool>(&mut self, mut keep_going: F) -> u64 {
+        let mut n = 0;
+        while keep_going(self) && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    fn emit(&mut self, event: TraceEvent) {
+        if let Some(trace) = &mut self.trace {
+            trace.record(&event);
+        }
+    }
+
+    /// Enables in-memory tracing, keeping the most recent `capacity`
+    /// kernel events (see [`crate::trace`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.trace = Some(RingTrace::new(capacity));
+    }
+
+    /// The trace ring, if tracing is enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&RingTrace> {
+        self.trace.as_ref()
+    }
+
+    fn deliver(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
+        if !self.nodes[to.index()].is_alive() {
+            self.ledger.packets_dropped += 1;
+            self.emit(TraceEvent::Dropped { time: self.time, to });
+            return;
+        }
+        self.ledger.packets_delivered += 1;
+        self.emit(TraceEvent::Delivered { time: self.time, from, to });
+        let actions = self.with_app(to, |app, ctx| app.on_message(ctx, from, msg));
+        self.apply_actions(to, actions);
+    }
+
+    fn fire_timer(&mut self, node: NodeId, tag: u64) {
+        if !self.nodes[node.index()].is_alive() {
+            return;
+        }
+        let actions = self.with_app(node, |app, ctx| app.on_timer(ctx, tag));
+        self.apply_actions(node, actions);
+    }
+
+    fn hello_beacon(&mut self, node: NodeId) {
+        if !self.nodes[node.index()].is_alive() {
+            return;
+        }
+        if self.cfg.hello.charge_energy {
+            // Beacons are broadcast at full range power.
+            let e = self.tx_model.energy(self.cfg.range, self.cfg.hello.bits as f64);
+            if self.nodes[node.index()].battery_mut().try_consume(e).is_err() {
+                self.kill(node);
+                return;
+            }
+            self.ledger.charge(node, EnergyCategory::Hello, e);
+        }
+        let (pos, residual) = {
+            let n = &self.nodes[node.index()];
+            (n.position(), n.residual_energy())
+        };
+        let mut hearers: Vec<u32> = self
+            .grid
+            .query_range(pos, self.cfg.range)
+            .into_iter()
+            .filter(|&k| k != node.raw())
+            .collect();
+        hearers.sort_unstable();
+        let now = self.time;
+        for k in hearers {
+            let hearer = &mut self.nodes[k as usize];
+            if hearer.is_alive() {
+                hearer.neighbor_table_mut().observe(node, pos, residual, now);
+            }
+        }
+        self.queue
+            .push(self.time + self.cfg.hello.period, Event::HelloBeacon { node });
+    }
+
+    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<A::Msg>>) {
+        for action in actions {
+            if !self.nodes[node.index()].is_alive() {
+                // A previous action in this batch killed the node.
+                break;
+            }
+            match action {
+                Action::Send { to, bits, msg, category } => self.send(node, to, bits, msg, category),
+                Action::SetTimer { delay, tag } => {
+                    self.queue.push(self.time + delay, Event::AppTimer { node, tag });
+                }
+                Action::MoveToward { target, max_step } => self.move_node(node, target, max_step),
+            }
+        }
+    }
+
+    fn send(&mut self, from: NodeId, to: NodeId, bits: u64, msg: A::Msg, category: EnergyCategory) {
+        let d = self.nodes[from.index()]
+            .position()
+            .distance_to(self.nodes[to.index()].position());
+        let e = self.tx_model.energy(d, bits as f64);
+        if self.nodes[from.index()].battery_mut().try_consume(e).is_err() {
+            // The residual energy cannot cover this transmission: the node
+            // is out of service (its leftover charge is below the per-packet
+            // requirement, the paper's death condition).
+            self.kill(from);
+            self.ledger.packets_dropped += 1;
+            self.emit(TraceEvent::Dropped { time: self.time, to });
+            return;
+        }
+        self.ledger.charge(from, category, e);
+        self.ledger.packets_sent += 1;
+        self.emit(TraceEvent::Sent { time: self.time, from, to, bits, category, energy: e });
+        self.queue
+            .push(self.time + self.cfg.tx_delay(bits), Event::Deliver { from, to, msg });
+    }
+
+    fn move_node(&mut self, node: NodeId, target: Point2, max_step: f64) {
+        let pos = self.nodes[node.index()].position();
+        let (mut new_pos, mut moved) = pos.step_toward(target, max_step);
+        if moved <= 0.0 {
+            return;
+        }
+        let cost = self.mobility_model.cost(moved);
+        let residual = self.nodes[node.index()].residual_energy();
+        if cost <= residual {
+            self.nodes[node.index()]
+                .battery_mut()
+                .try_consume(cost)
+                .expect("checked affordable");
+            self.ledger.charge(node, EnergyCategory::Mobility, cost);
+            self.nodes[node.index()].set_position(new_pos, moved);
+            self.grid.update(node.raw(), new_pos);
+            self.emit(TraceEvent::Moved {
+                time: self.time,
+                node,
+                from: pos,
+                to: new_pos,
+                energy: cost,
+            });
+        } else {
+            // Move as far as the battery allows, then die mid-step.
+            let affordable = self.mobility_model.reachable_distance(residual).min(moved);
+            if affordable > 0.0 && affordable.is_finite() {
+                (new_pos, moved) = pos.step_toward(target, affordable);
+                self.nodes[node.index()].set_position(new_pos, moved);
+                self.grid.update(node.raw(), new_pos);
+            }
+            let spent = self.nodes[node.index()].battery_mut().drain();
+            self.ledger.charge(node, EnergyCategory::Mobility, spent);
+            self.emit(TraceEvent::Moved {
+                time: self.time,
+                node,
+                from: pos,
+                to: new_pos,
+                energy: spent,
+            });
+            self.kill(node);
+        }
+    }
+
+    fn kill(&mut self, node: NodeId) {
+        // Any leftover charge is stranded: below the per-action requirement
+        // that killed the node, so never spendable. It is deliberately not
+        // added to the ledger — it was not consumed.
+        let _stranded = self.nodes[node.index()].kill();
+        self.grid.remove(node.raw());
+        self.ledger.record_death(node, self.time);
+        self.emit(TraceEvent::Died { time: self.time, node });
+    }
+
+    /// Schedules an application timer from outside (used by experiment
+    /// drivers to kick off flow sources).
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
+        self.queue.push(self.time + delay, Event::AppTimer { node, tag });
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Kernel state of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn node(&self, id: NodeId) -> &NodeState {
+        &self.nodes[id.index()]
+    }
+
+    /// Position of a node.
+    #[must_use]
+    pub fn position(&self, id: NodeId) -> Point2 {
+        self.node(id).position()
+    }
+
+    /// Whether a node is alive.
+    #[must_use]
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        self.node(id).is_alive()
+    }
+
+    /// Residual energy of a node, in joules.
+    #[must_use]
+    pub fn residual_energy(&self, id: NodeId) -> f64 {
+        self.node(id).residual_energy()
+    }
+
+    /// The application instance of a node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    #[must_use]
+    pub fn app(&self, id: NodeId) -> &A {
+        &self.apps[id.index()]
+    }
+
+    /// Mutable access to a node's application instance (for flow setup by
+    /// experiment drivers).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `id` is out of range.
+    pub fn app_mut(&mut self, id: NodeId) -> &mut A {
+        &mut self.apps[id.index()]
+    }
+
+    /// The energy ledger.
+    #[must_use]
+    pub fn ledger(&self) -> &EnergyLedger {
+        &self.ledger
+    }
+
+    /// Number of pending events.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// A routing snapshot of the current connectivity graph.
+    #[must_use]
+    pub fn topology_view(&self) -> TopologyView {
+        TopologyView::new(
+            self.nodes.iter().map(NodeState::position).collect(),
+            self.nodes.iter().map(NodeState::is_alive).collect(),
+            self.cfg.range,
+        )
+    }
+}
+
+impl<A: Application> std::fmt::Debug for World<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("World")
+            .field("time", &self.time)
+            .field("nodes", &self.nodes.len())
+            .field("pending_events", &self.queue.len())
+            .field("started", &self.started)
+            .finish_non_exhaustive()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use imobif_energy::{LinearMobilityCost, PowerLawModel};
+
+    /// Test protocol: forwards a counter along a chain and records receipt.
+    #[derive(Debug, Default)]
+    struct Echo {
+        received: Vec<(NodeId, u32)>,
+        forward_to: Option<NodeId>,
+        move_target: Option<Point2>,
+    }
+
+    impl Application for Echo {
+        type Msg = u32;
+
+        fn on_message(&mut self, _ctx: &NodeCtx<'_>, from: NodeId, msg: u32) -> Vec<Action<u32>> {
+            self.received.push((from, msg));
+            let mut actions = Vec::new();
+            if let Some(next) = self.forward_to {
+                actions.push(Action::Send {
+                    to: next,
+                    bits: 8000,
+                    msg: msg + 1,
+                    category: EnergyCategory::Data,
+                });
+            }
+            if let Some(target) = self.move_target {
+                actions.push(Action::MoveToward { target, max_step: 1.0 });
+            }
+            actions
+        }
+
+        fn on_timer(&mut self, _ctx: &NodeCtx<'_>, tag: u64) -> Vec<Action<u32>> {
+            if let Some(next) = self.forward_to {
+                vec![Action::Send {
+                    to: next,
+                    bits: 8000,
+                    msg: tag as u32,
+                    category: EnergyCategory::Data,
+                }]
+            } else {
+                Vec::new()
+            }
+        }
+    }
+
+    fn make_world() -> World<Echo> {
+        World::new(
+            SimConfig::default(),
+            Box::new(PowerLawModel::paper_default(2.0).unwrap()),
+            Box::new(LinearMobilityCost::new(0.5).unwrap()),
+        )
+        .unwrap()
+    }
+
+    fn chain(world: &mut World<Echo>, n: usize, spacing: f64, joules: f64) -> Vec<NodeId> {
+        (0..n)
+            .map(|i| {
+                world.add_node(
+                    Point2::new(i as f64 * spacing, 0.0),
+                    Battery::new(joules).unwrap(),
+                    Echo::default(),
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn message_relays_along_chain_and_charges_energy() {
+        let mut w = make_world();
+        let ids = chain(&mut w, 3, 20.0, 10.0);
+        w.app_mut(ids[0]).forward_to = Some(ids[1]);
+        w.app_mut(ids[1]).forward_to = Some(ids[2]);
+        w.start();
+        w.schedule_timer(ids[0], SimDuration::from_millis(10), 7);
+        w.run_until(SimTime::from_micros(10_000_000));
+
+        assert_eq!(w.app(ids[2]).received, vec![(ids[1], 8)]);
+        let e01 = w.ledger().node(ids[0]).data;
+        let expected = PowerLawModel::paper_default(2.0).unwrap().energy(20.0, 8000.0);
+        assert!((e01 - expected).abs() < 1e-12);
+        // Ledger totals equal battery drawdown.
+        let drawdown: f64 = ids.iter().map(|&id| 10.0 - w.residual_energy(id)).sum();
+        assert!((w.ledger().totals().total() - drawdown).abs() < 1e-9);
+    }
+
+    #[test]
+    fn unaffordable_send_kills_node() {
+        let mut w = make_world();
+        let ids = chain(&mut w, 2, 20.0, 10.0);
+        // Node 0 can afford ~2 sends of 8000 bits at 20 m (e ≈ 4e-3 J)…
+        // give it far less than one send's worth.
+        let mut w2 = make_world();
+        let a = w2.add_node(Point2::ORIGIN, Battery::new(1e-6).unwrap(), Echo::default());
+        let b = w2.add_node(Point2::new(20.0, 0.0), Battery::new(1.0).unwrap(), Echo::default());
+        w2.app_mut(a).forward_to = Some(b);
+        w2.start();
+        w2.schedule_timer(a, SimDuration::ZERO, 1);
+        w2.run_until(SimTime::from_micros(1_000_000));
+        assert!(!w2.is_alive(a));
+        assert!(w2.app(b).received.is_empty());
+        assert_eq!(w2.ledger().first_death().unwrap().0, a);
+        drop((w, ids));
+    }
+
+    #[test]
+    fn movement_charges_mobility_energy() {
+        let mut w = make_world();
+        let a = w.add_node(Point2::ORIGIN, Battery::new(10.0).unwrap(), Echo::default());
+        let b = w.add_node(Point2::new(10.0, 0.0), Battery::new(10.0).unwrap(), Echo::default());
+        w.app_mut(b).forward_to = None;
+        w.app_mut(a).forward_to = Some(b);
+        w.app_mut(b).move_target = Some(Point2::new(10.0, 5.0));
+        w.start();
+        w.schedule_timer(a, SimDuration::ZERO, 1);
+        w.run_until(SimTime::from_micros(1_000_000));
+        // b moved 1 m (max_step) toward the target on packet receipt.
+        assert_eq!(w.position(b), Point2::new(10.0, 1.0));
+        assert!((w.ledger().node(b).mobility - 0.5).abs() < 1e-12);
+        assert!((w.node(b).total_moved() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn movement_beyond_budget_kills_mid_step() {
+        let mut w = make_world();
+        let a = w.add_node(Point2::ORIGIN, Battery::new(10.0).unwrap(), Echo::default());
+        // 0.2 J at 0.5 J/m buys 0.4 m of movement.
+        let b = w.add_node(Point2::new(10.0, 0.0), Battery::new(0.2).unwrap(), Echo::default());
+        w.app_mut(a).forward_to = Some(b);
+        w.app_mut(b).move_target = Some(Point2::new(20.0, 0.0));
+        w.start();
+        w.schedule_timer(a, SimDuration::ZERO, 1);
+        w.run_until(SimTime::from_micros(1_000_000));
+        assert!(!w.is_alive(b));
+        let moved = w.node(b).total_moved();
+        assert!(moved > 0.3 && moved < 0.5, "moved {moved}, expected ~0.4");
+        // All its energy ended up as mobility spend in the ledger.
+        assert!(w.ledger().node(b).mobility > 0.19);
+    }
+
+    #[test]
+    fn hello_populates_neighbor_tables() {
+        let mut w = make_world();
+        let ids = chain(&mut w, 3, 20.0, 10.0);
+        w.start();
+        w.run_until(SimTime::from_micros(100_000));
+        let n0 = w.node(ids[0]).neighbor_table().fresh(w.time());
+        assert_eq!(n0.len(), 1);
+        assert_eq!(n0[0].id, ids[1]);
+        let n1 = w.node(ids[1]).neighbor_table().fresh(w.time());
+        assert_eq!(n1.len(), 2);
+    }
+
+    #[test]
+    fn hello_energy_charged_when_enabled() {
+        let mut cfg = SimConfig::default();
+        cfg.hello.charge_energy = true;
+        let mut w: World<Echo> = World::new(
+            cfg,
+            Box::new(PowerLawModel::paper_default(2.0).unwrap()),
+            Box::new(LinearMobilityCost::new(0.5).unwrap()),
+        )
+        .unwrap();
+        let a = w.add_node(Point2::ORIGIN, Battery::new(10.0).unwrap(), Echo::default());
+        w.start();
+        w.run_until(SimTime::from_micros(3_500_000));
+        // Beacons at t=0,1,2,3 s -> 4 charged beacons.
+        let per_beacon =
+            PowerLawModel::paper_default(2.0).unwrap().energy(30.0, 512.0);
+        assert!((w.ledger().node(a).hello - 4.0 * per_beacon).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dead_node_receives_nothing() {
+        let mut w = make_world();
+        let a = w.add_node(Point2::ORIGIN, Battery::new(10.0).unwrap(), Echo::default());
+        let b = w.add_node(Point2::new(10.0, 0.0), Battery::new(0.0).unwrap(), Echo::default());
+        w.app_mut(a).forward_to = Some(b);
+        w.start();
+        w.schedule_timer(a, SimDuration::ZERO, 1);
+        w.run_until(SimTime::from_micros(1_000_000));
+        assert!(w.app(b).received.is_empty());
+        assert_eq!(w.ledger().packets_dropped, 1);
+    }
+
+    #[test]
+    fn run_while_stops_on_predicate() {
+        let mut w = make_world();
+        let _ = chain(&mut w, 2, 20.0, 10.0);
+        w.start();
+        let n = w.run_while(|w| w.time() < SimTime::from_micros(1_500_000));
+        assert!(n > 0);
+    }
+
+    #[test]
+    fn topology_view_reflects_positions() {
+        let mut w = make_world();
+        let ids = chain(&mut w, 3, 20.0, 10.0);
+        w.start();
+        let topo = w.topology_view();
+        assert_eq!(topo.node_count(), 3);
+        assert_eq!(topo.neighbors(ids[0]), vec![ids[1]]);
+    }
+
+    #[test]
+    #[should_panic(expected = "before start")]
+    fn step_before_start_panics() {
+        let mut w = make_world();
+        let _ = w.step();
+    }
+
+    #[test]
+    fn tracing_records_kernel_events_in_order() {
+        let mut w = make_world();
+        let ids = chain(&mut w, 3, 20.0, 10.0);
+        w.enable_tracing(64);
+        w.app_mut(ids[0]).forward_to = Some(ids[1]);
+        w.app_mut(ids[1]).forward_to = Some(ids[2]);
+        w.app_mut(ids[1]).move_target = Some(Point2::new(20.0, 5.0));
+        w.start();
+        w.schedule_timer(ids[0], SimDuration::from_millis(10), 1);
+        w.run_until(SimTime::from_micros(2_000_000));
+        let trace = w.trace().expect("tracing enabled");
+        let events = trace.events();
+        assert!(!events.is_empty());
+        // Timestamps are non-decreasing.
+        for pair in events.windows(2) {
+            assert!(pair[0].time() <= pair[1].time());
+        }
+        // The relay's Sent follows its Delivered; its Moved follows too.
+        use crate::trace::TraceEvent;
+        let sent = trace.filtered(|e| matches!(e, TraceEvent::Sent { .. }));
+        let moved = trace.filtered(|e| matches!(e, TraceEvent::Moved { .. }));
+        assert_eq!(sent.len(), 2, "source and relay each send once");
+        assert_eq!(moved.len(), 1, "the relay moves once");
+        // Without tracing there is no ring.
+        let w2 = make_world();
+        assert!(w2.trace().is_none());
+    }
+
+    #[test]
+    fn determinism_same_setup_same_trace() {
+        let run = || {
+            let mut w = make_world();
+            let ids = chain(&mut w, 4, 20.0, 10.0);
+            for pair in ids.windows(2) {
+                w.app_mut(pair[0]).forward_to = Some(pair[1]);
+            }
+            w.app_mut(ids[1]).move_target = Some(Point2::new(40.0, 9.0));
+            w.start();
+            for i in 0..5 {
+                w.schedule_timer(ids[0], SimDuration::from_millis(i * 100), i);
+            }
+            w.run_until(SimTime::from_micros(10_000_000));
+            (
+                ids.iter().map(|&id| w.position(id)).collect::<Vec<_>>(),
+                ids.iter().map(|&id| w.residual_energy(id)).collect::<Vec<_>>(),
+                w.ledger().packets_sent,
+            )
+        };
+        assert_eq!(run(), run());
+    }
+}

@@ -1,0 +1,45 @@
+//! Determinism guarantees: identical configuration produces bit-identical
+//! results, regardless of thread scheduling in the parallel batch runner.
+
+use imobif_experiments::config::ScenarioConfig;
+use imobif_experiments::runner::{run_batch, StrategyChoice};
+use imobif_experiments::topology::draw_scenario;
+
+#[test]
+fn batches_are_bit_identical_across_runs() {
+    let cfg = ScenarioConfig {
+        mean_flow_bits: 4e5,
+        seed: 99,
+        ..ScenarioConfig::paper_default()
+    };
+    let a = run_batch(&cfg, 6, StrategyChoice::MinEnergy);
+    let b = run_batch(&cfg, 6, StrategyChoice::MinEnergy);
+    assert_eq!(a, b, "parallel batches must not depend on scheduling");
+}
+
+#[test]
+fn lifetime_batches_are_bit_identical() {
+    let cfg = ScenarioConfig { seed: 7, ..ScenarioConfig::paper_lifetime() };
+    let a = run_batch(&cfg, 4, StrategyChoice::MaxLifetime);
+    let b = run_batch(&cfg, 4, StrategyChoice::MaxLifetime);
+    assert_eq!(a, b);
+}
+
+#[test]
+fn different_seeds_differ() {
+    let base = ScenarioConfig { mean_flow_bits: 4e5, ..ScenarioConfig::paper_default() };
+    let a = run_batch(&ScenarioConfig { seed: 1, ..base }, 3, StrategyChoice::MinEnergy);
+    let b = run_batch(&ScenarioConfig { seed: 2, ..base }, 3, StrategyChoice::MinEnergy);
+    assert_ne!(a, b, "different seeds should explore different scenarios");
+}
+
+#[test]
+fn scenario_draws_depend_on_index_and_seed_only() {
+    let cfg = ScenarioConfig::paper_default();
+    for i in 0..4 {
+        assert_eq!(draw_scenario(&cfg, i), draw_scenario(&cfg, i));
+    }
+    assert_ne!(draw_scenario(&cfg, 0), draw_scenario(&cfg, 1));
+    let other = ScenarioConfig { seed: cfg.seed + 1, ..cfg };
+    assert_ne!(draw_scenario(&cfg, 0), draw_scenario(&other, 0));
+}

@@ -1,0 +1,106 @@
+//! Cross-crate integration tests: the paper's headline claims, asserted
+//! end-to-end at reduced scale through the full stack (geometry → energy
+//! models → simulator → framework → experiment harness).
+
+use imobif_experiments::config::ScenarioConfig;
+use imobif_experiments::figures::{fig5, fig7, fig8};
+use imobif_experiments::runner::{run_batch, StrategyChoice};
+
+const FLOWS: u64 = 10;
+const SEED: u64 = 424242;
+
+/// Paper §4.1 / Fig. 6(a): "the energy consumption of the cost-unaware
+/// mobility approach is much higher than the baseline approach for short
+/// flows", while iMobif stays at the baseline.
+#[test]
+fn short_flows_cost_unaware_wastes_energy_imobif_does_not() {
+    let cfg = ScenarioConfig { mean_flow_bits: 8e5, seed: SEED, ..ScenarioConfig::paper_default() };
+    let cases = run_batch(&cfg, FLOWS, StrategyChoice::MinEnergy);
+    let cu_avg: f64 =
+        cases.iter().map(|c| c.cost_unaware_energy_ratio()).sum::<f64>() / cases.len() as f64;
+    let inf_avg: f64 =
+        cases.iter().map(|c| c.informed_energy_ratio()).sum::<f64>() / cases.len() as f64;
+    assert!(cu_avg > 1.5, "cost-unaware avg ratio {cu_avg} should be well above 1");
+    assert!(inf_avg < 1.05, "imobif avg ratio {inf_avg} should stay at the baseline");
+    // Every flow must still complete under every mode.
+    for c in &cases {
+        assert!(c.no_mobility.completed && c.cost_unaware.completed && c.informed.completed);
+    }
+}
+
+/// Paper §4.1 / Figs. 6(c–f): for long flows mobility can pay off, and
+/// iMobif is never (materially) worse than the no-mobility baseline.
+#[test]
+fn long_flows_imobif_tracks_the_winner() {
+    let cfg = ScenarioConfig { seed: SEED, ..ScenarioConfig::paper_default() };
+    let cases = run_batch(&cfg, FLOWS, StrategyChoice::MinEnergy);
+    let inf_avg: f64 =
+        cases.iter().map(|c| c.informed_energy_ratio()).sum::<f64>() / cases.len() as f64;
+    assert!(inf_avg <= 1.0, "imobif avg ratio {inf_avg} should be at or below the baseline");
+    for c in &cases {
+        assert!(
+            c.informed_energy_ratio() < 1.05,
+            "flow {}: imobif ratio {} materially above baseline",
+            c.draw_index,
+            c.informed_energy_ratio()
+        );
+    }
+    // At least one long flow actually moved (mobility enabled somewhere).
+    assert!(
+        cases.iter().any(|c| c.informed.mobility_energy > 0.0),
+        "some long flow should have enabled mobility"
+    );
+}
+
+/// Paper Fig. 6(e): cheap mobility (k = 0.1) makes the cost-unaware
+/// approach beneficial on average — and iMobif keeps up.
+#[test]
+fn cheap_mobility_flips_the_comparison() {
+    let cfg = ScenarioConfig { k: 0.1, seed: SEED, ..ScenarioConfig::paper_default() };
+    let cases = run_batch(&cfg, FLOWS, StrategyChoice::MinEnergy);
+    let cu_avg: f64 =
+        cases.iter().map(|c| c.cost_unaware_energy_ratio()).sum::<f64>() / cases.len() as f64;
+    let inf_avg: f64 =
+        cases.iter().map(|c| c.informed_energy_ratio()).sum::<f64>() / cases.len() as f64;
+    assert!(cu_avg < 1.1, "with k=0.1 cost-unaware avg {cu_avg} should be near or below 1");
+    assert!(inf_avg < 1.0, "with k=0.1 imobif avg {inf_avg} should beat the baseline");
+}
+
+/// Paper Fig. 7: few notification packets per flow.
+#[test]
+fn notifications_are_rare() {
+    let r = fig7::run(FLOWS, SEED);
+    assert!(r.summary.mean <= 3.0, "avg notifications {} too high", r.summary.mean);
+    assert!(r.summary.max <= 6.0, "max notifications {} too high", r.summary.max);
+}
+
+/// Paper Fig. 5: both strategies drive relays onto the chord; min-energy
+/// also evens the spacing; the two steady states differ.
+#[test]
+fn placements_match_figure_5() {
+    let r = fig5::run(SEED);
+    assert!(r.min_energy.chord_deviation < 1.0, "min-energy should reach the chord");
+    assert!(r.min_energy.spacing_spread < 0.05, "min-energy should even the spacing");
+    assert!(r.max_lifetime.chord_deviation < r.original.chord_deviation);
+    // Max-lifetime spacing is deliberately uneven (energy-proportional).
+    assert!(r.lifetime_ratio_spread < 0.75, "d^alpha'/e spread {}", r.lifetime_ratio_spread);
+    let pb: Vec<_> = r.min_energy.nodes.iter().map(|n| n.position).collect();
+    let pc: Vec<_> = r.max_lifetime.nodes.iter().map(|n| n.position).collect();
+    assert_ne!(pb, pc, "the two strategies' steady states must differ");
+}
+
+/// Paper Fig. 8: cost-unaware mobility usually shortens system lifetime;
+/// iMobif never does, and extends it for some instances.
+#[test]
+fn lifetime_shape_matches_figure_8() {
+    let r = fig8::run(16, SEED);
+    assert!(r.cost_unaware.mean < 1.0, "cost-unaware lifetime avg {}", r.cost_unaware.mean);
+    assert!(r.informed.mean >= 0.99, "informed lifetime avg {}", r.informed.mean);
+    assert!(r.informed.min > 0.9, "informed should never be much worse: {}", r.informed.min);
+    assert!(
+        r.informed.mean > r.cost_unaware.mean,
+        "informed {} must beat cost-unaware {}",
+        r.informed.mean,
+        r.cost_unaware.mean
+    );
+}

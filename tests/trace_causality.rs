@@ -1,0 +1,117 @@
+//! Protocol-causality assertions via kernel tracing: the informed mode's
+//! defining property is that *no relay moves before an enable notification
+//! has traveled from the destination back to the source*.
+
+use std::sync::Arc;
+
+use imobif::{
+    install_flow, FlowSpec, ImobifApp, ImobifConfig, MinEnergyStrategy, MobilityMode,
+    MobilityStrategy,
+};
+use imobif_energy::{Battery, LinearMobilityCost, PowerLawModel};
+use imobif_geom::Point2;
+use imobif_netsim::trace::TraceEvent;
+use imobif_netsim::{EnergyCategory, FlowId, NodeId, SimConfig, SimTime, World};
+
+fn informed_world() -> (World<ImobifApp>, Vec<NodeId>) {
+    let strategy: Arc<dyn MobilityStrategy> = Arc::new(MinEnergyStrategy::new());
+    let mut w = World::new(
+        SimConfig::default(),
+        Box::new(PowerLawModel::paper_default(2.0).unwrap()),
+        Box::new(LinearMobilityCost::new(0.5).unwrap()),
+    )
+    .unwrap();
+    let cfg = ImobifConfig { mode: MobilityMode::Informed, ..Default::default() };
+    let pts = [(0.0, 0.0), (14.0, 10.0), (32.0, -10.0), (50.0, 10.0), (64.0, 0.0)];
+    let ids = pts
+        .iter()
+        .map(|&(x, y)| {
+            w.add_node(
+                Point2::new(x, y),
+                Battery::new(100_000.0).unwrap(),
+                ImobifApp::new(cfg, strategy.clone()),
+            )
+        })
+        .collect();
+    w.enable_tracing(100_000);
+    w.start();
+    (w, ids)
+}
+
+#[test]
+fn movement_waits_for_the_enable_notification() {
+    let (mut w, ids) = informed_world();
+    // Mobility initially disabled; a 6 MB flow makes enabling worthwhile.
+    install_flow(&mut w, &FlowSpec::paper_default(FlowId::new(0), ids.clone(), 48_000_000))
+        .unwrap();
+    w.run_while(|w| w.time() < SimTime::from_micros(200_000_000));
+
+    let trace = w.trace().expect("tracing enabled");
+    let first_move = trace
+        .filtered(|e| matches!(e, TraceEvent::Moved { .. }))
+        .first()
+        .map(TraceEvent::time)
+        .expect("a 6 MB flow must trigger movement");
+    let notif_sends = trace.filtered(|e| {
+        matches!(e, TraceEvent::Sent { category: EnergyCategory::Notification, .. })
+    });
+    // The enable request travels dest → relays → source: path length − 1
+    // notification transmissions before anything may move.
+    assert!(
+        notif_sends.len() >= ids.len() - 1,
+        "expected a full reverse path of notification sends, got {}",
+        notif_sends.len()
+    );
+    let first_notif = notif_sends.first().map(TraceEvent::time).expect("non-empty");
+    assert!(
+        first_notif < first_move,
+        "movement at {first_move} must not precede the first notification at {first_notif}"
+    );
+    // And the notification chain must have REACHED the source before the
+    // first movement: the (path_len - 1)-th notification send precedes it.
+    let chain_complete = notif_sends[ids.len() - 2].time();
+    assert!(chain_complete <= first_move);
+}
+
+#[test]
+fn no_mobility_traces_contain_no_movement_or_notifications() {
+    let strategy: Arc<dyn MobilityStrategy> = Arc::new(MinEnergyStrategy::new());
+    let mut w = World::new(
+        SimConfig::default(),
+        Box::new(PowerLawModel::paper_default(2.0).unwrap()),
+        Box::new(LinearMobilityCost::new(0.5).unwrap()),
+    )
+    .unwrap();
+    let cfg = ImobifConfig { mode: MobilityMode::NoMobility, ..Default::default() };
+    let pts = [(0.0, 0.0), (14.0, 10.0), (32.0, -10.0), (50.0, 10.0), (64.0, 0.0)];
+    let ids: Vec<NodeId> = pts
+        .iter()
+        .map(|&(x, y)| {
+            w.add_node(
+                Point2::new(x, y),
+                Battery::new(100_000.0).unwrap(),
+                ImobifApp::new(cfg, strategy.clone()),
+            )
+        })
+        .collect();
+    w.enable_tracing(100_000);
+    w.start();
+    install_flow(&mut w, &FlowSpec::paper_default(FlowId::new(0), ids.clone(), 800_000))
+        .unwrap();
+    w.run_while(|w| w.time() < SimTime::from_micros(150_000_000));
+    let trace = w.trace().expect("tracing enabled");
+    assert!(trace.filtered(|e| matches!(e, TraceEvent::Moved { .. })).is_empty());
+    assert!(trace
+        .filtered(|e| matches!(
+            e,
+            TraceEvent::Sent { category: EnergyCategory::Notification, .. }
+        ))
+        .is_empty());
+    assert!(trace.filtered(|e| matches!(e, TraceEvent::Died { .. })).is_empty());
+    // Every data send has a matching delivery (loss-free medium, all alive).
+    let sent = trace
+        .filtered(|e| matches!(e, TraceEvent::Sent { category: EnergyCategory::Data, .. }))
+        .len();
+    let delivered = trace.filtered(|e| matches!(e, TraceEvent::Delivered { .. })).len();
+    assert_eq!(sent, delivered);
+}
