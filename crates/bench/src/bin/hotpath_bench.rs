@@ -1,0 +1,237 @@
+//! Tracked hot-path benchmark runner.
+//!
+//! Runs the Fig. 6 default scenario end to end under each mobility mode and
+//! the HELLO-dense arena, once per [`Variant`] (before = binary-heap queue,
+//! no decision cache; after = calendar queue + cache), and writes
+//! `BENCH_1.json` with wall time, events/second, allocation counts, and a
+//! steady-state allocations-per-delivered-packet measurement.
+//!
+//! Usage:
+//! `cargo run --release -p imobif-bench --bin hotpath_bench [out.json [seed_baseline.txt]]`
+//!
+//! The optional baseline file holds one `name wall_secs events allocations`
+//! line per scenario, produced by running this same workload against the
+//! seed commit (see `scripts/bench_seed_baseline.sh`). When given, each
+//! scenario also reports `speedup_vs_seed`.
+
+use std::collections::HashMap;
+use std::fmt::Write as _;
+use std::time::Instant;
+
+use imobif::MobilityMode;
+use imobif_bench::alloc_track::{self, CountingAlloc};
+use imobif_bench::instances::{build_fig6, build_hello_dense, Variant};
+use imobif_netsim::SimTime;
+
+#[global_allocator]
+static ALLOC: CountingAlloc = CountingAlloc;
+
+/// Runs-per-measurement; the fastest run is reported (standard practice for
+/// wall-clock benches: the minimum is the least noisy estimator).
+const REPS: usize = 5;
+
+/// Draw indices averaged over for the Fig. 6 scenarios.
+const DRAWS: [u64; 3] = [0, 1, 2];
+
+#[derive(Debug, Clone, Copy)]
+struct Measurement {
+    wall_secs: f64,
+    events: u64,
+    allocs: u64,
+    peak_bytes: usize,
+}
+
+impl Measurement {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs
+    }
+}
+
+/// Times one closure run: wall clock, kernel events, allocations, peak.
+fn measure<F: FnMut() -> u64>(mut run: F) -> Measurement {
+    let mut best: Option<Measurement> = None;
+    for _ in 0..REPS {
+        alloc_track::reset_peak();
+        let before = alloc_track::snapshot();
+        let t0 = Instant::now();
+        let events = run();
+        let wall_secs = t0.elapsed().as_secs_f64();
+        let after = alloc_track::snapshot();
+        let m = Measurement {
+            wall_secs,
+            events,
+            allocs: after.allocs_since(&before),
+            peak_bytes: after.peak_bytes,
+        };
+        if best.is_none_or(|b| m.wall_secs < b.wall_secs) {
+            best = Some(m);
+        }
+    }
+    best.expect("REPS > 0")
+}
+
+fn fig6_measurement(mode: MobilityMode, variant: Variant) -> Measurement {
+    measure(|| {
+        let mut events = 0;
+        for &draw in &DRAWS {
+            let mut run = build_fig6(mode, variant, draw);
+            run.run_to_completion();
+            assert!(run.delivered_bits() > 0, "flow must make progress");
+            events += run.world.events_processed();
+        }
+        events
+    })
+}
+
+fn hello_dense_measurement(variant: Variant) -> Measurement {
+    measure(|| {
+        let mut w = build_hello_dense(variant);
+        // run_while (not run_until) so the event count matches the seed
+        // baseline driver exactly.
+        w.run_while(|w| w.time() < SimTime::from_micros(120_000_000))
+    })
+}
+
+/// Steady-state allocation check: warm the informed Fig. 6 instance up for
+/// 120 simulated seconds (relay convergence plus scratch-buffer/bucket
+/// warm-up), then count heap allocations across the next 120 simulated
+/// seconds of deliveries.
+fn steady_state_allocs(variant: Variant) -> (u64, u64) {
+    let mut run = build_fig6(MobilityMode::Informed, variant, 0);
+    run.run_until_time(SimTime::from_micros(120_000_000));
+    let packets_before = run.delivered_bits() / 8_000;
+    let snap = alloc_track::snapshot();
+    run.run_until_time(SimTime::from_micros(240_000_000));
+    let allocs = alloc_track::snapshot().allocs_since(&snap);
+    let packets = run.delivered_bits() / 8_000 - packets_before;
+    assert!(packets > 0, "steady-state window must deliver packets");
+    (allocs, packets)
+}
+
+fn json_measurement(out: &mut String, label: &str, m: &Measurement) {
+    let _ = write!(
+        out,
+        "    \"{label}\": {{ \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \"allocations\": {}, \"peak_bytes\": {} }}",
+        m.wall_secs,
+        m.events,
+        m.events_per_sec(),
+        m.allocs,
+        m.peak_bytes
+    );
+}
+
+/// Seed-commit measurement of one scenario, as read from the baseline file.
+#[derive(Debug, Clone, Copy)]
+struct Baseline {
+    wall_secs: f64,
+    events: u64,
+    allocs: u64,
+}
+
+impl Baseline {
+    fn events_per_sec(&self) -> f64 {
+        self.events as f64 / self.wall_secs
+    }
+}
+
+fn load_baseline(path: &str) -> HashMap<String, Baseline> {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| panic!("read baseline file {path}: {e}"));
+    let mut map = HashMap::new();
+    for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
+        let mut parts = line.split_whitespace();
+        let (Some(name), Some(wall), Some(events), Some(allocs)) =
+            (parts.next(), parts.next(), parts.next(), parts.next())
+        else {
+            panic!("malformed baseline line: {line}");
+        };
+        let baseline = Baseline {
+            wall_secs: wall.parse().expect("baseline wall_secs"),
+            events: events.parse().expect("baseline events"),
+            allocs: allocs.parse().expect("baseline allocations"),
+        };
+        map.insert(name.to_string(), baseline);
+    }
+    map
+}
+
+fn main() {
+    let out_path = std::env::args().nth(1).unwrap_or_else(|| "BENCH_1.json".to_string());
+    let baseline = std::env::args().nth(2).map(|p| load_baseline(&p)).unwrap_or_default();
+    let scenarios: Vec<(String, Measurement, Measurement)> = {
+        let modes = [
+            ("fig6_no_mobility", MobilityMode::NoMobility),
+            ("fig6_cost_unaware", MobilityMode::CostUnaware),
+            ("fig6_informed", MobilityMode::Informed),
+        ];
+        let mut v = Vec::new();
+        for (name, mode) in modes {
+            eprintln!("running {name} ...");
+            let before = fig6_measurement(mode, Variant::before());
+            let after = fig6_measurement(mode, Variant::after());
+            v.push((name.to_string(), before, after));
+        }
+        eprintln!("running hello_dense ...");
+        v.push((
+            "hello_dense".to_string(),
+            hello_dense_measurement(Variant::before()),
+            hello_dense_measurement(Variant::after()),
+        ));
+        v
+    };
+    eprintln!("measuring steady-state allocations ...");
+    let (ss_allocs, ss_packets) = steady_state_allocs(Variant::after());
+
+    let mut json = String::new();
+    json.push_str("{\n");
+    json.push_str("  \"benchmark\": \"hot-path: calendar event queue + relay decision cache\",\n");
+    json.push_str("  \"workload\": \"ScenarioConfig::paper_default (Fig. 6), flows run end to end; hello_dense = 100-node arena, beacons only, 120 simulated seconds\",\n");
+    json.push_str(
+        "  \"variants\": { \"before\": \"binary-heap queue, cache disabled\", \"after\": \"calendar queue, cache enabled\" },\n",
+    );
+    if !baseline.is_empty() {
+        json.push_str(
+            "  \"seed_baseline_provenance\": \"seed commit b0ef057 rebuilt and measured on this machine by scripts/bench_seed_baseline.sh (same workload, same reps)\",\n",
+        );
+    }
+    json.push_str("  \"scenarios\": {\n");
+    for (i, (name, before, after)) in scenarios.iter().enumerate() {
+        let _ = writeln!(json, "  \"{name}\": {{");
+        json_measurement(&mut json, "before", before);
+        json.push_str(",\n");
+        json_measurement(&mut json, "after", after);
+        json.push_str(",\n");
+        if let Some(seed) = baseline.get(name) {
+            let _ = writeln!(
+                json,
+                "    \"seed_baseline\": {{ \"wall_secs\": {:.6}, \"events\": {}, \"events_per_sec\": {:.0}, \"allocations\": {} }},",
+                seed.wall_secs,
+                seed.events,
+                seed.events_per_sec(),
+                seed.allocs
+            );
+            let _ = writeln!(
+                json,
+                "    \"speedup_vs_seed\": {:.2},",
+                after.events_per_sec() / seed.events_per_sec()
+            );
+        }
+        let _ = writeln!(
+            json,
+            "    \"speedup_events_per_sec\": {:.2}",
+            after.events_per_sec() / before.events_per_sec()
+        );
+        json.push_str(if i + 1 < scenarios.len() { "  },\n" } else { "  }\n" });
+    }
+    json.push_str("  },\n");
+    let _ = writeln!(
+        json,
+        "  \"steady_state\": {{ \"variant\": \"after\", \"window_delivered_packets\": {ss_packets}, \"heap_allocations\": {ss_allocs}, \"allocations_per_delivered_packet\": {:.4} }}",
+        ss_allocs as f64 / ss_packets as f64
+    );
+    json.push_str("}\n");
+
+    std::fs::write(&out_path, &json).expect("write bench report");
+    eprintln!("wrote {out_path}");
+    print!("{json}");
+}

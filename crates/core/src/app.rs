@@ -7,19 +7,60 @@
 //! enabled; destinations compare the aggregated hypotheses and send
 //! enable/disable notifications back to the source.
 
-use std::collections::HashMap;
 use std::sync::Arc;
 
-use imobif_geom::Point2;
+use imobif_geom::{FxHashMap, Point2};
 use imobif_netsim::{
-    Action, Application, EnergyCategory, FlowId, NodeCtx, NodeId, SimDuration,
+    Application, EnergyCategory, FlowId, NodeCtx, NodeId, Outbox, SimDuration,
 };
 use serde::{Deserialize, Serialize};
 
 use crate::{
     Aggregate, DataHeader, FlowEntry, FlowRole, FlowTable, ImobifMsg, MobilityMode,
-    MobilityStrategy, Notification, PerfSample, StrategyKind, StrategyRegistry,
+    MobilityStrategy, Notification, PerfSample, StrategyInputs, StrategyKind, StrategyRegistry,
 };
+
+/// Tolerances for the per-flow strategy-decision cache.
+///
+/// A relay's strategy evaluation (preferred position + cost/benefit sample)
+/// depends only on the positions and residual energies of the
+/// prev/self/next triple and the header's residual-bits estimate. Between
+/// consecutive packets those inputs barely move: positions are exact while
+/// nobody moves, neighbor residuals refresh only at HELLO rate, and the
+/// node's own residual drains by one packet's worth of energy. The cache
+/// reuses the last evaluation until an input drifts past its epsilon.
+///
+/// Positions are always compared exactly — a moved node invalidates the
+/// cache — so reused movement targets never diverge from freshly computed
+/// ones for position-only strategies (min-total-energy). The energy/bits
+/// epsilons bound the staleness of the folded cost/benefit sample.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DecisionCacheConfig {
+    /// Master switch. Disabled means every packet re-evaluates the
+    /// strategy (the pre-cache behavior, kept for A/B benchmarks).
+    pub enabled: bool,
+    /// Maximum absolute drift in any of the three residual energies (J)
+    /// before the cached decision is recomputed.
+    pub energy_epsilon: f64,
+    /// Maximum absolute drift in the header's residual-flow-bits estimate
+    /// before the cached decision is recomputed.
+    pub bits_epsilon: f64,
+}
+
+impl Default for DecisionCacheConfig {
+    fn default() -> Self {
+        DecisionCacheConfig {
+            enabled: true,
+            // ~a dozen default-scenario packets' worth of transmit energy,
+            // and six 8000-bit packets of flow progress: small enough that
+            // a stale sample cannot meaningfully misorder the destination's
+            // move/no-move comparison, large enough to absorb the per-packet
+            // drain that would otherwise defeat exact matching.
+            energy_epsilon: 0.05,
+            bits_epsilon: 48_000.0,
+        }
+    }
+}
 
 /// Node-level iMobif configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -30,6 +71,8 @@ pub struct ImobifConfig {
     pub max_step: f64,
     /// Size of a notification packet in bits.
     pub notification_bits: u64,
+    /// Strategy-decision cache tolerances.
+    pub cache: DecisionCacheConfig,
 }
 
 impl Default for ImobifConfig {
@@ -38,6 +81,7 @@ impl Default for ImobifConfig {
             mode: MobilityMode::Informed,
             max_step: 1.0,
             notification_bits: 512,
+            cache: DecisionCacheConfig::default(),
         }
     }
 }
@@ -113,6 +157,34 @@ pub struct ImobifCounters {
     /// Packets naming a strategy absent from this node's registry; they
     /// are forwarded without mobility processing.
     pub unknown_strategy: u64,
+    /// Relay strategy evaluations served from the decision cache.
+    pub cache_hits: u64,
+    /// Relay strategy evaluations computed fresh (cache miss or disabled).
+    pub cache_misses: u64,
+}
+
+/// The per-flow memo of the last relay strategy evaluation: the inputs it
+/// was computed from and the resulting decision. `decision` is `None` when
+/// the strategy declined to name a target (degenerate geometry) — that
+/// outcome is cached too.
+#[derive(Debug, Clone, Copy)]
+struct DecisionCache {
+    inputs: StrategyInputs,
+    residual_flow_bits: f64,
+    decision: Option<(Point2, PerfSample)>,
+}
+
+impl DecisionCache {
+    fn is_hit(&self, inputs: &StrategyInputs, bits: f64, cfg: &DecisionCacheConfig) -> bool {
+        let c = &self.inputs;
+        c.prev_position == inputs.prev_position
+            && c.self_position == inputs.self_position
+            && c.next_position == inputs.next_position
+            && (c.prev_residual - inputs.prev_residual).abs() <= cfg.energy_epsilon
+            && (c.self_residual - inputs.self_residual).abs() <= cfg.energy_epsilon
+            && (c.next_residual - inputs.next_residual).abs() <= cfg.energy_epsilon
+            && (self.residual_flow_bits - bits).abs() <= cfg.bits_epsilon
+    }
 }
 
 /// The iMobif protocol agent running on every node.
@@ -129,11 +201,14 @@ pub struct ImobifApp {
     config: ImobifConfig,
     registry: Arc<StrategyRegistry>,
     flows: FlowTable,
-    sources: HashMap<FlowId, SourceFlow>,
-    dests: HashMap<FlowId, DestFlow>,
+    sources: FxHashMap<FlowId, SourceFlow>,
+    dests: FxHashMap<FlowId, DestFlow>,
     /// Latest per-flow movement targets; multiple concurrent flows are
     /// superposed by [`ImobifApp::combined_target`].
-    targets: HashMap<FlowId, Point2>,
+    targets: FxHashMap<FlowId, Point2>,
+    /// Per-flow memo of the last strategy evaluation (see
+    /// [`DecisionCacheConfig`]).
+    caches: FxHashMap<FlowId, DecisionCache>,
     counters: ImobifCounters,
 }
 
@@ -153,9 +228,10 @@ impl ImobifApp {
             config,
             registry,
             flows: FlowTable::new(),
-            sources: HashMap::new(),
-            dests: HashMap::new(),
-            targets: HashMap::new(),
+            sources: FxHashMap::default(),
+            dests: FxHashMap::default(),
+            targets: FxHashMap::default(),
+            caches: FxHashMap::default(),
             counters: ImobifCounters::default(),
         }
     }
@@ -240,6 +316,48 @@ impl ImobifApp {
         (weight_sum > 0.0).then(|| Point2::new(x / weight_sum, y / weight_sum))
     }
 
+    /// One strategy evaluation — preferred position plus the cost/benefit
+    /// sample — served from the per-flow cache when the inputs are within
+    /// tolerance of the last computed ones (see [`DecisionCacheConfig`]).
+    fn evaluate(
+        &mut self,
+        ctx: &NodeCtx<'_>,
+        strategy: &dyn MobilityStrategy,
+        flow: FlowId,
+        inputs: &StrategyInputs,
+        residual_flow_bits: f64,
+    ) -> Option<(Point2, PerfSample)> {
+        let cache_cfg = self.config.cache;
+        if cache_cfg.enabled {
+            if let Some(cached) = self.caches.get(&flow) {
+                if cached.is_hit(inputs, residual_flow_bits, &cache_cfg) {
+                    self.counters.cache_hits += 1;
+                    return cached.decision;
+                }
+            }
+        }
+        self.counters.cache_misses += 1;
+        let decision = strategy.next_position(inputs).map(|target| {
+            let sample = PerfSample::compute(
+                inputs.self_residual,
+                inputs.self_position,
+                target,
+                inputs.next_position,
+                residual_flow_bits,
+                ctx.tx_model(),
+                ctx.mobility_model(),
+            );
+            (target, sample)
+        });
+        if cache_cfg.enabled {
+            self.caches.insert(
+                flow,
+                DecisionCache { inputs: *inputs, residual_flow_bits, decision },
+            );
+        }
+        decision
+    }
+
     /// Relay-side handling of a data packet (Fig. 1 lines 12–27).
     fn relay_data(
         &mut self,
@@ -248,12 +366,13 @@ impl ImobifApp {
         mut header: DataHeader,
         next: NodeId,
         prev: NodeId,
-    ) -> Vec<Action<ImobifMsg>> {
+        out: &mut Outbox<ImobifMsg>,
+    ) {
         self.counters.data_packets_relayed += 1;
-        let mut move_action = None;
+        let mut move_target = None;
         match (strategy, ctx.peer_info(prev), ctx.peer_info(next)) {
             (Some(strategy), Some(prev_info), Some(next_info)) => {
-                let inputs = crate::StrategyInputs {
+                let inputs = StrategyInputs {
                     prev_position: prev_info.position,
                     prev_residual: prev_info.residual_energy,
                     self_position: ctx.position(),
@@ -261,25 +380,20 @@ impl ImobifApp {
                     next_position: next_info.position,
                     next_residual: next_info.residual_energy,
                 };
-                if let Some(target) = strategy.next_position(&inputs) {
-                    let sample = PerfSample::compute(
-                        ctx.residual_energy(),
-                        ctx.position(),
-                        target,
-                        next_info.position,
-                        header.residual_flow_bits,
-                        ctx.tx_model(),
-                        ctx.mobility_model(),
-                    );
+                let decision = self.evaluate(
+                    ctx,
+                    strategy.as_ref(),
+                    header.flow,
+                    &inputs,
+                    header.residual_flow_bits,
+                );
+                if let Some((target, sample)) = decision {
                     strategy.fold(&mut header.aggregate, sample);
                     self.targets.insert(header.flow, target);
                     if self.config.mode.should_move(header.mobility_enabled) {
                         if let Some(combined) = self.combined_target() {
                             self.counters.moves_executed += 1;
-                            move_action = Some(Action::MoveToward {
-                                target: combined,
-                                max_step: self.config.max_step,
-                            });
+                            move_target = Some(combined);
                         }
                     }
                 }
@@ -289,14 +403,10 @@ impl ImobifApp {
         }
         // Fig. 1: forward first (line 22), then move (line 26) — the packet
         // is transmitted from the pre-move position.
-        let mut actions = vec![Action::Send {
-            to: next,
-            bits: header.payload_bits,
-            msg: ImobifMsg::Data(header),
-            category: EnergyCategory::Data,
-        }];
-        actions.extend(move_action);
-        actions
+        out.send(next, header.payload_bits, ImobifMsg::Data(header), EnergyCategory::Data);
+        if let Some(target) = move_target {
+            out.move_toward(target, self.config.max_step);
+        }
     }
 
     /// Destination-side handling (Fig. 1 lines 7–11 and
@@ -306,17 +416,18 @@ impl ImobifApp {
         strategy: Option<Arc<dyn MobilityStrategy>>,
         header: DataHeader,
         prev: NodeId,
-    ) -> Vec<Action<ImobifMsg>> {
+        out: &mut Outbox<ImobifMsg>,
+    ) {
         let dest = self.dests.entry(header.flow).or_default();
         dest.received_bits += header.payload_bits;
         dest.received_packets += 1;
         dest.last_aggregate = Some(header.aggregate);
         if !self.config.mode.uses_notifications() {
-            return Vec::new();
+            return;
         }
         let Some(strategy) = strategy else {
             self.counters.unknown_strategy += 1;
-            return Vec::new();
+            return;
         };
         let preference = strategy.mobility_preference(&header.aggregate);
         let request = match (preference, header.mobility_enabled) {
@@ -327,25 +438,25 @@ impl ImobifApp {
             _ => None,
         };
         let Some(enable) = request else {
-            return Vec::new();
+            return;
         };
         dest.notifications_sent += 1;
-        vec![Action::Send {
-            to: prev,
-            bits: self.config.notification_bits,
-            msg: ImobifMsg::Notification(Notification {
+        out.send(
+            prev,
+            self.config.notification_bits,
+            ImobifMsg::Notification(Notification {
                 flow: header.flow,
                 enable,
                 aggregate: header.aggregate,
             }),
-            category: EnergyCategory::Notification,
-        }]
+            EnergyCategory::Notification,
+        );
     }
 
-    fn handle_data(&mut self, ctx: &NodeCtx<'_>, header: DataHeader) -> Vec<Action<ImobifMsg>> {
+    fn handle_data(&mut self, ctx: &NodeCtx<'_>, header: DataHeader, out: &mut Outbox<ImobifMsg>) {
         let Some(entry) = self.flows.get_mut(header.flow) else {
             self.counters.unroutable_packets += 1;
-            return Vec::new();
+            return;
         };
         entry.residual_bits = header.residual_flow_bits;
         entry.mobility_enabled = header.mobility_enabled;
@@ -356,26 +467,25 @@ impl ImobifApp {
         match role {
             FlowRole::Destination => {
                 let prev = prev.expect("destination entries have a prev");
-                self.deliver_data(strategy, header, prev)
+                self.deliver_data(strategy, header, prev, out);
             }
             FlowRole::Relay => {
                 let next = next.expect("relay entries have a next");
                 let prev = prev.expect("relay entries have a prev");
-                self.relay_data(ctx, strategy, header, next, prev)
+                self.relay_data(ctx, strategy, header, next, prev, out);
             }
             FlowRole::Source => {
                 // A data packet delivered to its own source is a routing
                 // bug upstream; drop it.
                 self.counters.unroutable_packets += 1;
-                Vec::new()
             }
         }
     }
 
-    fn handle_notification(&mut self, n: Notification) -> Vec<Action<ImobifMsg>> {
+    fn handle_notification(&mut self, n: Notification, out: &mut Outbox<ImobifMsg>) {
         let Some(entry) = self.flows.get(n.flow) else {
             self.counters.unroutable_packets += 1;
-            return Vec::new();
+            return;
         };
         match entry.role {
             FlowRole::Source => {
@@ -385,36 +495,34 @@ impl ImobifApp {
                         sf.status_changes += 1;
                     }
                 }
-                Vec::new()
             }
-            FlowRole::Relay | FlowRole::Destination => match entry.prev {
-                Some(prev) => {
+            FlowRole::Relay | FlowRole::Destination => {
+                if let Some(prev) = entry.prev {
                     self.counters.notifications_forwarded += 1;
-                    vec![Action::Send {
-                        to: prev,
-                        bits: self.config.notification_bits,
-                        msg: ImobifMsg::Notification(n),
-                        category: EnergyCategory::Notification,
-                    }]
+                    out.send(
+                        prev,
+                        self.config.notification_bits,
+                        ImobifMsg::Notification(n),
+                        EnergyCategory::Notification,
+                    );
                 }
-                None => Vec::new(),
-            },
+            }
         }
     }
 
     /// Emits the next data packet of `flow` (source role).
-    fn emit_packet(&mut self, ctx: &NodeCtx<'_>, flow: FlowId) -> Vec<Action<ImobifMsg>> {
+    fn emit_packet(&mut self, ctx: &NodeCtx<'_>, flow: FlowId, out: &mut Outbox<ImobifMsg>) {
         let Some(entry) = self.flows.get(flow).copied() else {
-            return Vec::new();
+            return;
         };
         let Some(next) = entry.next else {
-            return Vec::new();
+            return;
         };
         let Some(sf) = self.sources.get_mut(&flow) else {
-            return Vec::new();
+            return;
         };
         if sf.is_finished() {
-            return Vec::new();
+            return;
         }
         // A source whose own list lacks the selected strategy still ships
         // the data — mobility simply stays off for the flow.
@@ -443,16 +551,12 @@ impl ImobifApp {
             aggregate,
         };
         sf.seq += 1;
-        let mut actions = vec![Action::Send {
-            to: next,
-            bits: payload,
-            msg: ImobifMsg::Data(header),
-            category: EnergyCategory::Data,
-        }];
-        if !sf.is_finished() {
-            actions.push(Action::SetTimer { delay: sf.interval, tag: flow.raw() as u64 });
+        let interval = sf.interval;
+        let finished = sf.is_finished();
+        out.send(next, payload, ImobifMsg::Data(header), EnergyCategory::Data);
+        if !finished {
+            out.set_timer(interval, flow.raw() as u64);
         }
-        actions
     }
 }
 
@@ -464,14 +568,15 @@ impl Application for ImobifApp {
         ctx: &NodeCtx<'_>,
         _from: NodeId,
         msg: ImobifMsg,
-    ) -> Vec<Action<ImobifMsg>> {
+        out: &mut Outbox<ImobifMsg>,
+    ) {
         match msg {
-            ImobifMsg::Data(header) => self.handle_data(ctx, header),
-            ImobifMsg::Notification(n) => self.handle_notification(n),
+            ImobifMsg::Data(header) => self.handle_data(ctx, header, out),
+            ImobifMsg::Notification(n) => self.handle_notification(n, out),
         }
     }
 
-    fn on_timer(&mut self, ctx: &NodeCtx<'_>, tag: u64) -> Vec<Action<ImobifMsg>> {
-        self.emit_packet(ctx, FlowId::new(tag as u32))
+    fn on_timer(&mut self, ctx: &NodeCtx<'_>, tag: u64, out: &mut Outbox<ImobifMsg>) {
+        self.emit_packet(ctx, FlowId::new(tag as u32), out)
     }
 }

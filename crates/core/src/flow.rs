@@ -1,6 +1,6 @@
 //! Per-node flow tables.
 
-use std::collections::HashMap;
+use imobif_geom::FxHashMap;
 
 use imobif_netsim::{FlowId, NodeId};
 use serde::{Deserialize, Serialize};
@@ -75,7 +75,7 @@ impl FlowEntry {
 /// The flow table: all flows traversing one node.
 #[derive(Debug, Clone, Default)]
 pub struct FlowTable {
-    entries: HashMap<FlowId, FlowEntry>,
+    entries: FxHashMap<FlowId, FlowEntry>,
 }
 
 impl FlowTable {

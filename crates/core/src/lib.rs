@@ -94,7 +94,7 @@ mod setup;
 mod strategies;
 mod strategy;
 
-pub use app::{DestFlow, ImobifApp, ImobifConfig, ImobifCounters, SourceFlow};
+pub use app::{DecisionCacheConfig, DestFlow, ImobifApp, ImobifConfig, ImobifCounters, SourceFlow};
 pub use flow::{FlowEntry, FlowRole, FlowTable};
 pub use header::{Aggregate, DataHeader, ImobifMsg, Notification, PerfSample};
 pub use mode::MobilityMode;

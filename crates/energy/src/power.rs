@@ -131,7 +131,18 @@ impl TxEnergyModel for PowerLawModel {
     fn energy_per_bit(&self, d: f64) -> f64 {
         debug_assert!(d >= -1e-9, "negative transmission distance {d}");
         let d = d.max(0.0);
-        self.a + self.b * d.powf(self.alpha)
+        // The paper's exponents are small integers and this runs for every
+        // packet hop: avoid the libm `powf` call for them.
+        let d_alpha = if self.alpha == 2.0 {
+            d * d
+        } else if self.alpha == 3.0 {
+            d * d * d
+        } else if self.alpha == 4.0 {
+            (d * d) * (d * d)
+        } else {
+            d.powf(self.alpha)
+        };
+        self.a + self.b * d_alpha
     }
 }
 

@@ -495,7 +495,7 @@ pub fn run_multiflow(n_concurrent: u32, seed: u64) -> MultiFlowStudy {
             Box::new(cfg.mobility_model().expect("valid")),
         )
         .expect("valid sim config");
-        let app_cfg = ImobifConfig { mode, max_step: cfg.max_step, notification_bits: 512 };
+        let app_cfg = ImobifConfig { mode, max_step: cfg.max_step, ..Default::default() };
         for &p in &positions {
             world.add_node(
                 p,

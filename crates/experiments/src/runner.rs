@@ -9,7 +9,6 @@ use imobif::{
 use imobif_energy::Battery;
 use imobif_geom::Point2;
 use imobif_netsim::{FlowId, NodeId, SimDuration, SimTime, World};
-use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 
 use crate::config::ScenarioConfig;
@@ -104,7 +103,7 @@ pub fn run_instance(
     let mv = cfg.mobility_model().expect("validated config");
     let mut world: World<ImobifApp> =
         World::new(cfg.sim_config(), Box::new(tx), Box::new(mv)).expect("validated sim config");
-    let app_cfg = ImobifConfig { mode, max_step: cfg.max_step, notification_bits: 512 };
+    let app_cfg = ImobifConfig { mode, max_step: cfg.max_step, ..Default::default() };
     let ids: Vec<NodeId> = draw
         .flow
         .path
@@ -226,12 +225,16 @@ impl CaseResult {
 #[must_use]
 pub fn run_batch(cfg: &ScenarioConfig, n_flows: u64, choice: StrategyChoice) -> Vec<CaseResult> {
     let strategy = build_strategy(cfg, choice);
-    let results: Mutex<Vec<CaseResult>> = Mutex::new(Vec::with_capacity(n_flows as usize));
+    // One pre-allocated slot per draw: workers claim indices from the
+    // atomic counter and publish into their own slot, so the collection
+    // phase is lock-free and the results come out already index-ordered.
+    let slots: Vec<std::sync::OnceLock<CaseResult>> =
+        (0..n_flows).map(|_| std::sync::OnceLock::new()).collect();
     let threads = std::thread::available_parallelism().map_or(4, usize::from).min(16);
     let next = std::sync::atomic::AtomicU64::new(0);
-    crossbeam::scope(|scope| {
+    std::thread::scope(|scope| {
         for _ in 0..threads {
-            scope.spawn(|_| loop {
+            scope.spawn(|| loop {
                 let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
                 if i >= n_flows {
                     break;
@@ -245,14 +248,16 @@ pub fn run_batch(cfg: &ScenarioConfig, n_flows: u64, choice: StrategyChoice) -> 
                     cost_unaware: run_instance(cfg, &draw, MobilityMode::CostUnaware, &strategy),
                     informed: run_instance(cfg, &draw, MobilityMode::Informed, &strategy),
                 };
-                results.lock().push(case);
+                slots[i as usize]
+                    .set(case)
+                    .expect("each draw index is claimed by exactly one worker");
             });
         }
-    })
-    .expect("worker threads do not panic");
-    let mut out = results.into_inner();
-    out.sort_by_key(|c| c.draw_index);
-    out
+    });
+    slots
+        .into_iter()
+        .map(|slot| slot.into_inner().expect("every index below n_flows was processed"))
+        .collect()
 }
 
 #[cfg(test)]

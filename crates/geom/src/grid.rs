@@ -1,7 +1,6 @@
 //! A uniform spatial hash grid for range queries.
 
-use std::collections::HashMap;
-
+use crate::hash::FxHashMap;
 use crate::Point2;
 
 /// A uniform grid ("spatial hash") over the plane, bucketing items by cell so
@@ -32,8 +31,11 @@ use crate::Point2;
 #[derive(Debug, Clone)]
 pub struct SpatialGrid {
     cell_size: f64,
-    cells: HashMap<(i64, i64), Vec<u32>>,
-    positions: HashMap<u32, Point2>,
+    /// Buckets store `(key, position)` pairs so a range query never hashes
+    /// into `positions` per candidate — one bucket lookup covers the whole
+    /// cell.
+    cells: FxHashMap<(i64, i64), Vec<(u32, Point2)>>,
+    positions: FxHashMap<u32, Point2>,
 }
 
 impl SpatialGrid {
@@ -53,8 +55,8 @@ impl SpatialGrid {
         );
         SpatialGrid {
             cell_size,
-            cells: HashMap::new(),
-            positions: HashMap::new(),
+            cells: FxHashMap::default(),
+            positions: FxHashMap::default(),
         }
     }
 
@@ -84,7 +86,7 @@ impl SpatialGrid {
             return;
         }
         let cell = self.cell_of(position);
-        self.cells.entry(cell).or_default().push(key);
+        self.cells.entry(cell).or_default().push((key, position));
         self.positions.insert(key, position);
     }
 
@@ -96,14 +98,21 @@ impl SpatialGrid {
         };
         let old_cell = self.cell_of(old);
         let new_cell = self.cell_of(position);
-        if old_cell != new_cell {
+        if old_cell == new_cell {
+            let bucket = self.cells.get_mut(&old_cell).expect("stored item has a bucket");
+            let entry = bucket
+                .iter_mut()
+                .find(|(k, _)| *k == key)
+                .expect("stored item is in its bucket");
+            entry.1 = position;
+        } else {
             if let Some(bucket) = self.cells.get_mut(&old_cell) {
-                bucket.retain(|&k| k != key);
-                if bucket.is_empty() {
-                    self.cells.remove(&old_cell);
-                }
+                bucket.retain(|&(k, _)| k != key);
+                // Emptied buckets are kept: a mobile node crossing a cell
+                // boundary back and forth would otherwise free and
+                // reallocate the bucket on every crossing.
             }
-            self.cells.entry(new_cell).or_default().push(key);
+            self.cells.entry(new_cell).or_default().push((key, position));
         }
         self.positions.insert(key, position);
     }
@@ -113,7 +122,7 @@ impl SpatialGrid {
         let position = self.positions.remove(&key)?;
         let cell = self.cell_of(position);
         if let Some(bucket) = self.cells.get_mut(&cell) {
-            bucket.retain(|&k| k != key);
+            bucket.retain(|&(k, _)| k != key);
             if bucket.is_empty() {
                 self.cells.remove(&cell);
             }
@@ -135,8 +144,18 @@ impl SpatialGrid {
     #[must_use]
     pub fn query_range(&self, center: Point2, radius: f64) -> Vec<u32> {
         let mut out = Vec::new();
+        self.query_range_into(center, radius, &mut out);
+        out
+    }
+
+    /// Like [`SpatialGrid::query_range`], but clears and fills a
+    /// caller-provided buffer instead of allocating. Hot paths keep one
+    /// scratch `Vec` alive across queries so the steady state allocates
+    /// nothing.
+    pub fn query_range_into(&self, center: Point2, radius: f64, out: &mut Vec<u32>) {
+        out.clear();
         if !(radius.is_finite() && radius >= 0.0) {
-            return out;
+            return;
         }
         let r_sq = radius * radius;
         let span = (radius / self.cell_size).ceil() as i64;
@@ -146,15 +165,13 @@ impl SpatialGrid {
                 let Some(bucket) = self.cells.get(&(gx, gy)) else {
                     continue;
                 };
-                for &key in bucket {
-                    let p = self.positions[&key];
+                for &(key, p) in bucket {
                     if center.distance_sq_to(p) <= r_sq {
                         out.push(key);
                     }
                 }
             }
         }
-        out
     }
 
     /// Iterates over all `(key, position)` pairs in unspecified order.
@@ -222,6 +239,33 @@ mod tests {
         let mut g = SpatialGrid::new(10.0);
         g.insert(3, Point2::new(-25.0, -25.0));
         assert_eq!(g.query_range(Point2::new(-20.0, -20.0), 10.0), vec![3]);
+    }
+
+    #[test]
+    fn query_range_into_clears_and_fills_buffer() {
+        let mut g = SpatialGrid::new(10.0);
+        g.insert(1, Point2::new(1.0, 1.0));
+        g.insert(2, Point2::new(2.0, 2.0));
+        let mut buf = vec![99, 98, 97];
+        g.query_range_into(Point2::ORIGIN, 5.0, &mut buf);
+        buf.sort_unstable();
+        assert_eq!(buf, vec![1, 2]);
+        // Stale contents are cleared even on the invalid-radius path.
+        g.query_range_into(Point2::ORIGIN, -1.0, &mut buf);
+        assert!(buf.is_empty());
+    }
+
+    #[test]
+    fn update_back_and_forth_across_cells_stays_consistent() {
+        let mut g = SpatialGrid::new(10.0);
+        g.insert(1, Point2::new(5.0, 5.0));
+        for _ in 0..10 {
+            g.update(1, Point2::new(15.0, 5.0));
+            g.update(1, Point2::new(5.0, 5.0));
+        }
+        assert_eq!(g.query_range(Point2::new(5.0, 5.0), 1.0), vec![1]);
+        assert!(g.query_range(Point2::new(15.0, 5.0), 1.0).is_empty());
+        assert_eq!(g.len(), 1);
     }
 
     #[test]

@@ -31,6 +31,7 @@
 
 mod error;
 mod grid;
+pub mod hash;
 mod point;
 mod polyline;
 mod rect;
@@ -38,6 +39,7 @@ mod segment;
 
 pub use error::GeomError;
 pub use grid::SpatialGrid;
+pub use hash::{FxHashMap, FxHashSet};
 pub use point::{Point2, Vec2};
 pub use polyline::Polyline;
 pub use rect::Rect;

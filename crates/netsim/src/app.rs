@@ -9,23 +9,25 @@ use crate::{EnergyCategory, NeighborEntry, NodeId, NodeState, SimDuration, SimTi
 /// A protocol running on every node of a [`crate::World`].
 ///
 /// One application instance exists per node. The kernel calls the trait's
-/// hooks when events reach the node; the application returns a list of
-/// [`Action`]s, which the kernel applies (charging energy, scheduling
-/// deliveries, moving the node). Applications hold all protocol state (for
-/// iMobif: the flow table, mobility strategy and status); the kernel owns
-/// the physical state (position, battery, neighbor table).
+/// hooks when events reach the node; the application pushes the
+/// [`Action`]s it wants performed into the kernel-owned [`Outbox`], and the
+/// kernel applies them (charging energy, scheduling deliveries, moving the
+/// node). Applications hold all protocol state (for iMobif: the flow
+/// table, mobility strategy and status); the kernel owns the physical
+/// state (position, battery, neighbor table).
 ///
-/// Hooks receive a read-only [`NodeCtx`]; returning actions instead of
+/// Hooks receive a read-only [`NodeCtx`]; pushing actions instead of
 /// mutating the world directly keeps every energy expenditure flowing
-/// through one accounting path.
+/// through one accounting path. The outbox is a buffer the kernel reuses
+/// across events, so the steady-state packet path performs no heap
+/// allocation (see DESIGN.md §Hot path & performance).
 pub trait Application: Sized {
     /// The message type this protocol exchanges.
     type Msg: Clone + std::fmt::Debug;
 
     /// Called once when the world starts, in node-id order.
-    fn on_start(&mut self, ctx: &NodeCtx<'_>) -> Vec<Action<Self::Msg>> {
-        let _ = ctx;
-        Vec::new()
+    fn on_start(&mut self, ctx: &NodeCtx<'_>, out: &mut Outbox<Self::Msg>) {
+        let _ = (ctx, out);
     }
 
     /// Called when a message addressed to this node arrives.
@@ -34,12 +36,81 @@ pub trait Application: Sized {
         ctx: &NodeCtx<'_>,
         from: NodeId,
         msg: Self::Msg,
-    ) -> Vec<Action<Self::Msg>>;
+        out: &mut Outbox<Self::Msg>,
+    );
 
     /// Called when a timer set with [`Action::SetTimer`] fires.
-    fn on_timer(&mut self, ctx: &NodeCtx<'_>, tag: u64) -> Vec<Action<Self::Msg>> {
-        let _ = (ctx, tag);
-        Vec::new()
+    fn on_timer(&mut self, ctx: &NodeCtx<'_>, tag: u64, out: &mut Outbox<Self::Msg>) {
+        let _ = (ctx, tag, out);
+    }
+}
+
+/// The kernel-owned action buffer handed to [`Application`] hooks.
+///
+/// Hooks push the effects they want; the kernel drains the buffer after
+/// the hook returns, preserving push order. One `Outbox` lives for the
+/// whole simulation and its backing storage is reused event after event,
+/// which is what makes the per-packet hot path allocation-free once
+/// capacities have warmed up.
+#[derive(Debug)]
+pub struct Outbox<M> {
+    actions: Vec<Action<M>>,
+}
+
+impl<M> Outbox<M> {
+    /// Creates an empty outbox.
+    #[must_use]
+    pub fn new() -> Self {
+        Outbox { actions: Vec::new() }
+    }
+
+    /// Queues an arbitrary action.
+    pub fn push(&mut self, action: Action<M>) {
+        self.actions.push(action);
+    }
+
+    /// Queues a unicast transmission (see [`Action::Send`]).
+    pub fn send(&mut self, to: NodeId, bits: u64, msg: M, category: EnergyCategory) {
+        self.actions.push(Action::Send { to, bits, msg, category });
+    }
+
+    /// Queues a timer (see [`Action::SetTimer`]).
+    pub fn set_timer(&mut self, delay: SimDuration, tag: u64) {
+        self.actions.push(Action::SetTimer { delay, tag });
+    }
+
+    /// Queues a bounded movement step (see [`Action::MoveToward`]).
+    pub fn move_toward(&mut self, target: Point2, max_step: f64) {
+        self.actions.push(Action::MoveToward { target, max_step });
+    }
+
+    /// Number of queued actions.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.actions.len()
+    }
+
+    /// Returns `true` if nothing is queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.actions.is_empty()
+    }
+
+    /// Kernel-side drain: yields the queued actions in push order while
+    /// keeping the backing capacity for reuse.
+    pub(crate) fn drain(&mut self) -> std::vec::Drain<'_, Action<M>> {
+        self.actions.drain(..)
+    }
+
+    /// Discards any queued actions, keeping capacity.
+    pub(crate) fn clear(&mut self) {
+        self.actions.clear();
+    }
+}
+
+impl<M> Default for Outbox<M> {
+    fn default() -> Self {
+        Outbox::new()
     }
 }
 

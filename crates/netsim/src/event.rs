@@ -1,9 +1,52 @@
 //! The deterministic event queue at the heart of the simulator.
+//!
+//! Two backends share one API and one ordering contract:
+//!
+//! * [`QueueBackend::Calendar`] (the default) — a calendar/bucket queue
+//!   tuned for the near-monotone schedules discrete-event simulation
+//!   produces: virtual time is divided into fixed-width buckets arranged in
+//!   a ring (one "day" = the whole ring); an event lands in its bucket in
+//!   O(1), the bucket under the cursor is sorted once when the cursor
+//!   reaches it, and events further than a day ahead wait in an overflow
+//!   heap. For the simulator's workload (deliveries milliseconds ahead,
+//!   timers/beacons a second ahead) almost every push is an O(1) append.
+//! * [`QueueBackend::BinaryHeap`] — the classic binary-heap future-event
+//!   list, kept as a fallback and as the reference implementation the
+//!   property tests compare the calendar against.
+//!
+//! Both pop in exactly `(time, insertion sequence)` order, so switching
+//! backends never changes a simulation's event order — the cross-backend
+//! property tests assert bit-identical pop sequences.
 
 use std::cmp::Ordering;
 use std::collections::BinaryHeap;
 
 use crate::SimTime;
+
+/// Bucket width in microseconds. A power of two so the bucket-index
+/// arithmetic compiles to shifts. 32.8 ms: several per-hop delivery delays
+/// share a bucket, while the 1 s periodic timers land ~30 buckets apart.
+const BUCKET_WIDTH_MICROS: u64 = 32_768;
+
+/// Number of buckets in the ring — exactly 64 so bucket occupancy fits one
+/// `u64` bitmap and the cursor advances with a `trailing_zeros`, never a
+/// scan. One day = `BUCKET_WIDTH_MICROS * NUM_BUCKETS` ≈ 2.1 s of virtual
+/// time, comfortably covering the simulator's 1 s HELLO/pacing periods so
+/// periodic reschedules stay in the ring instead of the overflow heap.
+const NUM_BUCKETS: usize = 64;
+
+/// Microseconds covered by one full ring revolution.
+const DAY_SPAN_MICROS: u64 = BUCKET_WIDTH_MICROS * NUM_BUCKETS as u64;
+
+/// Which data structure backs an [`EventQueue`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum QueueBackend {
+    /// Calendar/bucket queue (default): O(1) pushes for near-future events.
+    #[default]
+    Calendar,
+    /// Binary-heap future-event list: the reference fallback.
+    BinaryHeap,
+}
 
 /// A future-event list with deterministic tie-breaking.
 ///
@@ -29,8 +72,14 @@ use crate::SimTime;
 /// ```
 #[derive(Debug)]
 pub struct EventQueue<E> {
-    heap: BinaryHeap<Scheduled<E>>,
+    backend: Backend<E>,
     next_seq: u64,
+}
+
+#[derive(Debug)]
+enum Backend<E> {
+    Calendar(Calendar<E>),
+    BinaryHeap(BinaryHeap<Scheduled<E>>),
 }
 
 #[derive(Debug)]
@@ -61,11 +110,168 @@ impl<E> PartialEq for Scheduled<E> {
 
 impl<E> Eq for Scheduled<E> {}
 
+/// The calendar backend.
+///
+/// Invariant maintained by every operation: when `len > 0`, the bucket
+/// under `cursor` is non-empty and sorted *descending* by `(time, seq)`,
+/// so the next event to pop is its last element and `peek` is O(1).
+/// Ring buckets other than the cursor's hold only events of the current
+/// day, unsorted; the overflow heap holds everything scheduled beyond it.
+#[derive(Debug)]
+struct Calendar<E> {
+    buckets: Vec<Vec<Scheduled<E>>>,
+    /// Bit `i` set ⇔ `buckets[i]` is non-empty.
+    occupancy: u64,
+    /// Index of the current bucket within the ring.
+    cursor: usize,
+    /// Current day number (`time / DAY_SPAN_MICROS`).
+    day: u64,
+    /// Events scheduled beyond the current day, earliest first.
+    overflow: BinaryHeap<Scheduled<E>>,
+    len: usize,
+}
+
+impl<E> Calendar<E> {
+    fn new() -> Self {
+        Calendar {
+            buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
+            occupancy: 0,
+            cursor: 0,
+            day: 0,
+            overflow: BinaryHeap::new(),
+            len: 0,
+        }
+    }
+
+    /// Global index of the cursor bucket on the full time axis.
+    fn global_cursor_bucket(&self) -> u64 {
+        self.day * NUM_BUCKETS as u64 + self.cursor as u64
+    }
+
+    fn ring_index(t: u64) -> usize {
+        ((t / BUCKET_WIDTH_MICROS) % NUM_BUCKETS as u64) as usize
+    }
+
+    fn push(&mut self, item: Scheduled<E>) {
+        let t = item.time.as_micros();
+        if self.len == 0 {
+            // Empty queue: jump straight onto the item's bucket. A single
+            // sorted element trivially satisfies the cursor invariant.
+            self.day = t / DAY_SPAN_MICROS;
+            self.cursor = Self::ring_index(t);
+            self.buckets[self.cursor].push(item);
+            self.occupancy |= 1 << self.cursor;
+        } else if t / BUCKET_WIDTH_MICROS <= self.global_cursor_bucket() {
+            // At or before the cursor bucket (including "in the past"):
+            // insert into the sorted cursor bucket so ordering holds.
+            let key = (item.time, item.seq);
+            let bucket = &mut self.buckets[self.cursor];
+            let pos = bucket.partition_point(|s| (s.time, s.seq) > key);
+            bucket.insert(pos, item);
+        } else if t / DAY_SPAN_MICROS == self.day {
+            // Later bucket of the current day: O(1) append, sorted when the
+            // cursor gets there.
+            let idx = Self::ring_index(t);
+            self.buckets[idx].push(item);
+            self.occupancy |= 1 << idx;
+        } else {
+            self.overflow.push(item);
+        }
+        self.len += 1;
+    }
+
+    fn peek(&self) -> Option<&Scheduled<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        self.buckets[self.cursor].last()
+    }
+
+    fn pop(&mut self) -> Option<Scheduled<E>> {
+        if self.len == 0 {
+            return None;
+        }
+        let item = self.buckets[self.cursor]
+            .pop()
+            .expect("calendar invariant: cursor bucket non-empty while len > 0");
+        self.len -= 1;
+        if self.buckets[self.cursor].is_empty() {
+            self.occupancy &= !(1 << self.cursor);
+            if self.len > 0 {
+                self.advance();
+            }
+        }
+        Some(item)
+    }
+
+    /// Moves the cursor to the next non-empty bucket, rolling over to the
+    /// day of the earliest overflow event when the ring drains. Only called
+    /// with `len > 0` and an empty cursor bucket.
+    fn advance(&mut self) {
+        // Occupied buckets after the cursor, via the bitmap: one
+        // trailing_zeros instead of a ring scan.
+        let ahead = self.occupancy & !((1 << self.cursor) - 1);
+        if ahead != 0 {
+            self.cursor = ahead.trailing_zeros() as usize;
+            self.sort_cursor_bucket();
+            return;
+        }
+        // Ring drained: everything pending sits in the overflow. Jump to
+        // the day of its earliest event (skipping empty days entirely) and
+        // pull that whole day into the ring.
+        let t_min = self
+            .overflow
+            .peek()
+            .expect("calendar invariant: len > 0 with an empty ring implies overflow events")
+            .time
+            .as_micros();
+        self.day = t_min / DAY_SPAN_MICROS;
+        self.cursor = Self::ring_index(t_min);
+        while self
+            .overflow
+            .peek()
+            .is_some_and(|s| s.time.as_micros() / DAY_SPAN_MICROS == self.day)
+        {
+            let item = self.overflow.pop().expect("peeked non-empty");
+            let idx = Self::ring_index(item.time.as_micros());
+            self.buckets[idx].push(item);
+            self.occupancy |= 1 << idx;
+        }
+        // The earliest event landed in the cursor bucket, so it is
+        // non-empty; later buckets of the new day hold the rest.
+        self.sort_cursor_bucket();
+    }
+
+    fn sort_cursor_bucket(&mut self) {
+        self.buckets[self.cursor]
+            .sort_unstable_by_key(|s| std::cmp::Reverse((s.time, s.seq)));
+    }
+}
+
 impl<E> EventQueue<E> {
-    /// Creates an empty queue.
+    /// Creates an empty queue on the default (calendar) backend.
     #[must_use]
     pub fn new() -> Self {
-        EventQueue { heap: BinaryHeap::new(), next_seq: 0 }
+        EventQueue::with_backend(QueueBackend::default())
+    }
+
+    /// Creates an empty queue on an explicit backend.
+    #[must_use]
+    pub fn with_backend(backend: QueueBackend) -> Self {
+        let backend = match backend {
+            QueueBackend::Calendar => Backend::Calendar(Calendar::new()),
+            QueueBackend::BinaryHeap => Backend::BinaryHeap(BinaryHeap::new()),
+        };
+        EventQueue { backend, next_seq: 0 }
+    }
+
+    /// Which backend this queue runs on.
+    #[must_use]
+    pub fn backend(&self) -> QueueBackend {
+        match &self.backend {
+            Backend::Calendar(_) => QueueBackend::Calendar,
+            Backend::BinaryHeap(_) => QueueBackend::BinaryHeap,
+        }
     }
 
     /// Schedules `event` at `time`.
@@ -76,30 +282,44 @@ impl<E> EventQueue<E> {
     pub fn push(&mut self, time: SimTime, event: E) {
         let seq = self.next_seq;
         self.next_seq += 1;
-        self.heap.push(Scheduled { time, seq, event });
+        let item = Scheduled { time, seq, event };
+        match &mut self.backend {
+            Backend::Calendar(c) => c.push(item),
+            Backend::BinaryHeap(h) => h.push(item),
+        }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
-        self.heap.pop().map(|s| (s.time, s.event))
+        let item = match &mut self.backend {
+            Backend::Calendar(c) => c.pop(),
+            Backend::BinaryHeap(h) => h.pop(),
+        };
+        item.map(|s| (s.time, s.event))
     }
 
     /// Time of the earliest pending event, if any.
     #[must_use]
     pub fn peek_time(&self) -> Option<SimTime> {
-        self.heap.peek().map(|s| s.time)
+        match &self.backend {
+            Backend::Calendar(c) => c.peek().map(|s| s.time),
+            Backend::BinaryHeap(h) => h.peek().map(|s| s.time),
+        }
     }
 
     /// Number of pending events.
     #[must_use]
     pub fn len(&self) -> usize {
-        self.heap.len()
+        match &self.backend {
+            Backend::Calendar(c) => c.len,
+            Backend::BinaryHeap(h) => h.len(),
+        }
     }
 
     /// Returns `true` if no events are pending.
     #[must_use]
     pub fn is_empty(&self) -> bool {
-        self.heap.is_empty()
+        self.len() == 0
     }
 }
 
@@ -114,34 +334,89 @@ mod tests {
     use super::*;
     use proptest::prelude::*;
 
+    const BACKENDS: [QueueBackend; 2] = [QueueBackend::Calendar, QueueBackend::BinaryHeap];
+
     #[test]
     fn empty_queue_behaves() {
-        let mut q: EventQueue<u8> = EventQueue::new();
-        assert!(q.is_empty());
-        assert_eq!(q.len(), 0);
-        assert_eq!(q.peek_time(), None);
-        assert_eq!(q.pop(), None);
+        for backend in BACKENDS {
+            let mut q: EventQueue<u8> = EventQueue::with_backend(backend);
+            assert_eq!(q.backend(), backend);
+            assert!(q.is_empty());
+            assert_eq!(q.len(), 0);
+            assert_eq!(q.peek_time(), None);
+            assert_eq!(q.pop(), None);
+        }
     }
 
     #[test]
     fn fifo_within_same_time() {
-        let mut q = EventQueue::new();
-        for i in 0..10 {
-            q.push(SimTime::from_micros(5), i);
-        }
-        for i in 0..10 {
-            assert_eq!(q.pop(), Some((SimTime::from_micros(5), i)));
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            for i in 0..10 {
+                q.push(SimTime::from_micros(5), i);
+            }
+            for i in 0..10 {
+                assert_eq!(q.pop(), Some((SimTime::from_micros(5), i)));
+            }
         }
     }
 
     #[test]
     fn peek_matches_pop() {
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(SimTime::from_micros(30), 'c');
+            q.push(SimTime::from_micros(10), 'a');
+            assert_eq!(q.peek_time(), Some(SimTime::from_micros(10)));
+            assert_eq!(q.pop().unwrap().1, 'a');
+            assert_eq!(q.peek_time(), Some(SimTime::from_micros(30)));
+        }
+    }
+
+    #[test]
+    fn calendar_handles_multi_day_gaps() {
         let mut q = EventQueue::new();
-        q.push(SimTime::from_micros(30), 'c');
-        q.push(SimTime::from_micros(10), 'a');
-        assert_eq!(q.peek_time(), Some(SimTime::from_micros(10)));
-        assert_eq!(q.pop().unwrap().1, 'a');
-        assert_eq!(q.peek_time(), Some(SimTime::from_micros(30)));
+        // Far beyond one ring revolution, several empty days apart.
+        let times = [0, DAY_SPAN_MICROS * 3 + 17, DAY_SPAN_MICROS * 10, DAY_SPAN_MICROS * 10 + 1];
+        for (i, &t) in times.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+        }
+        for (i, &t) in times.iter().enumerate() {
+            assert_eq!(q.pop(), Some((SimTime::from_micros(t), i)));
+        }
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn push_into_the_past_pops_first() {
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            q.push(SimTime::from_micros(1_000_000), "future");
+            q.push(SimTime::from_micros(2_000_000), "later");
+            assert_eq!(q.pop().unwrap().1, "future");
+            // "Now" is 1 s; scheduling before that must still pop next.
+            q.push(SimTime::from_micros(500), "past");
+            assert_eq!(q.pop().unwrap().1, "past");
+            assert_eq!(q.pop().unwrap().1, "later");
+        }
+    }
+
+    /// Drives an interleaved push/pop schedule and returns the pop trace.
+    fn run_schedule(backend: QueueBackend, script: &[(u64, bool)]) -> Vec<(SimTime, usize)> {
+        let mut q = EventQueue::with_backend(backend);
+        let mut popped = Vec::new();
+        for (i, &(t, also_pop)) in script.iter().enumerate() {
+            q.push(SimTime::from_micros(t), i);
+            if also_pop {
+                if let Some(item) = q.pop() {
+                    popped.push(item);
+                }
+            }
+        }
+        while let Some(item) = q.pop() {
+            popped.push(item);
+        }
+        popped
     }
 
     proptest! {
@@ -149,34 +424,82 @@ mod tests {
         /// same-time events come out in push order.
         #[test]
         fn prop_pop_order_is_total(times in proptest::collection::vec(0u64..100, 0..64)) {
-            let mut q = EventQueue::new();
-            for (i, t) in times.iter().enumerate() {
-                q.push(SimTime::from_micros(*t), i);
-            }
-            let mut last: Option<(SimTime, usize)> = None;
-            while let Some((t, i)) = q.pop() {
-                if let Some((lt, li)) = last {
-                    prop_assert!(t >= lt);
-                    if t == lt {
-                        prop_assert!(i > li, "same-time events must pop in push order");
-                    }
+            for backend in BACKENDS {
+                let mut q = EventQueue::with_backend(backend);
+                for (i, t) in times.iter().enumerate() {
+                    q.push(SimTime::from_micros(*t), i);
                 }
-                last = Some((t, i));
+                let mut last: Option<(SimTime, usize)> = None;
+                while let Some((t, i)) = q.pop() {
+                    if let Some((lt, li)) = last {
+                        prop_assert!(t >= lt);
+                        if t == lt {
+                            prop_assert!(i > li, "same-time events must pop in push order");
+                        }
+                    }
+                    last = Some((t, i));
+                }
             }
         }
 
         #[test]
         fn prop_len_tracks_pushes_and_pops(n in 0usize..100) {
-            let mut q = EventQueue::new();
-            for i in 0..n {
-                q.push(SimTime::from_micros(i as u64 % 7), i);
+            for backend in BACKENDS {
+                let mut q = EventQueue::with_backend(backend);
+                for i in 0..n {
+                    q.push(SimTime::from_micros(i as u64 % 7), i);
+                }
+                prop_assert_eq!(q.len(), n);
+                let mut popped = 0;
+                while q.pop().is_some() {
+                    popped += 1;
+                }
+                prop_assert_eq!(popped, n);
             }
-            prop_assert_eq!(q.len(), n);
-            let mut popped = 0;
-            while q.pop().is_some() {
-                popped += 1;
+        }
+
+        /// The calendar backend pops the exact same `(time, seq)` sequence
+        /// as the reference heap, including under interleaved pushes and
+        /// pops and across multi-day time spans.
+        #[test]
+        fn prop_backends_pop_identically(
+            script in proptest::collection::vec(
+                (0u64..(DAY_SPAN_MICROS * 4), 0u32..3),
+                0..96,
+            ),
+        ) {
+            let script: Vec<(u64, bool)> =
+                script.into_iter().map(|(t, p)| (t, p == 0)).collect();
+            let calendar = run_schedule(QueueBackend::Calendar, &script);
+            let heap = run_schedule(QueueBackend::BinaryHeap, &script);
+            prop_assert_eq!(calendar, heap);
+        }
+
+        /// On monotone schedules (every push at or after the last pop, the
+        /// kernel's usage pattern) the popped clock never regresses.
+        #[test]
+        fn prop_clock_never_regresses_on_monotone_schedules(
+            deltas in proptest::collection::vec((0u64..3_000_000, 0u32..2), 1..96),
+        ) {
+            for backend in BACKENDS {
+                let mut q = EventQueue::with_backend(backend);
+                let mut now = SimTime::ZERO;
+                let mut clock = SimTime::ZERO;
+                for (i, &(delta, also_pop)) in deltas.iter().enumerate() {
+                    q.push(SimTime::from_micros(now.as_micros() + delta), i);
+                    if also_pop == 0 {
+                        if let Some((t, _)) = q.pop() {
+                            prop_assert!(t >= clock, "clock regressed: {t:?} < {clock:?}");
+                            clock = t;
+                            now = now.max(t);
+                        }
+                    }
+                }
+                while let Some((t, _)) = q.pop() {
+                    prop_assert!(t >= clock);
+                    clock = t;
+                }
             }
-            prop_assert_eq!(popped, n);
         }
     }
 }

@@ -1,7 +1,5 @@
 //! Neighbor tables fed by HELLO beacons.
 
-use std::collections::HashMap;
-
 use imobif_geom::Point2;
 use serde::{Deserialize, Serialize};
 
@@ -44,14 +42,19 @@ pub struct NeighborEntry {
 #[derive(Debug, Clone, Default)]
 pub struct NeighborTable {
     ttl: SimDuration,
-    entries: HashMap<NodeId, NeighborEntry>,
+    /// Entries kept sorted by node id. Neighborhoods are small (tens of
+    /// nodes), so a sorted `Vec` beats a hash map on every operation the hot
+    /// path performs — and a refresh (the common case: the same neighbors
+    /// beacon every period) is an in-place overwrite with no allocation and
+    /// no hashing.
+    entries: Vec<NeighborEntry>,
 }
 
 impl NeighborTable {
     /// Creates an empty table whose entries expire after `ttl`.
     #[must_use]
     pub fn new(ttl: SimDuration) -> Self {
-        NeighborTable { ttl, entries: HashMap::new() }
+        NeighborTable { ttl, entries: Vec::new() }
     }
 
     /// The configured entry lifetime.
@@ -62,36 +65,53 @@ impl NeighborTable {
 
     /// Records (or refreshes) a neighbor observation from a beacon.
     pub fn observe(&mut self, id: NodeId, position: Point2, residual_energy: f64, now: SimTime) {
-        self.entries.insert(
-            id,
-            NeighborEntry { id, position, residual_energy, heard_at: now },
-        );
+        let entry = NeighborEntry { id, position, residual_energy, heard_at: now };
+        match self.entries.binary_search_by_key(&id, |e| e.id) {
+            Ok(i) => self.entries[i] = entry,
+            Err(i) => self.entries.insert(i, entry),
+        }
     }
 
     /// Removes a neighbor explicitly (e.g. on death notification).
     pub fn forget(&mut self, id: NodeId) {
-        self.entries.remove(&id);
+        if let Ok(i) = self.entries.binary_search_by_key(&id, |e| e.id) {
+            self.entries.remove(i);
+        }
     }
 
     /// Looks up a neighbor, returning `None` if unknown or stale at `now`.
     #[must_use]
     pub fn get(&self, id: NodeId, now: SimTime) -> Option<&NeighborEntry> {
         self.entries
-            .get(&id)
+            .binary_search_by_key(&id, |e| e.id)
+            .ok()
+            .map(|i| &self.entries[i])
             .filter(|e| now - e.heard_at <= self.ttl)
     }
 
     /// All entries fresh at `now`, sorted by node id for determinism.
     #[must_use]
     pub fn fresh(&self, now: SimTime) -> Vec<NeighborEntry> {
-        let mut v: Vec<NeighborEntry> = self
-            .entries
-            .values()
-            .filter(|e| now - e.heard_at <= self.ttl)
-            .copied()
-            .collect();
-        v.sort_by_key(|e| e.id);
+        let mut v = Vec::new();
+        self.fresh_into(now, &mut v);
         v
+    }
+
+    /// Like [`NeighborTable::fresh`], but clears and fills a caller buffer
+    /// instead of allocating.
+    pub fn fresh_into(&self, now: SimTime, out: &mut Vec<NeighborEntry>) {
+        out.clear();
+        out.extend(self.iter_fresh(now));
+    }
+
+    /// Iterates over the entries fresh at `now`, in node-id order, without
+    /// materializing a `Vec`.
+    pub fn iter_fresh(&self, now: SimTime) -> impl Iterator<Item = NeighborEntry> + '_ {
+        let ttl = self.ttl;
+        self.entries
+            .iter()
+            .filter(move |e| now - e.heard_at <= ttl)
+            .copied()
     }
 
     /// Drops entries stale at `now`, returning how many were removed.
@@ -101,7 +121,7 @@ impl NeighborTable {
     pub fn sweep(&mut self, now: SimTime) -> usize {
         let before = self.entries.len();
         let ttl = self.ttl;
-        self.entries.retain(|_, e| now - e.heard_at <= ttl);
+        self.entries.retain(|e| now - e.heard_at <= ttl);
         before - self.entries.len()
     }
 
@@ -164,6 +184,23 @@ mod tests {
         let fresh = nt.fresh(t(6));
         let ids: Vec<NodeId> = fresh.iter().map(|e| e.id).collect();
         assert_eq!(ids, vec![NodeId::new(2), NodeId::new(9)]);
+    }
+
+    #[test]
+    fn fresh_into_reuses_buffer_and_matches_fresh() {
+        let mut nt = NeighborTable::new(SimDuration::from_secs(3));
+        nt.observe(NodeId::new(5), Point2::ORIGIN, 1.0, t(0));
+        nt.observe(NodeId::new(2), Point2::ORIGIN, 1.0, t(5));
+        let mut buf = vec![NeighborEntry {
+            id: NodeId::new(99),
+            position: Point2::ORIGIN,
+            residual_energy: 0.0,
+            heard_at: t(0),
+        }];
+        nt.fresh_into(t(6), &mut buf);
+        assert_eq!(buf, nt.fresh(t(6)));
+        let iterated: Vec<NeighborEntry> = nt.iter_fresh(t(6)).collect();
+        assert_eq!(iterated, buf);
     }
 
     #[test]

@@ -13,8 +13,8 @@
 //!   ([`SimTime`]), node physical state ([`NodeState`]), energy charging and
 //!   the [`EnergyLedger`].
 //! * [`Application`] — the protocol layer. One instance per node; hooks
-//!   receive a read-only [`NodeCtx`] and return [`Action`]s. The iMobif
-//!   framework (crate `imobif`) is an `Application`.
+//!   receive a read-only [`NodeCtx`] and push [`Action`]s into a reusable
+//!   [`Outbox`]. The iMobif framework (crate `imobif`) is an `Application`.
 //! * [`routing`] — pure path computation over [`TopologyView`] snapshots:
 //!   greedy geographic (the paper's choice), Dijkstra (baseline/oracle) and
 //!   simplified AODV.
@@ -33,7 +33,7 @@
 //! use imobif_energy::{Battery, LinearMobilityCost, PowerLawModel};
 //! use imobif_geom::Point2;
 //! use imobif_netsim::{
-//!     Action, Application, EnergyCategory, NodeCtx, NodeId, SimConfig, SimDuration, SimTime,
+//!     Application, EnergyCategory, NodeCtx, NodeId, Outbox, SimConfig, SimDuration, SimTime,
 //!     World,
 //! };
 //!
@@ -46,20 +46,17 @@
 //!         _ctx: &NodeCtx<'_>,
 //!         from: NodeId,
 //!         msg: &'static str,
-//!     ) -> Vec<Action<&'static str>> {
+//!         out: &mut Outbox<&'static str>,
+//!     ) {
 //!         if msg == "ping" {
-//!             vec![Action::Send { to: from, bits: 512, msg: "pong", category: EnergyCategory::Data }]
-//!         } else {
-//!             Vec::new()
+//!             out.send(from, 512, "pong", EnergyCategory::Data);
 //!         }
 //!     }
-//!     fn on_timer(&mut self, ctx: &NodeCtx<'_>, _tag: u64) -> Vec<Action<&'static str>> {
+//!     fn on_timer(&mut self, ctx: &NodeCtx<'_>, _tag: u64, out: &mut Outbox<&'static str>) {
 //!         // Ping our only neighbor.
-//!         ctx.neighbors()
-//!             .first()
-//!             .map(|n| Action::Send { to: n.id, bits: 512, msg: "ping", category: EnergyCategory::Data })
-//!             .into_iter()
-//!             .collect()
+//!         if let Some(n) = ctx.neighbors().first() {
+//!             out.send(n.id, 512, "ping", EnergyCategory::Data);
+//!         }
 //!     }
 //! }
 //!
@@ -93,10 +90,10 @@ mod time;
 pub mod trace;
 mod world;
 
-pub use app::{Action, Application, NodeCtx, PeerInfo};
+pub use app::{Action, Application, NodeCtx, Outbox, PeerInfo};
 pub use config::{HelloConfig, SimConfig};
 pub use error::{RouteError, SimError};
-pub use event::EventQueue;
+pub use event::{EventQueue, QueueBackend};
 pub use hello::{NeighborEntry, NeighborTable};
 pub use id::{FlowId, NodeId};
 pub use medium::TopologyView;

@@ -6,7 +6,7 @@ use imobif_geom::{Point2, SpatialGrid};
 use crate::trace::{RingTrace, TraceEvent, TraceSink};
 use crate::{
     Action, Application, EnergyCategory, EnergyLedger, EventQueue, NeighborTable, NodeCtx,
-    NodeId, NodeState, SimConfig, SimDuration, SimError, SimTime, TopologyView,
+    NodeId, NodeState, Outbox, SimConfig, SimDuration, SimError, SimTime, TopologyView,
 };
 
 /// Internal kernel events.
@@ -49,8 +49,13 @@ enum Event<M> {
 /// struct Idle;
 /// impl Application for Idle {
 ///     type Msg = ();
-///     fn on_message(&mut self, _: &NodeCtx<'_>, _: NodeId, _: ()) -> Vec<imobif_netsim::Action<()>> {
-///         Vec::new()
+///     fn on_message(
+///         &mut self,
+///         _: &NodeCtx<'_>,
+///         _: NodeId,
+///         _: (),
+///         _: &mut imobif_netsim::Outbox<()>,
+///     ) {
 ///     }
 /// }
 ///
@@ -76,6 +81,13 @@ pub struct World<A: Application> {
     ledger: EnergyLedger,
     trace: Option<RingTrace>,
     started: bool,
+    /// Reusable action buffer handed to application hooks: one allocation
+    /// for the whole run instead of a fresh `Vec` per event.
+    outbox: Outbox<A::Msg>,
+    /// Reusable scratch for HELLO-beacon range queries.
+    hearers: Vec<u32>,
+    /// Kernel events processed since construction (throughput metric).
+    events_processed: u64,
 }
 
 impl<A: Application> World<A> {
@@ -97,12 +109,15 @@ impl<A: Application> World<A> {
             tx_model,
             mobility_model,
             time: SimTime::ZERO,
-            queue: EventQueue::new(),
+            queue: EventQueue::with_backend(cfg.queue_backend),
             nodes: Vec::new(),
             apps: Vec::new(),
             ledger: EnergyLedger::new(),
             trace: None,
             started: false,
+            outbox: Outbox::new(),
+            hearers: Vec::new(),
+            events_processed: 0,
         })
     }
 
@@ -146,27 +161,48 @@ impl<A: Application> World<A> {
             if !self.nodes[i].is_alive() {
                 continue;
             }
-            let actions = self.with_app(id, |app, ctx| app.on_start(ctx));
-            self.apply_actions(id, actions);
+            self.dispatch(id, |app, ctx, out| app.on_start(ctx, out));
         }
     }
 
     /// Runs one application hook with a context built from disjoint field
-    /// borrows (`apps` mutable, everything else shared), then returns the
-    /// produced actions.
-    fn with_app<F>(&mut self, id: NodeId, f: F) -> Vec<Action<A::Msg>>
+    /// borrows (`apps` mutable, everything else shared), then applies the
+    /// actions the hook pushed into the outbox, in push order.
+    ///
+    /// The outbox is taken out of `self` for the duration of the call so the
+    /// action loop can borrow the world mutably; its backing storage is put
+    /// back afterwards, so the steady state allocates nothing.
+    fn dispatch<F>(&mut self, id: NodeId, f: F)
     where
-        F: FnOnce(&mut A, &NodeCtx<'_>) -> Vec<Action<A::Msg>>,
+        F: FnOnce(&mut A, &NodeCtx<'_>, &mut Outbox<A::Msg>),
     {
-        let ctx = NodeCtx {
-            id,
-            now: self.time,
-            nodes: &self.nodes,
-            tx_model: self.tx_model.as_ref(),
-            mobility_model: self.mobility_model.as_ref(),
-            hello_enabled: self.cfg.hello.enabled,
-        };
-        f(&mut self.apps[id.index()], &ctx)
+        let mut outbox = std::mem::take(&mut self.outbox);
+        outbox.clear();
+        {
+            let ctx = NodeCtx {
+                id,
+                now: self.time,
+                nodes: &self.nodes,
+                tx_model: self.tx_model.as_ref(),
+                mobility_model: self.mobility_model.as_ref(),
+                hello_enabled: self.cfg.hello.enabled,
+            };
+            f(&mut self.apps[id.index()], &ctx, &mut outbox);
+        }
+        for action in outbox.drain() {
+            if !self.nodes[id.index()].is_alive() {
+                // A previous action in this batch killed the node.
+                break;
+            }
+            match action {
+                Action::Send { to, bits, msg, category } => self.send(id, to, bits, msg, category),
+                Action::SetTimer { delay, tag } => {
+                    self.queue.push(self.time + delay, Event::AppTimer { node: id, tag });
+                }
+                Action::MoveToward { target, max_step } => self.move_node(id, target, max_step),
+            }
+        }
+        self.outbox = outbox;
     }
 
     /// Processes the next event. Returns `false` when the queue is empty.
@@ -182,6 +218,7 @@ impl<A: Application> World<A> {
         // The clock never runs backwards even if an action scheduled
         // something "in the past".
         self.time = self.time.max(t);
+        self.events_processed += 1;
         match event {
             Event::Deliver { from, to, msg } => self.deliver(from, to, msg),
             Event::AppTimer { node, tag } => self.fire_timer(node, tag),
@@ -241,16 +278,14 @@ impl<A: Application> World<A> {
         }
         self.ledger.packets_delivered += 1;
         self.emit(TraceEvent::Delivered { time: self.time, from, to });
-        let actions = self.with_app(to, |app, ctx| app.on_message(ctx, from, msg));
-        self.apply_actions(to, actions);
+        self.dispatch(to, |app, ctx, out| app.on_message(ctx, from, msg, out));
     }
 
     fn fire_timer(&mut self, node: NodeId, tag: u64) {
         if !self.nodes[node.index()].is_alive() {
             return;
         }
-        let actions = self.with_app(node, |app, ctx| app.on_timer(ctx, tag));
-        self.apply_actions(node, actions);
+        self.dispatch(node, |app, ctx, out| app.on_timer(ctx, tag, out));
     }
 
     fn hello_beacon(&mut self, node: NodeId) {
@@ -270,15 +305,13 @@ impl<A: Application> World<A> {
             let n = &self.nodes[node.index()];
             (n.position(), n.residual_energy())
         };
-        let mut hearers: Vec<u32> = self
-            .grid
-            .query_range(pos, self.cfg.range)
-            .into_iter()
-            .filter(|&k| k != node.raw())
-            .collect();
-        hearers.sort_unstable();
+        // Reuse the scratch buffer: HELLO is the densest event class and must
+        // not allocate in the steady state.
+        self.grid.query_range_into(pos, self.cfg.range, &mut self.hearers);
+        self.hearers.retain(|&k| k != node.raw());
+        self.hearers.sort_unstable();
         let now = self.time;
-        for k in hearers {
+        for &k in &self.hearers {
             let hearer = &mut self.nodes[k as usize];
             if hearer.is_alive() {
                 hearer.neighbor_table_mut().observe(node, pos, residual, now);
@@ -286,22 +319,6 @@ impl<A: Application> World<A> {
         }
         self.queue
             .push(self.time + self.cfg.hello.period, Event::HelloBeacon { node });
-    }
-
-    fn apply_actions(&mut self, node: NodeId, actions: Vec<Action<A::Msg>>) {
-        for action in actions {
-            if !self.nodes[node.index()].is_alive() {
-                // A previous action in this batch killed the node.
-                break;
-            }
-            match action {
-                Action::Send { to, bits, msg, category } => self.send(node, to, bits, msg, category),
-                Action::SetTimer { delay, tag } => {
-                    self.queue.push(self.time + delay, Event::AppTimer { node, tag });
-                }
-                Action::MoveToward { target, max_step } => self.move_node(node, target, max_step),
-            }
-        }
     }
 
     fn send(&mut self, from: NodeId, to: NodeId, bits: u64, msg: A::Msg, category: EnergyCategory) {
@@ -403,6 +420,13 @@ impl<A: Application> World<A> {
         &self.cfg
     }
 
+    /// Kernel events processed since construction. The benchmark harness
+    /// divides this by wall time to report events/second.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.events_processed
+    }
+
     /// Kernel state of a node.
     ///
     /// # Panics
@@ -501,33 +525,25 @@ mod tests {
     impl Application for Echo {
         type Msg = u32;
 
-        fn on_message(&mut self, _ctx: &NodeCtx<'_>, from: NodeId, msg: u32) -> Vec<Action<u32>> {
+        fn on_message(
+            &mut self,
+            _ctx: &NodeCtx<'_>,
+            from: NodeId,
+            msg: u32,
+            out: &mut Outbox<u32>,
+        ) {
             self.received.push((from, msg));
-            let mut actions = Vec::new();
             if let Some(next) = self.forward_to {
-                actions.push(Action::Send {
-                    to: next,
-                    bits: 8000,
-                    msg: msg + 1,
-                    category: EnergyCategory::Data,
-                });
+                out.send(next, 8000, msg + 1, EnergyCategory::Data);
             }
             if let Some(target) = self.move_target {
-                actions.push(Action::MoveToward { target, max_step: 1.0 });
+                out.move_toward(target, 1.0);
             }
-            actions
         }
 
-        fn on_timer(&mut self, _ctx: &NodeCtx<'_>, tag: u64) -> Vec<Action<u32>> {
+        fn on_timer(&mut self, _ctx: &NodeCtx<'_>, tag: u64, out: &mut Outbox<u32>) {
             if let Some(next) = self.forward_to {
-                vec![Action::Send {
-                    to: next,
-                    bits: 8000,
-                    msg: tag as u32,
-                    category: EnergyCategory::Data,
-                }]
-            } else {
-                Vec::new()
+                out.send(next, 8000, tag as u32, EnergyCategory::Data);
             }
         }
     }
