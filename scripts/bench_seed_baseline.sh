@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# Rebuild the seed commit and measure the hot-path baseline on this machine.
+#
+# The tracked BENCH_1.json compares the current tree against the workspace's
+# seed commit (b0ef057, before any hot-path work). Absolute wall times are
+# machine-specific, so the honest way to reproduce the speedup numbers is to
+# re-measure the seed locally:
+#
+#   scripts/bench_seed_baseline.sh                    # writes results/seed_baseline.txt
+#   cargo run --release -p imobif-bench --bin hotpath_bench -- \
+#       BENCH_1.json results/seed_baseline.txt
+#
+# What this script does:
+#   1. Extracts the seed commit into target/seed-baseline (git archive).
+#   2. Copies vendor/ in and applies scripts/seed_baseline.patch, which
+#      (a) points the seed's crates.io deps at the vendored stubs (the build
+#          is fully offline), (b) drops crossbeam/parking_lot by making the
+#          experiment batch runner sequential (the baseline driver does not
+#          use it), and (c) adds the seed_hotpath driver binary, which runs
+#          the exact workload of hotpath_bench against the seed APIs.
+#   3. Builds and runs the driver, writing one line per scenario:
+#      `name wall_secs events allocations`.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+SEED_COMMIT=b0ef057
+BASELINE_DIR=target/seed-baseline
+OUT=${1:-results/seed_baseline.txt}
+
+echo "extracting seed commit ${SEED_COMMIT} into ${BASELINE_DIR} ..."
+rm -rf "$BASELINE_DIR"
+mkdir -p "$BASELINE_DIR"
+git archive "$SEED_COMMIT" | tar -x -C "$BASELINE_DIR"
+
+cp -r vendor "$BASELINE_DIR/"
+patch -d "$BASELINE_DIR" -p1 --silent <scripts/seed_baseline.patch
+
+echo "building seed baseline (release) ..."
+(cd "$BASELINE_DIR" && cargo build --release -q -p imobif-bench --bin seed_hotpath)
+
+echo "measuring ..."
+mkdir -p "$(dirname "$OUT")"
+"$BASELINE_DIR/target/release/seed_hotpath" | tee "$OUT"
+echo "wrote $OUT"

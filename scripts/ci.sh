@@ -1,0 +1,24 @@
+#!/usr/bin/env bash
+# Local CI gate: build, tests, lints, and a benchmark smoke run.
+#
+# Everything here runs fully offline (dependencies are vendored); a clean
+# exit means the tree is in a committable state.
+
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "==> cargo build --release"
+cargo build --release --workspace
+
+echo "==> cargo test"
+cargo test --workspace -q
+
+echo "==> cargo clippy"
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> bench smoke (hotpath_bench, throwaway output)"
+smoke_out=$(mktemp)
+trap 'rm -f "$smoke_out"' EXIT
+cargo run --release -q -p imobif-bench --bin hotpath_bench -- "$smoke_out" >/dev/null
+
+echo "==> ci OK"
