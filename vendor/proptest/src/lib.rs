@@ -1,0 +1,246 @@
+//! Offline stand-in for `proptest`.
+//!
+//! Supports the subset this workspace's property tests use: the
+//! `proptest!` macro over named strategies, numeric range strategies
+//! (half-open and inclusive), tuple strategies, `proptest::collection::vec`,
+//! and the `prop_assert!` / `prop_assert_eq!` / `prop_assert_ne!` /
+//! `prop_assume!` macros.
+//!
+//! Unlike the real proptest there is no shrinking: a failing case panics
+//! with the sampled values available via the assertion message. Sampling is
+//! deterministic — each test derives its RNG seed from the test name, so
+//! failures reproduce across runs.
+
+use std::ops::{Range, RangeInclusive};
+
+pub use rand::rngs::StdRng as TestRng;
+use rand::{Rng, SeedableRng};
+
+/// Cases sampled per property. Kept modest so `cargo test -q` stays fast;
+/// raise locally when hunting rare counterexamples.
+pub const CASES: u32 = 96;
+
+/// Builds the deterministic RNG for a named property test.
+#[must_use]
+pub fn test_rng(test_name: &str) -> TestRng {
+    // FNV-1a over the test name: stable across runs and platforms.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in test_name.bytes() {
+        h ^= u64::from(b);
+        h = h.wrapping_mul(0x0000_0100_0000_01B3);
+    }
+    TestRng::seed_from_u64(h)
+}
+
+/// A value generator. The stand-in equivalent of proptest's `Strategy`.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Draws one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+}
+
+macro_rules! impl_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+impl_range_strategy!(f32, f64, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+    fn generate(&self, rng: &mut TestRng) -> Self::Value {
+        (**self).generate(rng)
+    }
+}
+
+macro_rules! impl_tuple_strategy {
+    ($(($($name:ident),+))*) => {$(
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    (A)
+    (A, B)
+    (A, B, C)
+    (A, B, C, D)
+    (A, B, C, D, E)
+    (A, B, C, D, E, F)
+}
+
+/// Collection strategies.
+pub mod collection {
+    use super::{Strategy, TestRng};
+    use rand::Rng;
+
+    /// A length distribution for collection strategies. Mirrors proptest's
+    /// `SizeRange` so un-suffixed literals like `1..64` infer as `usize`.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_exclusive: usize,
+    }
+
+    impl From<std::ops::Range<usize>> for SizeRange {
+        fn from(r: std::ops::Range<usize>) -> Self {
+            SizeRange { lo: r.start, hi_exclusive: r.end }
+        }
+    }
+
+    impl From<std::ops::RangeInclusive<usize>> for SizeRange {
+        fn from(r: std::ops::RangeInclusive<usize>) -> Self {
+            SizeRange { lo: *r.start(), hi_exclusive: r.end() + 1 }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { lo: n, hi_exclusive: n + 1 }
+        }
+    }
+
+    /// Strategy producing `Vec`s whose length is drawn from `size` and
+    /// whose elements are drawn from `element`.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `proptest::collection::vec`: vectors of `element` with a length
+    /// sampled from `size` (a `usize` range or exact length).
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy { element, size: size.into() }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Self::Value {
+            let n = rng.gen_range(self.size.lo..self.size.hi_exclusive);
+            (0..n).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+}
+
+/// Runs `body` over [`CASES`] sampled inputs. Used by the `proptest!`
+/// macro; callers normally never invoke this directly.
+pub fn run_cases(test_name: &str, mut body: impl FnMut(&mut TestRng)) {
+    let mut rng = test_rng(test_name);
+    for _ in 0..CASES {
+        body(&mut rng);
+    }
+}
+
+/// The stand-in `proptest!` macro: expands each property into a plain test
+/// function that samples its strategies [`CASES`] times.
+#[macro_export]
+macro_rules! proptest {
+    ($($(#[$attr:meta])* fn $name:ident($($arg:pat in $strat:expr),+ $(,)?) $body:block)+) => {
+        $(
+            $(#[$attr])*
+            fn $name() {
+                let mut __pt_rng = $crate::test_rng(stringify!($name));
+                for __pt_case in 0..$crate::CASES {
+                    let _ = __pt_case;
+                    $(let $arg = $crate::Strategy::generate(&($strat), &mut __pt_rng);)+
+                    $body
+                }
+            }
+        )+
+    };
+}
+
+/// `prop_assert!`: plain `assert!` (no shrinking in the stand-in).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// `prop_assert_eq!`: plain `assert_eq!`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// `prop_assert_ne!`: plain `assert_ne!`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// `prop_assume!`: skips the current sampled case when the assumption does
+/// not hold (expands to `continue` inside the case loop).
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr $(, $($fmt:tt)*)?) => {
+        if !($cond) {
+            continue;
+        }
+    };
+}
+
+/// The usual glob import: strategies plus all macros.
+pub mod prelude {
+    pub use crate::collection;
+    pub use crate::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    proptest! {
+        #[test]
+        fn ranges_and_tuples_sample_in_bounds(
+            x in 0u64..100,
+            (a, b) in (0.0..1.0f64, -5i32..5),
+            items in collection::vec((0u32..4, 0.0..=1.0f64), 0..8),
+        ) {
+            prop_assert!(x < 100);
+            prop_assert!((0.0..1.0).contains(&a));
+            prop_assert!((-5..5).contains(&b));
+            prop_assert!(items.len() < 8);
+            for (k, v) in items {
+                prop_assert!(k < 4);
+                prop_assert!((0.0..=1.0).contains(&v));
+            }
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u32..10) {
+            prop_assume!(n % 2 == 0);
+            prop_assert_eq!(n % 2, 0);
+            prop_assert_ne!(n % 2, 1);
+        }
+    }
+
+    #[test]
+    fn seeds_are_stable_per_name() {
+        use crate::Strategy;
+        let mut a = crate::test_rng("some_test");
+        let mut b = crate::test_rng("some_test");
+        assert_eq!((0u64..50).generate(&mut a), (0u64..50).generate(&mut b));
+    }
+}

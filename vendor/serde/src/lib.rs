@@ -1,0 +1,17 @@
+//! Offline stand-in for `serde`.
+//!
+//! The workspace must build without network access, so the real serde
+//! cannot be fetched. No code in this repository serializes at runtime —
+//! the `#[derive(Serialize, Deserialize)]` annotations only declare intent
+//! for downstream consumers. This crate supplies the two names in both the
+//! macro namespace (no-op derives) and the trait namespace (empty marker
+//! traits) so existing `use serde::{Deserialize, Serialize}` imports and
+//! generic bounds keep compiling unchanged.
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// Marker stand-in for `serde::Serialize`.
+pub trait Serialize {}
+
+/// Marker stand-in for `serde::Deserialize`.
+pub trait Deserialize<'de>: Sized {}
