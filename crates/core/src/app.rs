@@ -204,8 +204,12 @@ pub struct ImobifApp {
     sources: FxHashMap<FlowId, SourceFlow>,
     dests: FxHashMap<FlowId, DestFlow>,
     /// Latest per-flow movement targets; multiple concurrent flows are
-    /// superposed by [`ImobifApp::combined_target`].
-    targets: FxHashMap<FlowId, Point2>,
+    /// superposed by [`ImobifApp::combined_target`]. Kept sorted by flow id
+    /// so `combined_target`'s f64 summation order is a function of the
+    /// flows alone — never of hash-map capacity or insertion history —
+    /// which the batch engine's arena-reuse bit-identity guarantee relies
+    /// on.
+    targets: Vec<(FlowId, Point2)>,
     /// Per-flow memo of the last strategy evaluation (see
     /// [`DecisionCacheConfig`]).
     caches: FxHashMap<FlowId, DecisionCache>,
@@ -230,10 +234,29 @@ impl ImobifApp {
             flows: FlowTable::new(),
             sources: FxHashMap::default(),
             dests: FxHashMap::default(),
-            targets: FxHashMap::default(),
+            targets: Vec::new(),
             caches: FxHashMap::default(),
             counters: ImobifCounters::default(),
         }
+    }
+
+    /// Re-arms a used agent for a fresh replicate while keeping every
+    /// collection's allocation: the flow table, source/destination state,
+    /// movement targets, decision caches and counters are all emptied.
+    ///
+    /// Behaviorally equivalent to [`ImobifApp::with_registry`] — the batch
+    /// engine recycles agents through this between replicates, and the
+    /// world-level reset tests assert the reuse is bit-identical to a
+    /// fresh build.
+    pub fn reset(&mut self, config: ImobifConfig, registry: Arc<StrategyRegistry>) {
+        self.config = config;
+        self.registry = registry;
+        self.flows.clear();
+        self.sources.clear();
+        self.dests.clear();
+        self.targets.clear();
+        self.caches.clear();
+        self.counters = ImobifCounters::default();
     }
 
     /// The agent's configuration.
@@ -287,7 +310,10 @@ impl ImobifApp {
     /// The movement target this node currently pursues for `flow`.
     #[must_use]
     pub fn target(&self, flow: FlowId) -> Option<Point2> {
-        self.targets.get(&flow).copied()
+        self.targets
+            .binary_search_by_key(&flow, |&(f, _)| f)
+            .ok()
+            .map(|i| self.targets[i].1)
     }
 
     /// Superposes the targets of all flows traversing this node, weighted
@@ -303,10 +329,10 @@ impl ImobifApp {
         let mut weight_sum = 0.0;
         let mut x = 0.0;
         let mut y = 0.0;
-        for (flow, target) in &self.targets {
+        for &(flow, target) in &self.targets {
             let w = self
                 .flows
-                .get(*flow)
+                .get(flow)
                 .map(|e| e.residual_bits.max(1.0))
                 .unwrap_or(1.0);
             weight_sum += w;
@@ -389,7 +415,10 @@ impl ImobifApp {
                 );
                 if let Some((target, sample)) = decision {
                     strategy.fold(&mut header.aggregate, sample);
-                    self.targets.insert(header.flow, target);
+                    match self.targets.binary_search_by_key(&header.flow, |&(f, _)| f) {
+                        Ok(i) => self.targets[i].1 = target,
+                        Err(i) => self.targets.insert(i, (header.flow, target)),
+                    }
                     if self.config.mode.should_move(header.mobility_enabled) {
                         if let Some(combined) = self.combined_target() {
                             self.counters.moves_executed += 1;

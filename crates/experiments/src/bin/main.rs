@@ -4,7 +4,7 @@
 //! Usage:
 //!
 //! ```text
-//! imobif-experiments [all|fig5|fig6|fig7|fig8|ext] [--flows N] [--seed S] [--out DIR]
+//! imobif-experiments [all|fig5|fig6|fig7|fig8|ext] [--flows N] [--seed S] [--out DIR] [--threads T]
 //! ```
 
 use std::fs;
@@ -44,10 +44,19 @@ fn parse_args() -> Result<Args, String> {
             "--out" => {
                 args.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
             }
+            "--threads" => {
+                // 0 = automatic; results are byte-identical at any setting.
+                let t: usize = it
+                    .next()
+                    .ok_or("--threads needs a value")?
+                    .parse()
+                    .map_err(|e| format!("bad --threads: {e}"))?;
+                imobif_experiments::runner::set_thread_count(t);
+            }
             "--help" | "-h" => {
                 return Err(
                     "usage: imobif-experiments [all|fig5|fig6|fig7|fig8|ext] \
-                     [--flows N] [--seed S] [--out DIR]"
+                     [--flows N] [--seed S] [--out DIR] [--threads T]"
                         .to_string(),
                 )
             }

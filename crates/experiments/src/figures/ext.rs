@@ -9,7 +9,7 @@ use imobif_netsim::TopologyView;
 use crate::config::ScenarioConfig;
 use crate::metrics::Summary;
 use crate::report::{fmt2, fmt4, markdown_table};
-use crate::runner::{run_batch, StrategyChoice};
+use crate::runner::{run_batch, run_batches, BatchSpec, StrategyChoice};
 use crate::topology::draw_scenario;
 
 /// `ext_estimate`: sensitivity to inaccurate flow-length estimates (paper
@@ -21,11 +21,12 @@ pub struct EstimateSensitivity {
     pub rows: Vec<(f64, f64)>,
 }
 
-/// Runs the estimate-error sweep on the Fig. 6(c) setting.
+/// Runs the estimate-error sweep on the Fig. 6(c) setting. The five sweep
+/// points flatten into one [`run_batches`] pool so they run concurrently.
 #[must_use]
 pub fn run_estimate_sensitivity(n_flows: u64, seed: u64) -> EstimateSensitivity {
     let factors = [0.1, 0.5, 1.0, 2.0, 10.0];
-    let rows = factors
+    let specs: Vec<BatchSpec> = factors
         .iter()
         .map(|&factor| {
             let cfg = ScenarioConfig {
@@ -33,7 +34,13 @@ pub fn run_estimate_sensitivity(n_flows: u64, seed: u64) -> EstimateSensitivity 
                 seed,
                 ..ScenarioConfig::paper_default()
             };
-            let cases = run_batch(&cfg, n_flows, StrategyChoice::MinEnergy);
+            (cfg, StrategyChoice::MinEnergy)
+        })
+        .collect();
+    let rows = factors
+        .iter()
+        .zip(run_batches(&specs, n_flows))
+        .map(|(&factor, cases)| {
             let ratios: Vec<f64> = cases.iter().map(|c| c.informed_energy_ratio()).collect();
             (factor, Summary::of(&ratios).expect("non-empty").mean)
         })
@@ -137,17 +144,21 @@ pub struct InitialStatusAblation {
 /// where a wrong initial "enabled" is most dangerous.
 #[must_use]
 pub fn run_initial_status(n_flows: u64, seed: u64) -> InitialStatusAblation {
-    let run = |enabled: bool| {
-        let cfg = ScenarioConfig {
-            mean_flow_bits: 8e5,
-            initial_mobility_enabled: enabled,
-            seed,
-            ..ScenarioConfig::paper_default()
-        };
-        run_batch(&cfg, n_flows, StrategyChoice::MinEnergy)
+    let cfg_of = |enabled: bool| ScenarioConfig {
+        mean_flow_bits: 8e5,
+        initial_mobility_enabled: enabled,
+        seed,
+        ..ScenarioConfig::paper_default()
     };
-    let disabled_cases = run(false);
-    let enabled_cases = run(true);
+    let mut batches = run_batches(
+        &[
+            (cfg_of(false), StrategyChoice::MinEnergy),
+            (cfg_of(true), StrategyChoice::MinEnergy),
+        ],
+        n_flows,
+    );
+    let enabled_cases = batches.pop().expect("two specs in");
+    let disabled_cases = batches.pop().expect("two specs in");
     let mean = |v: Vec<f64>| Summary::of(&v).expect("non-empty").mean;
     InitialStatusAblation {
         disabled_avg: mean(disabled_cases.iter().map(|c| c.informed_energy_ratio()).collect()),
@@ -181,14 +192,22 @@ pub struct StepSweep {
     pub rows: Vec<(f64, f64)>,
 }
 
-/// Runs the movement-step ablation on the Fig. 6(c) setting.
+/// Runs the movement-step ablation on the Fig. 6(c) setting; the three
+/// sweep points share one [`run_batches`] pool.
 #[must_use]
 pub fn run_step_sweep(n_flows: u64, seed: u64) -> StepSweep {
-    let rows = [0.25, 1.0, 4.0]
+    let steps = [0.25, 1.0, 4.0];
+    let specs: Vec<BatchSpec> = steps
         .iter()
         .map(|&max_step| {
             let cfg = ScenarioConfig { max_step, seed, ..ScenarioConfig::paper_default() };
-            let cases = run_batch(&cfg, n_flows, StrategyChoice::MinEnergy);
+            (cfg, StrategyChoice::MinEnergy)
+        })
+        .collect();
+    let rows = steps
+        .iter()
+        .zip(run_batches(&specs, n_flows))
+        .map(|(&max_step, cases)| {
             let ratios: Vec<f64> = cases.iter().map(|c| c.informed_energy_ratio()).collect();
             (max_step, Summary::of(&ratios).expect("non-empty").mean)
         })

@@ -15,7 +15,7 @@ use serde::{Deserialize, Serialize};
 use crate::config::ScenarioConfig;
 use crate::metrics::{fraction_below, Summary};
 use crate::report::{csv_block, fmt2, fmt4, markdown_table};
-use crate::runner::{run_batch, CaseResult, StrategyChoice};
+use crate::runner::{run_batch, run_batches, BatchSpec, CaseResult, StrategyChoice};
 
 /// One Fig. 6 panel's parameter set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -83,9 +83,7 @@ pub struct Fig6Panel {
     pub mobility_exceeds_transmission: f64,
 }
 
-/// Runs one Fig. 6 panel with `n_flows` random flows.
-#[must_use]
-pub fn run_variant(variant: &Fig6Variant, n_flows: u64, seed: u64) -> Fig6Panel {
+fn variant_config(variant: &Fig6Variant, seed: u64) -> ScenarioConfig {
     let cfg = ScenarioConfig {
         k: variant.k,
         alpha: variant.alpha,
@@ -94,7 +92,13 @@ pub fn run_variant(variant: &Fig6Variant, n_flows: u64, seed: u64) -> Fig6Panel 
         ..ScenarioConfig::paper_default()
     };
     cfg.validate().expect("variant config is valid");
-    let cases = run_batch(&cfg, n_flows, StrategyChoice::MinEnergy);
+    cfg
+}
+
+/// Runs one Fig. 6 panel with `n_flows` random flows.
+#[must_use]
+pub fn run_variant(variant: &Fig6Variant, n_flows: u64, seed: u64) -> Fig6Panel {
+    let cases = run_batch(&variant_config(variant, seed), n_flows, StrategyChoice::MinEnergy);
     panel_from_cases(variant.clone(), &cases)
 }
 
@@ -136,11 +140,22 @@ pub struct Fig6Result {
     pub panels: Vec<Fig6Panel>,
 }
 
-/// Runs the whole figure.
+/// Runs the whole figure. All five panels' cases flatten into one work
+/// queue ([`run_batches`]), so the panels run concurrently instead of one
+/// barrier-separated batch at a time — and panels sharing a topology (same
+/// seed, different k/α/mean) share the drawn scenarios.
 #[must_use]
 pub fn run(n_flows: u64, seed: u64) -> Fig6Result {
+    let vs = variants();
+    let specs: Vec<BatchSpec> =
+        vs.iter().map(|v| (variant_config(v, seed), StrategyChoice::MinEnergy)).collect();
+    let batches = run_batches(&specs, n_flows);
     Fig6Result {
-        panels: variants().iter().map(|v| run_variant(v, n_flows, seed)).collect(),
+        panels: vs
+            .into_iter()
+            .zip(batches)
+            .map(|(v, cases)| panel_from_cases(v, &cases))
+            .collect(),
     }
 }
 

@@ -1,21 +1,22 @@
 //! Instance and batch runners: one flow under one mobility mode, end to end.
 
-use std::sync::Arc;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
 
 use imobif::{
     install_flow, FlowSpec, ImobifApp, ImobifConfig, MaxLifetimeStrategy, MinEnergyStrategy,
-    MobilityMode, MobilityStrategy,
+    MobilityMode, MobilityStrategy, StrategyRegistry,
 };
 use imobif_energy::Battery;
-use imobif_geom::Point2;
+use imobif_geom::{FxHashMap, Point2};
 use imobif_netsim::{FlowId, NodeId, SimDuration, SimTime, World};
 use serde::{Deserialize, Serialize};
 
-use crate::config::ScenarioConfig;
-use crate::topology::{draw_scenario, TopologyDraw};
+use crate::config::{EnergyInit, ScenarioConfig};
+use crate::topology::{clear_draw_memo, draw_scenario, TopologyDraw};
 
 /// Which of the paper's two strategies an experiment runs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
 pub enum StrategyChoice {
     /// Minimize total energy (paper §3.1; Figs. 5(b), 6, 7).
     MinEnergy,
@@ -81,6 +82,28 @@ pub struct InstanceResult {
     pub final_energies: Vec<f64>,
 }
 
+/// A reusable pool of simulator state for back-to-back instance runs.
+///
+/// The first [`run_instance_in`] call builds a world from scratch; every
+/// later call resets and reuses it — node vectors, spatial-grid buckets,
+/// event-queue storage, neighbor tables and the per-node `ImobifApp`
+/// collections all keep their allocations across replicates. The world-level
+/// reset tests (and `imobif-netsim`'s reset proptest) guarantee a recycled
+/// world is bit-identical to a fresh one.
+#[derive(Default)]
+pub struct InstanceArena {
+    world: Option<World<ImobifApp>>,
+    spare_apps: Vec<ImobifApp>,
+}
+
+impl InstanceArena {
+    /// Creates an empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        InstanceArena::default()
+    }
+}
+
 /// Runs one flow instance under `mode`.
 ///
 /// The world contains only the flow-path nodes: the paper's other 90+ nodes
@@ -99,20 +122,54 @@ pub fn run_instance(
     mode: MobilityMode,
     strategy: &Arc<dyn MobilityStrategy>,
 ) -> InstanceResult {
+    let registry = Arc::new(StrategyRegistry::single(Arc::clone(strategy)));
+    run_instance_in(&mut InstanceArena::new(), cfg, draw, mode, strategy, &registry)
+}
+
+/// Like [`run_instance`], but recycles the arena's world and application
+/// objects instead of allocating fresh ones.
+///
+/// # Panics
+///
+/// Panics if the scenario config is invalid or flow installation fails —
+/// both indicate a bug in the experiment driver, not a runtime condition.
+#[must_use]
+pub fn run_instance_in(
+    arena: &mut InstanceArena,
+    cfg: &ScenarioConfig,
+    draw: &TopologyDraw,
+    mode: MobilityMode,
+    strategy: &Arc<dyn MobilityStrategy>,
+    registry: &Arc<StrategyRegistry>,
+) -> InstanceResult {
     let tx = cfg.tx_model().expect("validated config");
     let mv = cfg.mobility_model().expect("validated config");
-    let mut world: World<ImobifApp> =
-        World::new(cfg.sim_config(), Box::new(tx), Box::new(mv)).expect("validated sim config");
+    let mut world: World<ImobifApp> = match arena.world.take() {
+        Some(mut w) => {
+            w.reset_into(cfg.sim_config(), Box::new(tx), Box::new(mv), &mut arena.spare_apps)
+                .expect("validated sim config");
+            w
+        }
+        None => World::new(cfg.sim_config(), Box::new(tx), Box::new(mv))
+            .expect("validated sim config"),
+    };
     let app_cfg = ImobifConfig { mode, max_step: cfg.max_step, ..Default::default() };
     let ids: Vec<NodeId> = draw
         .flow
         .path
         .iter()
         .map(|&orig| {
+            let app = match arena.spare_apps.pop() {
+                Some(mut a) => {
+                    a.reset(app_cfg, Arc::clone(registry));
+                    a
+                }
+                None => ImobifApp::with_registry(app_cfg, Arc::clone(registry)),
+            };
             world.add_node(
                 draw.positions[orig.index()],
                 Battery::new(draw.energies[orig.index()]).expect("sampled energies are valid"),
-                ImobifApp::new(app_cfg, Arc::clone(strategy)),
+                app,
             )
         })
         .collect();
@@ -153,7 +210,7 @@ pub fn run_instance(
     let notifications = world.app(dst).dest(flow).map_or(0, |d| d.notifications_sent);
     let status_changes = world.app(src).source(flow).map_or(0, |s| s.status_changes);
     let death = world.ledger().first_death();
-    InstanceResult {
+    let result = InstanceResult {
         mode,
         flow_bits: total,
         path_len: ids.len(),
@@ -170,7 +227,10 @@ pub fn run_instance(
         node_died: death.is_some(),
         final_positions: ids.iter().map(|&id| world.position(id)).collect(),
         final_energies: ids.iter().map(|&id| world.residual_energy(id)).collect(),
-    }
+    };
+    // Park the used world for the next replicate to recycle.
+    arena.world = Some(world);
+    result
 }
 
 /// One flow case: the same drawn flow run under all three modes.
@@ -218,46 +278,277 @@ impl CaseResult {
     }
 }
 
+/// Bit-exact memo key for one `(config, strategy, draw index)` case. Every
+/// float field enters via `to_bits`, so configs that differ in any parameter
+/// — however slightly — occupy distinct entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct CaseKey {
+    node_count: usize,
+    area_bits: u64,
+    range_bits: u64,
+    a_bits: u64,
+    b_bits: u64,
+    alpha_bits: u64,
+    k_bits: u64,
+    mean_bits: u64,
+    packet_bits: u64,
+    interval_bits: u64,
+    max_step_bits: u64,
+    energy: (u8, u64, u64),
+    initial_mobility_enabled: bool,
+    estimate_bits: u64,
+    seed: u64,
+    choice: StrategyChoice,
+    index: u64,
+}
+
+impl CaseKey {
+    fn of(cfg: &ScenarioConfig, choice: StrategyChoice, index: u64) -> Self {
+        let energy = match cfg.initial_energy {
+            EnergyInit::Fixed(e) => (0, e.to_bits(), 0),
+            EnergyInit::Uniform(lo, hi) => (1, lo.to_bits(), hi.to_bits()),
+        };
+        CaseKey {
+            node_count: cfg.node_count,
+            area_bits: cfg.area_side.to_bits(),
+            range_bits: cfg.range.to_bits(),
+            a_bits: cfg.a.to_bits(),
+            b_bits: cfg.b.to_bits(),
+            alpha_bits: cfg.alpha.to_bits(),
+            k_bits: cfg.k.to_bits(),
+            mean_bits: cfg.mean_flow_bits.to_bits(),
+            packet_bits: cfg.packet_bits,
+            interval_bits: cfg.packet_interval_secs.to_bits(),
+            max_step_bits: cfg.max_step.to_bits(),
+            energy,
+            initial_mobility_enabled: cfg.initial_mobility_enabled,
+            estimate_bits: cfg.estimate_factor.to_bits(),
+            seed: cfg.seed,
+            choice,
+            index,
+        }
+    }
+}
+
+/// Bounds the case memo; `imobif-experiments all --flows 100` populates a
+/// few hundred entries.
+const CASE_MEMO_CAP: usize = 8192;
+
+fn case_memo() -> &'static Mutex<FxHashMap<CaseKey, CaseResult>> {
+    static MEMO: OnceLock<Mutex<FxHashMap<CaseKey, CaseResult>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(FxHashMap::default()))
+}
+
+/// Memo key for a *no-mobility baseline* instance: only the config fields
+/// such a run physically depends on. Nothing ever moves and notifications
+/// are off under [`MobilityMode::NoMobility`], so the mobility cost `k`,
+/// the per-packet movement bound, the estimate factor, the initial mobility
+/// status and the strategy choice cannot influence the result — sweep
+/// points and figure panels that vary only those knobs share one baseline
+/// simulation. The `no_mobility_baseline_ignores_mobility_knobs` test pins
+/// this independence; extend the key if the framework ever grows a
+/// baseline-visible use of an omitted field.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct BaselineKey {
+    node_count: usize,
+    area_bits: u64,
+    range_bits: u64,
+    a_bits: u64,
+    b_bits: u64,
+    alpha_bits: u64,
+    mean_bits: u64,
+    packet_bits: u64,
+    interval_bits: u64,
+    energy: (u8, u64, u64),
+    seed: u64,
+    index: u64,
+}
+
+impl BaselineKey {
+    fn of(cfg: &ScenarioConfig, index: u64) -> Self {
+        let energy = match cfg.initial_energy {
+            EnergyInit::Fixed(e) => (0, e.to_bits(), 0),
+            EnergyInit::Uniform(lo, hi) => (1, lo.to_bits(), hi.to_bits()),
+        };
+        BaselineKey {
+            node_count: cfg.node_count,
+            area_bits: cfg.area_side.to_bits(),
+            range_bits: cfg.range.to_bits(),
+            a_bits: cfg.a.to_bits(),
+            b_bits: cfg.b.to_bits(),
+            alpha_bits: cfg.alpha.to_bits(),
+            mean_bits: cfg.mean_flow_bits.to_bits(),
+            packet_bits: cfg.packet_bits,
+            interval_bits: cfg.packet_interval_secs.to_bits(),
+            energy,
+            seed: cfg.seed,
+            index,
+        }
+    }
+}
+
+fn baseline_memo() -> &'static Mutex<FxHashMap<BaselineKey, InstanceResult>> {
+    static MEMO: OnceLock<Mutex<FxHashMap<BaselineKey, InstanceResult>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(FxHashMap::default()))
+}
+
+/// Empties every result memo (per-case results, no-mobility baselines and
+/// topology draws).
+///
+/// Results are deterministic functions of their keys, so the memos never
+/// change any output — but benchmarks that claim to measure a cold run must
+/// call this first, and tests that claim to recompute call it to mean it.
+pub fn clear_memos() {
+    case_memo().lock().expect("case memo lock").clear();
+    baseline_memo().lock().expect("baseline memo lock").clear();
+    clear_draw_memo();
+}
+
+/// `0` means "pick automatically from available parallelism".
+static THREAD_OVERRIDE: AtomicUsize = AtomicUsize::new(0);
+
+/// Overrides how many worker threads [`run_batches`] spawns; `0` restores
+/// the automatic choice. Output is byte-identical at every setting — the
+/// integration tests assert figure CSVs match across 1, 4 and 16 threads —
+/// so this only trades wall time, never results.
+pub fn set_thread_count(n: usize) {
+    THREAD_OVERRIDE.store(n, Ordering::Relaxed);
+}
+
+/// The worker-thread count the batch engine will use.
+#[must_use]
+pub fn thread_count() -> usize {
+    match THREAD_OVERRIDE.load(Ordering::Relaxed) {
+        0 => std::thread::available_parallelism().map_or(4, usize::from).min(16),
+        n => n,
+    }
+}
+
+/// One batch request: a scenario and the strategy to run it under.
+pub type BatchSpec = (ScenarioConfig, StrategyChoice);
+
+/// A [`BatchSpec`] resolved for execution: the built strategy object and the
+/// single-entry registry the workers share by reference.
+type PreparedSpec = (ScenarioConfig, StrategyChoice, Arc<dyn MobilityStrategy>, Arc<StrategyRegistry>);
+
+fn run_case_in(
+    arena: &mut InstanceArena,
+    cfg: &ScenarioConfig,
+    choice: StrategyChoice,
+    index: u64,
+    strategy: &Arc<dyn MobilityStrategy>,
+    registry: &Arc<StrategyRegistry>,
+) -> CaseResult {
+    let key = CaseKey::of(cfg, choice, index);
+    if let Some(hit) = case_memo().lock().expect("case memo lock").get(&key) {
+        return hit.clone();
+    }
+    let draw = draw_scenario(cfg, index);
+    let bkey = BaselineKey::of(cfg, index);
+    let cached_baseline =
+        baseline_memo().lock().expect("baseline memo lock").get(&bkey).cloned();
+    let no_mobility = match cached_baseline {
+        Some(hit) => hit,
+        None => {
+            let r =
+                run_instance_in(arena, cfg, &draw, MobilityMode::NoMobility, strategy, registry);
+            baseline_memo()
+                .lock()
+                .expect("baseline memo lock")
+                .entry(bkey)
+                .or_insert_with(|| r.clone());
+            r
+        }
+    };
+    let case = CaseResult {
+        draw_index: index,
+        flow_bits: draw.flow.flow_bits,
+        path_len: draw.flow.path.len(),
+        no_mobility,
+        cost_unaware: run_instance_in(arena, cfg, &draw, MobilityMode::CostUnaware, strategy, registry),
+        informed: run_instance_in(arena, cfg, &draw, MobilityMode::Informed, strategy, registry),
+    };
+    let mut memo = case_memo().lock().expect("case memo lock");
+    if memo.len() >= CASE_MEMO_CAP {
+        memo.clear();
+    }
+    memo.entry(key).or_insert_with(|| case.clone());
+    case
+}
+
+/// Runs several batches — e.g. every panel of a figure, or every point of a
+/// parameter sweep — through one deterministic work queue.
+///
+/// The `specs.len() × n_flows` cases flatten into a single pool that all
+/// worker threads drain together, so a slow spec cannot leave cores idle
+/// behind a barrier. Each worker recycles one [`InstanceArena`] across every
+/// case it claims. Results come back grouped by spec, in spec order, each
+/// group index-ordered — byte-identical at any thread count, because every
+/// case is a pure function of `(spec, index)` and lands in a pre-assigned
+/// slot.
+///
+/// Cases whose `(config, strategy, index)` already ran this process — a
+/// sweep point equal to its figure's baseline, say — are served from the
+/// case memo instead of being re-simulated.
+#[must_use]
+pub fn run_batches(specs: &[BatchSpec], n_flows: u64) -> Vec<Vec<CaseResult>> {
+    // Strategy and registry are built once per spec, outside the workers,
+    // and shared by reference.
+    let prepared: Vec<PreparedSpec> = specs
+        .iter()
+        .map(|&(cfg, choice)| {
+            let strategy = build_strategy(&cfg, choice);
+            let registry = Arc::new(StrategyRegistry::single(Arc::clone(&strategy)));
+            (cfg, choice, strategy, registry)
+        })
+        .collect();
+    let total = specs.len() as u64 * n_flows;
+    // One pre-allocated slot per case: workers claim flattened indices from
+    // the atomic counter and publish into their own slot, so the collection
+    // phase is lock-free and the results come out already ordered.
+    let slots: Vec<OnceLock<CaseResult>> = (0..total).map(|_| OnceLock::new()).collect();
+    let next = AtomicU64::new(0);
+    std::thread::scope(|scope| {
+        for _ in 0..thread_count() {
+            scope.spawn(|| {
+                let mut arena = InstanceArena::new();
+                loop {
+                    let item = next.fetch_add(1, Ordering::Relaxed);
+                    if item >= total {
+                        break;
+                    }
+                    let (spec_idx, index) = ((item / n_flows) as usize, item % n_flows);
+                    let (cfg, choice, strategy, registry) = &prepared[spec_idx];
+                    let case = run_case_in(&mut arena, cfg, *choice, index, strategy, registry);
+                    slots[item as usize]
+                        .set(case)
+                        .expect("each flattened index is claimed by exactly one worker");
+                }
+            });
+        }
+    });
+    let mut out: Vec<Vec<CaseResult>> = Vec::with_capacity(specs.len());
+    let mut it = slots.into_iter();
+    for _ in 0..specs.len() {
+        out.push(
+            it.by_ref()
+                .take(n_flows as usize)
+                .map(|slot| slot.into_inner().expect("every index below total was processed"))
+                .collect(),
+        );
+    }
+    out
+}
+
 /// Runs `n_flows` random flows, each under all three modes, in parallel.
 ///
 /// Deterministic for a given config: each flow's scenario derives from
 /// `(cfg.seed, index)` regardless of thread scheduling.
 #[must_use]
 pub fn run_batch(cfg: &ScenarioConfig, n_flows: u64, choice: StrategyChoice) -> Vec<CaseResult> {
-    let strategy = build_strategy(cfg, choice);
-    // One pre-allocated slot per draw: workers claim indices from the
-    // atomic counter and publish into their own slot, so the collection
-    // phase is lock-free and the results come out already index-ordered.
-    let slots: Vec<std::sync::OnceLock<CaseResult>> =
-        (0..n_flows).map(|_| std::sync::OnceLock::new()).collect();
-    let threads = std::thread::available_parallelism().map_or(4, usize::from).min(16);
-    let next = std::sync::atomic::AtomicU64::new(0);
-    std::thread::scope(|scope| {
-        for _ in 0..threads {
-            scope.spawn(|| loop {
-                let i = next.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
-                if i >= n_flows {
-                    break;
-                }
-                let draw = draw_scenario(cfg, i);
-                let case = CaseResult {
-                    draw_index: i,
-                    flow_bits: draw.flow.flow_bits,
-                    path_len: draw.flow.path.len(),
-                    no_mobility: run_instance(cfg, &draw, MobilityMode::NoMobility, &strategy),
-                    cost_unaware: run_instance(cfg, &draw, MobilityMode::CostUnaware, &strategy),
-                    informed: run_instance(cfg, &draw, MobilityMode::Informed, &strategy),
-                };
-                slots[i as usize]
-                    .set(case)
-                    .expect("each draw index is claimed by exactly one worker");
-            });
-        }
-    });
-    slots
-        .into_iter()
-        .map(|slot| slot.into_inner().expect("every index below n_flows was processed"))
-        .collect()
+    run_batches(&[(*cfg, choice)], n_flows)
+        .pop()
+        .expect("one spec in, one batch out")
 }
 
 #[cfg(test)]
@@ -300,10 +591,85 @@ mod tests {
     fn batch_is_deterministic_and_sorted() {
         let cfg = quick_cfg();
         let a = run_batch(&cfg, 4, StrategyChoice::MinEnergy);
+        // Clear the memos so the second run genuinely recomputes every case
+        // instead of replaying cached results.
+        clear_memos();
         let b = run_batch(&cfg, 4, StrategyChoice::MinEnergy);
         assert_eq!(a, b);
         let idx: Vec<u64> = a.iter().map(|c| c.draw_index).collect();
         assert_eq!(idx, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn arena_reuse_matches_fresh_worlds() {
+        // The same case computed through one recycled arena three modes in a
+        // row must equal the fresh-world-per-instance path bit for bit.
+        let cfg = quick_cfg();
+        let draw = draw_scenario(&cfg, 2);
+        let strategy = build_strategy(&cfg, StrategyChoice::MinEnergy);
+        let registry = Arc::new(StrategyRegistry::single(Arc::clone(&strategy)));
+        let mut arena = InstanceArena::new();
+        for mode in
+            [MobilityMode::NoMobility, MobilityMode::CostUnaware, MobilityMode::Informed]
+        {
+            let reused = run_instance_in(&mut arena, &cfg, &draw, mode, &strategy, &registry);
+            let fresh = run_instance(&cfg, &draw, mode, &strategy);
+            assert_eq!(reused, fresh, "arena-recycled run diverged under {mode:?}");
+        }
+    }
+
+    #[test]
+    fn run_batches_groups_by_spec_and_matches_run_batch() {
+        let a = quick_cfg();
+        let b = ScenarioConfig { k: 1.0, ..quick_cfg() };
+        let grouped =
+            run_batches(&[(a, StrategyChoice::MinEnergy), (b, StrategyChoice::MinEnergy)], 3);
+        assert_eq!(grouped.len(), 2);
+        assert_eq!(grouped[0], run_batch(&a, 3, StrategyChoice::MinEnergy));
+        assert_eq!(grouped[1], run_batch(&b, 3, StrategyChoice::MinEnergy));
+        // Shared topology, different k: the two specs drew the same paths…
+        assert_eq!(grouped[0][0].path_len, grouped[1][0].path_len);
+        // …but simulated different physics.
+        assert_ne!(grouped[0][0].cost_unaware.total_energy, grouped[1][0].cost_unaware.total_energy);
+    }
+
+    #[test]
+    fn no_mobility_baseline_ignores_mobility_knobs() {
+        // The BaselineKey omission list in one test: a no-mobility run must
+        // be bit-identical across every mobility-only config knob and across
+        // strategies. If this ever fails, the corresponding field must be
+        // added to `BaselineKey`.
+        let base = quick_cfg();
+        let reference = {
+            let draw = draw_scenario(&base, 0);
+            let s = build_strategy(&base, StrategyChoice::MinEnergy);
+            run_instance(&base, &draw, MobilityMode::NoMobility, &s)
+        };
+        let variants = [
+            ScenarioConfig { k: 2.5, ..base },
+            ScenarioConfig { max_step: 0.1, ..base },
+            ScenarioConfig { estimate_factor: 3.0, ..base },
+            ScenarioConfig { initial_mobility_enabled: true, ..base },
+        ];
+        for cfg in variants {
+            let draw = draw_scenario(&cfg, 0);
+            let s = build_strategy(&cfg, StrategyChoice::MinEnergy);
+            let r = run_instance(&cfg, &draw, MobilityMode::NoMobility, &s);
+            assert_eq!(r, reference, "baseline diverged for {cfg:?}");
+        }
+        let s = build_strategy(&base, StrategyChoice::MaxLifetime);
+        let draw = draw_scenario(&base, 0);
+        let r = run_instance(&base, &draw, MobilityMode::NoMobility, &s);
+        assert_eq!(r, reference, "baseline diverged across strategies");
+    }
+
+    #[test]
+    fn case_memo_serves_repeat_requests() {
+        let cfg = ScenarioConfig { seed: 77, ..quick_cfg() };
+        clear_memos();
+        let first = run_batch(&cfg, 2, StrategyChoice::MinEnergy);
+        let again = run_batch(&cfg, 2, StrategyChoice::MinEnergy);
+        assert_eq!(first, again);
     }
 
     #[test]

@@ -1,6 +1,8 @@
 //! Random topologies and flow draws.
 
-use imobif_geom::{Point2, Rect};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use imobif_geom::{FxHashMap, Point2, Rect};
 use imobif_netsim::routing::{GreedyRouter, Router};
 use imobif_netsim::{NodeId, TopologyView};
 use rand::rngs::StdRng;
@@ -60,27 +62,92 @@ pub fn sample_energies(cfg: &ScenarioConfig, rng: &mut StdRng) -> Vec<f64> {
 /// mean, rounded up to at least one packet.
 #[must_use]
 pub fn sample_flow_bits(cfg: &ScenarioConfig, rng: &mut StdRng) -> u64 {
-    let u: f64 = rng.gen_range(0.0..1.0);
+    flow_bits_from_u(cfg, rng.gen_range(0.0..1.0))
+}
+
+/// Converts a uniform variate into an exponentially distributed flow length
+/// with the configured mean, rounded up to at least one packet. Split out of
+/// [`sample_flow_bits`] so the draw memo can store the variate and re-derive
+/// the length under every mean/packet-size variant that shares a topology.
+fn flow_bits_from_u(cfg: &ScenarioConfig, u: f64) -> u64 {
     let bits = -cfg.mean_flow_bits * (1.0 - u).ln();
     (bits.round() as u64).max(cfg.packet_bits)
 }
 
-/// Draws a complete scenario instance: a fresh topology, energies, and a
-/// random source/destination pair whose greedy route succeeds with at least
-/// one relay. Topologies where no such pair exists after a bounded number
-/// of tries are redrawn — the standard protocol for random-topology studies
-/// (greedy routing can stall at local maxima; the paper simply reports
-/// statistics over successfully routed flows).
-///
-/// Deterministic per `(cfg.seed, index)`.
-#[must_use]
-pub fn draw_scenario(cfg: &ScenarioConfig, index: u64) -> TopologyDraw {
+/// The config-independent core of one scenario draw: everything the rng
+/// stream produces. The flow length is kept as its raw uniform variate
+/// because it is the only sampled quantity whose *interpretation* depends on
+/// config fields (`mean_flow_bits`, `packet_bits`) that vary across figure
+/// panels sharing a topology.
+#[derive(Debug, Clone, PartialEq)]
+struct DrawSkeleton {
+    positions: Vec<Point2>,
+    energies: Vec<f64>,
+    src: NodeId,
+    dst: NodeId,
+    path: Vec<NodeId>,
+    flow_u: f64,
+}
+
+/// Memo key: exactly the config fields the rng stream and the routing
+/// geometry depend on. Figure variants that differ only in energy-model
+/// constants (`a`, `b`, `alpha`, `k`), flow-length mean, pacing, movement
+/// bound, initial status or estimate factor hit the same entry. Floats are
+/// compared bit-exactly — a near-miss config must redraw, never alias.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+struct DrawKey {
+    seed: u64,
+    index: u64,
+    node_count: usize,
+    area_bits: u64,
+    range_bits: u64,
+    energy: (u8, u64, u64),
+}
+
+impl DrawKey {
+    fn of(cfg: &ScenarioConfig, index: u64) -> Self {
+        let energy = match cfg.initial_energy {
+            EnergyInit::Fixed(e) => (0, e.to_bits(), 0),
+            EnergyInit::Uniform(lo, hi) => (1, lo.to_bits(), hi.to_bits()),
+        };
+        DrawKey {
+            seed: cfg.seed,
+            index,
+            node_count: cfg.node_count,
+            area_bits: cfg.area_side.to_bits(),
+            range_bits: cfg.range.to_bits(),
+            energy,
+        }
+    }
+}
+
+/// Bounds the memo so unbounded sweeps cannot grow it without limit; a full
+/// `imobif-experiments all --flows 100` run needs ~100 entries.
+const DRAW_MEMO_CAP: usize = 4096;
+
+fn draw_memo() -> &'static Mutex<FxHashMap<DrawKey, Arc<DrawSkeleton>>> {
+    static MEMO: OnceLock<Mutex<FxHashMap<DrawKey, Arc<DrawSkeleton>>>> = OnceLock::new();
+    MEMO.get_or_init(|| Mutex::new(FxHashMap::default()))
+}
+
+/// Empties the topology-draw memo. Benchmarks call this between timed runs
+/// so each run pays the full drawing cost it claims to measure.
+pub fn clear_draw_memo() {
+    draw_memo().lock().expect("draw memo lock").clear();
+}
+
+fn draw_skeleton(cfg: &ScenarioConfig, index: u64) -> Arc<DrawSkeleton> {
+    let key = DrawKey::of(cfg, index);
+    if let Some(hit) = draw_memo().lock().expect("draw memo lock").get(&key) {
+        return Arc::clone(hit);
+    }
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
-    loop {
+    let skeleton = loop {
         let positions = sample_positions(cfg, &mut rng);
         let energies = sample_energies(cfg, &mut rng);
         let topo = TopologyView::new(positions.clone(), vec![true; positions.len()], cfg.range);
         // Try a bounded number of endpoint pairs on this topology.
+        let mut found = None;
         for _ in 0..64 {
             let src = NodeId::new(rng.gen_range(0..cfg.node_count as u32));
             let dst = NodeId::new(rng.gen_range(0..cfg.node_count as u32));
@@ -93,14 +160,47 @@ pub fn draw_scenario(cfg: &ScenarioConfig, index: u64) -> TopologyDraw {
             if path.len() < 3 {
                 continue; // no relay to move: mobility is moot
             }
-            let flow_bits = sample_flow_bits(cfg, &mut rng);
-            return TopologyDraw {
-                positions,
-                energies,
-                flow: FlowDraw { src, dst, path, flow_bits },
-            };
+            let flow_u: f64 = rng.gen_range(0.0..1.0);
+            found = Some((src, dst, path, flow_u));
+            break;
+        }
+        if let Some((src, dst, path, flow_u)) = found {
+            break Arc::new(DrawSkeleton { positions, energies, src, dst, path, flow_u });
         }
         // Pathological topology: redraw everything.
+    };
+    let mut memo = draw_memo().lock().expect("draw memo lock");
+    if memo.len() >= DRAW_MEMO_CAP {
+        memo.clear();
+    }
+    // Under concurrency another worker may have inserted the same key; both
+    // computed identical skeletons, so either value serves.
+    Arc::clone(memo.entry(key).or_insert(skeleton))
+}
+
+/// Draws a complete scenario instance: a fresh topology, energies, and a
+/// random source/destination pair whose greedy route succeeds with at least
+/// one relay. Topologies where no such pair exists after a bounded number
+/// of tries are redrawn — the standard protocol for random-topology studies
+/// (greedy routing can stall at local maxima; the paper simply reports
+/// statistics over successfully routed flows).
+///
+/// Deterministic per `(cfg.seed, index)`. Draws are memoized on the config
+/// fields the rng stream depends on, so figure variants that re-run the
+/// same `(seed, index)` topology under different energy or flow-length
+/// parameters share one drawing instead of re-routing from scratch.
+#[must_use]
+pub fn draw_scenario(cfg: &ScenarioConfig, index: u64) -> TopologyDraw {
+    let skel = draw_skeleton(cfg, index);
+    TopologyDraw {
+        positions: skel.positions.clone(),
+        energies: skel.energies.clone(),
+        flow: FlowDraw {
+            src: skel.src,
+            dst: skel.dst,
+            path: skel.path.clone(),
+            flow_bits: flow_bits_from_u(cfg, skel.flow_u),
+        },
     }
 }
 

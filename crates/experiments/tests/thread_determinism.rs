@@ -1,0 +1,53 @@
+//! The batch engine must produce byte-identical figure output at any worker
+//! count: parallelism may only change wall time, never results.
+
+use std::sync::Mutex;
+
+use imobif_experiments::figures::{ext, fig6};
+use imobif_experiments::runner::{clear_memos, set_thread_count};
+
+/// `set_thread_count` and the memos are process-global, so the two sweeps
+/// must not interleave.
+static GLOBALS: Mutex<()> = Mutex::new(());
+
+#[test]
+fn figure_output_is_byte_identical_across_thread_counts() {
+    let _guard = GLOBALS.lock().expect("globals lock");
+    let (n_flows, seed) = (6, 99);
+    let mut reference: Option<(String, String)> = None;
+    for threads in [1usize, 4, 16] {
+        set_thread_count(threads);
+        // Drop memoized draws/cases so every pass recomputes from scratch —
+        // otherwise later passes would just replay the first pass's results.
+        clear_memos();
+        let fig = fig6::run(n_flows, seed);
+        let got = (fig.to_csv(), fig.to_markdown());
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => {
+                assert_eq!(want.0, got.0, "fig6 CSV differs at {threads} threads");
+                assert_eq!(want.1, got.1, "fig6 markdown differs at {threads} threads");
+            }
+        }
+    }
+    set_thread_count(0);
+}
+
+#[test]
+fn ext_sweep_is_byte_identical_across_thread_counts() {
+    let _guard = GLOBALS.lock().expect("globals lock");
+    let (n_flows, seed) = (4, 7);
+    let mut reference: Option<String> = None;
+    for threads in [1usize, 4, 16] {
+        set_thread_count(threads);
+        clear_memos();
+        let got = ext::run_estimate_sensitivity(n_flows, seed).to_markdown();
+        match &reference {
+            None => reference = Some(got),
+            Some(want) => {
+                assert_eq!(want, &got, "estimate sweep differs at {threads} threads");
+            }
+        }
+    }
+    set_thread_count(0);
+}

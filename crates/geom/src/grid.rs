@@ -60,6 +60,12 @@ impl SpatialGrid {
         }
     }
 
+    /// The configured cell size in meters.
+    #[must_use]
+    pub fn cell_size(&self) -> f64 {
+        self.cell_size
+    }
+
     fn cell_of(&self, p: Point2) -> (i64, i64) {
         (
             (p.x / self.cell_size).floor() as i64,
@@ -174,6 +180,38 @@ impl SpatialGrid {
         }
     }
 
+    /// Iterates over the keys within `radius` meters of `center` without
+    /// allocating. Same exact semantics as [`SpatialGrid::query_range`]
+    /// (inclusive radius, unspecified order); callers that need determinism
+    /// should collect and sort.
+    pub fn query_range_iter(
+        &self,
+        center: Point2,
+        radius: f64,
+    ) -> impl Iterator<Item = u32> + '_ {
+        let valid = radius.is_finite() && radius >= 0.0;
+        let r_sq = radius * radius;
+        let span = if valid { (radius / self.cell_size).ceil() as i64 } else { 0 };
+        let (cx, cy) = self.cell_of(center);
+        (cx - span..=cx + span)
+            .flat_map(move |gx| (cy - span..=cy + span).map(move |gy| (gx, gy)))
+            .filter_map(move |cell| self.cells.get(&cell))
+            .flatten()
+            .filter(move |&&(_, p)| valid && center.distance_sq_to(p) <= r_sq)
+            .map(|&(k, _)| k)
+    }
+
+    /// Removes every item while keeping the cell buckets' allocations (and
+    /// the hash tables' capacity), so a reused grid reaches steady state
+    /// without reallocating. A cleared grid answers every query exactly
+    /// like a freshly constructed one.
+    pub fn clear(&mut self) {
+        for bucket in self.cells.values_mut() {
+            bucket.clear();
+        }
+        self.positions.clear();
+    }
+
     /// Iterates over all `(key, position)` pairs in unspecified order.
     pub fn iter(&self) -> impl Iterator<Item = (u32, Point2)> + '_ {
         self.positions.iter().map(|(&k, &p)| (k, p))
@@ -269,6 +307,21 @@ mod tests {
     }
 
     #[test]
+    fn clear_empties_but_keeps_answering_queries() {
+        let mut g = SpatialGrid::new(10.0);
+        g.insert(1, Point2::new(5.0, 5.0));
+        g.insert(2, Point2::new(50.0, 50.0));
+        g.clear();
+        assert!(g.is_empty());
+        assert!(g.query_range(Point2::new(5.0, 5.0), 100.0).is_empty());
+        assert_eq!(g.position(1), None);
+        // Reuse after clear behaves like a fresh grid.
+        g.insert(3, Point2::new(5.0, 5.0));
+        assert_eq!(g.query_range(Point2::new(5.0, 5.0), 1.0), vec![3]);
+        assert_eq!(g.len(), 1);
+    }
+
+    #[test]
     fn invalid_radius_returns_empty() {
         let mut g = SpatialGrid::new(10.0);
         g.insert(0, Point2::ORIGIN);
@@ -295,6 +348,9 @@ mod tests {
             let center = Point2::new(qx, qy);
             let mut got = g.query_range(center, radius);
             got.sort_unstable();
+            let mut iterated: Vec<u32> = g.query_range_iter(center, radius).collect();
+            iterated.sort_unstable();
+            prop_assert_eq!(&iterated, &got);
             let mut want: Vec<u32> = truth
                 .iter()
                 .filter(|(_, p)| center.distance_to(**p) <= radius)

@@ -5,11 +5,14 @@
 //! * [`QueueBackend::Calendar`] (the default) — a calendar/bucket queue
 //!   tuned for the near-monotone schedules discrete-event simulation
 //!   produces: virtual time is divided into fixed-width buckets arranged in
-//!   a ring (one "day" = the whole ring); an event lands in its bucket in
-//!   O(1), the bucket under the cursor is sorted once when the cursor
-//!   reaches it, and events further than a day ahead wait in an overflow
-//!   heap. For the simulator's workload (deliveries milliseconds ahead,
-//!   timers/beacons a second ahead) almost every push is an O(1) append.
+//!   a ring covering a sliding window of one ring-span ahead of the cursor;
+//!   an event lands in its bucket in O(1), the bucket under the cursor is
+//!   sorted once when the cursor reaches it, and events beyond the window
+//!   wait in an overflow heap that is drained into the ring as the window
+//!   slides forward. For the simulator's workload (deliveries milliseconds
+//!   ahead, timers/beacons a second ahead) every push is an O(1) append:
+//!   a 1 s reschedule is always inside the ~2.1 s window, regardless of
+//!   where the cursor sits.
 //! * [`QueueBackend::BinaryHeap`] — the classic binary-heap future-event
 //!   list, kept as a fallback and as the reference implementation the
 //!   property tests compare the calendar against.
@@ -30,13 +33,11 @@ const BUCKET_WIDTH_MICROS: u64 = 32_768;
 
 /// Number of buckets in the ring — exactly 64 so bucket occupancy fits one
 /// `u64` bitmap and the cursor advances with a `trailing_zeros`, never a
-/// scan. One day = `BUCKET_WIDTH_MICROS * NUM_BUCKETS` ≈ 2.1 s of virtual
-/// time, comfortably covering the simulator's 1 s HELLO/pacing periods so
-/// periodic reschedules stay in the ring instead of the overflow heap.
+/// scan. The ring covers `BUCKET_WIDTH_MICROS * NUM_BUCKETS` ≈ 2.1 s of
+/// virtual time ahead of the cursor, comfortably covering the simulator's
+/// 1 s HELLO/pacing periods so periodic reschedules stay in the ring
+/// instead of the overflow heap.
 const NUM_BUCKETS: usize = 64;
-
-/// Microseconds covered by one full ring revolution.
-const DAY_SPAN_MICROS: u64 = BUCKET_WIDTH_MICROS * NUM_BUCKETS as u64;
 
 /// Which data structure backs an [`EventQueue`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -112,21 +113,36 @@ impl<E> Eq for Scheduled<E> {}
 
 /// The calendar backend.
 ///
-/// Invariant maintained by every operation: when `len > 0`, the bucket
-/// under `cursor` is non-empty and sorted *descending* by `(time, seq)`,
-/// so the next event to pop is its last element and `peek` is O(1).
-/// Ring buckets other than the cursor's hold only events of the current
-/// day, unsorted; the overflow heap holds everything scheduled beyond it.
+/// The ring covers a *sliding window* of `NUM_BUCKETS` consecutive global
+/// bucket indices starting at `gcursor` (the global index of the cursor
+/// bucket). Because the window is exactly one ring revolution long, each
+/// ring slot corresponds to exactly one global bucket inside the window, so
+/// slots never mix events from different revolutions.
+///
+/// Invariants maintained by every operation:
+///
+/// * when `len > 0`, the bucket under the cursor is non-empty and sorted
+///   *descending* by `(time, seq)`, so the next event to pop is its last
+///   element and `peek` is O(1);
+/// * every ring event's global bucket lies in `[gcursor, gcursor + 64)`;
+/// * the overflow heap holds only events at or beyond `gcursor + 64` — it
+///   is drained into the ring every time the window slides forward.
+///
+/// The sliding window (rather than a fixed day-aligned one) is what makes
+/// periodic reschedules O(1): an event one second ahead is always inside
+/// the ~2.1 s window no matter where the cursor sits, so it never detours
+/// through the overflow heap.
 #[derive(Debug)]
 struct Calendar<E> {
     buckets: Vec<Vec<Scheduled<E>>>,
     /// Bit `i` set ⇔ `buckets[i]` is non-empty.
     occupancy: u64,
-    /// Index of the current bucket within the ring.
+    /// Index of the current bucket within the ring (`gcursor % 64`).
     cursor: usize,
-    /// Current day number (`time / DAY_SPAN_MICROS`).
-    day: u64,
-    /// Events scheduled beyond the current day, earliest first.
+    /// Global index of the cursor bucket on the full time axis
+    /// (`time / BUCKET_WIDTH_MICROS`); the window starts here.
+    gcursor: u64,
+    /// Events scheduled beyond the current window, earliest first.
     overflow: BinaryHeap<Scheduled<E>>,
     len: usize,
 }
@@ -137,15 +153,10 @@ impl<E> Calendar<E> {
             buckets: (0..NUM_BUCKETS).map(|_| Vec::new()).collect(),
             occupancy: 0,
             cursor: 0,
-            day: 0,
+            gcursor: 0,
             overflow: BinaryHeap::new(),
             len: 0,
         }
-    }
-
-    /// Global index of the cursor bucket on the full time axis.
-    fn global_cursor_bucket(&self) -> u64 {
-        self.day * NUM_BUCKETS as u64 + self.cursor as u64
     }
 
     fn ring_index(t: u64) -> usize {
@@ -154,23 +165,24 @@ impl<E> Calendar<E> {
 
     fn push(&mut self, item: Scheduled<E>) {
         let t = item.time.as_micros();
+        let g = t / BUCKET_WIDTH_MICROS;
         if self.len == 0 {
             // Empty queue: jump straight onto the item's bucket. A single
             // sorted element trivially satisfies the cursor invariant.
-            self.day = t / DAY_SPAN_MICROS;
+            self.gcursor = g;
             self.cursor = Self::ring_index(t);
             self.buckets[self.cursor].push(item);
             self.occupancy |= 1 << self.cursor;
-        } else if t / BUCKET_WIDTH_MICROS <= self.global_cursor_bucket() {
+        } else if g <= self.gcursor {
             // At or before the cursor bucket (including "in the past"):
             // insert into the sorted cursor bucket so ordering holds.
             let key = (item.time, item.seq);
             let bucket = &mut self.buckets[self.cursor];
             let pos = bucket.partition_point(|s| (s.time, s.seq) > key);
             bucket.insert(pos, item);
-        } else if t / DAY_SPAN_MICROS == self.day {
-            // Later bucket of the current day: O(1) append, sorted when the
-            // cursor gets there.
+        } else if g < self.gcursor + NUM_BUCKETS as u64 {
+            // Inside the window: O(1) append, sorted when the cursor gets
+            // there.
             let idx = Self::ring_index(t);
             self.buckets[idx].push(item);
             self.occupancy |= 1 << idx;
@@ -204,47 +216,69 @@ impl<E> Calendar<E> {
         Some(item)
     }
 
-    /// Moves the cursor to the next non-empty bucket, rolling over to the
-    /// day of the earliest overflow event when the ring drains. Only called
-    /// with `len > 0` and an empty cursor bucket.
+    /// Slides the window forward to the next non-empty bucket — the next
+    /// occupied ring slot in circular order, or the earliest overflow event
+    /// when the ring has drained — then pulls newly-covered overflow events
+    /// into the ring. Only called with `len > 0` and an empty cursor bucket.
     fn advance(&mut self) {
         // Occupied buckets after the cursor, via the bitmap: one
-        // trailing_zeros instead of a ring scan.
+        // trailing_zeros instead of a ring scan. Slots below the cursor
+        // wrap around to the buckets just past the old window's end.
         let ahead = self.occupancy & !((1 << self.cursor) - 1);
         if ahead != 0 {
-            self.cursor = ahead.trailing_zeros() as usize;
-            self.sort_cursor_bucket();
-            return;
+            let slot = ahead.trailing_zeros() as usize;
+            self.gcursor += (slot - self.cursor) as u64;
+            self.cursor = slot;
+        } else if self.occupancy != 0 {
+            let slot = self.occupancy.trailing_zeros() as usize;
+            self.gcursor += (NUM_BUCKETS - self.cursor + slot) as u64;
+            self.cursor = slot;
+        } else {
+            // Ring drained: everything pending sits in the overflow. Jump
+            // to its earliest event (skipping empty spans entirely).
+            let t_min = self
+                .overflow
+                .peek()
+                .expect("calendar invariant: len > 0 with an empty ring implies overflow events")
+                .time
+                .as_micros();
+            self.gcursor = t_min / BUCKET_WIDTH_MICROS;
+            self.cursor = Self::ring_index(t_min);
         }
-        // Ring drained: everything pending sits in the overflow. Jump to
-        // the day of its earliest event (skipping empty days entirely) and
-        // pull that whole day into the ring.
-        let t_min = self
-            .overflow
-            .peek()
-            .expect("calendar invariant: len > 0 with an empty ring implies overflow events")
-            .time
-            .as_micros();
-        self.day = t_min / DAY_SPAN_MICROS;
-        self.cursor = Self::ring_index(t_min);
+        // The window slid forward: overflow events now inside it belong in
+        // the ring (they are all at or beyond the old window's end, so none
+        // precede the new cursor bucket — ordering is preserved).
         while self
             .overflow
             .peek()
-            .is_some_and(|s| s.time.as_micros() / DAY_SPAN_MICROS == self.day)
+            .is_some_and(|s| s.time.as_micros() / BUCKET_WIDTH_MICROS
+                < self.gcursor + NUM_BUCKETS as u64)
         {
             let item = self.overflow.pop().expect("peeked non-empty");
             let idx = Self::ring_index(item.time.as_micros());
             self.buckets[idx].push(item);
             self.occupancy |= 1 << idx;
         }
-        // The earliest event landed in the cursor bucket, so it is
-        // non-empty; later buckets of the new day hold the rest.
+        // The earliest pending event sits in the (non-empty) cursor bucket.
         self.sort_cursor_bucket();
     }
 
     fn sort_cursor_bucket(&mut self) {
         self.buckets[self.cursor]
             .sort_unstable_by_key(|s| std::cmp::Reverse((s.time, s.seq)));
+    }
+
+    /// Empties the calendar while keeping every bucket's allocation (and
+    /// the overflow heap's) for reuse.
+    fn clear(&mut self) {
+        for bucket in &mut self.buckets {
+            bucket.clear();
+        }
+        self.occupancy = 0;
+        self.cursor = 0;
+        self.gcursor = 0;
+        self.overflow.clear();
+        self.len = 0;
     }
 }
 
@@ -321,6 +355,21 @@ impl<E> EventQueue<E> {
     pub fn is_empty(&self) -> bool {
         self.len() == 0
     }
+
+    /// Drops every pending event and resets the insertion-sequence counter,
+    /// returning the queue to its freshly-constructed state while keeping
+    /// the backing allocations (calendar buckets, heap storage) for reuse.
+    ///
+    /// After `clear()` the queue is observationally identical to a new
+    /// queue on the same backend: the same pushes pop in the same order
+    /// with the same internal `(time, seq)` keys.
+    pub fn clear(&mut self) {
+        self.next_seq = 0;
+        match &mut self.backend {
+            Backend::Calendar(c) => c.clear(),
+            Backend::BinaryHeap(h) => h.clear(),
+        }
+    }
 }
 
 impl<E> Default for EventQueue<E> {
@@ -335,6 +384,9 @@ mod tests {
     use proptest::prelude::*;
 
     const BACKENDS: [QueueBackend; 2] = [QueueBackend::Calendar, QueueBackend::BinaryHeap];
+
+    /// Microseconds covered by one full ring revolution (the window span).
+    const RING_SPAN_MICROS: u64 = BUCKET_WIDTH_MICROS * NUM_BUCKETS as u64;
 
     #[test]
     fn empty_queue_behaves() {
@@ -374,10 +426,52 @@ mod tests {
     }
 
     #[test]
+    fn clear_restores_fresh_state_and_keeps_popping_correctly() {
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            for i in 0..50u64 {
+                q.push(SimTime::from_micros(i * 40_000), i);
+            }
+            let _ = q.pop();
+            q.clear();
+            assert!(q.is_empty());
+            assert_eq!(q.len(), 0);
+            assert_eq!(q.peek_time(), None);
+            assert_eq!(q.pop(), None);
+            // Same pushes as a fresh queue pop identically (seq restarts).
+            q.push(SimTime::from_micros(7), 101);
+            q.push(SimTime::from_micros(7), 102);
+            q.push(SimTime::from_micros(3), 100);
+            assert_eq!(q.pop(), Some((SimTime::from_micros(3), 100)));
+            assert_eq!(q.pop(), Some((SimTime::from_micros(7), 101)));
+            assert_eq!(q.pop(), Some((SimTime::from_micros(7), 102)));
+        }
+    }
+
+    #[test]
+    fn periodic_reschedules_pop_in_order_across_window_slides() {
+        // The kernel's beacon pattern: pop an event at t, push it back at
+        // t + 1 s. Crosses many ring revolutions; order must hold exactly.
+        for backend in BACKENDS {
+            let mut q = EventQueue::with_backend(backend);
+            for i in 0..10u64 {
+                q.push(SimTime::from_micros(i * 3), i);
+            }
+            let mut last = SimTime::ZERO;
+            for _ in 0..2_000 {
+                let (t, id) = q.pop().expect("queue stays populated");
+                assert!(t >= last);
+                last = t;
+                q.push(t + crate::SimDuration::from_secs_f64(1.0), id);
+            }
+        }
+    }
+
+    #[test]
     fn calendar_handles_multi_day_gaps() {
         let mut q = EventQueue::new();
-        // Far beyond one ring revolution, several empty days apart.
-        let times = [0, DAY_SPAN_MICROS * 3 + 17, DAY_SPAN_MICROS * 10, DAY_SPAN_MICROS * 10 + 1];
+        // Far beyond one ring revolution, several empty revolutions apart.
+        let times = [0, RING_SPAN_MICROS * 3 + 17, RING_SPAN_MICROS * 10, RING_SPAN_MICROS * 10 + 1];
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_micros(t), i);
         }
@@ -464,7 +558,7 @@ mod tests {
         #[test]
         fn prop_backends_pop_identically(
             script in proptest::collection::vec(
-                (0u64..(DAY_SPAN_MICROS * 4), 0u32..3),
+                (0u64..(RING_SPAN_MICROS * 4), 0u32..3),
                 0..96,
             ),
         ) {

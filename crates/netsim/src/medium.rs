@@ -96,35 +96,58 @@ impl TopologyView {
 
     /// Live neighbors of `id` within radio range, sorted by id (excludes
     /// `id` itself and returns an empty list for a dead node).
+    ///
+    /// Allocates a fresh `Vec`; hot callers should prefer
+    /// [`TopologyView::neighbors_into`] with a reused scratch buffer, or
+    /// [`TopologyView::iter_neighbors_unordered`] when order is irrelevant.
     #[must_use]
     pub fn neighbors(&self, id: NodeId) -> Vec<NodeId> {
-        if !self.is_alive(id) {
-            return Vec::new();
-        }
-        let mut v: Vec<NodeId> = self
-            .grid
-            .query_range(self.position(id), self.range)
-            .into_iter()
-            .filter(|&k| k != id.raw())
-            .map(NodeId::new)
-            .collect();
-        v.sort_unstable();
+        let mut v = Vec::new();
+        self.neighbors_into(id, &mut v);
         v
+    }
+
+    /// Like [`TopologyView::neighbors`], but clears and fills a
+    /// caller-provided buffer instead of allocating, so a loop that walks
+    /// many neighborhoods (routing, BFS) allocates nothing in steady state.
+    pub fn neighbors_into(&self, id: NodeId, out: &mut Vec<NodeId>) {
+        out.clear();
+        if !self.is_alive(id) {
+            return;
+        }
+        out.extend(self.iter_neighbors_unordered(id));
+        out.sort_unstable();
+    }
+
+    /// Iterates over the live neighbors of `id` in *unspecified* order
+    /// without allocating. Yields nothing for a dead node. Callers whose
+    /// results depend on visit order must use the sorted forms instead.
+    pub fn iter_neighbors_unordered(&self, id: NodeId) -> impl Iterator<Item = NodeId> + '_ {
+        let raw = id.raw();
+        let alive = self.is_alive(id);
+        self.grid
+            .query_range_iter(self.position(id), self.range)
+            .filter(move |&k| alive && k != raw)
+            .map(NodeId::new)
     }
 
     /// Mean number of live neighbors per live node (the paper reports
     /// "approximately 12" for its topology).
     #[must_use]
     pub fn average_degree(&self) -> f64 {
-        let live: Vec<NodeId> = (0..self.node_count() as u32)
-            .map(NodeId::new)
-            .filter(|&id| self.is_alive(id))
-            .collect();
-        if live.is_empty() {
+        let mut live = 0usize;
+        let mut total = 0usize;
+        for i in 0..self.node_count() as u32 {
+            let id = NodeId::new(i);
+            if self.is_alive(id) {
+                live += 1;
+                total += self.iter_neighbors_unordered(id).count();
+            }
+        }
+        if live == 0 {
             return 0.0;
         }
-        let total: usize = live.iter().map(|&id| self.neighbors(id).len()).sum();
-        total as f64 / live.len() as f64
+        total as f64 / live as f64
     }
 
     /// Returns `true` if every live node can reach every other live node.
@@ -140,9 +163,11 @@ impl TopologyView {
         let mut seen = vec![false; self.node_count()];
         seen[start.index()] = true;
         let mut queue = VecDeque::from([start]);
+        let mut nbrs = Vec::new();
         let mut count = 1;
         while let Some(u) = queue.pop_front() {
-            for v in self.neighbors(u) {
+            self.neighbors_into(u, &mut nbrs);
+            for &v in &nbrs {
                 if !seen[v.index()] {
                     seen[v.index()] = true;
                     count += 1;
@@ -174,6 +199,17 @@ mod tests {
         );
         assert!(t.in_range(NodeId::new(0), NodeId::new(1)));
         assert!(!t.in_range(NodeId::new(0), NodeId::new(2)));
+    }
+
+    #[test]
+    fn neighbors_into_clears_stale_buffer_and_matches_neighbors() {
+        let t = line(20.0, 5, 30.0);
+        let mut buf = vec![NodeId::new(42)];
+        t.neighbors_into(NodeId::new(2), &mut buf);
+        assert_eq!(buf, t.neighbors(NodeId::new(2)));
+        let mut unordered: Vec<NodeId> = t.iter_neighbors_unordered(NodeId::new(2)).collect();
+        unordered.sort_unstable();
+        assert_eq!(unordered, buf);
     }
 
     #[test]

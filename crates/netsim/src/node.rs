@@ -79,6 +79,12 @@ impl NodeState {
         &mut self.neighbors
     }
 
+    /// Consumes the node, yielding its neighbor table so the world's reset
+    /// path can recycle the table's allocation into the next replicate.
+    pub(crate) fn into_neighbor_table(self) -> NeighborTable {
+        self.neighbors
+    }
+
     pub(crate) fn battery_mut(&mut self) -> &mut Battery {
         &mut self.battery
     }

@@ -110,6 +110,7 @@ impl DijkstraRouter {
         let mut dist = vec![f64::INFINITY; n];
         let mut prev: Vec<Option<NodeId>> = vec![None; n];
         let mut heap = BinaryHeap::new();
+        let mut nbrs = Vec::new();
         dist[src.index()] = 0.0;
         heap.push(QueueItem { cost: 0.0, node: src });
         while let Some(QueueItem { cost, node }) = heap.pop() {
@@ -120,7 +121,8 @@ impl DijkstraRouter {
                 continue; // stale entry
             }
             let here = topo.position(node);
-            for nb in topo.neighbors(node) {
+            topo.neighbors_into(node, &mut nbrs);
+            for &nb in &nbrs {
                 let w = self.weight.weight(here.distance_to(topo.position(nb)));
                 let next_cost = cost + w;
                 if next_cost < dist[nb.index()] {

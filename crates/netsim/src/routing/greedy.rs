@@ -47,13 +47,17 @@ impl Router for GreedyRouter {
         let target = topo.position(dst);
         let mut path = vec![src];
         let mut current = src;
+        let mut nbrs = Vec::new();
         while current != dst {
             let here = topo.position(current).distance_to(target);
             // Among neighbors strictly closer to the destination, take the
-            // closest; ties break toward the smaller id (neighbors() is
-            // sorted and `<` keeps the first minimum).
+            // closest; ties break toward the smaller id (neighbors_into
+            // sorts and `<` keeps the first minimum). One scratch buffer
+            // serves every hop, so the loop allocates nothing after the
+            // first neighborhood.
             let mut best: Option<(f64, NodeId)> = None;
-            for n in topo.neighbors(current) {
+            topo.neighbors_into(current, &mut nbrs);
+            for &n in &nbrs {
                 let d = topo.position(n).distance_to(target);
                 if d < here && best.is_none_or(|(bd, _)| d < bd) {
                     best = Some((d, n));

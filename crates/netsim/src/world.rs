@@ -9,6 +9,12 @@ use crate::{
     NodeId, NodeState, Outbox, SimConfig, SimDuration, SimError, SimTime, TopologyView,
 };
 
+/// Below this many nodes, HELLO neighbor discovery scans the node array
+/// instead of probing the spatial grid: a 3×3 block of hash-bucket lookups
+/// costs more than a dozen distance checks, and the pinned-path experiment
+/// worlds carry only the flow's relays.
+const SMALL_WORLD_SCAN: usize = 32;
+
 /// Internal kernel events.
 #[derive(Debug)]
 enum Event<M> {
@@ -86,7 +92,11 @@ pub struct World<A: Application> {
     outbox: Outbox<A::Msg>,
     /// Reusable scratch for HELLO-beacon range queries.
     hearers: Vec<u32>,
-    /// Kernel events processed since construction (throughput metric).
+    /// Neighbor tables recycled by [`World::reset_into`], handed back out
+    /// by `add_node` so a reused world allocates no new tables.
+    spare_tables: Vec<NeighborTable>,
+    /// Kernel events processed since construction or the last reset
+    /// (throughput metric).
     events_processed: u64,
 }
 
@@ -117,8 +127,77 @@ impl<A: Application> World<A> {
             started: false,
             outbox: Outbox::new(),
             hearers: Vec::new(),
+            spare_tables: Vec::new(),
             events_processed: 0,
         })
+    }
+
+    /// Returns the world to its just-constructed state under a (possibly
+    /// different) configuration and models, keeping every allocation —
+    /// event-queue buckets, spatial-grid cells, ledger buffers, neighbor
+    /// tables, scratch vectors — for the next replicate. Application
+    /// instances are drained into `recycled_apps` so the caller can reuse
+    /// their allocations too.
+    ///
+    /// A reset world is observationally identical to a fresh
+    /// `World::new(cfg, …)`: the same `add_node`/`start`/run sequence
+    /// produces a bit-identical event trace (asserted by a property test).
+    /// Tracing is disabled by the reset, matching a fresh world; re-enable
+    /// it afterwards if needed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if `cfg` fails validation; the
+    /// world is left unchanged in that case.
+    pub fn reset_into(
+        &mut self,
+        cfg: SimConfig,
+        tx_model: Box<dyn TxEnergyModel>,
+        mobility_model: Box<dyn MobilityCostModel>,
+        recycled_apps: &mut Vec<A>,
+    ) -> Result<(), SimError> {
+        cfg.validate()?;
+        for node in self.nodes.drain(..) {
+            self.spare_tables.push(node.into_neighbor_table());
+        }
+        recycled_apps.append(&mut self.apps);
+        if self.queue.backend() == cfg.queue_backend {
+            self.queue.clear();
+        } else {
+            self.queue = EventQueue::with_backend(cfg.queue_backend);
+        }
+        // The grid keeps its buckets only while the cell size (derived from
+        // the radio range) is unchanged; a new range needs a new geometry.
+        if self.grid.cell_size() == cfg.range.max(1.0) {
+            self.grid.clear();
+        } else {
+            self.grid = SpatialGrid::new(cfg.range.max(1.0));
+        }
+        self.cfg = cfg;
+        self.tx_model = tx_model;
+        self.mobility_model = mobility_model;
+        self.time = SimTime::ZERO;
+        self.ledger.clear();
+        self.trace = None;
+        self.started = false;
+        self.events_processed = 0;
+        Ok(())
+    }
+
+    /// Like [`World::reset_into`], dropping the old application instances
+    /// instead of recycling them.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`World::reset_into`].
+    pub fn reset(
+        &mut self,
+        cfg: SimConfig,
+        tx_model: Box<dyn TxEnergyModel>,
+        mobility_model: Box<dyn MobilityCostModel>,
+    ) -> Result<(), SimError> {
+        let mut dropped = Vec::new();
+        self.reset_into(cfg, tx_model, mobility_model, &mut dropped)
     }
 
     /// Adds a node with its application instance, returning its id.
@@ -129,7 +208,14 @@ impl<A: Application> World<A> {
     pub fn add_node(&mut self, position: Point2, battery: Battery, app: A) -> NodeId {
         assert!(!self.started, "nodes must be added before start()");
         let id = NodeId::new(self.nodes.len() as u32);
-        let node = NodeState::new(id, position, battery, NeighborTable::new(self.cfg.hello.ttl));
+        let table = match self.spare_tables.pop() {
+            Some(mut t) => {
+                t.reset(self.cfg.hello.ttl);
+                t
+            }
+            None => NeighborTable::new(self.cfg.hello.ttl),
+        };
+        let node = NodeState::new(id, position, battery, table);
         if node.is_alive() {
             self.grid.insert(id.raw(), position);
         }
@@ -306,10 +392,29 @@ impl<A: Application> World<A> {
             (n.position(), n.residual_energy())
         };
         // Reuse the scratch buffer: HELLO is the densest event class and must
-        // not allocate in the steady state.
-        self.grid.query_range_into(pos, self.cfg.range, &mut self.hearers);
-        self.hearers.retain(|&k| k != node.raw());
-        self.hearers.sort_unstable();
+        // not allocate in the steady state. Tiny deployments (the pinned-path
+        // experiment worlds) skip the grid entirely: a linear scan over a
+        // handful of nodes beats nine hash-bucket probes, and it yields the
+        // same hearer set — the grid holds exactly the alive nodes, and ids
+        // come out already sorted.
+        if self.nodes.len() <= SMALL_WORLD_SCAN {
+            let r_sq = self.cfg.range * self.cfg.range;
+            self.hearers.clear();
+            self.hearers.extend(
+                self.nodes
+                    .iter()
+                    .filter(|n| {
+                        n.id() != node
+                            && n.is_alive()
+                            && pos.distance_sq_to(n.position()) <= r_sq
+                    })
+                    .map(|n| n.id().raw()),
+            );
+        } else {
+            self.grid.query_range_into(pos, self.cfg.range, &mut self.hearers);
+            self.hearers.retain(|&k| k != node.raw());
+            self.hearers.sort_unstable();
+        }
         let now = self.time;
         for &k in &self.hearers {
             let hearer = &mut self.nodes[k as usize];
@@ -420,8 +525,8 @@ impl<A: Application> World<A> {
         &self.cfg
     }
 
-    /// Kernel events processed since construction. The benchmark harness
-    /// divides this by wall time to report events/second.
+    /// Kernel events processed since construction or the last reset. The
+    /// benchmark harness divides this by wall time to report events/second.
     #[must_use]
     pub fn events_processed(&self) -> u64 {
         self.events_processed
@@ -740,6 +845,145 @@ mod tests {
         // Without tracing there is no ring.
         let w2 = make_world();
         assert!(w2.trace().is_none());
+    }
+
+    /// A scenario script for the reset-equivalence tests: a chain of nodes
+    /// with forwarding, optional movement, and a handful of source timers.
+    #[derive(Debug, Clone)]
+    struct Scenario {
+        n: usize,
+        spacing: f64,
+        joules: f64,
+        move_y: f64,
+        timers: Vec<u64>,
+        run_micros: u64,
+    }
+
+    /// Everything observable about a finished run, compared bit-for-bit.
+    #[derive(Debug, PartialEq)]
+    struct RunFingerprint {
+        positions: Vec<Point2>,
+        energies: Vec<f64>,
+        total_moved: Vec<f64>,
+        sent: u64,
+        delivered: u64,
+        dropped: u64,
+        events_processed: u64,
+        time: SimTime,
+        trace: Vec<TraceEvent>,
+    }
+
+    /// Builds the scenario into `w` (fresh or reset), runs it, and
+    /// fingerprints the outcome.
+    fn run_scenario(w: &mut World<Echo>, sc: &Scenario) -> RunFingerprint {
+        let ids = chain(w, sc.n, sc.spacing, sc.joules);
+        w.enable_tracing(4096);
+        for pair in ids.windows(2) {
+            w.app_mut(pair[0]).forward_to = Some(pair[1]);
+        }
+        if sc.n > 1 {
+            w.app_mut(ids[1]).move_target =
+                Some(Point2::new(sc.spacing * sc.n as f64, sc.move_y));
+        }
+        w.start();
+        for (i, &t) in sc.timers.iter().enumerate() {
+            w.schedule_timer(ids[0], SimDuration::from_millis(t), i as u64);
+        }
+        w.run_until(SimTime::from_micros(sc.run_micros));
+        RunFingerprint {
+            positions: ids.iter().map(|&id| w.position(id)).collect(),
+            energies: ids.iter().map(|&id| w.residual_energy(id)).collect(),
+            total_moved: ids.iter().map(|&id| w.node(id).total_moved()).collect(),
+            sent: w.ledger().packets_sent,
+            delivered: w.ledger().packets_delivered,
+            dropped: w.ledger().packets_dropped,
+            events_processed: w.events_processed(),
+            time: w.time(),
+            trace: w.trace().expect("tracing enabled").events(),
+        }
+    }
+
+    #[test]
+    fn reset_world_is_bit_identical_to_fresh() {
+        let sc = Scenario {
+            n: 4,
+            spacing: 20.0,
+            joules: 10.0,
+            move_y: 9.0,
+            timers: vec![0, 100, 200, 300, 400],
+            run_micros: 10_000_000,
+        };
+        let mut fresh = make_world();
+        let want = run_scenario(&mut fresh, &sc);
+
+        // Run something *different* first so the reused world carries
+        // non-trivial internal state into the reset.
+        let mut reused = make_world();
+        let warmup = Scenario {
+            n: 7,
+            spacing: 15.0,
+            joules: 0.02,
+            move_y: 3.0,
+            timers: vec![50, 60, 70],
+            run_micros: 4_000_000,
+        };
+        let _ = run_scenario(&mut reused, &warmup);
+        let mut apps = Vec::new();
+        reused
+            .reset_into(
+                SimConfig::default(),
+                Box::new(PowerLawModel::paper_default(2.0).unwrap()),
+                Box::new(LinearMobilityCost::new(0.5).unwrap()),
+                &mut apps,
+            )
+            .unwrap();
+        assert_eq!(apps.len(), 7, "old apps are recycled to the caller");
+        let got = run_scenario(&mut reused, &sc);
+        assert_eq!(got, want);
+    }
+
+    proptest::proptest! {
+        /// Reset-and-reuse is bit-identical to a fresh world across random
+        /// scenarios, including when the warmup scenario (whose allocations
+        /// the reused world inherits) differs arbitrarily.
+        #[test]
+        fn prop_reset_world_matches_fresh_trace(
+            n in 2usize..8,
+            spacing in 5.0..30.0f64,
+            joules in 0.001..10.0f64,
+            move_y in 0.0..20.0f64,
+            timers in proptest::collection::vec(0u64..1_000, 0..6),
+            warm_n in 1usize..8,
+            warm_spacing in 5.0..30.0f64,
+            warm_joules in 0.001..10.0f64,
+        ) {
+            let sc = Scenario {
+                n, spacing, joules, move_y, timers,
+                run_micros: 5_000_000,
+            };
+            let mut fresh = make_world();
+            let want = run_scenario(&mut fresh, &sc);
+
+            let mut reused = make_world();
+            let warmup = Scenario {
+                n: warm_n,
+                spacing: warm_spacing,
+                joules: warm_joules,
+                move_y: 1.0,
+                timers: vec![10, 20],
+                run_micros: 3_000_000,
+            };
+            let _ = run_scenario(&mut reused, &warmup);
+            reused
+                .reset(
+                    SimConfig::default(),
+                    Box::new(PowerLawModel::paper_default(2.0).unwrap()),
+                    Box::new(LinearMobilityCost::new(0.5).unwrap()),
+                )
+                .unwrap();
+            let got = run_scenario(&mut reused, &sc);
+            proptest::prop_assert_eq!(got, want);
+        }
     }
 
     #[test]

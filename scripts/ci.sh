@@ -21,4 +21,12 @@ smoke_out=$(mktemp)
 trap 'rm -f "$smoke_out"' EXIT
 cargo run --release -q -p imobif-bench --bin hotpath_bench -- "$smoke_out" >/dev/null
 
+echo "==> scaling bench smoke (scale_bench --smoke: allocation + determinism gates)"
+# Gates enforced inside the binary (nonzero exit on violation):
+#   - steady-state heap allocations per delivered packet == 0
+#   - arena-backed replicates after the first allocate < 813 (PR 1's
+#     fresh-world per-instance figure)
+#   - figure CSV byte-identical across worker counts
+cargo run --release -q -p imobif-bench --bin scale_bench -- --smoke >/dev/null
+
 echo "==> ci OK"
