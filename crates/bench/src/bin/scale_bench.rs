@@ -15,7 +15,13 @@
 //! * `steady_state` — allocations per delivered packet in a warmed instance
 //!   (gate: exactly 0);
 //! * `end_to_end` — `imobif-experiments all --flows 100` wall time against
-//!   the PR 1 baseline recorded on this machine.
+//!   the PR 1 baseline recorded on this machine;
+//! * `metrics_overhead` — paired, interleaved hello_dense runs with the
+//!   observability layer in its shipping disabled mode vs no registry at
+//!   all (gate: within 1% by robust paired estimators, one retry);
+//! * `figure_identity` — fig6 CSV (8 flows, seed 2025) hashed against the
+//!   pre-observability tip, with the registry disabled *and* enabled
+//!   (gate: byte-identical both ways).
 //!
 //! Usage:
 //! `cargo run --release -p imobif-bench --bin scale_bench [--smoke] [out.json]`
@@ -39,6 +45,7 @@ use imobif_experiments::runner::{
 };
 use imobif_experiments::topology::draw_scenario;
 use imobif_netsim::SimTime;
+use imobif_obs::{fnv1a64, Registry};
 
 #[global_allocator]
 static ALLOC: CountingAlloc = CountingAlloc;
@@ -57,6 +64,11 @@ const PR1_FRESH_INSTANCE_ALLOCS: u64 = 813;
 /// (commit 549d687), measured on this machine before the batch engine
 /// landed.
 const PR1_END_TO_END_WALL_SECS: f64 = 4.591;
+
+/// FNV-1a 64 of `fig6::run(8, 2025).to_csv()` (1979 bytes) at the
+/// pre-observability tip (commit f3c1f5a): the figure bytes the
+/// instrumented engine must still produce, registry disabled or enabled.
+const PRE_PR_FIG6_CSV_FNV: u64 = 0x67fd_e585_6d82_96c6;
 
 #[derive(Debug, Clone, Copy)]
 struct Measurement {
@@ -183,6 +195,64 @@ fn steady_state_allocs() -> (u64, u64) {
     (allocs, packets)
 }
 
+/// One paired metrics-overhead round: `pairs` interleaved (no-registry,
+/// disabled-registry) hello_dense runs. The disabled-mode run is the
+/// shipping default — kernel counters are plain `u64` fields that are
+/// always compiled in, and the end-of-run `publish_metrics` call
+/// early-returns — so this measures the cost of the observability layer as
+/// users actually carry it.
+///
+/// Returns `(best_ratio, median_pair_ratio)`, both as
+/// `wall_no_registry / wall_disabled` (1.0 = free, < 1.0 = overhead). Two
+/// robust estimators because this machine's scheduler noise is heavy-tailed:
+/// best-of-N collapses symmetric noise, the per-pair median survives a
+/// one-sided burst landing on half a run.
+fn metrics_overhead_round(sim_secs: u64, pairs: usize) -> (f64, f64) {
+    let cap = SimTime::from_micros(sim_secs * 1_000_000);
+    let disabled = Registry::disabled();
+    let mut samples = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let mut w = build_hello_dense(Variant::after());
+        let t0 = Instant::now();
+        let events = w.run_while(|w| w.time() < cap);
+        let base = t0.elapsed().as_secs_f64();
+        assert!(events > 0, "hello_dense must process events");
+
+        let mut w = build_hello_dense(Variant::after());
+        let t0 = Instant::now();
+        let _ = w.run_while(|w| w.time() < cap);
+        w.publish_metrics(&disabled);
+        let with_disabled = t0.elapsed().as_secs_f64();
+        samples.push((base, with_disabled));
+    }
+    let best_base = samples.iter().map(|s| s.0).fold(f64::INFINITY, f64::min);
+    let best_disabled = samples.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+    let mut pair_ratios: Vec<f64> = samples.iter().map(|s| s.0 / s.1).collect();
+    pair_ratios.sort_by(f64::total_cmp);
+    (best_base / best_disabled, pair_ratios[pair_ratios.len() / 2])
+}
+
+/// Enabled-registry provenance run: same workload with a live registry and
+/// a real publish, plus a sanity check that the flush actually captured the
+/// kernel's counters. Non-gating on time — enabled mode is allowed to cost
+/// whatever its one flush costs.
+fn metrics_enabled_probe(sim_secs: u64) -> Measurement {
+    let enabled = Registry::enabled();
+    let m = measure(1, || {
+        let mut w = build_hello_dense(Variant::after());
+        let events = w.run_while(|w| w.time() < SimTime::from_micros(sim_secs * 1_000_000));
+        w.publish_metrics(&enabled);
+        events
+    });
+    let snap = enabled.snapshot();
+    assert!(
+        snap.counter("queue.pushes").unwrap_or(0) > 0
+            && snap.counter("kernel.hello_beacons").unwrap_or(0) > 0,
+        "enabled registry must capture kernel counters"
+    );
+    m
+}
+
 /// Wall time of `imobif-experiments all --flows 100`, matching how the
 /// PR 1 baseline was taken: by timing the CLI binary itself (looked up next
 /// to this executable). Falls back to running the same figure pipeline
@@ -284,6 +354,48 @@ fn main() {
         ));
     }
 
+    // -- observability: disabled-mode overhead -----------------------------
+    // Long simulated windows: hello_dense processes ~100 events per
+    // sim-second, and a 1% gate needs each timed run to dwarf scheduler
+    // jitter (~tens of ms wall per run).
+    let (obs_sim_secs, obs_pairs) = if smoke { (2_000, 5) } else { (10_000, 9) };
+    eprintln!("measuring metrics overhead ({obs_pairs} pairs, {obs_sim_secs} sim-secs) ...");
+    let (mut best_ratio, mut median_ratio) = metrics_overhead_round(obs_sim_secs, obs_pairs);
+    let mut overhead_retried = false;
+    if best_ratio.max(median_ratio) < 0.99 {
+        // One retry: a single scheduler burst can sink a whole round.
+        eprintln!("  retrying (first round scored {:.3}) ...", best_ratio.max(median_ratio));
+        overhead_retried = true;
+        (best_ratio, median_ratio) = metrics_overhead_round(obs_sim_secs, obs_pairs);
+    }
+    let overhead_score = best_ratio.max(median_ratio);
+    if overhead_score < 0.99 {
+        gate_failures.push(format!(
+            "disabled-mode metrics overhead: paired score {overhead_score:.3} (< 0.99 of no-registry throughput)"
+        ));
+    }
+    let enabled_probe = metrics_enabled_probe(obs_sim_secs);
+
+    // -- observability: figure-output identity -----------------------------
+    eprintln!("checking fig6 figure-output identity (registry disabled and enabled) ...");
+    clear_memos();
+    let disabled_hash = fnv1a64(fig6::run(8, 2025).to_csv().as_bytes());
+    let engine_registry = imobif_experiments::obs::enable_metrics();
+    clear_memos();
+    let enabled_hash = fnv1a64(fig6::run(8, 2025).to_csv().as_bytes());
+    imobif_experiments::obs::disable_metrics();
+    assert!(
+        engine_registry.snapshot().counter("queue.pushes").unwrap_or(0) > 0,
+        "enabled engine registry must have captured the fig6 runs"
+    );
+    for (label, hash) in [("disabled", disabled_hash), ("enabled", enabled_hash)] {
+        if hash != PRE_PR_FIG6_CSV_FNV {
+            gate_failures.push(format!(
+                "fig6 CSV with metrics {label} hashes to {hash:#018x}, want {PRE_PR_FIG6_CSV_FNV:#018x} (figure bytes drifted)"
+            ));
+        }
+    }
+
     // -- end to end --------------------------------------------------------
     let end_to_end = if smoke {
         None
@@ -356,6 +468,15 @@ fn main() {
         json,
         "  \"steady_state\": {{ \"window_delivered_packets\": {ss_packets}, \"heap_allocations\": {ss_allocs}, \"allocations_per_delivered_packet\": {:.4} }},",
         ss_allocs as f64 / ss_packets as f64
+    );
+    let _ = writeln!(
+        json,
+        "  \"metrics_overhead\": {{ \"pairs\": {obs_pairs}, \"sim_secs\": {obs_sim_secs}, \"best_ratio\": {best_ratio:.4}, \"median_pair_ratio\": {median_ratio:.4}, \"score\": {overhead_score:.4}, \"retried\": {overhead_retried}, \"enabled_events_per_sec\": {:.0}, \"note\": \"ratio = wall(no registry) / wall(disabled registry), paired in-process; gate >= 0.99\" }},",
+        enabled_probe.events_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "  \"figure_identity\": {{ \"workload\": \"fig6::run(8, 2025).to_csv()\", \"reference_fnv1a64\": \"{PRE_PR_FIG6_CSV_FNV:#018x}\", \"metrics_disabled_fnv1a64\": \"{disabled_hash:#018x}\", \"metrics_enabled_fnv1a64\": \"{enabled_hash:#018x}\" }},"
     );
     match end_to_end {
         Some((after, method)) => {

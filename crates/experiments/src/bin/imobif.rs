@@ -1,0 +1,8 @@
+//! The `imobif` binary: short alias for the experiment CLI
+//! ([`imobif_experiments::cli`]) — figures, `trace` tooling and
+//! `manifest-check`.
+
+fn main() {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(imobif_experiments::cli::run(&argv));
+}

@@ -1,194 +1,9 @@
 //! CLI driver: regenerates the paper's figures and the extension
 //! experiments, printing markdown summaries and writing CSV series.
-//!
-//! Usage:
-//!
-//! ```text
-//! imobif-experiments [all|fig5|fig6|fig7|fig8|ext] [--flows N] [--seed S] [--out DIR] [--threads T]
-//! ```
-
-use std::fs;
-use std::path::{Path, PathBuf};
-use std::time::Instant;
-
-use imobif_experiments::figures::{ext, fig5, fig6, fig7, fig8};
-
-#[derive(Debug)]
-struct Args {
-    targets: Vec<String>,
-    flows: u64,
-    seed: u64,
-    out: Option<PathBuf>,
-}
-
-fn parse_args() -> Result<Args, String> {
-    let mut args = Args { targets: Vec::new(), flows: 100, seed: 2025, out: None };
-    let mut it = std::env::args().skip(1);
-    while let Some(a) = it.next() {
-        match a.as_str() {
-            "all" | "fig5" | "fig6" | "fig7" | "fig8" | "ext" => args.targets.push(a),
-            "--flows" => {
-                args.flows = it
-                    .next()
-                    .ok_or("--flows needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --flows: {e}"))?;
-            }
-            "--seed" => {
-                args.seed = it
-                    .next()
-                    .ok_or("--seed needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --seed: {e}"))?;
-            }
-            "--out" => {
-                args.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
-            }
-            "--threads" => {
-                // 0 = automatic; results are byte-identical at any setting.
-                let t: usize = it
-                    .next()
-                    .ok_or("--threads needs a value")?
-                    .parse()
-                    .map_err(|e| format!("bad --threads: {e}"))?;
-                imobif_experiments::runner::set_thread_count(t);
-            }
-            "--help" | "-h" => {
-                return Err(
-                    "usage: imobif-experiments [all|fig5|fig6|fig7|fig8|ext] \
-                     [--flows N] [--seed S] [--out DIR] [--threads T]"
-                        .to_string(),
-                )
-            }
-            other => return Err(format!("unknown argument `{other}` (try --help)")),
-        }
-    }
-    if args.targets.is_empty() {
-        args.targets.push("all".to_string());
-    }
-    Ok(args)
-}
-
-fn write_csv(out: Option<&Path>, name: &str, content: &str) {
-    if let Some(dir) = out {
-        if let Err(e) = fs::create_dir_all(dir) {
-            eprintln!("warning: cannot create {}: {e}", dir.display());
-            return;
-        }
-        let path = dir.join(name);
-        if let Err(e) = fs::write(&path, content) {
-            eprintln!("warning: cannot write {}: {e}", path.display());
-        } else {
-            eprintln!("wrote {}", path.display());
-        }
-    }
-}
+//! The full command surface (figures, `trace`, `manifest-check`) lives in
+//! [`imobif_experiments::cli`].
 
 fn main() {
-    let args = match parse_args() {
-        Ok(a) => a,
-        Err(msg) => {
-            eprintln!("{msg}");
-            std::process::exit(2);
-        }
-    };
-    let wants = |t: &str| {
-        args.targets.iter().any(|x| x == t) || args.targets.iter().any(|x| x == "all")
-    };
-    let out = args.out.as_deref();
-    println!("# iMobif reproduction — figure regeneration");
-    println!("\nflows per experiment: {}; seed: {}\n", args.flows, args.seed);
-
-    if wants("fig5") {
-        let t = Instant::now();
-        let r = fig5::run(args.seed);
-        println!("{}", r.to_markdown());
-        write_csv(out, "fig5_placements.csv", &r.to_csv());
-        let svg = imobif_experiments::render::placements_svg(&[
-            &r.original,
-            &r.min_energy,
-            &r.max_lifetime,
-        ]);
-        write_csv(out, "fig5_placements.svg", &svg);
-        eprintln!("fig5 done in {:.1}s", t.elapsed().as_secs_f64());
-    }
-    if wants("fig6") {
-        let t = Instant::now();
-        let r = fig6::run(args.flows, args.seed);
-        println!("{}", r.to_markdown());
-        write_csv(out, "fig6_ratios.csv", &r.to_csv());
-        // One scatter SVG per panel, like the paper's six scatter plots.
-        for panel in &r.panels {
-            use imobif_experiments::chart::{render_chart, Mark, Series};
-            let cu: Vec<(f64, f64)> = panel
-                .points
-                .iter()
-                .map(|p| (p.index as f64, p.cost_unaware_ratio))
-                .collect();
-            let inf: Vec<(f64, f64)> =
-                panel.points.iter().map(|p| (p.index as f64, p.informed_ratio)).collect();
-            let svg = render_chart(
-                &format!(
-                    "{} — k={}, α={}, mean {:.0} KB",
-                    panel.variant.label,
-                    panel.variant.k,
-                    panel.variant.alpha,
-                    panel.variant.mean_flow_bits / 8e3
-                ),
-                "flow index",
-                "energy consumption ratio",
-                Mark::Scatter,
-                &[
-                    Series::new("cost-unaware", cu),
-                    Series::new("imobif", inf),
-                ],
-                Some(1.0),
-            );
-            write_csv(out, &format!("{}_scatter.svg", panel.variant.label), &svg);
-        }
-        eprintln!("fig6 done in {:.1}s", t.elapsed().as_secs_f64());
-    }
-    if wants("fig7") {
-        let t = Instant::now();
-        let r = fig7::run(args.flows, args.seed);
-        println!("{}", r.to_markdown());
-        write_csv(out, "fig7_notifications.csv", &r.to_csv());
-        eprintln!("fig7 done in {:.1}s", t.elapsed().as_secs_f64());
-    }
-    if wants("fig8") {
-        let t = Instant::now();
-        let r = fig8::run(args.flows, args.seed);
-        println!("{}", r.to_markdown());
-        write_csv(out, "fig8_lifetime_cdf.csv", &r.to_csv());
-        {
-            use imobif_experiments::chart::{render_chart, Mark, Series};
-            let svg = render_chart(
-                "fig8 — system lifetime ratio CDF",
-                "system lifetime ratio",
-                "cumulative fraction of flows",
-                Mark::StepLine,
-                &[
-                    Series::new("cost-unaware", r.cost_unaware_cdf.clone()),
-                    Series::new("imobif", r.informed_cdf.clone()),
-                ],
-                None,
-            );
-            write_csv(out, "fig8_lifetime_cdf.svg", &svg);
-        }
-        eprintln!("fig8 done in {:.1}s", t.elapsed().as_secs_f64());
-    }
-    if wants("ext") {
-        let t = Instant::now();
-        // Extensions use a smaller batch: five sweeps of full batches.
-        let n = args.flows.div_ceil(4).max(4);
-        println!("{}", ext::run_estimate_sensitivity(n, args.seed).to_markdown());
-        println!("{}", ext::run_oracle_comparison(n, args.seed).to_markdown());
-        println!("{}", ext::run_initial_status(n, args.seed).to_markdown());
-        println!("{}", ext::run_step_sweep(n, args.seed).to_markdown());
-        println!("{}", ext::run_relay_selection(n, args.seed).to_markdown());
-        println!("{}", ext::run_horizon_ablation(n, args.seed).to_markdown());
-        println!("{}", ext::run_hybrid_sweep(n, args.seed).to_markdown());
-        println!("{}", ext::run_multiflow(8, args.seed).to_markdown());
-        eprintln!("ext done in {:.1}s", t.elapsed().as_secs_f64());
-    }
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    std::process::exit(imobif_experiments::cli::run(&argv));
 }

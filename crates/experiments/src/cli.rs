@@ -1,0 +1,449 @@
+//! Shared command-line implementation behind the `imobif` and
+//! `imobif-experiments` binaries.
+//!
+//! Three command families:
+//!
+//! * figure regeneration (the default): `[all|fig5|fig6|fig7|fig8|ext]`
+//!   with `--flows/--seed/--out/--threads`, plus the observability flags
+//!   `--metrics` (write a run manifest + metrics JSON) and `--prom`
+//!   (additionally export Prometheus text format);
+//! * `trace record|summary|dump` — record a traced flow case to JSONL and
+//!   analyze recordings offline;
+//! * `manifest-check FILE` — validate a run-manifest artifact.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+use imobif::MobilityMode;
+use imobif_netsim::trace::{events_from_jsonl, events_to_jsonl};
+use imobif_obs::{fnv1a64, PhaseTimer, RunManifest};
+
+use crate::config::ScenarioConfig;
+use crate::figures::{ext, fig5, fig6, fig7, fig8};
+use crate::runner::StrategyChoice;
+use crate::trace_tools;
+
+const USAGE: &str = "usage:
+  imobif [all|fig5|fig6|fig7|fig8|ext] [--flows N] [--seed S] [--out DIR]
+         [--threads T] [--metrics] [--prom]
+  imobif trace record [--out FILE] [--seed S] [--index I]
+         [--mode no-mobility|cost-unaware|informed]
+         [--strategy min-energy|max-lifetime] [--cap N]
+  imobif trace summary FILE
+  imobif trace dump FILE [--kind K] [--node N] [--limit L]
+  imobif manifest-check FILE";
+
+/// Runs the CLI against `argv` (program name already stripped) and returns
+/// the process exit code.
+#[must_use]
+pub fn run(argv: &[String]) -> i32 {
+    let result = match argv.first().map(String::as_str) {
+        Some("trace") => trace_cmd(&argv[1..]),
+        Some("manifest-check") => manifest_check_cmd(&argv[1..]),
+        _ => figures_cmd(argv),
+    };
+    match result {
+        Ok(()) => 0,
+        Err(msg) => {
+            eprintln!("{msg}");
+            2
+        }
+    }
+}
+
+#[derive(Debug)]
+struct FigureArgs {
+    targets: Vec<String>,
+    flows: u64,
+    seed: u64,
+    out: Option<PathBuf>,
+    metrics: bool,
+    prom: bool,
+}
+
+fn parse_figure_args(argv: &[String]) -> Result<FigureArgs, String> {
+    let mut args = FigureArgs {
+        targets: Vec::new(),
+        flows: 100,
+        seed: 2025,
+        out: None,
+        metrics: false,
+        prom: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "all" | "fig5" | "fig6" | "fig7" | "fig8" | "ext" => args.targets.push(a.clone()),
+            "--flows" => args.flows = parse_value(it.next(), "--flows")?,
+            "--seed" => args.seed = parse_value(it.next(), "--seed")?,
+            "--out" => {
+                args.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?));
+            }
+            "--threads" => {
+                // 0 = automatic; results are byte-identical at any setting.
+                let t: usize = parse_value(it.next(), "--threads")?;
+                crate::runner::set_thread_count(t);
+            }
+            "--metrics" => args.metrics = true,
+            "--prom" => args.prom = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if args.targets.is_empty() {
+        args.targets.push("all".to_string());
+    }
+    Ok(args)
+}
+
+fn parse_value<T: std::str::FromStr>(v: Option<&String>, flag: &str) -> Result<T, String>
+where
+    T::Err: std::fmt::Display,
+{
+    v.ok_or_else(|| format!("{flag} needs a value"))?
+        .parse()
+        .map_err(|e| format!("bad {flag}: {e}"))
+}
+
+fn write_artifact(out: Option<&Path>, name: &str, content: &str) {
+    if let Some(dir) = out {
+        if let Err(e) = fs::create_dir_all(dir) {
+            eprintln!("warning: cannot create {}: {e}", dir.display());
+            return;
+        }
+        let path = dir.join(name);
+        if let Err(e) = fs::write(&path, content) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        } else {
+            eprintln!("wrote {}", path.display());
+        }
+    }
+}
+
+/// FNV-1a over the canonical rendering of the run configuration: the
+/// manifest's config hash changes whenever any input that can change the
+/// output does.
+fn config_hash(args: &FigureArgs) -> u64 {
+    let canonical = format!(
+        "targets={:?};flows={};seed={};threads={}",
+        args.targets,
+        args.flows,
+        args.seed,
+        crate::runner::thread_count()
+    );
+    fnv1a64(canonical.as_bytes())
+}
+
+fn figures_cmd(argv: &[String]) -> Result<(), String> {
+    let args = parse_figure_args(argv)?;
+    if args.prom && !args.metrics {
+        return Err("--prom requires --metrics".to_string());
+    }
+    let registry = if args.metrics {
+        crate::obs::enable_metrics()
+    } else {
+        crate::obs::registry()
+    };
+    let mut timer = PhaseTimer::new();
+    let wants = |t: &str| {
+        args.targets.iter().any(|x| x == t) || args.targets.iter().any(|x| x == "all")
+    };
+    let out = args.out.as_deref();
+    println!("# iMobif reproduction — figure regeneration");
+    println!("\nflows per experiment: {}; seed: {}\n", args.flows, args.seed);
+
+    if wants("fig5") {
+        let t = Instant::now();
+        timer.start("fig5");
+        let r = fig5::run(args.seed);
+        println!("{}", r.to_markdown());
+        timer.start("render");
+        write_artifact(out, "fig5_placements.csv", &r.to_csv());
+        let svg = crate::render::placements_svg(&[&r.original, &r.min_energy, &r.max_lifetime]);
+        write_artifact(out, "fig5_placements.svg", &svg);
+        eprintln!("fig5 done in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    if wants("fig6") {
+        let t = Instant::now();
+        timer.start("fig6");
+        let r = fig6::run(args.flows, args.seed);
+        println!("{}", r.to_markdown());
+        timer.start("render");
+        write_artifact(out, "fig6_ratios.csv", &r.to_csv());
+        // One scatter SVG per panel, like the paper's six scatter plots.
+        for panel in &r.panels {
+            use crate::chart::{render_chart, Mark, Series};
+            let cu: Vec<(f64, f64)> = panel
+                .points
+                .iter()
+                .map(|p| (p.index as f64, p.cost_unaware_ratio))
+                .collect();
+            let inf: Vec<(f64, f64)> =
+                panel.points.iter().map(|p| (p.index as f64, p.informed_ratio)).collect();
+            let svg = render_chart(
+                &format!(
+                    "{} — k={}, α={}, mean {:.0} KB",
+                    panel.variant.label,
+                    panel.variant.k,
+                    panel.variant.alpha,
+                    panel.variant.mean_flow_bits / 8e3
+                ),
+                "flow index",
+                "energy consumption ratio",
+                Mark::Scatter,
+                &[Series::new("cost-unaware", cu), Series::new("imobif", inf)],
+                Some(1.0),
+            );
+            write_artifact(out, &format!("{}_scatter.svg", panel.variant.label), &svg);
+        }
+        eprintln!("fig6 done in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    if wants("fig7") {
+        let t = Instant::now();
+        timer.start("fig7");
+        let r = fig7::run(args.flows, args.seed);
+        println!("{}", r.to_markdown());
+        timer.start("render");
+        write_artifact(out, "fig7_notifications.csv", &r.to_csv());
+        eprintln!("fig7 done in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    if wants("fig8") {
+        let t = Instant::now();
+        timer.start("fig8");
+        let r = fig8::run(args.flows, args.seed);
+        println!("{}", r.to_markdown());
+        timer.start("render");
+        write_artifact(out, "fig8_lifetime_cdf.csv", &r.to_csv());
+        {
+            use crate::chart::{render_chart, Mark, Series};
+            let svg = render_chart(
+                "fig8 — system lifetime ratio CDF",
+                "system lifetime ratio",
+                "cumulative fraction of flows",
+                Mark::StepLine,
+                &[
+                    Series::new("cost-unaware", r.cost_unaware_cdf.clone()),
+                    Series::new("imobif", r.informed_cdf.clone()),
+                ],
+                None,
+            );
+            write_artifact(out, "fig8_lifetime_cdf.svg", &svg);
+        }
+        eprintln!("fig8 done in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    if wants("ext") {
+        let t = Instant::now();
+        timer.start("ext");
+        // Extensions use a smaller batch: five sweeps of full batches.
+        let n = args.flows.div_ceil(4).max(4);
+        println!("{}", ext::run_estimate_sensitivity(n, args.seed).to_markdown());
+        println!("{}", ext::run_oracle_comparison(n, args.seed).to_markdown());
+        println!("{}", ext::run_initial_status(n, args.seed).to_markdown());
+        println!("{}", ext::run_step_sweep(n, args.seed).to_markdown());
+        println!("{}", ext::run_relay_selection(n, args.seed).to_markdown());
+        println!("{}", ext::run_horizon_ablation(n, args.seed).to_markdown());
+        println!("{}", ext::run_hybrid_sweep(n, args.seed).to_markdown());
+        println!("{}", ext::run_multiflow(8, args.seed).to_markdown());
+        eprintln!("ext done in {:.1}s", t.elapsed().as_secs_f64());
+    }
+    timer.finish();
+
+    if args.metrics {
+        crate::obs::publish_memo_metrics(&registry);
+        let manifest = RunManifest {
+            tool: "imobif-experiments".to_string(),
+            targets: args.targets.clone(),
+            config_hash: config_hash(&args),
+            seed: args.seed,
+            flows: u32::try_from(args.flows).unwrap_or(u32::MAX),
+            threads: crate::runner::thread_count(),
+            phases: timer.into_phases(),
+            metrics: registry.snapshot(),
+        };
+        // The manifest embeds the full metrics snapshot, so one JSON file
+        // is the complete run artifact; default to the working directory
+        // when no --out was given.
+        let artifact_dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        write_artifact(Some(&artifact_dir), "run_manifest.json", &manifest.render());
+        if args.prom {
+            write_artifact(Some(&artifact_dir), "metrics.prom", &manifest.metrics.to_prometheus());
+        }
+    }
+    Ok(())
+}
+
+fn parse_mode(s: &str) -> Result<MobilityMode, String> {
+    match s {
+        "no-mobility" => Ok(MobilityMode::NoMobility),
+        "cost-unaware" => Ok(MobilityMode::CostUnaware),
+        "informed" => Ok(MobilityMode::Informed),
+        other => Err(format!("unknown mode `{other}` (no-mobility|cost-unaware|informed)")),
+    }
+}
+
+fn parse_choice(s: &str) -> Result<StrategyChoice, String> {
+    match s {
+        "min-energy" => Ok(StrategyChoice::MinEnergy),
+        "max-lifetime" => Ok(StrategyChoice::MaxLifetime),
+        other => Err(format!("unknown strategy `{other}` (min-energy|max-lifetime)")),
+    }
+}
+
+fn trace_cmd(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("record") => trace_record(&argv[1..]),
+        Some("summary") => trace_summary(&argv[1..]),
+        Some("dump") => trace_dump(&argv[1..]),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+fn trace_record(argv: &[String]) -> Result<(), String> {
+    let mut out: Option<PathBuf> = None;
+    let mut seed: u64 = 2025;
+    let mut index: u64 = 0;
+    let mut mode = MobilityMode::Informed;
+    let mut choice = StrategyChoice::MinEnergy;
+    let mut cap: usize = 1 << 20;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
+            "--seed" => seed = parse_value(it.next(), "--seed")?,
+            "--index" => index = parse_value(it.next(), "--index")?,
+            "--mode" => mode = parse_mode(it.next().ok_or("--mode needs a value")?)?,
+            "--strategy" => choice = parse_choice(it.next().ok_or("--strategy needs a value")?)?,
+            "--cap" => cap = parse_value(it.next(), "--cap")?,
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let cfg = ScenarioConfig { seed, ..ScenarioConfig::paper_default() };
+    let (result, events) = trace_tools::record_case(&cfg, index, mode, choice, cap);
+    let jsonl = events_to_jsonl(&events);
+    eprintln!(
+        "recorded {} events ({} delivered bits, {:.6} J total) for seed {seed} index {index}",
+        events.len(),
+        result.delivered_bits,
+        result.total_energy
+    );
+    match out {
+        Some(path) => {
+            fs::write(&path, &jsonl).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            eprintln!("wrote {}", path.display());
+        }
+        None => print!("{jsonl}"),
+    }
+    Ok(())
+}
+
+fn read_trace(path: &str) -> Result<Vec<imobif_netsim::trace::TraceEvent>, String> {
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    events_from_jsonl(&text).map_err(|e| format!("{path}: {e}"))
+}
+
+fn trace_summary(argv: &[String]) -> Result<(), String> {
+    let path = argv.first().ok_or(USAGE)?;
+    if argv.len() > 1 {
+        return Err(USAGE.to_string());
+    }
+    let events = read_trace(path)?;
+    print!("{}", trace_tools::summarize(&events).to_markdown());
+    Ok(())
+}
+
+fn trace_dump(argv: &[String]) -> Result<(), String> {
+    let path = argv.first().ok_or(USAGE)?;
+    let mut kind: Option<String> = None;
+    let mut node: Option<u32> = None;
+    let mut limit: usize = usize::MAX;
+    let mut it = argv[1..].iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--kind" => kind = Some(it.next().ok_or("--kind needs a value")?.clone()),
+            "--node" => node = Some(parse_value(it.next(), "--node")?),
+            "--limit" => limit = parse_value(it.next(), "--limit")?,
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    let events = read_trace(path)?;
+    let mut shown = 0usize;
+    for e in &events {
+        if !trace_tools::matches(e, kind.as_deref(), node) {
+            continue;
+        }
+        if shown >= limit {
+            break;
+        }
+        println!("{}", e.to_json().render());
+        shown += 1;
+    }
+    eprintln!("{shown} of {} events matched", events.len());
+    Ok(())
+}
+
+fn manifest_check_cmd(argv: &[String]) -> Result<(), String> {
+    let path = argv.first().ok_or(USAGE)?;
+    if argv.len() > 1 {
+        return Err(USAGE.to_string());
+    }
+    let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
+    let manifest = RunManifest::validate(&text).map_err(|e| format!("{path}: invalid manifest: {e}"))?;
+    println!(
+        "ok: {} run of {:?} (seed {}, {} flows, {} threads, {} phases, {} metrics)",
+        manifest.tool,
+        manifest.targets,
+        manifest.seed,
+        manifest.flows,
+        manifest.threads,
+        manifest.phases.len(),
+        manifest.metrics.entries.len()
+    );
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn argv(args: &[&str]) -> Vec<String> {
+        args.iter().map(ToString::to_string).collect()
+    }
+
+    #[test]
+    fn figure_args_parse_defaults_and_flags() {
+        let a = parse_figure_args(&argv(&["fig6", "--flows", "7", "--metrics"])).unwrap();
+        assert_eq!(a.targets, vec!["fig6"]);
+        assert_eq!(a.flows, 7);
+        assert!(a.metrics);
+        assert!(!a.prom);
+        let d = parse_figure_args(&[]).unwrap();
+        assert_eq!(d.targets, vec!["all"]);
+        assert_eq!(d.seed, 2025);
+        assert!(parse_figure_args(&argv(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn config_hash_tracks_inputs() {
+        let a = parse_figure_args(&argv(&["fig6", "--flows", "7"])).unwrap();
+        let b = parse_figure_args(&argv(&["fig6", "--flows", "8"])).unwrap();
+        assert_ne!(config_hash(&a), config_hash(&b));
+        assert_eq!(config_hash(&a), config_hash(&a));
+    }
+
+    #[test]
+    fn mode_and_strategy_parsers_round_trip() {
+        assert_eq!(parse_mode("informed").unwrap(), MobilityMode::Informed);
+        assert_eq!(parse_mode("no-mobility").unwrap(), MobilityMode::NoMobility);
+        assert!(parse_mode("warp").is_err());
+        assert_eq!(parse_choice("max-lifetime").unwrap(), StrategyChoice::MaxLifetime);
+        assert!(parse_choice("yolo").is_err());
+    }
+
+    #[test]
+    fn unknown_subcommand_is_a_figure_arg_error() {
+        assert_eq!(run(&argv(&["definitely-not-a-figure"])), 2);
+        assert_eq!(run(&argv(&["trace"])), 2);
+        assert_eq!(run(&argv(&["manifest-check"])), 2);
+    }
+}

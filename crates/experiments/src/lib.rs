@@ -35,10 +35,13 @@
 #![warn(missing_docs)]
 
 pub mod chart;
+pub mod cli;
 pub mod config;
 pub mod figures;
 pub mod metrics;
+pub mod obs;
 pub mod render;
 pub mod report;
 pub mod runner;
 pub mod topology;
+pub mod trace_tools;

@@ -1,0 +1,107 @@
+//! Process-wide metrics plumbing for the experiment engine.
+//!
+//! The engine instruments itself against a single shared
+//! [`Registry`](imobif_obs::Registry). By default that registry is
+//! *disabled*: every handle the engine asks for is a detached dummy, so
+//! instrumented code paths stay allocation- and branch-free (the hot
+//! kernel counters are plain `u64`s flushed once per run — see
+//! `World::publish_metrics`). The CLI swaps in an enabled registry with
+//! [`enable_metrics`] when the user passes `--metrics`.
+
+use std::sync::{Arc, Mutex, OnceLock};
+
+use imobif_obs::Registry;
+
+fn slot() -> &'static Mutex<Arc<Registry>> {
+    static SLOT: OnceLock<Mutex<Arc<Registry>>> = OnceLock::new();
+    SLOT.get_or_init(|| Mutex::new(Arc::new(Registry::disabled())))
+}
+
+/// Installs `registry` as the engine-wide metrics sink.
+pub fn set_registry(registry: Arc<Registry>) {
+    *slot().lock().expect("registry slot lock") = registry;
+}
+
+/// The engine-wide metrics registry. Disabled unless someone installed an
+/// enabled one; cloning the `Arc` is cheap enough for per-run use.
+#[must_use]
+pub fn registry() -> Arc<Registry> {
+    Arc::clone(&slot().lock().expect("registry slot lock"))
+}
+
+/// Installs (and returns) a fresh enabled registry — the `--metrics` path.
+#[must_use]
+pub fn enable_metrics() -> Arc<Registry> {
+    let reg = Arc::new(Registry::enabled());
+    set_registry(Arc::clone(&reg));
+    reg
+}
+
+/// Restores the default disabled registry.
+pub fn disable_metrics() {
+    set_registry(Arc::new(Registry::disabled()));
+}
+
+/// Flushes the memo-layer hit/miss totals into `registry` as gauges.
+///
+/// The memo counters are process-lifetime totals, so they publish as
+/// point-in-time gauges rather than deltas — calling this twice does not
+/// double-count.
+pub fn publish_memo_metrics(registry: &Registry) {
+    if !registry.is_enabled() {
+        return;
+    }
+    let stats = crate::runner::memo_stats();
+    registry.gauge("memo.case.hits").set(stats.case_hits as f64);
+    registry.gauge("memo.case.misses").set(stats.case_misses as f64);
+    registry.gauge("memo.baseline.hits").set(stats.baseline_hits as f64);
+    registry.gauge("memo.baseline.misses").set(stats.baseline_misses as f64);
+    registry.gauge("memo.draw.hits").set(stats.draw_hits as f64);
+    registry.gauge("memo.draw.misses").set(stats.draw_misses as f64);
+}
+
+/// Serializes tests that swap the process-wide registry slot, so parallel
+/// test threads cannot observe each other's enabled/disabled state.
+#[cfg(test)]
+pub(crate) fn test_guard() -> std::sync::MutexGuard<'static, ()> {
+    static LOCK: Mutex<()> = Mutex::new(());
+    LOCK.lock().unwrap_or_else(std::sync::PoisonError::into_inner)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_registry_is_disabled() {
+        let _g = test_guard();
+        // Other tests may have installed one; force the default state.
+        disable_metrics();
+        assert!(!registry().is_enabled());
+        // Handles from a disabled registry work but record nothing.
+        let c = registry().counter("test.noop");
+        c.inc();
+        assert!(registry().snapshot().entries.is_empty());
+    }
+
+    #[test]
+    fn enable_metrics_swaps_the_slot() {
+        let _g = test_guard();
+        let reg = enable_metrics();
+        assert!(registry().is_enabled());
+        reg.counter("test.visible").inc();
+        assert_eq!(registry().snapshot().counter("test.visible"), Some(1));
+        disable_metrics();
+        assert!(!registry().is_enabled());
+    }
+
+    #[test]
+    fn memo_metrics_publish_as_gauges() {
+        let reg = Registry::enabled();
+        publish_memo_metrics(&reg);
+        publish_memo_metrics(&reg); // idempotent: gauges, not counters
+        let snap = reg.snapshot();
+        assert!(snap.get("memo.case.hits").is_some());
+        assert!(snap.get("memo.draw.misses").is_some());
+    }
+}

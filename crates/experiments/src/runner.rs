@@ -9,11 +9,12 @@ use imobif::{
 };
 use imobif_energy::Battery;
 use imobif_geom::{FxHashMap, Point2};
+use imobif_netsim::trace::TraceEvent;
 use imobif_netsim::{FlowId, NodeId, SimDuration, SimTime, World};
 use serde::{Deserialize, Serialize};
 
 use crate::config::{EnergyInit, ScenarioConfig};
-use crate::topology::{clear_draw_memo, draw_scenario, TopologyDraw};
+use crate::topology::{clear_draw_memo, draw_memo_counters, draw_scenario, TopologyDraw};
 
 /// Which of the paper's two strategies an experiment runs.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Serialize, Deserialize)]
@@ -142,8 +143,54 @@ pub fn run_instance_in(
     strategy: &Arc<dyn MobilityStrategy>,
     registry: &Arc<StrategyRegistry>,
 ) -> InstanceResult {
+    run_instance_inner(arena, cfg, draw, mode, strategy, registry, None).0
+}
+
+/// Like [`run_instance`], but with kernel tracing enabled: returns the
+/// recorded [`TraceEvent`] stream alongside the result. The ring holds at
+/// most `trace_capacity` events (older ones are evicted — see
+/// `RingTrace`); the simulated outcome is identical to an untraced run.
+///
+/// # Panics
+///
+/// Panics if the scenario config is invalid or flow installation fails.
+#[must_use]
+pub fn run_instance_traced(
+    cfg: &ScenarioConfig,
+    draw: &TopologyDraw,
+    mode: MobilityMode,
+    strategy: &Arc<dyn MobilityStrategy>,
+    trace_capacity: usize,
+) -> (InstanceResult, Vec<TraceEvent>) {
+    let registry = Arc::new(StrategyRegistry::single(Arc::clone(strategy)));
+    let (result, trace) = run_instance_inner(
+        &mut InstanceArena::new(),
+        cfg,
+        draw,
+        mode,
+        strategy,
+        &registry,
+        Some(trace_capacity),
+    );
+    (result, trace.expect("tracing was enabled"))
+}
+
+fn run_instance_inner(
+    arena: &mut InstanceArena,
+    cfg: &ScenarioConfig,
+    draw: &TopologyDraw,
+    mode: MobilityMode,
+    strategy: &Arc<dyn MobilityStrategy>,
+    registry: &Arc<StrategyRegistry>,
+    trace_capacity: Option<usize>,
+) -> (InstanceResult, Option<Vec<TraceEvent>>) {
     let tx = cfg.tx_model().expect("validated config");
     let mv = cfg.mobility_model().expect("validated config");
+    // Self-profiling: with metrics on, the engine times its own phases
+    // (arena reset, simulation run) into float counters — CPU-seconds,
+    // summed across worker threads. With metrics off no clock is read.
+    let obs = crate::obs::registry();
+    let t_reset = obs.is_enabled().then(std::time::Instant::now);
     let mut world: World<ImobifApp> = match arena.world.take() {
         Some(mut w) => {
             w.reset_into(cfg.sim_config(), Box::new(tx), Box::new(mv), &mut arena.spare_apps)
@@ -153,6 +200,12 @@ pub fn run_instance_in(
         None => World::new(cfg.sim_config(), Box::new(tx), Box::new(mv))
             .expect("validated sim config"),
     };
+    if let Some(t0) = t_reset {
+        obs.float_counter("phase.arena_reset_secs").add(t0.elapsed().as_secs_f64());
+    }
+    if let Some(capacity) = trace_capacity {
+        world.enable_tracing(capacity);
+    }
     let app_cfg = ImobifConfig { mode, max_step: cfg.max_step, ..Default::default() };
     let ids: Vec<NodeId> = draw
         .flow
@@ -199,11 +252,15 @@ pub fn run_instance_in(
         + SimDuration::from_secs_f64(
             0.5 + spec.packet_count() as f64 * cfg.packet_interval_secs + 60.0,
         );
+    let t_run = obs.is_enabled().then(std::time::Instant::now);
     world.run_while(|w| {
         w.time() < cap
             && w.ledger().first_death().is_none()
             && w.app(dst).dest(flow).is_none_or(|d| d.received_bits < total)
     });
+    if let Some(t0) = t_run {
+        obs.float_counter("phase.case_run_secs").add(t0.elapsed().as_secs_f64());
+    }
 
     let totals = world.ledger().totals();
     let delivered = world.app(dst).dest(flow).map_or(0, |d| d.received_bits);
@@ -228,9 +285,26 @@ pub fn run_instance_in(
         final_positions: ids.iter().map(|&id| world.position(id)).collect(),
         final_energies: ids.iter().map(|&id| world.residual_energy(id)).collect(),
     };
+    let trace = world.trace().map(|t| t.events());
+    // Flush this run's kernel counters into the engine-wide registry —
+    // one publish per instance, nothing on the per-packet path. The
+    // decision-cache counters live in the per-node apps (PR 1), so they
+    // are summed here before the apps are recycled.
+    if obs.is_enabled() {
+        world.publish_metrics(&obs);
+        let (mut hits, mut misses) = (0u64, 0u64);
+        for &id in &ids {
+            let c = world.app(id).counters();
+            hits += c.cache_hits;
+            misses += c.cache_misses;
+        }
+        obs.counter("imobif.decision_cache.hits").add(hits);
+        obs.counter("imobif.decision_cache.misses").add(misses);
+        obs.counter("engine.instances_run").inc();
+    }
     // Park the used world for the next replicate to recycle.
     arena.world = Some(world);
-    result
+    (result, trace)
 }
 
 /// One flow case: the same drawn flow run under all three modes.
@@ -392,6 +466,45 @@ fn baseline_memo() -> &'static Mutex<FxHashMap<BaselineKey, InstanceResult>> {
     MEMO.get_or_init(|| Mutex::new(FxHashMap::default()))
 }
 
+/// Process-lifetime memo hit/miss totals. Monotone; [`clear_memos`] empties
+/// the memos but never rewinds these.
+static CASE_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static CASE_MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+static BASELINE_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static BASELINE_MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+
+/// Hit/miss totals for every memo layer in the experiment engine, since
+/// process start.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct MemoStats {
+    /// Whole-case memo hits ([`run_batch`] replays).
+    pub case_hits: u64,
+    /// Whole-case memo misses (cases actually simulated).
+    pub case_misses: u64,
+    /// No-mobility baseline memo hits (shared across sweep points).
+    pub baseline_hits: u64,
+    /// No-mobility baseline memo misses.
+    pub baseline_misses: u64,
+    /// Topology-draw memo hits (shared across figure variants).
+    pub draw_hits: u64,
+    /// Topology-draw memo misses (topologies actually drawn and routed).
+    pub draw_misses: u64,
+}
+
+/// Snapshot of every memo layer's hit/miss totals.
+#[must_use]
+pub fn memo_stats() -> MemoStats {
+    let (draw_hits, draw_misses) = draw_memo_counters();
+    MemoStats {
+        case_hits: CASE_MEMO_HITS.load(Ordering::Relaxed),
+        case_misses: CASE_MEMO_MISSES.load(Ordering::Relaxed),
+        baseline_hits: BASELINE_MEMO_HITS.load(Ordering::Relaxed),
+        baseline_misses: BASELINE_MEMO_MISSES.load(Ordering::Relaxed),
+        draw_hits,
+        draw_misses,
+    }
+}
+
 /// Empties every result memo (per-case results, no-mobility baselines and
 /// topology draws).
 ///
@@ -441,12 +554,23 @@ fn run_case_in(
 ) -> CaseResult {
     let key = CaseKey::of(cfg, choice, index);
     if let Some(hit) = case_memo().lock().expect("case memo lock").get(&key) {
+        CASE_MEMO_HITS.fetch_add(1, Ordering::Relaxed);
         return hit.clone();
     }
+    CASE_MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
+    let obs = crate::obs::registry();
+    let t_draw = obs.is_enabled().then(std::time::Instant::now);
     let draw = draw_scenario(cfg, index);
+    if let Some(t0) = t_draw {
+        obs.float_counter("phase.scenario_draw_secs").add(t0.elapsed().as_secs_f64());
+    }
     let bkey = BaselineKey::of(cfg, index);
     let cached_baseline =
         baseline_memo().lock().expect("baseline memo lock").get(&bkey).cloned();
+    match &cached_baseline {
+        Some(_) => BASELINE_MEMO_HITS.fetch_add(1, Ordering::Relaxed),
+        None => BASELINE_MEMO_MISSES.fetch_add(1, Ordering::Relaxed),
+    };
     let no_mobility = match cached_baseline {
         Some(hit) => hit,
         None => {
@@ -661,6 +785,45 @@ mod tests {
         let draw = draw_scenario(&base, 0);
         let r = run_instance(&base, &draw, MobilityMode::NoMobility, &s);
         assert_eq!(r, reference, "baseline diverged across strategies");
+    }
+
+    #[test]
+    fn metrics_enabled_runs_publish_and_do_not_change_results() {
+        let _g = crate::obs::test_guard();
+        let cfg = quick_cfg();
+        let draw = draw_scenario(&cfg, 3);
+        let strategy = build_strategy(&cfg, StrategyChoice::MinEnergy);
+        let baseline = run_instance(&cfg, &draw, MobilityMode::Informed, &strategy);
+        let reg = crate::obs::enable_metrics();
+        let with_metrics = run_instance(&cfg, &draw, MobilityMode::Informed, &strategy);
+        crate::obs::disable_metrics();
+        // Observability never perturbs physics.
+        assert_eq!(baseline, with_metrics);
+        let snap = reg.snapshot();
+        assert!(snap.counter("queue.pushes").unwrap() > 0);
+        assert!(snap.counter("kernel.events_processed").unwrap() > 0);
+        assert!(snap.counter("packets.delivered").unwrap() > 0);
+        let cache_total = snap.counter("imobif.decision_cache.hits").unwrap()
+            + snap.counter("imobif.decision_cache.misses").unwrap();
+        assert!(cache_total > 0, "informed runs must exercise the decision cache");
+        assert!(snap.float("energy.data_joules").unwrap() > 0.0);
+        assert!(snap.float("phase.case_run_secs").unwrap() > 0.0);
+        assert!(snap.float("phase.arena_reset_secs").unwrap() > 0.0);
+    }
+
+    #[test]
+    fn memo_stats_accumulate_hits_and_misses() {
+        let cfg = ScenarioConfig { seed: 4242, ..quick_cfg() };
+        clear_memos();
+        let before = memo_stats();
+        let first = run_batch(&cfg, 2, StrategyChoice::MinEnergy);
+        let mid = memo_stats();
+        assert!(mid.case_misses >= before.case_misses + 2);
+        assert!(mid.draw_misses >= before.draw_misses + 2);
+        let again = run_batch(&cfg, 2, StrategyChoice::MinEnergy);
+        let after = memo_stats();
+        assert_eq!(first, again);
+        assert!(after.case_hits >= mid.case_hits + 2, "replay must hit the case memo");
     }
 
     #[test]

@@ -1,5 +1,6 @@
 //! Random topologies and flow draws.
 
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock};
 
 use imobif_geom::{FxHashMap, Point2, Rect};
@@ -130,6 +131,16 @@ fn draw_memo() -> &'static Mutex<FxHashMap<DrawKey, Arc<DrawSkeleton>>> {
     MEMO.get_or_init(|| Mutex::new(FxHashMap::default()))
 }
 
+/// Process-lifetime draw-memo hit/miss totals, surfaced through
+/// [`crate::runner::memo_stats`]. Monotone; clearing the memo does not
+/// rewind them.
+static DRAW_MEMO_HITS: AtomicU64 = AtomicU64::new(0);
+static DRAW_MEMO_MISSES: AtomicU64 = AtomicU64::new(0);
+
+pub(crate) fn draw_memo_counters() -> (u64, u64) {
+    (DRAW_MEMO_HITS.load(Ordering::Relaxed), DRAW_MEMO_MISSES.load(Ordering::Relaxed))
+}
+
 /// Empties the topology-draw memo. Benchmarks call this between timed runs
 /// so each run pays the full drawing cost it claims to measure.
 pub fn clear_draw_memo() {
@@ -139,8 +150,10 @@ pub fn clear_draw_memo() {
 fn draw_skeleton(cfg: &ScenarioConfig, index: u64) -> Arc<DrawSkeleton> {
     let key = DrawKey::of(cfg, index);
     if let Some(hit) = draw_memo().lock().expect("draw memo lock").get(&key) {
+        DRAW_MEMO_HITS.fetch_add(1, Ordering::Relaxed);
         return Arc::clone(hit);
     }
+    DRAW_MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
     let mut rng = StdRng::seed_from_u64(cfg.seed ^ (index.wrapping_mul(0x9E37_79B9_7F4A_7C15)));
     let skeleton = loop {
         let positions = sample_positions(cfg, &mut rng);

@@ -39,6 +39,51 @@ const BUCKET_WIDTH_MICROS: u64 = 32_768;
 /// instead of the overflow heap.
 const NUM_BUCKETS: usize = 64;
 
+/// Plain-field instrumentation for one queue.
+///
+/// These are ordinary `u64` fields bumped inline on the hot paths — no
+/// atomics, no branches on an observability handle, no allocation — so the
+/// queue costs the same whether or not anyone is watching. They are flushed
+/// into an `imobif-obs` registry once per run by the world's
+/// `publish_metrics` (see `world.rs`), which is the only place that ever
+/// reads them.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct QueueStats {
+    /// Total events pushed.
+    pub pushes: u64,
+    /// Total events popped.
+    pub pops: u64,
+    /// High-water mark of pending events.
+    pub max_len: u64,
+    /// Calendar only: pushes that landed beyond the window, in the
+    /// overflow heap ("overflow-heap falls").
+    pub overflow_pushes: u64,
+    /// Calendar only: overflow events drained back into the ring as the
+    /// window slid forward.
+    pub overflow_drained: u64,
+    /// Calendar only: window slides (cursor advances past an emptied
+    /// bucket).
+    pub window_slides: u64,
+    /// Calendar only: occupied-bucket counts sampled at each window slide,
+    /// binned by bit length: bin `i` counts samples with
+    /// `2^(i-1) < occupied ≤ 2^i - 1` (bin 0 is "zero occupied", bin 7 is
+    /// 64). Representative upper values per bin are in
+    /// [`QueueStats::OCCUPANCY_BIN_VALUES`].
+    pub occupancy_bins: [u64; 8],
+}
+
+impl QueueStats {
+    /// Representative value for each `occupancy_bins` slot, usable as the
+    /// observation value when flushing into a fixed-bucket histogram with
+    /// bounds `[0, 1, 3, 7, 15, 31, 63]`.
+    pub const OCCUPANCY_BIN_VALUES: [u64; 8] = [0, 1, 3, 7, 15, 31, 63, 64];
+
+    #[inline]
+    fn occupancy_bin(occupied: u32) -> usize {
+        (u32::BITS - occupied.leading_zeros()) as usize
+    }
+}
+
 /// Which data structure backs an [`EventQueue`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum QueueBackend {
@@ -75,6 +120,7 @@ pub enum QueueBackend {
 pub struct EventQueue<E> {
     backend: Backend<E>,
     next_seq: u64,
+    stats: QueueStats,
 }
 
 #[derive(Debug)]
@@ -163,7 +209,7 @@ impl<E> Calendar<E> {
         ((t / BUCKET_WIDTH_MICROS) % NUM_BUCKETS as u64) as usize
     }
 
-    fn push(&mut self, item: Scheduled<E>) {
+    fn push(&mut self, item: Scheduled<E>, stats: &mut QueueStats) {
         let t = item.time.as_micros();
         let g = t / BUCKET_WIDTH_MICROS;
         if self.len == 0 {
@@ -188,6 +234,7 @@ impl<E> Calendar<E> {
             self.occupancy |= 1 << idx;
         } else {
             self.overflow.push(item);
+            stats.overflow_pushes += 1;
         }
         self.len += 1;
     }
@@ -199,7 +246,7 @@ impl<E> Calendar<E> {
         self.buckets[self.cursor].last()
     }
 
-    fn pop(&mut self) -> Option<Scheduled<E>> {
+    fn pop(&mut self, stats: &mut QueueStats) -> Option<Scheduled<E>> {
         if self.len == 0 {
             return None;
         }
@@ -210,7 +257,7 @@ impl<E> Calendar<E> {
         if self.buckets[self.cursor].is_empty() {
             self.occupancy &= !(1 << self.cursor);
             if self.len > 0 {
-                self.advance();
+                self.advance(stats);
             }
         }
         Some(item)
@@ -220,7 +267,9 @@ impl<E> Calendar<E> {
     /// occupied ring slot in circular order, or the earliest overflow event
     /// when the ring has drained — then pulls newly-covered overflow events
     /// into the ring. Only called with `len > 0` and an empty cursor bucket.
-    fn advance(&mut self) {
+    fn advance(&mut self, stats: &mut QueueStats) {
+        stats.window_slides += 1;
+        stats.occupancy_bins[QueueStats::occupancy_bin(self.occupancy.count_ones())] += 1;
         // Occupied buckets after the cursor, via the bitmap: one
         // trailing_zeros instead of a ring scan. Slots below the cursor
         // wrap around to the buckets just past the old window's end.
@@ -255,6 +304,7 @@ impl<E> Calendar<E> {
                 < self.gcursor + NUM_BUCKETS as u64)
         {
             let item = self.overflow.pop().expect("peeked non-empty");
+            stats.overflow_drained += 1;
             let idx = Self::ring_index(item.time.as_micros());
             self.buckets[idx].push(item);
             self.occupancy |= 1 << idx;
@@ -296,7 +346,18 @@ impl<E> EventQueue<E> {
             QueueBackend::Calendar => Backend::Calendar(Calendar::new()),
             QueueBackend::BinaryHeap => Backend::BinaryHeap(BinaryHeap::new()),
         };
-        EventQueue { backend, next_seq: 0 }
+        EventQueue {
+            backend,
+            next_seq: 0,
+            stats: QueueStats::default(),
+        }
+    }
+
+    /// Plain-field instrumentation accumulated since construction or the
+    /// last [`EventQueue::clear`].
+    #[must_use]
+    pub fn stats(&self) -> &QueueStats {
+        &self.stats
     }
 
     /// Which backend this queue runs on.
@@ -318,17 +379,23 @@ impl<E> EventQueue<E> {
         self.next_seq += 1;
         let item = Scheduled { time, seq, event };
         match &mut self.backend {
-            Backend::Calendar(c) => c.push(item),
+            Backend::Calendar(c) => c.push(item, &mut self.stats),
             Backend::BinaryHeap(h) => h.push(item),
+        }
+        self.stats.pushes += 1;
+        let len = self.len() as u64;
+        if len > self.stats.max_len {
+            self.stats.max_len = len;
         }
     }
 
     /// Removes and returns the earliest event.
     pub fn pop(&mut self) -> Option<(SimTime, E)> {
         let item = match &mut self.backend {
-            Backend::Calendar(c) => c.pop(),
+            Backend::Calendar(c) => c.pop(&mut self.stats),
             Backend::BinaryHeap(h) => h.pop(),
         };
+        self.stats.pops += item.is_some() as u64;
         item.map(|s| (s.time, s.event))
     }
 
@@ -365,6 +432,7 @@ impl<E> EventQueue<E> {
     /// with the same internal `(time, seq)` keys.
     pub fn clear(&mut self) {
         self.next_seq = 0;
+        self.stats = QueueStats::default();
         match &mut self.backend {
             Backend::Calendar(c) => c.clear(),
             Backend::BinaryHeap(h) => h.clear(),
@@ -464,6 +532,41 @@ mod tests {
                 last = t;
                 q.push(t + crate::SimDuration::from_secs_f64(1.0), id);
             }
+        }
+    }
+
+    #[test]
+    fn stats_track_pushes_pops_and_overflow() {
+        let mut q = EventQueue::new();
+        // Two in-window events and one far beyond the window (overflow).
+        q.push(SimTime::from_micros(10), 0);
+        q.push(SimTime::from_micros(20), 1);
+        q.push(SimTime::from_micros(RING_SPAN_MICROS * 3), 2);
+        assert_eq!(q.stats().pushes, 3);
+        assert_eq!(q.stats().max_len, 3);
+        assert_eq!(q.stats().overflow_pushes, 1);
+        while q.pop().is_some() {}
+        let stats = *q.stats();
+        assert_eq!(stats.pops, 3);
+        assert_eq!(stats.overflow_drained, 1);
+        assert!(stats.window_slides >= 1);
+        assert_eq!(stats.occupancy_bins.iter().sum::<u64>(), stats.window_slides);
+        // clear() resets instrumentation along with the queue.
+        q.clear();
+        assert_eq!(*q.stats(), QueueStats::default());
+    }
+
+    #[test]
+    fn occupancy_bins_cover_the_full_range() {
+        assert_eq!(QueueStats::occupancy_bin(0), 0);
+        assert_eq!(QueueStats::occupancy_bin(1), 1);
+        assert_eq!(QueueStats::occupancy_bin(3), 2);
+        assert_eq!(QueueStats::occupancy_bin(4), 3);
+        assert_eq!(QueueStats::occupancy_bin(63), 6);
+        assert_eq!(QueueStats::occupancy_bin(64), 7);
+        // Each representative value maps back to its own bin.
+        for (bin, &v) in QueueStats::OCCUPANCY_BIN_VALUES.iter().enumerate() {
+            assert_eq!(QueueStats::occupancy_bin(v as u32), bin);
         }
     }
 

@@ -93,11 +93,11 @@ mod world;
 pub use app::{Action, Application, NodeCtx, Outbox, PeerInfo};
 pub use config::{HelloConfig, SimConfig};
 pub use error::{RouteError, SimError};
-pub use event::{EventQueue, QueueBackend};
+pub use event::{EventQueue, QueueBackend, QueueStats};
 pub use hello::{NeighborEntry, NeighborTable};
 pub use id::{FlowId, NodeId};
 pub use medium::TopologyView;
 pub use node::NodeState;
 pub use stats::{EnergyCategory, EnergyLedger, NodeEnergy};
 pub use time::{SimDuration, SimTime};
-pub use world::World;
+pub use world::{KernelStats, World};

@@ -18,6 +18,33 @@ pub enum EnergyCategory {
     Notification,
 }
 
+impl EnergyCategory {
+    /// Every category, in ledger order.
+    pub const ALL: [EnergyCategory; 4] = [
+        EnergyCategory::Data,
+        EnergyCategory::Mobility,
+        EnergyCategory::Hello,
+        EnergyCategory::Notification,
+    ];
+
+    /// Stable lowercase name, used in metric names and JSONL traces.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EnergyCategory::Data => "data",
+            EnergyCategory::Mobility => "mobility",
+            EnergyCategory::Hello => "hello",
+            EnergyCategory::Notification => "notification",
+        }
+    }
+
+    /// Inverse of [`EnergyCategory::as_str`].
+    #[must_use]
+    pub fn parse(name: &str) -> Option<EnergyCategory> {
+        EnergyCategory::ALL.into_iter().find(|c| c.as_str() == name)
+    }
+}
+
 /// Per-node energy totals by category, in joules.
 #[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
 pub struct NodeEnergy {

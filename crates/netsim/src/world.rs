@@ -26,6 +26,34 @@ enum Event<M> {
     HelloBeacon { node: NodeId },
 }
 
+/// Plain-field kernel instrumentation, sibling to
+/// [`crate::event::QueueStats`]: ordinary `u64` fields bumped inline on hot
+/// paths (no atomics, no handle branches, no allocation) and flushed into a
+/// registry only by [`World::publish_metrics`]. Reset together with the
+/// world so recycled arenas start clean.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// HELLO beacons actually broadcast (dead nodes don't beacon).
+    pub hello_beacons: u64,
+    /// Application timers dispatched.
+    pub timers_fired: u64,
+    /// HELLO fan-out (hearers per beacon) binned by bit length, like
+    /// `QueueStats::occupancy_bins`: bin 0 is "no hearers", bin `i`
+    /// covers `2^(i-1) ≤ n < 2^i`, the last bin collects 64+.
+    pub hello_fanout_bins: [u64; 8],
+}
+
+impl KernelStats {
+    /// Representative value per `hello_fanout_bins` slot for flushing into
+    /// a histogram with bounds `[0, 1, 3, 7, 15, 31, 63]`.
+    pub const FANOUT_BIN_VALUES: [u64; 8] = [0, 1, 3, 7, 15, 31, 63, 127];
+
+    #[inline]
+    fn fanout_bin(n: usize) -> usize {
+        ((usize::BITS - n.leading_zeros()) as usize).min(7)
+    }
+}
+
 /// The deterministic discrete-event world: nodes, radio medium, batteries,
 /// application instances and the event loop tying them together.
 ///
@@ -98,6 +126,8 @@ pub struct World<A: Application> {
     /// Kernel events processed since construction or the last reset
     /// (throughput metric).
     events_processed: u64,
+    /// Plain-field kernel instrumentation (see [`KernelStats`]).
+    stats: KernelStats,
 }
 
 impl<A: Application> World<A> {
@@ -129,6 +159,7 @@ impl<A: Application> World<A> {
             hearers: Vec::new(),
             spare_tables: Vec::new(),
             events_processed: 0,
+            stats: KernelStats::default(),
         })
     }
 
@@ -181,6 +212,7 @@ impl<A: Application> World<A> {
         self.trace = None;
         self.started = false;
         self.events_processed = 0;
+        self.stats = KernelStats::default();
         Ok(())
     }
 
@@ -356,6 +388,83 @@ impl<A: Application> World<A> {
         self.trace.as_ref()
     }
 
+    /// Plain-field kernel instrumentation accumulated since construction or
+    /// the last reset.
+    #[must_use]
+    pub fn kernel_stats(&self) -> &KernelStats {
+        &self.stats
+    }
+
+    /// Flushes every plain-field stat — queue, kernel, energy ledger,
+    /// packet counters, trace occupancy — into `registry`.
+    ///
+    /// This is the only bridge between the simulator's zero-cost inline
+    /// counters and the observability registry: call it once per finished
+    /// run (the experiment runner does). Counters accumulate across calls,
+    /// so a batch of instances publishes network-wide totals; gauges hold
+    /// the most recent run's value. Publishing to a disabled registry is a
+    /// no-op beyond a few detached handle constructions.
+    pub fn publish_metrics(&self, registry: &imobif_obs::Registry) {
+        if !registry.is_enabled() {
+            return;
+        }
+        let q = self.queue.stats();
+        registry.counter("queue.pushes").add(q.pushes);
+        registry.counter("queue.pops").add(q.pops);
+        registry.gauge("queue.max_len").set(q.max_len as f64);
+        registry.counter("queue.overflow_pushes").add(q.overflow_pushes);
+        registry.counter("queue.overflow_drained").add(q.overflow_drained);
+        registry.counter("queue.window_slides").add(q.window_slides);
+        let occupancy = registry.histogram(
+            "queue.occupied_buckets",
+            &[0.0, 1.0, 3.0, 7.0, 15.0, 31.0, 63.0],
+        );
+        for (&value, &count) in crate::event::QueueStats::OCCUPANCY_BIN_VALUES
+            .iter()
+            .zip(&q.occupancy_bins)
+        {
+            occupancy.observe_n(value as f64, count);
+        }
+
+        registry.counter("kernel.events_processed").add(self.events_processed);
+        registry.counter("kernel.hello_beacons").add(self.stats.hello_beacons);
+        registry.counter("kernel.timers_fired").add(self.stats.timers_fired);
+        let fanout = registry.histogram(
+            "kernel.hello_fanout",
+            &[0.0, 1.0, 3.0, 7.0, 15.0, 31.0, 63.0],
+        );
+        for (&value, &count) in KernelStats::FANOUT_BIN_VALUES
+            .iter()
+            .zip(&self.stats.hello_fanout_bins)
+        {
+            fanout.observe_n(value as f64, count);
+        }
+
+        let totals = self.ledger.totals();
+        for (category, joules) in [
+            (EnergyCategory::Data, totals.data),
+            (EnergyCategory::Mobility, totals.mobility),
+            (EnergyCategory::Hello, totals.hello),
+            (EnergyCategory::Notification, totals.notification),
+        ] {
+            registry
+                .float_counter(&format!("energy.{}_joules", category.as_str()))
+                .add(joules);
+        }
+        registry.counter("packets.sent").add(self.ledger.packets_sent);
+        registry.counter("packets.delivered").add(self.ledger.packets_delivered);
+        registry.counter("packets.dropped").add(self.ledger.packets_dropped);
+        let deaths = (0..self.nodes.len())
+            .filter(|&i| self.ledger.death_time(NodeId::new(i as u32)).is_some())
+            .count() as u64;
+        registry.counter("kernel.node_deaths").add(deaths);
+
+        if let Some(trace) = &self.trace {
+            registry.counter("trace.recorded").add(trace.total_recorded());
+            registry.counter("trace.evicted").add(trace.evicted());
+        }
+    }
+
     fn deliver(&mut self, from: NodeId, to: NodeId, msg: A::Msg) {
         if !self.nodes[to.index()].is_alive() {
             self.ledger.packets_dropped += 1;
@@ -371,6 +480,7 @@ impl<A: Application> World<A> {
         if !self.nodes[node.index()].is_alive() {
             return;
         }
+        self.stats.timers_fired += 1;
         self.dispatch(node, |app, ctx, out| app.on_timer(ctx, tag, out));
     }
 
@@ -415,6 +525,8 @@ impl<A: Application> World<A> {
             self.hearers.retain(|&k| k != node.raw());
             self.hearers.sort_unstable();
         }
+        self.stats.hello_beacons += 1;
+        self.stats.hello_fanout_bins[KernelStats::fanout_bin(self.hearers.len())] += 1;
         let now = self.time;
         for &k in &self.hearers {
             let hearer = &mut self.nodes[k as usize];
@@ -691,6 +803,71 @@ mod tests {
         // Ledger totals equal battery drawdown.
         let drawdown: f64 = ids.iter().map(|&id| 10.0 - w.residual_energy(id)).sum();
         assert!((w.ledger().totals().total() - drawdown).abs() < 1e-9);
+    }
+
+    #[test]
+    fn kernel_stats_and_publish_metrics_flush_everything() {
+        let mut w = make_world();
+        // Default config beacons for free; charge them so the hello energy
+        // category shows up in the published metrics.
+        w.cfg.hello.charge_energy = true;
+        let ids = chain(&mut w, 3, 20.0, 10.0);
+        w.app_mut(ids[0]).forward_to = Some(ids[1]);
+        w.start();
+        w.enable_tracing(4);
+        w.schedule_timer(ids[0], SimDuration::from_millis(10), 7);
+        w.run_until(SimTime::from_micros(5_000_000));
+
+        let stats = *w.kernel_stats();
+        assert!(stats.hello_beacons > 0, "hello is on by default");
+        assert_eq!(stats.timers_fired, 1);
+        assert_eq!(
+            stats.hello_fanout_bins.iter().sum::<u64>(),
+            stats.hello_beacons,
+            "every beacon records one fan-out sample"
+        );
+        assert!(w.queue.stats().pushes > 0);
+
+        let registry = imobif_obs::Registry::enabled();
+        w.publish_metrics(&registry);
+        let snap = registry.snapshot();
+        assert_eq!(snap.counter("queue.pushes"), Some(w.queue.stats().pushes));
+        assert_eq!(
+            snap.counter("kernel.events_processed"),
+            Some(w.events_processed())
+        );
+        assert_eq!(snap.counter("kernel.hello_beacons"), Some(stats.hello_beacons));
+        assert!(snap.float("energy.hello_joules").unwrap() > 0.0);
+        assert!(snap.float("energy.data_joules").unwrap() > 0.0);
+        assert_eq!(
+            snap.counter("packets.delivered"),
+            Some(w.ledger().packets_delivered)
+        );
+        assert_eq!(
+            snap.counter("trace.recorded"),
+            Some(w.trace().unwrap().total_recorded())
+        );
+        // Publishing again accumulates counters (batch semantics).
+        w.publish_metrics(&registry);
+        assert_eq!(
+            registry.snapshot().counter("queue.pushes"),
+            Some(2 * w.queue.stats().pushes)
+        );
+        // A disabled registry records nothing.
+        let off = imobif_obs::Registry::disabled();
+        w.publish_metrics(&off);
+        assert!(off.snapshot().entries.is_empty());
+        // Reset clears the plain-field stats with the rest of the world.
+        let mut recycled = Vec::new();
+        w.reset_into(
+            SimConfig::default(),
+            Box::new(PowerLawModel::paper_default(2.0).unwrap()),
+            Box::new(LinearMobilityCost::new(0.5).unwrap()),
+            &mut recycled,
+        )
+        .unwrap();
+        assert_eq!(*w.kernel_stats(), KernelStats::default());
+        assert_eq!(w.queue.stats().pushes, 0);
     }
 
     #[test]

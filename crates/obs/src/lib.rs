@@ -1,0 +1,49 @@
+//! Observability layer for the iMobif workspace.
+//!
+//! Three pieces, all dependency-free (the build environment is offline and
+//! the vendored `serde` is a no-op stub, so JSON is hand-rolled here):
+//!
+//! * [`registry`] — a named-metric registry (counters, float counters,
+//!   gauges, fixed-bucket histograms) backed by atomics. A *disabled*
+//!   registry hands out handles bound to detached dummy cells: increments
+//!   stay branch-free (one relaxed atomic op on a throwaway cell) and
+//!   nothing is ever registered, allocated per-event, or exported. Hot
+//!   simulation loops do not touch handles at all — they keep plain `u64`
+//!   fields (see `imobif-netsim`'s `QueueStats`/`KernelStats`) and flush
+//!   into the registry once per run at aggregation points.
+//! * [`json`] — a minimal JSON value model with a renderer and a
+//!   recursive-descent parser, enough for manifests and trace tooling.
+//! * [`manifest`] — the per-run manifest artifact: config hash, seed,
+//!   thread count, per-phase wall times, and a full metrics snapshot.
+
+pub mod json;
+pub mod manifest;
+pub mod registry;
+
+pub use json::Json;
+pub use manifest::{PhaseTimer, RunManifest};
+pub use registry::{Counter, FloatCounter, Gauge, Histogram, MetricValue, Registry, Snapshot};
+
+/// FNV-1a 64-bit hash, the workspace's standard content fingerprint
+/// (config hashes in manifests, CSV byte-identity gates in the benches).
+pub fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        hash ^= u64::from(b);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+#[cfg(test)]
+mod tests {
+    use super::fnv1a64;
+
+    #[test]
+    fn fnv_known_vectors() {
+        // Published FNV-1a 64 test vectors.
+        assert_eq!(fnv1a64(b""), 0xcbf2_9ce4_8422_2325);
+        assert_eq!(fnv1a64(b"a"), 0xaf63_dc4c_8601_ec8c);
+        assert_eq!(fnv1a64(b"foobar"), 0x8594_4171_f739_67e8);
+    }
+}

@@ -1,0 +1,225 @@
+//! Per-run manifest artifact: what ran, with what inputs, how long each
+//! phase took, and a full metrics snapshot.
+//!
+//! The manifest is the machine-readable record that makes a batch run
+//! reproducible and auditable: CI validates its schema, `imobif
+//! manifest-check` re-parses it, and later PRs diff manifests across
+//! commits. `config_hash` and `seed` are rendered as hex strings because
+//! JSON numbers are `f64` and would corrupt values above 2^53.
+
+use std::time::Instant;
+
+use crate::json::Json;
+use crate::registry::Snapshot;
+
+pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+
+/// Wall-clock phase timer: `start("draw")` closes the previous phase and
+/// opens the next; `finish()` closes the last one.
+#[derive(Default)]
+pub struct PhaseTimer {
+    phases: Vec<(String, f64)>,
+    current: Option<(String, Instant)>,
+}
+
+impl PhaseTimer {
+    pub fn new() -> PhaseTimer {
+        PhaseTimer::default()
+    }
+
+    pub fn start(&mut self, name: &str) {
+        self.finish();
+        self.current = Some((name.to_string(), Instant::now()));
+    }
+
+    pub fn finish(&mut self) {
+        if let Some((name, t0)) = self.current.take() {
+            let secs = t0.elapsed().as_secs_f64();
+            // Re-entering a phase (e.g. "case" once per figure) accumulates.
+            match self.phases.iter_mut().find(|(n, _)| *n == name) {
+                Some((_, total)) => *total += secs,
+                None => self.phases.push((name, secs)),
+            }
+        }
+    }
+
+    pub fn into_phases(mut self) -> Vec<(String, f64)> {
+        self.finish();
+        self.phases
+    }
+}
+
+/// The manifest for one experiment invocation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunManifest {
+    pub tool: String,
+    /// Figure targets the run produced (e.g. `["fig5", "fig6"]`).
+    pub targets: Vec<String>,
+    /// FNV-1a 64 over the canonical rendering of the run configuration.
+    pub config_hash: u64,
+    pub seed: u64,
+    pub flows: u32,
+    pub threads: usize,
+    /// `(phase name, wall seconds)` in execution order.
+    pub phases: Vec<(String, f64)>,
+    pub metrics: Snapshot,
+}
+
+impl RunManifest {
+    pub fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("schema_version".into(), Json::Num(MANIFEST_SCHEMA_VERSION as f64)),
+            ("tool".into(), Json::str(self.tool.clone())),
+            (
+                "targets".into(),
+                Json::Arr(self.targets.iter().map(|t| Json::str(t.clone())).collect()),
+            ),
+            ("config_hash".into(), Json::hex(self.config_hash)),
+            ("seed".into(), Json::hex(self.seed)),
+            ("flows".into(), Json::Num(self.flows as f64)),
+            ("threads".into(), Json::Num(self.threads as f64)),
+            (
+                "phases".into(),
+                Json::Arr(
+                    self.phases
+                        .iter()
+                        .map(|(name, secs)| {
+                            Json::Obj(vec![
+                                ("name".into(), Json::str(name.clone())),
+                                ("wall_secs".into(), Json::Num(*secs)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+            ("metrics".into(), self.metrics.to_json()),
+        ])
+    }
+
+    pub fn render(&self) -> String {
+        self.to_json().render()
+    }
+
+    /// Parses and schema-validates a manifest document.
+    pub fn from_json(json: &Json) -> Result<RunManifest, String> {
+        let version = json
+            .get("schema_version")
+            .and_then(Json::as_u64)
+            .ok_or("missing schema_version")?;
+        if version != MANIFEST_SCHEMA_VERSION {
+            return Err(format!(
+                "unsupported schema_version {version} (want {MANIFEST_SCHEMA_VERSION})"
+            ));
+        }
+        let targets = json
+            .get("targets")
+            .and_then(Json::as_arr)
+            .ok_or("missing targets")?
+            .iter()
+            .map(|t| t.as_str().map(str::to_string).ok_or("non-string target"))
+            .collect::<Result<Vec<_>, _>>()?;
+        let phases = json
+            .get("phases")
+            .and_then(Json::as_arr)
+            .ok_or("missing phases")?
+            .iter()
+            .map(|p| {
+                let name = p
+                    .get("name")
+                    .and_then(Json::as_str)
+                    .ok_or("phase missing name")?;
+                let secs = p
+                    .get("wall_secs")
+                    .and_then(Json::as_f64)
+                    .ok_or("phase missing wall_secs")?;
+                if secs < 0.0 {
+                    return Err(format!("phase {name}: negative wall_secs"));
+                }
+                Ok((name.to_string(), secs))
+            })
+            .collect::<Result<Vec<_>, String>>()?;
+        Ok(RunManifest {
+            tool: json
+                .get("tool")
+                .and_then(Json::as_str)
+                .ok_or("missing tool")?
+                .to_string(),
+            targets,
+            config_hash: json
+                .get("config_hash")
+                .and_then(Json::as_hex)
+                .ok_or("missing/invalid config_hash")?,
+            seed: json
+                .get("seed")
+                .and_then(Json::as_hex)
+                .ok_or("missing/invalid seed")?,
+            flows: json
+                .get("flows")
+                .and_then(Json::as_u64)
+                .ok_or("missing flows")? as u32,
+            threads: json
+                .get("threads")
+                .and_then(Json::as_u64)
+                .ok_or("missing threads")? as usize,
+            phases,
+            metrics: Snapshot::from_json(json.get("metrics").ok_or("missing metrics")?)?,
+        })
+    }
+
+    /// Validates raw manifest text; `Ok` carries the parsed manifest.
+    pub fn validate(text: &str) -> Result<RunManifest, String> {
+        RunManifest::from_json(&Json::parse(text)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+
+    fn sample() -> RunManifest {
+        let reg = Registry::enabled();
+        reg.counter("queue.pushes").add(42);
+        reg.float_counter("energy.data_joules").add(1.5);
+        reg.histogram("queue.occupancy", &[1.0, 8.0, 64.0]).observe(3.0);
+        RunManifest {
+            tool: "imobif-experiments".into(),
+            targets: vec!["fig5".into(), "fig6".into()],
+            config_hash: 0x67fd_e585_6d82_96c6,
+            seed: 2025,
+            flows: 8,
+            threads: 4,
+            phases: vec![("draw".into(), 0.25), ("case".into(), 1.5)],
+            metrics: reg.snapshot(),
+        }
+    }
+
+    #[test]
+    fn manifest_round_trip() {
+        let m = sample();
+        let text = m.render();
+        let back = RunManifest::validate(&text).expect("valid manifest");
+        assert_eq!(back, m);
+    }
+
+    #[test]
+    fn validate_rejects_broken_documents() {
+        let m = sample();
+        let good = m.render();
+        assert!(RunManifest::validate(&good.replace("config_hash", "cfg")).is_err());
+        assert!(RunManifest::validate(&good.replace("\"schema_version\":1", "\"schema_version\":99")).is_err());
+        assert!(RunManifest::validate("not json").is_err());
+    }
+
+    #[test]
+    fn phase_timer_accumulates_reentered_phases() {
+        let mut t = PhaseTimer::new();
+        t.start("case");
+        t.start("render");
+        t.start("case");
+        let phases = t.into_phases();
+        let names: Vec<&str> = phases.iter().map(|(n, _)| n.as_str()).collect();
+        assert_eq!(names, ["case", "render"]);
+        assert!(phases.iter().all(|&(_, s)| s >= 0.0));
+    }
+}

@@ -1,0 +1,551 @@
+//! Named-metric registry: counters, float counters, gauges, and
+//! fixed-bucket histograms.
+//!
+//! Handles are cheap clones of `Arc<AtomicU64>` cells. An **enabled**
+//! registry records every instrument by name (re-registering a name returns
+//! a handle to the same cell) and can snapshot all of them. A **disabled**
+//! registry hands out handles bound to detached dummy cells and registers
+//! nothing: every operation on such a handle is the same branch-free relaxed
+//! atomic op, the cell is simply never read. Hot per-event loops should not
+//! even do that — the simulator keeps plain `u64` stats fields and flushes
+//! them through handles once per run.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use crate::json::Json;
+
+/// Monotonic integer counter.
+#[derive(Clone)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    fn detached() -> Counter {
+        Counter(Arc::new(AtomicU64::new(0)))
+    }
+
+    #[inline]
+    pub fn inc(&self) {
+        self.add(1);
+    }
+
+    #[inline]
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// Monotonic float accumulator (e.g. joules per energy category).
+#[derive(Clone)]
+pub struct FloatCounter(Arc<AtomicU64>);
+
+impl FloatCounter {
+    fn detached() -> FloatCounter {
+        FloatCounter(Arc::new(AtomicU64::new(0)))
+    }
+
+    #[inline]
+    pub fn add(&self, v: f64) {
+        let _ = self
+            .0
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// Last-write-wins float gauge (e.g. events/sec of the most recent run).
+#[derive(Clone)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Gauge {
+    fn detached() -> Gauge {
+        Gauge(Arc::new(AtomicU64::new(0)))
+    }
+
+    #[inline]
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+struct HistogramCore {
+    /// Ascending upper bounds; an implicit +Inf bucket follows the last.
+    bounds: Box<[f64]>,
+    /// `bounds.len() + 1` buckets (the last one is the +Inf overflow).
+    buckets: Box<[AtomicU64]>,
+    count: AtomicU64,
+    /// Sum of observed values, stored as `f64` bits.
+    sum: AtomicU64,
+}
+
+/// Fixed-bucket histogram. Bounds are chosen at registration time; there is
+/// no dynamic resizing, so `observe` never allocates.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+impl Histogram {
+    fn with_bounds(bounds: &[f64]) -> Histogram {
+        debug_assert!(bounds.windows(2).all(|w| w[0] < w[1]), "bounds must ascend");
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram(Arc::new(HistogramCore {
+            bounds: bounds.into(),
+            buckets,
+            count: AtomicU64::new(0),
+            sum: AtomicU64::new(0),
+        }))
+    }
+
+    #[inline]
+    pub fn observe(&self, v: f64) {
+        let core = &*self.0;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(core.bounds.len());
+        core.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        core.count.fetch_add(1, Ordering::Relaxed);
+        let _ = core
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v).to_bits())
+            });
+    }
+
+    /// Adds `n` observations directly to the bucket that holds `v` — used
+    /// when flushing pre-binned plain-field histograms into the registry.
+    pub fn observe_n(&self, v: f64, n: u64) {
+        if n == 0 {
+            return;
+        }
+        let core = &*self.0;
+        let idx = core
+            .bounds
+            .iter()
+            .position(|&b| v <= b)
+            .unwrap_or(core.bounds.len());
+        core.buckets[idx].fetch_add(n, Ordering::Relaxed);
+        core.count.fetch_add(n, Ordering::Relaxed);
+        let _ = core
+            .sum
+            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+                Some((f64::from_bits(bits) + v * n as f64).to_bits())
+            });
+    }
+
+    pub fn count(&self) -> u64 {
+        self.0.count.load(Ordering::Relaxed)
+    }
+
+    fn load(&self) -> HistogramValue {
+        HistogramValue {
+            bounds: self.0.bounds.to_vec(),
+            buckets: self
+                .0
+                .buckets
+                .iter()
+                .map(|b| b.load(Ordering::Relaxed))
+                .collect(),
+            count: self.count(),
+            sum: f64::from_bits(self.0.sum.load(Ordering::Relaxed)),
+        }
+    }
+}
+
+enum Instrument {
+    Counter(Counter),
+    FloatCounter(FloatCounter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// A point-in-time read of one histogram.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramValue {
+    pub bounds: Vec<f64>,
+    pub buckets: Vec<u64>,
+    pub count: u64,
+    pub sum: f64,
+}
+
+/// A point-in-time read of one instrument.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    Counter(u64),
+    Float(f64),
+    Gauge(f64),
+    Histogram(HistogramValue),
+}
+
+/// A point-in-time read of every registered instrument, in registration
+/// order (deterministic artifacts).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Snapshot {
+    pub entries: Vec<(String, MetricValue)>,
+}
+
+impl Snapshot {
+    pub fn get(&self, name: &str) -> Option<&MetricValue> {
+        self.entries.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    pub fn counter(&self, name: &str) -> Option<u64> {
+        match self.get(name)? {
+            MetricValue::Counter(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn float(&self, name: &str) -> Option<f64> {
+        match self.get(name)? {
+            MetricValue::Float(v) | MetricValue::Gauge(v) => Some(*v),
+            _ => None,
+        }
+    }
+
+    pub fn to_json(&self) -> Json {
+        let entries = self
+            .entries
+            .iter()
+            .map(|(name, value)| {
+                let v = match value {
+                    MetricValue::Counter(c) => Json::Obj(vec![
+                        ("type".into(), Json::str("counter")),
+                        ("value".into(), Json::Num(*c as f64)),
+                    ]),
+                    MetricValue::Float(f) => Json::Obj(vec![
+                        ("type".into(), Json::str("float_counter")),
+                        ("value".into(), Json::Num(*f)),
+                    ]),
+                    MetricValue::Gauge(g) => Json::Obj(vec![
+                        ("type".into(), Json::str("gauge")),
+                        ("value".into(), Json::Num(*g)),
+                    ]),
+                    MetricValue::Histogram(h) => Json::Obj(vec![
+                        ("type".into(), Json::str("histogram")),
+                        (
+                            "bounds".into(),
+                            Json::Arr(h.bounds.iter().map(|&b| Json::Num(b)).collect()),
+                        ),
+                        (
+                            "buckets".into(),
+                            Json::Arr(h.buckets.iter().map(|&c| Json::Num(c as f64)).collect()),
+                        ),
+                        ("count".into(), Json::Num(h.count as f64)),
+                        ("sum".into(), Json::Num(h.sum)),
+                    ]),
+                };
+                (name.clone(), v)
+            })
+            .collect();
+        Json::Obj(entries)
+    }
+
+    /// Parses a snapshot back out of `to_json` output (manifest round-trip).
+    pub fn from_json(json: &Json) -> Result<Snapshot, String> {
+        let Json::Obj(entries) = json else {
+            return Err("metrics must be an object".into());
+        };
+        let mut out = Snapshot::default();
+        for (name, v) in entries {
+            let ty = v
+                .get("type")
+                .and_then(Json::as_str)
+                .ok_or_else(|| format!("metric {name}: missing type"))?;
+            let value = match ty {
+                "counter" => MetricValue::Counter(
+                    v.get("value")
+                        .and_then(Json::as_u64)
+                        .ok_or_else(|| format!("metric {name}: bad counter value"))?,
+                ),
+                "float_counter" => MetricValue::Float(
+                    v.get("value")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("metric {name}: bad float value"))?,
+                ),
+                "gauge" => MetricValue::Gauge(
+                    v.get("value")
+                        .and_then(Json::as_f64)
+                        .ok_or_else(|| format!("metric {name}: bad gauge value"))?,
+                ),
+                "histogram" => {
+                    let nums = |key: &str| -> Result<Vec<f64>, String> {
+                        v.get(key)
+                            .and_then(Json::as_arr)
+                            .ok_or_else(|| format!("metric {name}: missing {key}"))?
+                            .iter()
+                            .map(|j| {
+                                j.as_f64()
+                                    .ok_or_else(|| format!("metric {name}: bad {key} entry"))
+                            })
+                            .collect()
+                    };
+                    MetricValue::Histogram(HistogramValue {
+                        bounds: nums("bounds")?,
+                        buckets: nums("buckets")?.into_iter().map(|c| c as u64).collect(),
+                        count: v
+                            .get("count")
+                            .and_then(Json::as_u64)
+                            .ok_or_else(|| format!("metric {name}: bad count"))?,
+                        sum: v
+                            .get("sum")
+                            .and_then(Json::as_f64)
+                            .ok_or_else(|| format!("metric {name}: bad sum"))?,
+                    })
+                }
+                other => return Err(format!("metric {name}: unknown type {other}")),
+            };
+            out.entries.push((name.clone(), value));
+        }
+        Ok(out)
+    }
+
+    /// Prometheus text exposition format (metric names sanitized to
+    /// `[a-zA-Z0-9_:]`, dots become underscores).
+    pub fn to_prometheus(&self) -> String {
+        use std::fmt::Write as _;
+        let mut out = String::new();
+        for (name, value) in &self.entries {
+            let name: String = name
+                .chars()
+                .map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' })
+                .collect();
+            match value {
+                MetricValue::Counter(c) => {
+                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {c}");
+                }
+                MetricValue::Float(f) => {
+                    let _ = writeln!(out, "# TYPE {name} counter\n{name} {f:?}");
+                }
+                MetricValue::Gauge(g) => {
+                    let _ = writeln!(out, "# TYPE {name} gauge\n{name} {g:?}");
+                }
+                MetricValue::Histogram(h) => {
+                    let _ = writeln!(out, "# TYPE {name} histogram");
+                    let mut cumulative = 0u64;
+                    for (bound, count) in h.bounds.iter().zip(&h.buckets) {
+                        cumulative += count;
+                        let _ = writeln!(out, "{name}_bucket{{le=\"{bound:?}\"}} {cumulative}");
+                    }
+                    let _ = writeln!(out, "{name}_bucket{{le=\"+Inf\"}} {}", h.count);
+                    let _ = writeln!(out, "{name}_sum {:?}\n{name}_count {}", h.sum, h.count);
+                }
+            }
+        }
+        out
+    }
+}
+
+/// The registry. Constructed enabled or disabled once; the mode never
+/// changes, so callers can hold handles without re-checking.
+pub struct Registry {
+    enabled: bool,
+    inner: Mutex<Vec<(String, Instrument)>>,
+}
+
+impl Registry {
+    pub fn enabled() -> Registry {
+        Registry {
+            enabled: true,
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    /// A disabled registry: handles come back detached (never registered,
+    /// never exported), so instrumented code runs identically with no one
+    /// watching.
+    pub fn disabled() -> Registry {
+        Registry {
+            enabled: false,
+            inner: Mutex::new(Vec::new()),
+        }
+    }
+
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    pub fn counter(&self, name: &str) -> Counter {
+        if !self.enabled {
+            return Counter::detached();
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, Instrument::Counter(c))) =
+            inner.iter().find(|(n, i)| n == name && matches!(i, Instrument::Counter(_)))
+        {
+            return c.clone();
+        }
+        let c = Counter::detached();
+        inner.push((name.to_string(), Instrument::Counter(c.clone())));
+        c
+    }
+
+    pub fn float_counter(&self, name: &str) -> FloatCounter {
+        if !self.enabled {
+            return FloatCounter::detached();
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, Instrument::FloatCounter(c))) = inner
+            .iter()
+            .find(|(n, i)| n == name && matches!(i, Instrument::FloatCounter(_)))
+        {
+            return c.clone();
+        }
+        let c = FloatCounter::detached();
+        inner.push((name.to_string(), Instrument::FloatCounter(c.clone())));
+        c
+    }
+
+    pub fn gauge(&self, name: &str) -> Gauge {
+        if !self.enabled {
+            return Gauge::detached();
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, Instrument::Gauge(g))) =
+            inner.iter().find(|(n, i)| n == name && matches!(i, Instrument::Gauge(_)))
+        {
+            return g.clone();
+        }
+        let g = Gauge::detached();
+        inner.push((name.to_string(), Instrument::Gauge(g.clone())));
+        g
+    }
+
+    /// Registers (or re-fetches) a fixed-bucket histogram. Bounds are fixed
+    /// by the first registration; later calls with the same name ignore the
+    /// passed bounds and share the existing buckets.
+    pub fn histogram(&self, name: &str, bounds: &[f64]) -> Histogram {
+        if !self.enabled {
+            return Histogram::with_bounds(bounds);
+        }
+        let mut inner = self.inner.lock().unwrap();
+        if let Some((_, Instrument::Histogram(h))) = inner
+            .iter()
+            .find(|(n, i)| n == name && matches!(i, Instrument::Histogram(_)))
+        {
+            return h.clone();
+        }
+        let h = Histogram::with_bounds(bounds);
+        inner.push((name.to_string(), Instrument::Histogram(h.clone())));
+        h
+    }
+
+    /// Reads every registered instrument. Always empty for a disabled
+    /// registry.
+    pub fn snapshot(&self) -> Snapshot {
+        let inner = self.inner.lock().unwrap();
+        Snapshot {
+            entries: inner
+                .iter()
+                .map(|(name, instrument)| {
+                    let value = match instrument {
+                        Instrument::Counter(c) => MetricValue::Counter(c.get()),
+                        Instrument::FloatCounter(f) => MetricValue::Float(f.get()),
+                        Instrument::Gauge(g) => MetricValue::Gauge(g.get()),
+                        Instrument::Histogram(h) => MetricValue::Histogram(h.load()),
+                    };
+                    (name.clone(), value)
+                })
+                .collect(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn enabled_registry_dedups_names() {
+        let reg = Registry::enabled();
+        let a = reg.counter("q.pushes");
+        let b = reg.counter("q.pushes");
+        a.add(3);
+        b.inc();
+        assert_eq!(reg.snapshot().counter("q.pushes"), Some(4));
+        assert_eq!(reg.snapshot().entries.len(), 1);
+    }
+
+    #[test]
+    fn disabled_registry_registers_nothing() {
+        let reg = Registry::disabled();
+        let c = reg.counter("q.pushes");
+        c.add(1_000_000);
+        reg.gauge("g").set(1.5);
+        reg.histogram("h", &[1.0]).observe(0.5);
+        assert!(reg.snapshot().entries.is_empty());
+        assert!(!reg.is_enabled());
+    }
+
+    #[test]
+    fn histogram_bucketing_edges() {
+        let h = Histogram::with_bounds(&[1.0, 2.0, 4.0]);
+        // At-bound values land in the bucket (le semantics).
+        for v in [0.0, 1.0, 1.5, 2.0, 3.0, 4.0, 100.0] {
+            h.observe(v);
+        }
+        let v = h.load();
+        assert_eq!(v.buckets, vec![2, 2, 2, 1]); // (-inf,1], (1,2], (2,4], (4,+inf)
+        assert_eq!(v.count, 7);
+        assert!((v.sum - 111.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_observe_n_matches_repeated_observe() {
+        let a = Histogram::with_bounds(&[8.0, 16.0]);
+        let b = Histogram::with_bounds(&[8.0, 16.0]);
+        for _ in 0..5 {
+            a.observe(12.0);
+        }
+        b.observe_n(12.0, 5);
+        assert_eq!(a.load(), b.load());
+    }
+
+    #[test]
+    fn float_counter_accumulates() {
+        let reg = Registry::enabled();
+        let f = reg.float_counter("energy.data");
+        f.add(0.125);
+        f.add(0.25);
+        assert_eq!(reg.snapshot().float("energy.data"), Some(0.375));
+    }
+
+    #[test]
+    fn snapshot_json_round_trip() {
+        let reg = Registry::enabled();
+        reg.counter("c").add(7);
+        reg.float_counter("f").add(2.5);
+        reg.gauge("g").set(-1.25);
+        reg.histogram("h", &[1.0, 10.0]).observe(3.0);
+        let snap = reg.snapshot();
+        let json = snap.to_json();
+        let back = Snapshot::from_json(&Json::parse(&json.render()).unwrap()).unwrap();
+        assert_eq!(back, snap);
+    }
+
+    #[test]
+    fn prometheus_format_shape() {
+        let reg = Registry::enabled();
+        reg.counter("queue.pushes").add(2);
+        reg.histogram("queue.occupancy", &[1.0, 8.0]).observe(3.0);
+        let text = reg.snapshot().to_prometheus();
+        assert!(text.contains("# TYPE queue_pushes counter"));
+        assert!(text.contains("queue_pushes 2"));
+        assert!(text.contains("queue_occupancy_bucket{le=\"8.0\"} 1"));
+        assert!(text.contains("queue_occupancy_bucket{le=\"+Inf\"} 1"));
+        assert!(text.contains("queue_occupancy_count 1"));
+    }
+}

@@ -27,6 +27,28 @@ echo "==> scaling bench smoke (scale_bench --smoke: allocation + determinism gat
 #   - arena-backed replicates after the first allocate < 813 (PR 1's
 #     fresh-world per-instance figure)
 #   - figure CSV byte-identical across worker counts
+#   - disabled-mode metrics overhead within 1% (paired in-process ratio)
+#   - fig6 CSV bytes identical to the pre-observability tip with the
+#     registry disabled AND enabled
 cargo run --release -q -p imobif-bench --bin scale_bench -- --smoke >/dev/null
+
+echo "==> observability smoke (manifest + metrics artifacts, trace tooling)"
+obs_dir=$(mktemp -d)
+trap 'rm -f "$smoke_out"; rm -rf "$obs_dir"' EXIT
+# A small figure run with metrics on must emit a manifest that validates
+# and carries nonzero kernel readings.
+cargo run --release -q -p imobif-experiments --bin imobif -- \
+    fig7 --flows 2 --metrics --prom --out "$obs_dir" >/dev/null
+cargo run --release -q -p imobif-experiments --bin imobif -- \
+    manifest-check "$obs_dir/run_manifest.json"
+grep -q '"queue.pushes"' "$obs_dir/run_manifest.json"
+grep -q '"imobif.decision_cache' "$obs_dir/run_manifest.json"
+grep -q '"energy.data_joules"' "$obs_dir/run_manifest.json"
+grep -q '^queue_pushes ' "$obs_dir/metrics.prom"
+# Trace tooling end to end: record a case to JSONL, then summarize it.
+cargo run --release -q -p imobif-experiments --bin imobif -- \
+    trace record --out "$obs_dir/trace.jsonl" --seed 7 --index 0 2>/dev/null
+cargo run --release -q -p imobif-experiments --bin imobif -- \
+    trace summary "$obs_dir/trace.jsonl" | grep -q '| sent |'
 
 echo "==> ci OK"
