@@ -28,15 +28,11 @@ fn bench_fig6(c: &mut Criterion) {
 }
 
 fn bench_fig7(c: &mut Criterion) {
-    c.bench_function("fig7_notification_counts", |b| {
-        b.iter(|| black_box(fig7::run(FLOWS, SEED)))
-    });
+    c.bench_function("fig7_notification_counts", |b| b.iter(|| black_box(fig7::run(FLOWS, SEED))));
 }
 
 fn bench_fig8(c: &mut Criterion) {
-    c.bench_function("fig8_lifetime_cdf", |b| {
-        b.iter(|| black_box(fig8::run(FLOWS, SEED)))
-    });
+    c.bench_function("fig8_lifetime_cdf", |b| b.iter(|| black_box(fig8::run(FLOWS, SEED))));
 }
 
 fn bench_extensions(c: &mut Criterion) {
@@ -47,15 +43,9 @@ fn bench_extensions(c: &mut Criterion) {
     group.bench_function("ext_oracle", |b| {
         b.iter(|| black_box(ext::run_oracle_comparison(2, SEED)))
     });
-    group.bench_function("ext_initial", |b| {
-        b.iter(|| black_box(ext::run_initial_status(2, SEED)))
-    });
-    group.bench_function("ext_step", |b| {
-        b.iter(|| black_box(ext::run_step_sweep(2, SEED)))
-    });
-    group.bench_function("ext_relay", |b| {
-        b.iter(|| black_box(ext::run_relay_selection(2, SEED)))
-    });
+    group.bench_function("ext_initial", |b| b.iter(|| black_box(ext::run_initial_status(2, SEED))));
+    group.bench_function("ext_step", |b| b.iter(|| black_box(ext::run_step_sweep(2, SEED))));
+    group.bench_function("ext_relay", |b| b.iter(|| black_box(ext::run_relay_selection(2, SEED))));
     group.finish();
 }
 

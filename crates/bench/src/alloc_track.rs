@@ -85,9 +85,8 @@ unsafe impl GlobalAlloc for CountingAlloc {
             // live-byte total by the delta.
             ALLOCS.fetch_add(1, Ordering::Relaxed);
             if new_size >= layout.size() {
-                let now =
-                    CURRENT_BYTES.fetch_add(new_size - layout.size(), Ordering::Relaxed)
-                        + (new_size - layout.size());
+                let now = CURRENT_BYTES.fetch_add(new_size - layout.size(), Ordering::Relaxed)
+                    + (new_size - layout.size());
                 PEAK_BYTES.fetch_max(now, Ordering::Relaxed);
             } else {
                 CURRENT_BYTES.fetch_sub(layout.size() - new_size, Ordering::Relaxed);

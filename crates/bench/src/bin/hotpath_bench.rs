@@ -135,8 +135,8 @@ impl Baseline {
 }
 
 fn load_baseline(path: &str) -> HashMap<String, Baseline> {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| panic!("read baseline file {path}: {e}"));
+    let text =
+        std::fs::read_to_string(path).unwrap_or_else(|e| panic!("read baseline file {path}: {e}"));
     let mut map = HashMap::new();
     for line in text.lines().map(str::trim).filter(|l| !l.is_empty()) {
         let mut parts = line.split_whitespace();

@@ -11,9 +11,7 @@
 
 use std::sync::Arc;
 
-use imobif::{
-    install_flow, DecisionCacheConfig, FlowSpec, ImobifApp, ImobifConfig, MobilityMode,
-};
+use imobif::{install_flow, DecisionCacheConfig, FlowSpec, ImobifApp, ImobifConfig, MobilityMode};
 use imobif_energy::Battery;
 use imobif_experiments::config::ScenarioConfig;
 use imobif_experiments::runner::{build_strategy, StrategyChoice};
@@ -237,14 +235,16 @@ pub fn build_scale_arena(
     };
     let mut rng = StdRng::seed_from_u64(seed);
     let positions: Vec<Point2> = (0..node_count)
-        .map(|_| {
-            Point2::new(rng.gen_range(0.0..cfg.area_side), rng.gen_range(0.0..cfg.area_side))
-        })
+        .map(|_| Point2::new(rng.gen_range(0.0..cfg.area_side), rng.gen_range(0.0..cfg.area_side)))
         .collect();
     let ids: Vec<NodeId> = positions
         .iter()
         .map(|&p| {
-            world.add_node(p, Battery::new(1e5).expect("valid"), ImobifApp::new(app_cfg, strategy.clone()))
+            world.add_node(
+                p,
+                Battery::new(1e5).expect("valid"),
+                ImobifApp::new(app_cfg, strategy.clone()),
+            )
         })
         .collect();
     world.start();
@@ -310,11 +310,12 @@ pub fn build_hello_dense(variant: Variant) -> World<ImobifApp> {
     };
     let mut rng = StdRng::seed_from_u64(cfg.seed);
     for _ in 0..cfg.node_count {
-        let p = Point2::new(
-            rng.gen_range(0.0..cfg.area_side),
-            rng.gen_range(0.0..cfg.area_side),
+        let p = Point2::new(rng.gen_range(0.0..cfg.area_side), rng.gen_range(0.0..cfg.area_side));
+        world.add_node(
+            p,
+            Battery::new(1e5).expect("valid"),
+            ImobifApp::new(app_cfg, strategy.clone()),
         );
-        world.add_node(p, Battery::new(1e5).expect("valid"), ImobifApp::new(app_cfg, strategy.clone()));
     }
     world.start();
     world

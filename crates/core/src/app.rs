@@ -10,57 +10,14 @@
 use std::sync::Arc;
 
 use imobif_geom::{FxHashMap, Point2};
-use imobif_netsim::{
-    Application, EnergyCategory, FlowId, NodeCtx, NodeId, Outbox, SimDuration,
-};
+use imobif_netsim::{Application, EnergyCategory, FlowId, NodeCtx, NodeId, Outbox, SimDuration};
 use serde::{Deserialize, Serialize};
 
+use crate::decision::{self, Decision, DecisionCache, DecisionCacheConfig, DecisionInputs};
 use crate::{
     Aggregate, DataHeader, FlowEntry, FlowRole, FlowTable, ImobifMsg, MobilityMode,
-    MobilityStrategy, Notification, PerfSample, StrategyInputs, StrategyKind, StrategyRegistry,
+    MobilityStrategy, Notification, StrategyInputs, StrategyKind, StrategyRegistry,
 };
-
-/// Tolerances for the per-flow strategy-decision cache.
-///
-/// A relay's strategy evaluation (preferred position + cost/benefit sample)
-/// depends only on the positions and residual energies of the
-/// prev/self/next triple and the header's residual-bits estimate. Between
-/// consecutive packets those inputs barely move: positions are exact while
-/// nobody moves, neighbor residuals refresh only at HELLO rate, and the
-/// node's own residual drains by one packet's worth of energy. The cache
-/// reuses the last evaluation until an input drifts past its epsilon.
-///
-/// Positions are always compared exactly — a moved node invalidates the
-/// cache — so reused movement targets never diverge from freshly computed
-/// ones for position-only strategies (min-total-energy). The energy/bits
-/// epsilons bound the staleness of the folded cost/benefit sample.
-#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
-pub struct DecisionCacheConfig {
-    /// Master switch. Disabled means every packet re-evaluates the
-    /// strategy (the pre-cache behavior, kept for A/B benchmarks).
-    pub enabled: bool,
-    /// Maximum absolute drift in any of the three residual energies (J)
-    /// before the cached decision is recomputed.
-    pub energy_epsilon: f64,
-    /// Maximum absolute drift in the header's residual-flow-bits estimate
-    /// before the cached decision is recomputed.
-    pub bits_epsilon: f64,
-}
-
-impl Default for DecisionCacheConfig {
-    fn default() -> Self {
-        DecisionCacheConfig {
-            enabled: true,
-            // ~a dozen default-scenario packets' worth of transmit energy,
-            // and six 8000-bit packets of flow progress: small enough that
-            // a stale sample cannot meaningfully misorder the destination's
-            // move/no-move comparison, large enough to absorb the per-packet
-            // drain that would otherwise defeat exact matching.
-            energy_epsilon: 0.05,
-            bits_epsilon: 48_000.0,
-        }
-    }
-}
 
 /// Node-level iMobif configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -161,30 +118,6 @@ pub struct ImobifCounters {
     pub cache_hits: u64,
     /// Relay strategy evaluations computed fresh (cache miss or disabled).
     pub cache_misses: u64,
-}
-
-/// The per-flow memo of the last relay strategy evaluation: the inputs it
-/// was computed from and the resulting decision. `decision` is `None` when
-/// the strategy declined to name a target (degenerate geometry) — that
-/// outcome is cached too.
-#[derive(Debug, Clone, Copy)]
-struct DecisionCache {
-    inputs: StrategyInputs,
-    residual_flow_bits: f64,
-    decision: Option<(Point2, PerfSample)>,
-}
-
-impl DecisionCache {
-    fn is_hit(&self, inputs: &StrategyInputs, bits: f64, cfg: &DecisionCacheConfig) -> bool {
-        let c = &self.inputs;
-        c.prev_position == inputs.prev_position
-            && c.self_position == inputs.self_position
-            && c.next_position == inputs.next_position
-            && (c.prev_residual - inputs.prev_residual).abs() <= cfg.energy_epsilon
-            && (c.self_residual - inputs.self_residual).abs() <= cfg.energy_epsilon
-            && (c.next_residual - inputs.next_residual).abs() <= cfg.energy_epsilon
-            && (self.residual_flow_bits - bits).abs() <= cfg.bits_epsilon
-    }
 }
 
 /// The iMobif protocol agent running on every node.
@@ -310,10 +243,7 @@ impl ImobifApp {
     /// The movement target this node currently pursues for `flow`.
     #[must_use]
     pub fn target(&self, flow: FlowId) -> Option<Point2> {
-        self.targets
-            .binary_search_by_key(&flow, |&(f, _)| f)
-            .ok()
-            .map(|i| self.targets[i].1)
+        self.targets.binary_search_by_key(&flow, |&(f, _)| f).ok().map(|i| self.targets[i].1)
     }
 
     /// Superposes the targets of all flows traversing this node, weighted
@@ -326,62 +256,37 @@ impl ImobifApp {
     /// technical report \[13\]).
     #[must_use]
     pub fn combined_target(&self) -> Option<Point2> {
-        let mut weight_sum = 0.0;
-        let mut x = 0.0;
-        let mut y = 0.0;
-        for &(flow, target) in &self.targets {
-            let w = self
-                .flows
-                .get(flow)
-                .map(|e| e.residual_bits.max(1.0))
-                .unwrap_or(1.0);
-            weight_sum += w;
-            x += target.x * w;
-            y += target.y * w;
-        }
-        (weight_sum > 0.0).then(|| Point2::new(x / weight_sum, y / weight_sum))
+        decision::combined_target(self.targets.iter().map(|&(flow, target)| {
+            (target, self.flows.get(flow).map(|e| e.residual_bits.max(1.0)).unwrap_or(1.0))
+        }))
     }
 
-    /// One strategy evaluation — preferred position plus the cost/benefit
-    /// sample — served from the per-flow cache when the inputs are within
-    /// tolerance of the last computed ones (see [`DecisionCacheConfig`]).
+    /// One strategy evaluation — [`decision::evaluate_relay`] served from
+    /// the per-flow cache when the inputs are within tolerance of the last
+    /// computed ones (see [`DecisionCacheConfig`]).
     fn evaluate(
         &mut self,
         ctx: &NodeCtx<'_>,
         strategy: &dyn MobilityStrategy,
         flow: FlowId,
-        inputs: &StrategyInputs,
-        residual_flow_bits: f64,
-    ) -> Option<(Point2, PerfSample)> {
+        inputs: &DecisionInputs,
+    ) -> Option<Decision> {
         let cache_cfg = self.config.cache;
         if cache_cfg.enabled {
             if let Some(cached) = self.caches.get(&flow) {
-                if cached.is_hit(inputs, residual_flow_bits, &cache_cfg) {
+                if let Some(hit) = cached.lookup(inputs, &cache_cfg) {
                     self.counters.cache_hits += 1;
-                    return cached.decision;
+                    return hit;
                 }
             }
         }
         self.counters.cache_misses += 1;
-        let decision = strategy.next_position(inputs).map(|target| {
-            let sample = PerfSample::compute(
-                inputs.self_residual,
-                inputs.self_position,
-                target,
-                inputs.next_position,
-                residual_flow_bits,
-                ctx.tx_model(),
-                ctx.mobility_model(),
-            );
-            (target, sample)
-        });
+        let outcome =
+            decision::evaluate_relay(strategy, inputs, ctx.tx_model(), ctx.mobility_model());
         if cache_cfg.enabled {
-            self.caches.insert(
-                flow,
-                DecisionCache { inputs: *inputs, residual_flow_bits, decision },
-            );
+            self.caches.insert(flow, DecisionCache::store(*inputs, outcome));
         }
-        decision
+        outcome
     }
 
     /// Relay-side handling of a data packet (Fig. 1 lines 12–27).
@@ -398,26 +303,22 @@ impl ImobifApp {
         let mut move_target = None;
         match (strategy, ctx.peer_info(prev), ctx.peer_info(next)) {
             (Some(strategy), Some(prev_info), Some(next_info)) => {
-                let inputs = StrategyInputs {
-                    prev_position: prev_info.position,
-                    prev_residual: prev_info.residual_energy,
-                    self_position: ctx.position(),
-                    self_residual: ctx.residual_energy(),
-                    next_position: next_info.position,
-                    next_residual: next_info.residual_energy,
+                let inputs = DecisionInputs {
+                    triple: StrategyInputs {
+                        prev_position: prev_info.position,
+                        prev_residual: prev_info.residual_energy,
+                        self_position: ctx.position(),
+                        self_residual: ctx.residual_energy(),
+                        next_position: next_info.position,
+                        next_residual: next_info.residual_energy,
+                    },
+                    residual_flow_bits: header.residual_flow_bits,
                 };
-                let decision = self.evaluate(
-                    ctx,
-                    strategy.as_ref(),
-                    header.flow,
-                    &inputs,
-                    header.residual_flow_bits,
-                );
-                if let Some((target, sample)) = decision {
-                    strategy.fold(&mut header.aggregate, sample);
+                if let Some(d) = self.evaluate(ctx, strategy.as_ref(), header.flow, &inputs) {
+                    decision::fold_sample(strategy.as_ref(), &mut header.aggregate, &d);
                     match self.targets.binary_search_by_key(&header.flow, |&(f, _)| f) {
-                        Ok(i) => self.targets[i].1 = target,
-                        Err(i) => self.targets.insert(i, (header.flow, target)),
+                        Ok(i) => self.targets[i].1 = d.target,
+                        Err(i) => self.targets.insert(i, (header.flow, d.target)),
                     }
                     if self.config.mode.should_move(header.mobility_enabled) {
                         if let Some(combined) = self.combined_target() {
@@ -458,15 +359,9 @@ impl ImobifApp {
             self.counters.unknown_strategy += 1;
             return;
         };
-        let preference = strategy.mobility_preference(&header.aggregate);
-        let request = match (preference, header.mobility_enabled) {
-            // Mobility is hurting and is on: ask to disable.
-            (std::cmp::Ordering::Less, true) => Some(false),
-            // Mobility would help and is off: ask to enable.
-            (std::cmp::Ordering::Greater, false) => Some(true),
-            _ => None,
-        };
-        let Some(enable) = request else {
+        let verdict =
+            decision::status_verdict(strategy.as_ref(), &header.aggregate, header.mobility_enabled);
+        let Some(enable) = verdict else {
             return;
         };
         dest.notifications_sent += 1;

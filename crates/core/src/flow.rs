@@ -146,10 +146,7 @@ mod tests {
     fn role_derivation() {
         let (f, s, d) = ids();
         assert_eq!(FlowEntry::new(f, s, d, None, Some(NodeId::new(1))).role, FlowRole::Source);
-        assert_eq!(
-            FlowEntry::new(f, s, d, Some(NodeId::new(1)), None).role,
-            FlowRole::Destination
-        );
+        assert_eq!(FlowEntry::new(f, s, d, Some(NodeId::new(1)), None).role, FlowRole::Destination);
         assert_eq!(
             FlowEntry::new(f, s, d, Some(NodeId::new(1)), Some(NodeId::new(2))).role,
             FlowRole::Relay

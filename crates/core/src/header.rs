@@ -191,10 +191,7 @@ mod tests {
     use proptest::prelude::*;
 
     fn models() -> (PowerLawModel, LinearMobilityCost) {
-        (
-            PowerLawModel::paper_default(2.0).unwrap(),
-            LinearMobilityCost::new(0.5).unwrap(),
-        )
+        (PowerLawModel::paper_default(2.0).unwrap(), LinearMobilityCost::new(0.5).unwrap())
     }
 
     /// Fig. 1 lines 16–19, checked term by term against the energy laws.

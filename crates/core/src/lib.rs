@@ -82,6 +82,7 @@
 #![warn(missing_docs)]
 
 mod app;
+pub mod decision;
 mod flow;
 mod header;
 mod mode;
@@ -94,7 +95,8 @@ mod setup;
 mod strategies;
 mod strategy;
 
-pub use app::{DecisionCacheConfig, DestFlow, ImobifApp, ImobifConfig, ImobifCounters, SourceFlow};
+pub use app::{DestFlow, ImobifApp, ImobifConfig, ImobifCounters, SourceFlow};
+pub use decision::{Decision, DecisionCache, DecisionCacheConfig, DecisionInputs};
 pub use flow::{FlowEntry, FlowRole, FlowTable};
 pub use header::{Aggregate, DataHeader, ImobifMsg, Notification, PerfSample};
 pub use mode::MobilityMode;
@@ -102,7 +104,5 @@ pub use oracle::{oracle_decision, OracleDecision};
 pub use registry::StrategyRegistry;
 pub use relaxation::{lifetime_optimality_gap, relax, Relaxation};
 pub use setup::{install_flow, FlowSetupError, FlowSpec};
-pub use strategies::{
-    HybridStrategy, IncrementalStrategy, MaxLifetimeStrategy, MinEnergyStrategy,
-};
+pub use strategies::{HybridStrategy, IncrementalStrategy, MaxLifetimeStrategy, MinEnergyStrategy};
 pub use strategy::{MobilityStrategy, StrategyInputs, StrategyKind};

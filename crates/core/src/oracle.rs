@@ -78,10 +78,7 @@ mod tests {
     use imobif_energy::{LinearMobilityCost, PowerLawModel};
 
     fn models() -> (PowerLawModel, LinearMobilityCost) {
-        (
-            PowerLawModel::paper_default(2.0).unwrap(),
-            LinearMobilityCost::new(0.5).unwrap(),
-        )
+        (PowerLawModel::paper_default(2.0).unwrap(), LinearMobilityCost::new(0.5).unwrap())
     }
 
     fn bent() -> Vec<Point2> {
@@ -110,11 +107,7 @@ mod tests {
     #[test]
     fn straight_path_never_enables() {
         let (tx, mv) = models();
-        let straight = vec![
-            Point2::new(0.0, 0.0),
-            Point2::new(20.0, 0.0),
-            Point2::new(40.0, 0.0),
-        ];
+        let straight = vec![Point2::new(0.0, 0.0), Point2::new(20.0, 0.0), Point2::new(40.0, 0.0)];
         let d = oracle_decision(&straight, &tx, &mv, 1e12).unwrap();
         assert!(!d.enable_mobility);
         assert!(d.threshold_bits.is_none());

@@ -139,7 +139,13 @@ mod tests {
     fn zigzag(n: usize) -> (Polyline, Vec<f64>) {
         let pts: Vec<Point2> = (0..n)
             .map(|i| {
-                let y = if i == 0 || i == n - 1 { 0.0 } else if i % 2 == 0 { -9.0 } else { 9.0 };
+                let y = if i == 0 || i == n - 1 {
+                    0.0
+                } else if i % 2 == 0 {
+                    -9.0
+                } else {
+                    9.0
+                };
                 Point2::new(i as f64 * 15.0, y)
             })
             .collect();
@@ -176,13 +182,7 @@ mod tests {
         let (path, _) = zigzag(5);
         let energies = vec![3.0; 5];
         let a = relax(&MinEnergyStrategy::new(), &path, &energies, 1e-9, 100_000);
-        let b = relax(
-            &MaxLifetimeStrategy::new(2.0).unwrap(),
-            &path,
-            &energies,
-            1e-9,
-            100_000,
-        );
+        let b = relax(&MaxLifetimeStrategy::new(2.0).unwrap(), &path, &energies, 1e-9, 100_000);
         for (va, vb) in a.path.vertices().iter().zip(b.path.vertices()) {
             assert!(va.distance_to(*vb) < 1e-5, "{va} vs {vb}");
         }

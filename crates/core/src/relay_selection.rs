@@ -95,9 +95,7 @@ pub fn plan_relays(
     for k in 0..=max_relays.min(candidates.len()) {
         let hops = (k + 1) as f64;
         let hop_len = chord.length() / hops;
-        let slots: Vec<Point2> = (1..=k)
-            .map(|i| chord.point_at(i as f64 / hops))
-            .collect();
+        let slots: Vec<Point2> = (1..=k).map(|i| chord.point_at(i as f64 / hops)).collect();
         // Greedy nearest-candidate assignment, slot by slot.
         let mut used = vec![false; candidates.len()];
         let mut relays = Vec::with_capacity(k);
@@ -120,11 +118,7 @@ pub fn plan_relays(
             };
             used[ci] = true;
             movement_energy += mobility.cost(d);
-            relays.push(RelayAssignment {
-                node: candidates[ci],
-                target: slot,
-                move_distance: d,
-            });
+            relays.push(RelayAssignment { node: candidates[ci], target: slot, move_distance: d });
         }
         if !feasible {
             continue;
@@ -144,10 +138,7 @@ mod tests {
     use imobif_energy::{LinearMobilityCost, PowerLawModel};
 
     fn models() -> (PowerLawModel, LinearMobilityCost) {
-        (
-            PowerLawModel::paper_default(2.0).unwrap(),
-            LinearMobilityCost::new(0.5).unwrap(),
-        )
+        (PowerLawModel::paper_default(2.0).unwrap(), LinearMobilityCost::new(0.5).unwrap())
     }
 
     fn topo(points: Vec<(f64, f64)>) -> TopologyView {
@@ -159,8 +150,7 @@ mod tests {
     fn no_candidates_means_direct_link() {
         let (tx, mv) = models();
         let t = topo(vec![(0.0, 0.0), (60.0, 0.0)]);
-        let plan =
-            plan_relays(&t, NodeId::new(0), NodeId::new(1), &tx, &mv, 8e6, 4).unwrap();
+        let plan = plan_relays(&t, NodeId::new(0), NodeId::new(1), &tx, &mv, 8e6, 4).unwrap();
         assert!(plan.relays.is_empty());
         assert_eq!(plan.movement_energy, 0.0);
         assert!((plan.transmission_energy - tx.energy(60.0, 8e6)).abs() < 1e-9);
@@ -171,8 +161,7 @@ mod tests {
         let (tx, mv) = models();
         // Two idle nodes sit near the ideal slot positions of a 90 m chord.
         let t = topo(vec![(0.0, 0.0), (90.0, 0.0), (31.0, 2.0), (61.0, -2.0)]);
-        let plan =
-            plan_relays(&t, NodeId::new(0), NodeId::new(1), &tx, &mv, 8e7, 4).unwrap();
+        let plan = plan_relays(&t, NodeId::new(0), NodeId::new(1), &tx, &mv, 8e7, 4).unwrap();
         assert_eq!(plan.relays.len(), 2, "a big flow should recruit both relays");
         // Relays are assigned in slot order along the chord.
         assert!(plan.relays[0].target.x < plan.relays[1].target.x);
@@ -188,8 +177,7 @@ mod tests {
         // The only candidate is 100 m off the chord: walking there costs
         // 50 J, which a tiny flow can never repay.
         let t = topo(vec![(0.0, 0.0), (60.0, 0.0), (30.0, 100.0)]);
-        let plan =
-            plan_relays(&t, NodeId::new(0), NodeId::new(1), &tx, &mv, 1_000.0, 4).unwrap();
+        let plan = plan_relays(&t, NodeId::new(0), NodeId::new(1), &tx, &mv, 1_000.0, 4).unwrap();
         assert!(plan.relays.is_empty());
     }
 
@@ -210,10 +198,8 @@ mod tests {
     fn more_bits_never_worsens_plan_energy_rate() {
         let (tx, mv) = models();
         let t = topo(vec![(0.0, 0.0), (90.0, 0.0), (31.0, 2.0), (61.0, -2.0)]);
-        let small =
-            plan_relays(&t, NodeId::new(0), NodeId::new(1), &tx, &mv, 1e4, 4).unwrap();
-        let large =
-            plan_relays(&t, NodeId::new(0), NodeId::new(1), &tx, &mv, 1e8, 4).unwrap();
+        let small = plan_relays(&t, NodeId::new(0), NodeId::new(1), &tx, &mv, 1e4, 4).unwrap();
+        let large = plan_relays(&t, NodeId::new(0), NodeId::new(1), &tx, &mv, 1e8, 4).unwrap();
         // Larger flows justify at least as many relays.
         assert!(large.relays.len() >= small.relays.len());
     }

@@ -245,7 +245,8 @@ mod tests {
 
     #[test]
     fn packet_count_rounds_up() {
-        let spec = FlowSpec::paper_default(FlowId::new(0), vec![NodeId::new(0), NodeId::new(1)], 8_001);
+        let spec =
+            FlowSpec::paper_default(FlowId::new(0), vec![NodeId::new(0), NodeId::new(1)], 8_001);
         assert_eq!(spec.packet_count(), 2);
     }
 }

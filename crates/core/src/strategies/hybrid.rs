@@ -136,14 +136,8 @@ mod tests {
         let i = inputs();
         let e = HybridStrategy::new(0.0, 2.0).unwrap();
         let l = HybridStrategy::new(1.0, 2.0).unwrap();
-        assert_eq!(
-            e.next_position(&i),
-            MinEnergyStrategy::new().next_position(&i)
-        );
-        assert_eq!(
-            l.next_position(&i),
-            MaxLifetimeStrategy::new(2.0).unwrap().next_position(&i)
-        );
+        assert_eq!(e.next_position(&i), MinEnergyStrategy::new().next_position(&i));
+        assert_eq!(l.next_position(&i), MaxLifetimeStrategy::new(2.0).unwrap().next_position(&i));
     }
 
     #[test]

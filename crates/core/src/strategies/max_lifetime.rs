@@ -258,18 +258,11 @@ mod tests {
         assert!(line.max_chord_deviation() < 1e-3);
         // d_i^{α'} / e_i equal across hops (hop i is transmitted by node i).
         let hops = line.hop_lengths();
-        let ratios: Vec<f64> = hops
-            .iter()
-            .zip(energies.iter())
-            .map(|(d, e)| d.powf(alpha_prime) / e)
-            .collect();
-        let (min, max) = ratios
-            .iter()
-            .fold((f64::MAX, f64::MIN), |(lo, hi), &r| (lo.min(r), hi.max(r)));
-        assert!(
-            (max - min) / max < 0.01,
-            "ratios not equalized: {ratios:?}"
-        );
+        let ratios: Vec<f64> =
+            hops.iter().zip(energies.iter()).map(|(d, e)| d.powf(alpha_prime) / e).collect();
+        let (min, max) =
+            ratios.iter().fold((f64::MAX, f64::MIN), |(lo, hi), &r| (lo.min(r), hi.max(r)));
+        assert!((max - min) / max < 0.01, "ratios not equalized: {ratios:?}");
     }
 
     proptest! {

@@ -86,20 +86,13 @@ fn positions(w: &World<ImobifApp>, ids: &[NodeId]) -> Vec<Point2> {
 
 #[test]
 fn no_mobility_keeps_everyone_still() {
-    let (w, ids, flow) = run_flow(
-        MobilityMode::NoMobility,
-        Arc::new(MinEnergyStrategy::new()),
-        &zigzag(),
-        800_000,
-    );
+    let (w, ids, flow) =
+        run_flow(MobilityMode::NoMobility, Arc::new(MinEnergyStrategy::new()), &zigzag(), 800_000);
     for (i, &(x, y, _)) in zigzag().iter().enumerate() {
         assert_eq!(w.position(ids[i]), Point2::new(x, y));
     }
     assert_eq!(w.ledger().totals().mobility, 0.0);
-    assert_eq!(
-        w.app(*ids.last().unwrap()).dest(flow).unwrap().received_bits,
-        800_000
-    );
+    assert_eq!(w.app(*ids.last().unwrap()).dest(flow).unwrap().received_bits, 800_000);
 }
 
 #[test]
@@ -155,12 +148,8 @@ fn informed_mode_keeps_mobility_off_for_short_flows() {
 
 #[test]
 fn cost_unaware_moves_even_for_short_flows() {
-    let (w, ids, _) = run_flow(
-        MobilityMode::CostUnaware,
-        Arc::new(MinEnergyStrategy::new()),
-        &zigzag(),
-        16_000,
-    );
+    let (w, ids, _) =
+        run_flow(MobilityMode::CostUnaware, Arc::new(MinEnergyStrategy::new()), &zigzag(), 16_000);
     assert!(w.ledger().totals().mobility > 0.0, "cost-unaware must move regardless");
     // Endpoints never move.
     assert_eq!(w.position(ids[0]), Point2::new(0.0, 0.0));
@@ -170,18 +159,10 @@ fn cost_unaware_moves_even_for_short_flows() {
 #[test]
 fn informed_beats_cost_unaware_on_short_flows() {
     let bits = 16_000;
-    let (wi, _, _) = run_flow(
-        MobilityMode::Informed,
-        Arc::new(MinEnergyStrategy::new()),
-        &zigzag(),
-        bits,
-    );
-    let (wc, _, _) = run_flow(
-        MobilityMode::CostUnaware,
-        Arc::new(MinEnergyStrategy::new()),
-        &zigzag(),
-        bits,
-    );
+    let (wi, _, _) =
+        run_flow(MobilityMode::Informed, Arc::new(MinEnergyStrategy::new()), &zigzag(), bits);
+    let (wc, _, _) =
+        run_flow(MobilityMode::CostUnaware, Arc::new(MinEnergyStrategy::new()), &zigzag(), bits);
     assert!(
         wi.ledger().totals().total() < wc.ledger().totals().total(),
         "informed {} should beat cost-unaware {}",
@@ -193,18 +174,10 @@ fn informed_beats_cost_unaware_on_short_flows() {
 #[test]
 fn informed_beats_no_mobility_on_long_flows() {
     let bits = 48_000_000; // 6 MB: comfortably above the break-even length
-    let (wi, _, _) = run_flow(
-        MobilityMode::Informed,
-        Arc::new(MinEnergyStrategy::new()),
-        &zigzag(),
-        bits,
-    );
-    let (wn, _, _) = run_flow(
-        MobilityMode::NoMobility,
-        Arc::new(MinEnergyStrategy::new()),
-        &zigzag(),
-        bits,
-    );
+    let (wi, _, _) =
+        run_flow(MobilityMode::Informed, Arc::new(MinEnergyStrategy::new()), &zigzag(), bits);
+    let (wn, _, _) =
+        run_flow(MobilityMode::NoMobility, Arc::new(MinEnergyStrategy::new()), &zigzag(), bits);
     assert!(
         wi.ledger().totals().total() < wn.ledger().totals().total(),
         "informed {} should beat no-mobility {} on a 1 MB flow",
@@ -252,19 +225,13 @@ fn notification_crosses_multiple_relays() {
         (60.0, -12.0, 10_000.0),
         (75.0, 0.0, 10_000.0),
     ];
-    let (w, ids, flow) = run_flow(
-        MobilityMode::Informed,
-        Arc::new(MinEnergyStrategy::new()),
-        &nodes,
-        48_000_000,
-    );
+    let (w, ids, flow) =
+        run_flow(MobilityMode::Informed, Arc::new(MinEnergyStrategy::new()), &nodes, 48_000_000);
     let sf = w.app(ids[0]).source(flow).unwrap();
     assert!(sf.status_changes >= 1, "an enable notification must have reached the source");
     // Relays forwarded at least one notification each.
-    let forwarded: u64 = ids[1..ids.len() - 1]
-        .iter()
-        .map(|&id| w.app(id).counters().notifications_forwarded)
-        .sum();
+    let forwarded: u64 =
+        ids[1..ids.len() - 1].iter().map(|&id| w.app(id).counters().notifications_forwarded).sum();
     assert!(forwarded >= (ids.len() - 2) as u64);
     // Notification energy shows up in the ledger.
     assert!(w.ledger().totals().notification > 0.0);
@@ -277,12 +244,8 @@ fn dead_relay_stalls_flow_and_is_recorded() {
         (20.0, 10.0, 0.05), // dies after a few packets
         (40.0, 0.0, 10_000.0),
     ];
-    let (w, ids, flow) = run_flow(
-        MobilityMode::NoMobility,
-        Arc::new(MinEnergyStrategy::new()),
-        &nodes,
-        8_000_000,
-    );
+    let (w, ids, flow) =
+        run_flow(MobilityMode::NoMobility, Arc::new(MinEnergyStrategy::new()), &nodes, 8_000_000);
     assert!(!w.is_alive(ids[1]));
     let (dead, _) = w.ledger().first_death().unwrap();
     assert_eq!(dead, ids[1]);
@@ -307,16 +270,10 @@ fn two_flows_superpose_targets_on_shared_relay() {
     );
     let fa = FlowId::new(0);
     let fb = FlowId::new(1);
-    install_flow(
-        &mut w,
-        &FlowSpec::paper_default(fa, vec![ids[0], ids[4], ids[1]], 800_000),
-    )
-    .unwrap();
-    install_flow(
-        &mut w,
-        &FlowSpec::paper_default(fb, vec![ids[2], ids[4], ids[3]], 800_000),
-    )
-    .unwrap();
+    install_flow(&mut w, &FlowSpec::paper_default(fa, vec![ids[0], ids[4], ids[1]], 800_000))
+        .unwrap();
+    install_flow(&mut w, &FlowSpec::paper_default(fb, vec![ids[2], ids[4], ids[3]], 800_000))
+        .unwrap();
     w.run_while(|w| w.time() < SimTime::from_micros(150_000_000));
     // Both flows completed through the shared relay.
     assert_eq!(w.app(ids[1]).dest(fa).unwrap().received_bits, 800_000);
@@ -338,13 +295,7 @@ fn two_flows_with_different_strategies_share_the_network() {
     let registry = Arc::new(StrategyRegistry::paper_defaults(2.0).unwrap());
     let mut w = make_world(MobilityMode::CostUnaware, Arc::new(MinEnergyStrategy::new()));
     let cfg = ImobifConfig { mode: MobilityMode::CostUnaware, ..Default::default() };
-    let pts = [
-        (0.0, 0.0),
-        (14.0, 10.0),
-        (32.0, -10.0),
-        (50.0, 10.0),
-        (64.0, 0.0),
-    ];
+    let pts = [(0.0, 0.0), (14.0, 10.0), (32.0, -10.0), (50.0, 10.0), (64.0, 0.0)];
     let ids: Vec<NodeId> = pts
         .iter()
         .map(|&(x, y)| {

@@ -99,10 +99,7 @@ impl Battery {
             return Err(EnergyError::InvalidParameter { name: "joules" });
         }
         if joules > self.residual {
-            return Err(EnergyError::Depleted {
-                required: joules,
-                available: self.residual,
-            });
+            return Err(EnergyError::Depleted { required: joules, available: self.residual });
         }
         self.residual -= joules;
         Ok(())

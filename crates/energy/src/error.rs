@@ -37,10 +37,9 @@ pub enum EnergyError {
 impl fmt::Display for EnergyError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            EnergyError::Depleted { required, available } => write!(
-                f,
-                "battery depleted: {required:.6} J required, {available:.6} J available"
-            ),
+            EnergyError::Depleted { required, available } => {
+                write!(f, "battery depleted: {required:.6} J required, {available:.6} J available")
+            }
             EnergyError::InvalidParameter { name } => {
                 write!(f, "invalid model parameter `{name}`")
             }
@@ -63,9 +62,7 @@ mod tests {
         let msg = e.to_string();
         assert!(msg.contains("2.0"));
         assert!(msg.contains("1.0"));
-        assert!(EnergyError::InvalidParameter { name: "alpha" }
-            .to_string()
-            .contains("alpha"));
+        assert!(EnergyError::InvalidParameter { name: "alpha" }.to_string().contains("alpha"));
         assert!(!EnergyError::InsufficientSamples.to_string().is_empty());
     }
 

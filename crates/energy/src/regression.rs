@@ -91,16 +91,8 @@ pub fn fit_power_law(samples: &[(f64, f64)]) -> Result<PowerLawFit, EnergyError>
     }
     let exponent = sxy / sxx;
     let intercept = mean_y - exponent * mean_x;
-    let r_squared = if syy <= f64::EPSILON {
-        1.0
-    } else {
-        (sxy * sxy) / (sxx * syy)
-    };
-    Ok(PowerLawFit {
-        coefficient: intercept.exp(),
-        exponent,
-        r_squared,
-    })
+    let r_squared = if syy <= f64::EPSILON { 1.0 } else { (sxy * sxy) / (sxx * syy) };
+    Ok(PowerLawFit { coefficient: intercept.exp(), exponent, r_squared })
 }
 
 /// Obtains the paper's `α'` for a transmission energy model by regressing
@@ -181,10 +173,7 @@ mod tests {
     #[test]
     fn too_few_samples_is_an_error() {
         assert_eq!(fit_power_law(&[]).unwrap_err(), EnergyError::InsufficientSamples);
-        assert_eq!(
-            fit_power_law(&[(1.0, 1.0)]).unwrap_err(),
-            EnergyError::InsufficientSamples
-        );
+        assert_eq!(fit_power_law(&[(1.0, 1.0)]).unwrap_err(), EnergyError::InsufficientSamples);
         // Two samples at the same x: exponent unidentifiable.
         assert_eq!(
             fit_power_law(&[(2.0, 1.0), (2.0, 3.0)]).unwrap_err(),

@@ -60,11 +60,7 @@ impl PowerDistanceTable {
             return Err(EnergyError::InvalidParameter { name: "max_distance" });
         }
         let n = (max_distance / resolution).ceil() as usize + 1;
-        Ok(PowerDistanceTable {
-            resolution,
-            max_distance,
-            buckets: vec![(0.0, 0); n],
-        })
+        Ok(PowerDistanceTable { resolution, max_distance, buckets: vec![(0.0, 0); n] })
     }
 
     /// Trains a table directly from a model, sampling each bucket center.
@@ -153,9 +149,8 @@ impl PowerDistanceTable {
         let exact = d / self.resolution;
         let lo_start = exact.floor() as usize;
         // Nearest trained bucket at or below (scanning down), and above.
-        let below = (0..=lo_start.min(self.buckets.len() - 1))
-            .rev()
-            .find(|&i| self.buckets[i].1 > 0);
+        let below =
+            (0..=lo_start.min(self.buckets.len() - 1)).rev().find(|&i| self.buckets[i].1 > 0);
         let above = (lo_start..self.buckets.len()).find(|&i| self.buckets[i].1 > 0);
         match (below, above) {
             (Some(b), Some(a)) if a != b => {
@@ -180,8 +175,7 @@ impl TxEnergyModel for PowerDistanceTable {
     /// power–distance table is a programming error (a node always boots by
     /// observing at least its own HELLO transmissions).
     fn energy_per_bit(&self, d: f64) -> f64 {
-        self.lookup(d)
-            .expect("power-distance table queried before any sample was recorded")
+        self.lookup(d).expect("power-distance table queried before any sample was recorded")
     }
 }
 
@@ -268,8 +262,8 @@ mod tests {
         let t = PowerDistanceTable::from_model(&truth, 0.5, 40.0).unwrap();
         for i in 1..80 {
             let d = i as f64 * 0.5;
-            let rel = (t.energy_per_bit(d) - truth.energy_per_bit(d)).abs()
-                / truth.energy_per_bit(d);
+            let rel =
+                (t.energy_per_bit(d) - truth.energy_per_bit(d)).abs() / truth.energy_per_bit(d);
             assert!(rel < 0.02, "relative error {rel} at d={d}");
         }
     }

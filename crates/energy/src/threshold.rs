@@ -91,8 +91,7 @@ pub fn mobility_break_even_bits(
     }
     let per_bit_current: f64 = path.hop_lengths().iter().map(|&d| tx.energy_per_bit(d)).sum();
     let optimal = path.evenly_spaced_optimum();
-    let per_bit_optimal: f64 =
-        optimal.hop_lengths().iter().map(|&d| tx.energy_per_bit(d)).sum();
+    let per_bit_optimal: f64 = optimal.hop_lengths().iter().map(|&d| tx.energy_per_bit(d)).sum();
     let movement_cost: f64 = path
         .vertices()
         .iter()
@@ -108,12 +107,7 @@ pub fn mobility_break_even_bits(
     } else {
         None
     };
-    Ok(BreakEven {
-        per_bit_current,
-        per_bit_optimal,
-        movement_cost,
-        threshold_bits,
-    })
+    Ok(BreakEven { per_bit_current, per_bit_optimal, movement_cost, threshold_bits })
 }
 
 #[cfg(test)]

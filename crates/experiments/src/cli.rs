@@ -140,15 +140,10 @@ fn figures_cmd(argv: &[String]) -> Result<(), String> {
     if args.prom && !args.metrics {
         return Err("--prom requires --metrics".to_string());
     }
-    let registry = if args.metrics {
-        crate::obs::enable_metrics()
-    } else {
-        crate::obs::registry()
-    };
+    let registry = if args.metrics { crate::obs::enable_metrics() } else { crate::obs::registry() };
     let mut timer = PhaseTimer::new();
-    let wants = |t: &str| {
-        args.targets.iter().any(|x| x == t) || args.targets.iter().any(|x| x == "all")
-    };
+    let wants =
+        |t: &str| args.targets.iter().any(|x| x == t) || args.targets.iter().any(|x| x == "all");
     let out = args.out.as_deref();
     println!("# iMobif reproduction — figure regeneration");
     println!("\nflows per experiment: {}; seed: {}\n", args.flows, args.seed);
@@ -174,11 +169,8 @@ fn figures_cmd(argv: &[String]) -> Result<(), String> {
         // One scatter SVG per panel, like the paper's six scatter plots.
         for panel in &r.panels {
             use crate::chart::{render_chart, Mark, Series};
-            let cu: Vec<(f64, f64)> = panel
-                .points
-                .iter()
-                .map(|p| (p.index as f64, p.cost_unaware_ratio))
-                .collect();
+            let cu: Vec<(f64, f64)> =
+                panel.points.iter().map(|p| (p.index as f64, p.cost_unaware_ratio)).collect();
             let inf: Vec<(f64, f64)> =
                 panel.points.iter().map(|p| (p.index as f64, p.informed_ratio)).collect();
             let svg = render_chart(
@@ -329,7 +321,8 @@ fn trace_record(argv: &[String]) -> Result<(), String> {
     );
     match out {
         Some(path) => {
-            fs::write(&path, &jsonl).map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+            fs::write(&path, &jsonl)
+                .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
             eprintln!("wrote {}", path.display());
         }
         None => print!("{jsonl}"),
@@ -388,7 +381,8 @@ fn manifest_check_cmd(argv: &[String]) -> Result<(), String> {
         return Err(USAGE.to_string());
     }
     let text = fs::read_to_string(path).map_err(|e| format!("cannot read {path}: {e}"))?;
-    let manifest = RunManifest::validate(&text).map_err(|e| format!("{path}: invalid manifest: {e}"))?;
+    let manifest =
+        RunManifest::validate(&text).map_err(|e| format!("{path}: invalid manifest: {e}"))?;
     println!(
         "ok: {} run of {:?} (seed {}, {} flows, {} threads, {} phases, {} metrics)",
         manifest.tool,

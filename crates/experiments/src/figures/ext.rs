@@ -29,11 +29,8 @@ pub fn run_estimate_sensitivity(n_flows: u64, seed: u64) -> EstimateSensitivity 
     let specs: Vec<BatchSpec> = factors
         .iter()
         .map(|&factor| {
-            let cfg = ScenarioConfig {
-                estimate_factor: factor,
-                seed,
-                ..ScenarioConfig::paper_default()
-            };
+            let cfg =
+                ScenarioConfig { estimate_factor: factor, seed, ..ScenarioConfig::paper_default() };
             (cfg, StrategyChoice::MinEnergy)
         })
         .collect();
@@ -151,10 +148,7 @@ pub fn run_initial_status(n_flows: u64, seed: u64) -> InitialStatusAblation {
         ..ScenarioConfig::paper_default()
     };
     let mut batches = run_batches(
-        &[
-            (cfg_of(false), StrategyChoice::MinEnergy),
-            (cfg_of(true), StrategyChoice::MinEnergy),
-        ],
+        &[(cfg_of(false), StrategyChoice::MinEnergy), (cfg_of(true), StrategyChoice::MinEnergy)],
         n_flows,
     );
     let enabled_cases = batches.pop().expect("two specs in");
@@ -329,8 +323,7 @@ pub fn run_horizon_ablation(n_flows: u64, seed: u64) -> HorizonAblation {
     let cfg = ScenarioConfig { seed, ..ScenarioConfig::paper_default() };
     let full: Arc<dyn MobilityStrategy> = Arc::new(MinEnergyStrategy::new());
     let step: Arc<dyn MobilityStrategy> = Arc::new(
-        IncrementalStrategy::new(MinEnergyStrategy::new(), cfg.max_step)
-            .expect("valid max_step"),
+        IncrementalStrategy::new(MinEnergyStrategy::new(), cfg.max_step).expect("valid max_step"),
     );
     let mut full_ratios = Vec::new();
     let mut step_ratios = Vec::new();
@@ -338,8 +331,7 @@ pub fn run_horizon_ablation(n_flows: u64, seed: u64) -> HorizonAblation {
     let mut step_notif = 0u64;
     for i in 0..n_flows {
         let draw = draw_scenario(&cfg, i);
-        let base =
-            crate::runner::run_instance(&cfg, &draw, MobilityMode::NoMobility, &full);
+        let base = crate::runner::run_instance(&cfg, &draw, MobilityMode::NoMobility, &full);
         let rf = crate::runner::run_instance(&cfg, &draw, MobilityMode::Informed, &full);
         let rs = crate::runner::run_instance(&cfg, &draw, MobilityMode::Informed, &step);
         full_ratios.push(rf.total_energy / base.total_energy);
@@ -405,12 +397,8 @@ pub fn run_hybrid_sweep(n_flows: u64, seed: u64) -> HybridSweep {
             let mut energy_ratios = Vec::new();
             for i in 0..n_flows {
                 let draw = draw_scenario(&cfg, i);
-                let base = crate::runner::run_instance(
-                    &cfg,
-                    &draw,
-                    MobilityMode::NoMobility,
-                    &strategy,
-                );
+                let base =
+                    crate::runner::run_instance(&cfg, &draw, MobilityMode::NoMobility, &strategy);
                 let r = crate::runner::run_instance(&cfg, &draw, MobilityMode::Informed, &strategy);
                 life_ratios.push(r.lifetime_secs / base.lifetime_secs);
                 energy_ratios.push(r.total_energy / base.total_energy);
@@ -499,11 +487,7 @@ pub fn run_multiflow(n_concurrent: u32, seed: u64) -> MultiFlowStudy {
         }
         // One source role per node keeps timer tags unambiguous per flow id
         // anyway; duplicates of endpoints across flows are allowed.
-        specs.push(FlowSpec::paper_default(
-            FlowId::new(specs.len() as u32),
-            path,
-            flow_bits,
-        ));
+        specs.push(FlowSpec::paper_default(FlowId::new(specs.len() as u32), path, flow_bits));
     }
 
     let run = |mode: MobilityMode| -> (f64, bool, usize) {
@@ -526,8 +510,7 @@ pub fn run_multiflow(n_concurrent: u32, seed: u64) -> MultiFlowStudy {
         for spec in &specs {
             install_flow(&mut world, spec).expect("routed specs are valid");
         }
-        let horizon =
-            SimTime::from_micros((flow_bits / 8_000 + 60) * 1_000_000);
+        let horizon = SimTime::from_micros((flow_bits / 8_000 + 60) * 1_000_000);
         world.run_while(|w| w.time() < horizon);
         let delivered = specs.iter().all(|s| {
             let dst = *s.path.last().expect("non-empty");

@@ -131,11 +131,7 @@ impl Fig5Result {
     pub fn to_markdown(&self) -> String {
         let mut rows = Vec::new();
         for p in [&self.original, &self.min_energy, &self.max_lifetime] {
-            rows.push(vec![
-                p.label.clone(),
-                fmt2(p.chord_deviation),
-                fmt4(p.spacing_spread),
-            ]);
+            rows.push(vec![p.label.clone(), fmt2(p.chord_deviation), fmt4(p.spacing_spread)]);
         }
         let mut out = String::from("### Figure 5 — effect of controlled mobility on placement\n\n");
         out.push_str(&markdown_table(

@@ -151,11 +151,7 @@ pub fn run(n_flows: u64, seed: u64) -> Fig6Result {
         vs.iter().map(|v| (variant_config(v, seed), StrategyChoice::MinEnergy)).collect();
     let batches = run_batches(&specs, n_flows);
     Fig6Result {
-        panels: vs
-            .into_iter()
-            .zip(batches)
-            .map(|(v, cases)| panel_from_cases(v, &cases))
-            .collect(),
+        panels: vs.into_iter().zip(batches).map(|(v, cases)| panel_from_cases(v, &cases)).collect(),
     }
 }
 
@@ -259,11 +255,7 @@ mod tests {
             panel.cost_unaware.mean
         );
         // …iMobif stays near the baseline.
-        assert!(
-            panel.informed.mean < 1.1,
-            "imobif avg {} should stay near 1",
-            panel.informed.mean
-        );
+        assert!(panel.informed.mean < 1.1, "imobif avg {} should stay near 1", panel.informed.mean);
         assert!(panel.informed_at_most_baseline > 0.7);
         // Fig 6(b): for most short flows, cost-unaware mobility spends more
         // energy walking than the whole flow spends transmitting.

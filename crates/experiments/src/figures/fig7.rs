@@ -36,11 +36,7 @@ pub fn run(n_flows: u64, seed: u64) -> Fig7Result {
         let bucket = (n as usize).min(histogram.len() - 1);
         histogram[bucket] += 1;
     }
-    Fig7Result {
-        summary: Summary::of(&as_f).expect("non-empty batch"),
-        notifications,
-        histogram,
-    }
+    Fig7Result { summary: Summary::of(&as_f).expect("non-empty batch"), notifications, histogram }
 }
 
 impl Fig7Result {
@@ -52,11 +48,8 @@ impl Fig7Result {
             .iter()
             .enumerate()
             .map(|(i, &n)| {
-                let label = if i + 1 == self.histogram.len() {
-                    format!("≥{i}")
-                } else {
-                    i.to_string()
-                };
+                let label =
+                    if i + 1 == self.histogram.len() { format!("≥{i}") } else { i.to_string() };
                 vec![label, n.to_string()]
             })
             .collect();

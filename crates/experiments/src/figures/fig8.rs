@@ -57,7 +57,8 @@ impl Fig8Result {
     /// Markdown rendering with decile CDF points.
     #[must_use]
     pub fn to_markdown(&self) -> String {
-        let mut out = String::from("### Figure 8 — system-lifetime ratio CDF (baseline = no mobility)\n\n");
+        let mut out =
+            String::from("### Figure 8 — system-lifetime ratio CDF (baseline = no mobility)\n\n");
         out.push_str(&format!(
             "Cost-unaware average {}; iMobif average {} (max {}×). iMobif ≥ baseline on {}% of flows.\n\n",
             fmt2(self.cost_unaware.mean),
@@ -69,9 +70,7 @@ impl Fig8Result {
             .map(|d| {
                 let f = d as f64 / 10.0;
                 let pick = |c: &[(f64, f64)]| {
-                    c.iter()
-                        .find(|&&(_, frac)| frac >= f)
-                        .map_or(f64::NAN, |&(v, _)| v)
+                    c.iter().find(|&&(_, frac)| frac >= f).map_or(f64::NAN, |&(v, _)| v)
                 };
                 vec![
                     format!("{}%", d * 10),
@@ -80,10 +79,7 @@ impl Fig8Result {
                 ]
             })
             .collect();
-        out.push_str(&markdown_table(
-            &["CDF", "cost-unaware ratio", "informed ratio"],
-            &deciles,
-        ));
+        out.push_str(&markdown_table(&["CDF", "cost-unaware ratio", "informed ratio"], &deciles));
         out
     }
 

@@ -86,10 +86,7 @@ pub fn cdf(values: &[f64]) -> Vec<(f64, f64)> {
     let mut v: Vec<f64> = values.iter().copied().filter(|x| x.is_finite()).collect();
     v.sort_by(|a, b| a.partial_cmp(b).expect("finite values"));
     let n = v.len() as f64;
-    v.into_iter()
-        .enumerate()
-        .map(|(i, x)| (x, (i + 1) as f64 / n))
-        .collect()
+    v.into_iter().enumerate().map(|(i, x)| (x, (i + 1) as f64 / n)).collect()
 }
 
 /// Fraction of the sample strictly below `threshold`.

@@ -43,8 +43,7 @@ pub fn placements_svg(placements: &[&Placement]) -> String {
     let _ = write!(svg, r#"<rect width="{width}" height="{PANEL}" fill="white"/>"#);
 
     // Common scale across panels so movement is visually comparable.
-    let (mut min_x, mut min_y, mut max_x, mut max_y) =
-        (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
+    let (mut min_x, mut min_y, mut max_x, mut max_y) = (f64::MAX, f64::MAX, f64::MIN, f64::MIN);
     let mut max_energy: f64 = 1e-12;
     for p in placements {
         for n in &p.nodes {

@@ -197,8 +197,9 @@ fn run_instance_inner(
                 .expect("validated sim config");
             w
         }
-        None => World::new(cfg.sim_config(), Box::new(tx), Box::new(mv))
-            .expect("validated sim config"),
+        None => {
+            World::new(cfg.sim_config(), Box::new(tx), Box::new(mv)).expect("validated sim config")
+        }
     };
     if let Some(t0) = t_reset {
         obs.float_counter("phase.arena_reset_secs").add(t0.elapsed().as_secs_f64());
@@ -279,8 +280,7 @@ fn run_instance_inner(
         completed: delivered >= total,
         notifications,
         status_changes,
-        lifetime_secs: death
-            .map_or_else(|| world.time().as_secs_f64(), |(_, t)| t.as_secs_f64()),
+        lifetime_secs: death.map_or_else(|| world.time().as_secs_f64(), |(_, t)| t.as_secs_f64()),
         node_died: death.is_some(),
         final_positions: ids.iter().map(|&id| world.position(id)).collect(),
         final_energies: ids.iter().map(|&id| world.residual_energy(id)).collect(),
@@ -542,7 +542,8 @@ pub type BatchSpec = (ScenarioConfig, StrategyChoice);
 
 /// A [`BatchSpec`] resolved for execution: the built strategy object and the
 /// single-entry registry the workers share by reference.
-type PreparedSpec = (ScenarioConfig, StrategyChoice, Arc<dyn MobilityStrategy>, Arc<StrategyRegistry>);
+type PreparedSpec =
+    (ScenarioConfig, StrategyChoice, Arc<dyn MobilityStrategy>, Arc<StrategyRegistry>);
 
 fn run_case_in(
     arena: &mut InstanceArena,
@@ -565,8 +566,7 @@ fn run_case_in(
         obs.float_counter("phase.scenario_draw_secs").add(t0.elapsed().as_secs_f64());
     }
     let bkey = BaselineKey::of(cfg, index);
-    let cached_baseline =
-        baseline_memo().lock().expect("baseline memo lock").get(&bkey).cloned();
+    let cached_baseline = baseline_memo().lock().expect("baseline memo lock").get(&bkey).cloned();
     match &cached_baseline {
         Some(_) => BASELINE_MEMO_HITS.fetch_add(1, Ordering::Relaxed),
         None => BASELINE_MEMO_MISSES.fetch_add(1, Ordering::Relaxed),
@@ -589,7 +589,14 @@ fn run_case_in(
         flow_bits: draw.flow.flow_bits,
         path_len: draw.flow.path.len(),
         no_mobility,
-        cost_unaware: run_instance_in(arena, cfg, &draw, MobilityMode::CostUnaware, strategy, registry),
+        cost_unaware: run_instance_in(
+            arena,
+            cfg,
+            &draw,
+            MobilityMode::CostUnaware,
+            strategy,
+            registry,
+        ),
         informed: run_instance_in(arena, cfg, &draw, MobilityMode::Informed, strategy, registry),
     };
     let mut memo = case_memo().lock().expect("case memo lock");
@@ -670,9 +677,7 @@ pub fn run_batches(specs: &[BatchSpec], n_flows: u64) -> Vec<Vec<CaseResult>> {
 /// `(cfg.seed, index)` regardless of thread scheduling.
 #[must_use]
 pub fn run_batch(cfg: &ScenarioConfig, n_flows: u64, choice: StrategyChoice) -> Vec<CaseResult> {
-    run_batches(&[(*cfg, choice)], n_flows)
-        .pop()
-        .expect("one spec in, one batch out")
+    run_batches(&[(*cfg, choice)], n_flows).pop().expect("one spec in, one batch out")
 }
 
 #[cfg(test)]
@@ -696,9 +701,10 @@ mod tests {
         assert_eq!(r.delivered_bits, draw.flow.flow_bits);
         assert_eq!(r.mobility_energy, 0.0);
         assert!(r.data_energy > 0.0);
-        assert!((r.total_energy - (r.data_energy + r.mobility_energy + r.notification_energy))
-            .abs()
-            < 1e-9);
+        assert!(
+            (r.total_energy - (r.data_energy + r.mobility_energy + r.notification_energy)).abs()
+                < 1e-9
+        );
         assert_eq!(r.final_positions.len(), draw.flow.path.len());
     }
 
@@ -733,9 +739,7 @@ mod tests {
         let strategy = build_strategy(&cfg, StrategyChoice::MinEnergy);
         let registry = Arc::new(StrategyRegistry::single(Arc::clone(&strategy)));
         let mut arena = InstanceArena::new();
-        for mode in
-            [MobilityMode::NoMobility, MobilityMode::CostUnaware, MobilityMode::Informed]
-        {
+        for mode in [MobilityMode::NoMobility, MobilityMode::CostUnaware, MobilityMode::Informed] {
             let reused = run_instance_in(&mut arena, &cfg, &draw, mode, &strategy, &registry);
             let fresh = run_instance(&cfg, &draw, mode, &strategy);
             assert_eq!(reused, fresh, "arena-recycled run diverged under {mode:?}");
@@ -754,7 +758,10 @@ mod tests {
         // Shared topology, different k: the two specs drew the same paths…
         assert_eq!(grouped[0][0].path_len, grouped[1][0].path_len);
         // …but simulated different physics.
-        assert_ne!(grouped[0][0].cost_unaware.total_energy, grouped[1][0].cost_unaware.total_energy);
+        assert_ne!(
+            grouped[0][0].cost_unaware.total_energy,
+            grouped[1][0].cost_unaware.total_energy
+        );
     }
 
     #[test]
@@ -837,10 +844,7 @@ mod tests {
 
     #[test]
     fn lifetime_runs_record_deaths() {
-        let cfg = ScenarioConfig {
-            mean_flow_bits: 8e6,
-            ..ScenarioConfig::paper_lifetime()
-        };
+        let cfg = ScenarioConfig { mean_flow_bits: 8e6, ..ScenarioConfig::paper_lifetime() };
         let strategy = build_strategy(&cfg, StrategyChoice::MaxLifetime);
         // Find a draw where the baseline dies (most do, by design).
         let mut found = false;

@@ -157,9 +157,8 @@ pub fn summarize(events: &[TraceEvent]) -> TraceSummary {
                 let a = s.nodes.entry(node.raw()).or_default();
                 a.mobility_energy += energy;
                 a.distance_moved += from.distance_to(to);
-                *s.energy_by_category
-                    .entry(EnergyCategory::Mobility.as_str())
-                    .or_insert(0.0) += energy;
+                *s.energy_by_category.entry(EnergyCategory::Mobility.as_str()).or_insert(0.0) +=
+                    energy;
             }
             TraceEvent::Died { node, time } => {
                 let a = s.nodes.entry(node.raw()).or_default();
@@ -260,8 +259,7 @@ mod tests {
         let cfg = quick_cfg();
         let draw = draw_scenario(&cfg, 2);
         let strategy = build_strategy(&cfg, StrategyChoice::MinEnergy);
-        let untraced =
-            crate::runner::run_instance(&cfg, &draw, MobilityMode::Informed, &strategy);
+        let untraced = crate::runner::run_instance(&cfg, &draw, MobilityMode::Informed, &strategy);
         let (traced, _) = run_instance_traced(&cfg, &draw, MobilityMode::Informed, &strategy, 4096);
         assert_eq!(untraced, traced);
     }

@@ -49,15 +49,8 @@ impl SpatialGrid {
     /// Panics if `cell_size` is not a positive finite number.
     #[must_use]
     pub fn new(cell_size: f64) -> Self {
-        assert!(
-            cell_size.is_finite() && cell_size > 0.0,
-            "cell_size must be positive and finite"
-        );
-        SpatialGrid {
-            cell_size,
-            cells: FxHashMap::default(),
-            positions: FxHashMap::default(),
-        }
+        assert!(cell_size.is_finite() && cell_size > 0.0, "cell_size must be positive and finite");
+        SpatialGrid { cell_size, cells: FxHashMap::default(), positions: FxHashMap::default() }
     }
 
     /// The configured cell size in meters.
@@ -67,10 +60,7 @@ impl SpatialGrid {
     }
 
     fn cell_of(&self, p: Point2) -> (i64, i64) {
-        (
-            (p.x / self.cell_size).floor() as i64,
-            (p.y / self.cell_size).floor() as i64,
-        )
+        ((p.x / self.cell_size).floor() as i64, (p.y / self.cell_size).floor() as i64)
     }
 
     /// Number of items currently stored.
@@ -106,10 +96,8 @@ impl SpatialGrid {
         let new_cell = self.cell_of(position);
         if old_cell == new_cell {
             let bucket = self.cells.get_mut(&old_cell).expect("stored item has a bucket");
-            let entry = bucket
-                .iter_mut()
-                .find(|(k, _)| *k == key)
-                .expect("stored item is in its bucket");
+            let entry =
+                bucket.iter_mut().find(|(k, _)| *k == key).expect("stored item is in its bucket");
             entry.1 = position;
         } else {
             if let Some(bucket) = self.cells.get_mut(&old_cell) {
@@ -184,11 +172,7 @@ impl SpatialGrid {
     /// allocating. Same exact semantics as [`SpatialGrid::query_range`]
     /// (inclusive radius, unspecified order); callers that need determinism
     /// should collect and sort.
-    pub fn query_range_iter(
-        &self,
-        center: Point2,
-        radius: f64,
-    ) -> impl Iterator<Item = u32> + '_ {
+    pub fn query_range_iter(&self, center: Point2, radius: f64) -> impl Iterator<Item = u32> + '_ {
         let valid = radius.is_finite() && radius >= 0.0;
         let r_sq = radius * radius;
         let span = if valid { (radius / self.cell_size).ceil() as i64 } else { 0 };

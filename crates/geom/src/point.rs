@@ -108,10 +108,7 @@ impl Point2 {
     /// `t` is not clamped; values outside `[0, 1]` extrapolate.
     #[must_use]
     pub fn lerp(self, other: Point2, t: f64) -> Point2 {
-        Point2 {
-            x: self.x + (other.x - self.x) * t,
-            y: self.y + (other.y - self.y) * t,
-        }
+        Point2 { x: self.x + (other.x - self.x) * t, y: self.y + (other.y - self.y) * t }
     }
 
     /// Moves from `self` toward `target` by at most `max_step` meters.

@@ -151,9 +151,7 @@ impl Polyline {
     pub fn evenly_spaced_optimum(&self) -> Polyline {
         let n = self.vertices.len();
         let chord = self.chord();
-        let vertices = (0..n)
-            .map(|i| chord.point_at(i as f64 / (n - 1) as f64))
-            .collect();
+        let vertices = (0..n).map(|i| chord.point_at(i as f64 / (n - 1) as f64)).collect();
         Polyline { vertices }
     }
 }
@@ -189,10 +187,7 @@ mod tests {
     #[test]
     fn rejects_too_few_vertices() {
         assert_eq!(Polyline::new(vec![]).unwrap_err(), GeomError::TooFewVertices);
-        assert_eq!(
-            Polyline::new(vec![Point2::ORIGIN]).unwrap_err(),
-            GeomError::TooFewVertices
-        );
+        assert_eq!(Polyline::new(vec![Point2::ORIGIN]).unwrap_err(), GeomError::TooFewVertices);
     }
 
     #[test]

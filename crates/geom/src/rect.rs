@@ -104,10 +104,7 @@ impl Rect {
     /// Used to place the paper's random topologies; determinism comes from
     /// the caller's seeded RNG.
     pub fn sample_uniform<R: Rng + ?Sized>(&self, rng: &mut R) -> Point2 {
-        Point2::new(
-            rng.gen_range(self.min.x..=self.max.x),
-            rng.gen_range(self.min.y..=self.max.y),
-        )
+        Point2::new(rng.gen_range(self.min.x..=self.max.x), rng.gen_range(self.min.y..=self.max.y))
     }
 }
 

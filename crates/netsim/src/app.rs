@@ -220,16 +220,11 @@ impl NodeCtx<'_> {
             self.nodes[self.id.index()]
                 .neighbor_table()
                 .get(peer, self.now)
-                .map(|e| PeerInfo {
-                    position: e.position,
-                    residual_energy: e.residual_energy,
-                })
+                .map(|e| PeerInfo { position: e.position, residual_energy: e.residual_energy })
         } else {
             let n = self.nodes.get(peer.index())?;
-            n.is_alive().then(|| PeerInfo {
-                position: n.position(),
-                residual_energy: n.residual_energy(),
-            })
+            n.is_alive()
+                .then(|| PeerInfo { position: n.position(), residual_energy: n.residual_energy() })
         }
     }
 

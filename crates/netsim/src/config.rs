@@ -123,16 +123,10 @@ mod tests {
         assert_eq!(cfg.validate().unwrap_err(), SimError::InvalidConfig { field: "range" });
         cfg.range = 30.0;
         cfg.link_rate_bps = f64::NAN;
-        assert_eq!(
-            cfg.validate().unwrap_err(),
-            SimError::InvalidConfig { field: "link_rate_bps" }
-        );
+        assert_eq!(cfg.validate().unwrap_err(), SimError::InvalidConfig { field: "link_rate_bps" });
         cfg.link_rate_bps = 1e6;
         cfg.hello.period = SimDuration::ZERO;
-        assert_eq!(
-            cfg.validate().unwrap_err(),
-            SimError::InvalidConfig { field: "hello.period" }
-        );
+        assert_eq!(cfg.validate().unwrap_err(), SimError::InvalidConfig { field: "hello.period" });
         cfg.hello.enabled = false;
         cfg.validate().unwrap();
     }

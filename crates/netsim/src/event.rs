@@ -297,12 +297,9 @@ impl<E> Calendar<E> {
         // The window slid forward: overflow events now inside it belong in
         // the ring (they are all at or beyond the old window's end, so none
         // precede the new cursor bucket — ordering is preserved).
-        while self
-            .overflow
-            .peek()
-            .is_some_and(|s| s.time.as_micros() / BUCKET_WIDTH_MICROS
-                < self.gcursor + NUM_BUCKETS as u64)
-        {
+        while self.overflow.peek().is_some_and(|s| {
+            s.time.as_micros() / BUCKET_WIDTH_MICROS < self.gcursor + NUM_BUCKETS as u64
+        }) {
             let item = self.overflow.pop().expect("peeked non-empty");
             stats.overflow_drained += 1;
             let idx = Self::ring_index(item.time.as_micros());
@@ -314,8 +311,7 @@ impl<E> Calendar<E> {
     }
 
     fn sort_cursor_bucket(&mut self) {
-        self.buckets[self.cursor]
-            .sort_unstable_by_key(|s| std::cmp::Reverse((s.time, s.seq)));
+        self.buckets[self.cursor].sort_unstable_by_key(|s| std::cmp::Reverse((s.time, s.seq)));
     }
 
     /// Empties the calendar while keeping every bucket's allocation (and
@@ -346,11 +342,7 @@ impl<E> EventQueue<E> {
             QueueBackend::Calendar => Backend::Calendar(Calendar::new()),
             QueueBackend::BinaryHeap => Backend::BinaryHeap(BinaryHeap::new()),
         };
-        EventQueue {
-            backend,
-            next_seq: 0,
-            stats: QueueStats::default(),
-        }
+        EventQueue { backend, next_seq: 0, stats: QueueStats::default() }
     }
 
     /// Plain-field instrumentation accumulated since construction or the
@@ -574,7 +566,8 @@ mod tests {
     fn calendar_handles_multi_day_gaps() {
         let mut q = EventQueue::new();
         // Far beyond one ring revolution, several empty revolutions apart.
-        let times = [0, RING_SPAN_MICROS * 3 + 17, RING_SPAN_MICROS * 10, RING_SPAN_MICROS * 10 + 1];
+        let times =
+            [0, RING_SPAN_MICROS * 3 + 17, RING_SPAN_MICROS * 10, RING_SPAN_MICROS * 10 + 1];
         for (i, &t) in times.iter().enumerate() {
             q.push(SimTime::from_micros(t), i);
         }

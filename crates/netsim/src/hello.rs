@@ -117,10 +117,7 @@ impl NeighborTable {
     /// materializing a `Vec`.
     pub fn iter_fresh(&self, now: SimTime) -> impl Iterator<Item = NeighborEntry> + '_ {
         let ttl = self.ttl;
-        self.entries
-            .iter()
-            .filter(move |e| now - e.heard_at <= ttl)
-            .copied()
+        self.entries.iter().filter(move |e| now - e.heard_at <= ttl).copied()
     }
 
     /// Drops entries stale at `now`, returning how many were removed.

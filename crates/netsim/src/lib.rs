@@ -100,4 +100,4 @@ pub use medium::TopologyView;
 pub use node::NodeState;
 pub use stats::{EnergyCategory, EnergyLedger, NodeEnergy};
 pub use time::{SimDuration, SimTime};
-pub use world::{KernelStats, World};
+pub use world::{Effect, KernelStats, TimerKind, World};

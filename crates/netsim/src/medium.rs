@@ -193,10 +193,7 @@ mod tests {
     fn line_topology_neighbors() {
         let t = line(20.0, 5, 30.0);
         assert_eq!(t.neighbors(NodeId::new(0)), vec![NodeId::new(1)]);
-        assert_eq!(
-            t.neighbors(NodeId::new(2)),
-            vec![NodeId::new(1), NodeId::new(3)]
-        );
+        assert_eq!(t.neighbors(NodeId::new(2)), vec![NodeId::new(1), NodeId::new(3)]);
         assert!(t.in_range(NodeId::new(0), NodeId::new(1)));
         assert!(!t.in_range(NodeId::new(0), NodeId::new(2)));
     }
@@ -214,11 +211,7 @@ mod tests {
 
     #[test]
     fn dead_nodes_are_invisible() {
-        let positions = vec![
-            Point2::new(0.0, 0.0),
-            Point2::new(20.0, 0.0),
-            Point2::new(40.0, 0.0),
-        ];
+        let positions = vec![Point2::new(0.0, 0.0), Point2::new(20.0, 0.0), Point2::new(40.0, 0.0)];
         let t = TopologyView::new(positions, vec![true, false, true], 30.0);
         assert!(t.neighbors(NodeId::new(0)).is_empty());
         assert!(t.neighbors(NodeId::new(1)).is_empty());

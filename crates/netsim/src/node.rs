@@ -22,7 +22,12 @@ pub struct NodeState {
 }
 
 impl NodeState {
-    pub(crate) fn new(id: NodeId, position: Point2, battery: Battery, neighbors: NeighborTable) -> Self {
+    pub(crate) fn new(
+        id: NodeId,
+        position: Point2,
+        battery: Battery,
+        neighbors: NeighborTable,
+    ) -> Self {
         NodeState {
             id,
             position,

@@ -124,11 +124,7 @@ mod tests {
 
     fn topo(points: Vec<(f64, f64)>, range: f64) -> TopologyView {
         let n = points.len();
-        TopologyView::new(
-            points.into_iter().map(Point2::from).collect(),
-            vec![true; n],
-            range,
-        )
+        TopologyView::new(points.into_iter().map(Point2::from).collect(), vec![true; n], range)
     }
 
     #[test]
@@ -151,10 +147,7 @@ mod tests {
 
     #[test]
     fn rreq_count_bounded_by_nodes() {
-        let t = topo(
-            vec![(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (10.0, 10.0), (20.0, 10.0)],
-            30.0,
-        );
+        let t = topo(vec![(0.0, 0.0), (10.0, 0.0), (20.0, 0.0), (10.0, 10.0), (20.0, 10.0)], 30.0);
         let (_, stats) = AodvRouter.discover(&t, NodeId::new(0), NodeId::new(2)).unwrap();
         assert!(stats.rreq_broadcasts <= t.node_count() as u64);
     }

@@ -167,11 +167,7 @@ mod tests {
 
     fn topo(points: Vec<(f64, f64)>, range: f64) -> TopologyView {
         let n = points.len();
-        TopologyView::new(
-            points.into_iter().map(Point2::from).collect(),
-            vec![true; n],
-            range,
-        )
+        TopologyView::new(points.into_iter().map(Point2::from).collect(), vec![true; n], range)
     }
 
     #[test]

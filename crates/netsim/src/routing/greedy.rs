@@ -87,11 +87,7 @@ mod tests {
 
     fn topo(points: Vec<(f64, f64)>, range: f64) -> TopologyView {
         let n = points.len();
-        TopologyView::new(
-            points.into_iter().map(Point2::from).collect(),
-            vec![true; n],
-            range,
-        )
+        TopologyView::new(points.into_iter().map(Point2::from).collect(), vec![true; n], range)
     }
 
     #[test]
@@ -145,10 +141,7 @@ mod tests {
     #[test]
     fn picks_greedier_neighbor() {
         // Both 1 and 2 are in range of 0; 2 is closer to 3.
-        let t = topo(
-            vec![(0.0, 0.0), (15.0, 10.0), (25.0, 0.0), (50.0, 0.0)],
-            30.0,
-        );
+        let t = topo(vec![(0.0, 0.0), (15.0, 10.0), (25.0, 0.0), (50.0, 0.0)], 30.0);
         let p = GreedyRouter.route(&t, NodeId::new(0), NodeId::new(3)).unwrap();
         assert_eq!(p[1], NodeId::new(2));
     }

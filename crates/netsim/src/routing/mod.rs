@@ -36,8 +36,12 @@ pub trait Router: std::fmt::Debug {
     /// * [`RouteError::BadEndpoint`] if either endpoint is dead or unknown;
     /// * [`RouteError::NoProgress`] / [`RouteError::Disconnected`] when no
     ///   path can be found.
-    fn route(&self, topo: &TopologyView, src: NodeId, dst: NodeId)
-        -> Result<Vec<NodeId>, RouteError>;
+    fn route(
+        &self,
+        topo: &TopologyView,
+        src: NodeId,
+        dst: NodeId,
+    ) -> Result<Vec<NodeId>, RouteError>;
 }
 
 /// Validates endpoints shared by all routers.

@@ -204,10 +204,7 @@ impl EnergyLedger {
 
     /// Iterator over `(node, energy)` pairs.
     pub fn iter(&self) -> impl Iterator<Item = (NodeId, &NodeEnergy)> + '_ {
-        self.per_node
-            .iter()
-            .enumerate()
-            .map(|(i, e)| (NodeId::new(i as u32), e))
+        self.per_node.iter().enumerate().map(|(i, e)| (NodeId::new(i as u32), e))
     }
 }
 

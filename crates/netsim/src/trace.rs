@@ -179,10 +179,7 @@ impl TraceEvent {
                 time: time()?,
                 from: node("from")?,
                 to: node("to")?,
-                bits: json
-                    .get("bits")
-                    .and_then(Json::as_u64)
-                    .ok_or("missing/invalid bits")?,
+                bits: json.get("bits").and_then(Json::as_u64).ok_or("missing/invalid bits")?,
                 category: json
                     .get("category")
                     .and_then(Json::as_str)
@@ -190,11 +187,9 @@ impl TraceEvent {
                     .ok_or("missing/invalid category")?,
                 energy: energy()?,
             }),
-            Some("delivered") => Ok(TraceEvent::Delivered {
-                time: time()?,
-                from: node("from")?,
-                to: node("to")?,
-            }),
+            Some("delivered") => {
+                Ok(TraceEvent::Delivered { time: time()?, from: node("from")?, to: node("to")? })
+            }
             Some("dropped") => Ok(TraceEvent::Dropped { time: time()?, to: node("to")? }),
             Some("moved") => Ok(TraceEvent::Moved {
                 time: time()?,

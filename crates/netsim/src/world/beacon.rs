@@ -1,0 +1,73 @@
+//! The periodic HELLO service: each beacon broadcasts the node's identity,
+//! position and residual energy to every node in radio range, refreshing
+//! their neighbor tables (the paper's prescribed triple).
+//!
+//! Neighbor tables and the HELLO energy/stats are this subsystem's own
+//! state; the reschedule and a possible battery death are returned as
+//! [`Effect`]s.
+
+use super::kernel::{Effect, EffectBuf, TimerKind};
+use super::observe::KernelStats;
+use super::WorldCore;
+use crate::{EnergyCategory, NodeId};
+
+/// Below this many nodes, HELLO neighbor discovery scans the node array
+/// instead of probing the spatial grid: a 3×3 block of hash-bucket lookups
+/// costs more than a dozen distance checks, and the pinned-path experiment
+/// worlds carry only the flow's relays.
+pub(super) const SMALL_WORLD_SCAN: usize = 32;
+
+/// Broadcasts one HELLO beacon from `node` (if alive), updates every
+/// hearer's neighbor table, and reschedules the next beacon. A node that
+/// cannot afford the beacon dies instead and its beacon chain stops.
+pub(super) fn hello_beacon(core: &mut WorldCore, node: NodeId, fx: &mut EffectBuf) {
+    if !core.nodes[node.index()].is_alive() {
+        return;
+    }
+    if core.cfg.hello.charge_energy {
+        // Beacons are broadcast at full range power.
+        let e = core.tx_model.energy(core.cfg.range, core.cfg.hello.bits as f64);
+        if core.nodes[node.index()].battery_mut().try_consume(e).is_err() {
+            fx.push(Effect::Kill { node });
+            return;
+        }
+        core.ledger.charge(node, EnergyCategory::Hello, e);
+    }
+    let (pos, residual) = {
+        let n = &core.nodes[node.index()];
+        (n.position(), n.residual_energy())
+    };
+    // Reuse the scratch buffer: HELLO is the densest event class and must
+    // not allocate in the steady state. Tiny deployments (the pinned-path
+    // experiment worlds) skip the grid entirely: a linear scan over a
+    // handful of nodes beats nine hash-bucket probes, and it yields the
+    // same hearer set — the grid holds exactly the alive nodes, and ids
+    // come out already sorted.
+    if core.nodes.len() <= SMALL_WORLD_SCAN {
+        let r_sq = core.cfg.range * core.cfg.range;
+        core.hearers.clear();
+        let nodes = &core.nodes;
+        core.hearers.extend(
+            nodes
+                .iter()
+                .filter(|n| {
+                    n.id() != node && n.is_alive() && pos.distance_sq_to(n.position()) <= r_sq
+                })
+                .map(|n| n.id().raw()),
+        );
+    } else {
+        core.grid.query_range_into(pos, core.cfg.range, &mut core.hearers);
+        core.hearers.retain(|&k| k != node.raw());
+        core.hearers.sort_unstable();
+    }
+    core.stats.hello_beacons += 1;
+    core.stats.hello_fanout_bins[KernelStats::fanout_bin(core.hearers.len())] += 1;
+    let now = core.time;
+    for &k in &core.hearers {
+        let hearer = &mut core.nodes[k as usize];
+        if hearer.is_alive() {
+            hearer.neighbor_table_mut().observe(node, pos, residual, now);
+        }
+    }
+    fx.push(Effect::Timer { node, delay: core.cfg.hello.period, kind: TimerKind::Beacon });
+}

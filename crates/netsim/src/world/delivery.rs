@@ -1,0 +1,73 @@
+//! Unicast delivery: distance → transmission energy → scheduled arrival
+//! through the loss-free unit-disk medium.
+//!
+//! The sender's battery and the energy ledger are this subsystem's own
+//! state and are charged directly; scheduling, death and trace records are
+//! returned as [`Effect`]s for the kernel to apply.
+
+use super::kernel::{Effect, EffectBuf};
+use super::WorldCore;
+use crate::trace::TraceEvent;
+use crate::{EnergyCategory, NodeId};
+
+/// Charges `from` for transmitting `bits` to `to` and emits the effects of
+/// the attempt: on success `Sent` then the scheduled delivery; on an
+/// unaffordable transmission the sender dies (`Kill`, which records
+/// `Died`) and the packet is dropped (`Dropped` after `Died` — the order
+/// the trace pins).
+pub(super) fn send(
+    core: &mut WorldCore,
+    from: NodeId,
+    to: NodeId,
+    bits: u64,
+    category: EnergyCategory,
+    fx: &mut EffectBuf,
+) {
+    let d = core.nodes[from.index()].position().distance_to(core.nodes[to.index()].position());
+    let e = core.tx_model.energy(d, bits as f64);
+    if core.nodes[from.index()].battery_mut().try_consume(e).is_err() {
+        // The residual energy cannot cover this transmission: the node
+        // is out of service (its leftover charge is below the per-packet
+        // requirement, the paper's death condition).
+        core.ledger.packets_dropped += 1;
+        fx.push(Effect::Kill { node: from });
+        // Trace effects are only produced when tracing can observe them:
+        // the kernel would drop them anyway, and skipping the construction
+        // keeps the untraced hot path lean.
+        if core.trace.is_some() {
+            fx.push(Effect::Trace(TraceEvent::Dropped { time: core.time, to }));
+        }
+        return;
+    }
+    core.ledger.charge(from, category, e);
+    core.ledger.packets_sent += 1;
+    if core.trace.is_some() {
+        fx.push(Effect::Trace(TraceEvent::Sent {
+            time: core.time,
+            from,
+            to,
+            bits,
+            category,
+            energy: e,
+        }));
+    }
+    fx.push(Effect::Send { from, to, delay: core.cfg.tx_delay(bits) });
+}
+
+/// Terminal medium step for an arriving packet. Returns whether it was
+/// delivered — the kernel then dispatches `on_message`; a dead destination
+/// drops the packet instead.
+pub(super) fn receive(core: &mut WorldCore, from: NodeId, to: NodeId, fx: &mut EffectBuf) -> bool {
+    if !core.nodes[to.index()].is_alive() {
+        core.ledger.packets_dropped += 1;
+        if core.trace.is_some() {
+            fx.push(Effect::Trace(TraceEvent::Dropped { time: core.time, to }));
+        }
+        return false;
+    }
+    core.ledger.packets_delivered += 1;
+    if core.trace.is_some() {
+        fx.push(Effect::Trace(TraceEvent::Delivered { time: core.time, from, to }));
+    }
+    true
+}

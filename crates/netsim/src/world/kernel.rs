@@ -1,0 +1,290 @@
+//! The event loop: pops kernel events, runs application hooks, converts
+//! their [`Action`]s into [`Effect`]s, and applies effects in order.
+//!
+//! Every cross-cutting consequence a subsystem produces — scheduling a
+//! delivery or timer, killing a node, recording a trace event — flows
+//! through [`World::apply`]. Nothing else touches the event queue or the
+//! trace ring mid-event, which makes that loop the single interception
+//! point for future fault injection and sharding.
+
+use imobif_geom::Point2;
+
+use super::{beacon, delivery, mobility, observe, World};
+use crate::trace::TraceEvent;
+use crate::{Action, Application, NodeCtx, NodeId, Outbox, SimDuration, SimTime};
+
+/// Internal kernel events.
+#[derive(Debug)]
+pub(super) enum Event<M> {
+    /// A packet arriving at `to`.
+    Deliver { from: NodeId, to: NodeId, msg: M },
+    /// An application timer firing at `node`.
+    AppTimer { node: NodeId, tag: u64 },
+    /// A periodic HELLO beacon due at `node`.
+    HelloBeacon { node: NodeId },
+}
+
+/// What an [`Effect::Timer`] wakes up when it fires.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TimerKind {
+    /// An application timer delivered to `Application::on_timer`.
+    App {
+        /// Opaque tag handed back to the application.
+        tag: u64,
+    },
+    /// The node's next periodic HELLO beacon.
+    Beacon,
+}
+
+/// A typed cross-cutting consequence returned by a subsystem and applied
+/// by the kernel.
+///
+/// Subsystems mutate their own domain state directly (batteries, ledger,
+/// positions, neighbor tables) but never reach into the event queue, the
+/// trace ring, or another subsystem; those consequences are returned as
+/// effects instead. The kernel applies each batch in push order, which
+/// fixes the trace and scheduling order exactly (DESIGN.md §10):
+///
+/// * a successful send records `Sent` *then* schedules the delivery;
+/// * an unaffordable send kills the sender (recording `Died`) *then*
+///   records `Dropped`;
+/// * a mid-step death records the partial `Moved` *then* `Died`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Effect {
+    /// Schedule the in-flight message for delivery after `delay`. The
+    /// message payload itself stays with the kernel (it is the one generic
+    /// piece of an otherwise plain-data effect) and is paired with this
+    /// effect when it is applied.
+    Send {
+        /// The transmitting node.
+        from: NodeId,
+        /// The receiving node.
+        to: NodeId,
+        /// Transmission delay (link rate + hop latency).
+        delay: SimDuration,
+    },
+    /// Move `node` toward `target`, by at most `max_step` meters.
+    Move {
+        /// The moving node.
+        node: NodeId,
+        /// Where the node wants to end up.
+        target: Point2,
+        /// Per-packet movement budget in meters (paper §4).
+        max_step: f64,
+    },
+    /// Schedule a wake-up for `node` after `delay`.
+    Timer {
+        /// The node to wake.
+        node: NodeId,
+        /// How far in the future the timer fires.
+        delay: SimDuration,
+        /// Which service the wake-up drives.
+        kind: TimerKind,
+    },
+    /// Take `node` out of service (battery below the per-action
+    /// requirement — the paper's death condition).
+    Kill {
+        /// The dying node.
+        node: NodeId,
+    },
+    /// Record a kernel trace event.
+    Trace(TraceEvent),
+}
+
+/// Fixed-capacity inline buffer collecting the effects of one subsystem
+/// call. No operation produces more than two effects (see [`Effect`]), so
+/// two slots suffice without ever touching the heap — the hot path stays
+/// allocation-free, and the buffer stays small enough that its per-event
+/// zero-initialization is noise.
+pub(super) struct EffectBuf {
+    pub(super) slots: [Option<Effect>; 2],
+    pub(super) len: usize,
+}
+
+impl EffectBuf {
+    #[inline]
+    pub(super) const fn new() -> Self {
+        EffectBuf { slots: [None; 2], len: 0 }
+    }
+
+    #[inline]
+    pub(super) fn push(&mut self, effect: Effect) {
+        self.slots[self.len] = Some(effect);
+        self.len += 1;
+    }
+}
+
+impl<A: Application> World<A> {
+    /// Starts the world: schedules HELLO beacons and runs each
+    /// application's `on_start` hook in node-id order.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(&mut self) {
+        assert!(!self.started, "start() called twice");
+        self.started = true;
+        if self.core.cfg.hello.enabled {
+            // Beacons fire immediately at start so neighbor tables are
+            // populated before the first data packet; the queue's sequence
+            // numbers give a deterministic beacon order.
+            for i in 0..self.core.nodes.len() {
+                self.queue.push(self.core.time, Event::HelloBeacon { node: NodeId::new(i as u32) });
+            }
+        }
+        for i in 0..self.core.nodes.len() {
+            let id = NodeId::new(i as u32);
+            if !self.core.nodes[i].is_alive() {
+                continue;
+            }
+            self.dispatch(id, |app, ctx, out| app.on_start(ctx, out));
+        }
+    }
+
+    /// Runs one application hook with a context built from disjoint field
+    /// borrows (`apps` mutable, everything else shared), then converts the
+    /// actions the hook pushed into effects and applies them, in push
+    /// order.
+    ///
+    /// The outbox is taken out of `self` for the duration of the call so
+    /// the action loop can borrow the world mutably; its backing storage is
+    /// put back afterwards, so the steady state allocates nothing.
+    pub(super) fn dispatch<F>(&mut self, id: NodeId, f: F)
+    where
+        F: FnOnce(&mut A, &NodeCtx<'_>, &mut Outbox<A::Msg>),
+    {
+        let mut outbox = std::mem::take(&mut self.outbox);
+        outbox.clear();
+        {
+            let ctx = NodeCtx {
+                id,
+                now: self.core.time,
+                nodes: &self.core.nodes,
+                tx_model: self.core.tx_model.as_ref(),
+                mobility_model: self.core.mobility_model.as_ref(),
+                hello_enabled: self.core.cfg.hello.enabled,
+            };
+            f(&mut self.apps[id.index()], &ctx, &mut outbox);
+        }
+        for action in outbox.drain() {
+            if !self.core.nodes[id.index()].is_alive() {
+                // A previous action in this batch killed the node.
+                break;
+            }
+            let mut fx = EffectBuf::new();
+            match action {
+                Action::Send { to, bits, msg, category } => {
+                    delivery::send(&mut self.core, id, to, bits, category, &mut fx);
+                    self.apply(&mut fx, Some(msg));
+                }
+                Action::SetTimer { delay, tag } => {
+                    fx.push(Effect::Timer { node: id, delay, kind: TimerKind::App { tag } });
+                    self.apply(&mut fx, None);
+                }
+                Action::MoveToward { target, max_step } => {
+                    fx.push(Effect::Move { node: id, target, max_step });
+                    self.apply(&mut fx, None);
+                }
+            }
+        }
+        self.outbox = outbox;
+    }
+
+    /// Applies a batch of subsystem effects in push order — the single
+    /// point where scheduling, death and trace consequences take hold.
+    ///
+    /// `msg` carries the payload of the (at most one) [`Effect::Send`] in
+    /// the batch; see [`Effect::Send`] for why it travels separately.
+    fn apply(&mut self, fx: &mut EffectBuf, mut msg: Option<A::Msg>) {
+        for i in 0..fx.len {
+            let effect = fx.slots[i].take().expect("effect slot populated");
+            match effect {
+                Effect::Send { from, to, delay } => {
+                    let m = msg.take().expect("a Send effect pairs with the action's message");
+                    self.queue.push(self.core.time + delay, Event::Deliver { from, to, msg: m });
+                }
+                Effect::Move { node, target, max_step } => {
+                    let mut sub = EffectBuf::new();
+                    mobility::move_node(&mut self.core, node, target, max_step, &mut sub);
+                    self.apply(&mut sub, None);
+                }
+                Effect::Timer { node, delay, kind } => {
+                    let event = match kind {
+                        TimerKind::App { tag } => Event::AppTimer { node, tag },
+                        TimerKind::Beacon => Event::HelloBeacon { node },
+                    };
+                    self.queue.push(self.core.time + delay, event);
+                }
+                Effect::Kill { node } => mobility::kill(&mut self.core, node),
+                Effect::Trace(event) => observe::emit(&mut self.core, event),
+            }
+        }
+        fx.len = 0;
+    }
+
+    /// Processes the next event. Returns `false` when the queue is empty.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world was not started.
+    pub fn step(&mut self) -> bool {
+        assert!(self.started, "step() before start()");
+        let Some((t, event)) = self.queue.pop() else {
+            return false;
+        };
+        // The clock never runs backwards even if an action scheduled
+        // something "in the past".
+        self.core.time = self.core.time.max(t);
+        self.events_processed += 1;
+        match event {
+            Event::Deliver { from, to, msg } => {
+                let mut fx = EffectBuf::new();
+                if delivery::receive(&mut self.core, from, to, &mut fx) {
+                    self.apply(&mut fx, None);
+                    self.dispatch(to, |app, ctx, out| app.on_message(ctx, from, msg, out));
+                } else {
+                    self.apply(&mut fx, None);
+                }
+            }
+            Event::AppTimer { node, tag } => {
+                if self.core.nodes[node.index()].is_alive() {
+                    self.core.stats.timers_fired += 1;
+                    self.dispatch(node, |app, ctx, out| app.on_timer(ctx, tag, out));
+                }
+            }
+            Event::HelloBeacon { node } => {
+                let mut fx = EffectBuf::new();
+                beacon::hello_beacon(&mut self.core, node, &mut fx);
+                self.apply(&mut fx, None);
+            }
+        }
+        true
+    }
+
+    /// Runs until the clock passes `deadline` or the queue drains.
+    pub fn run_until(&mut self, deadline: SimTime) {
+        while let Some(t) = self.queue.peek_time() {
+            if t > deadline {
+                break;
+            }
+            self.step();
+        }
+        self.core.time = self.core.time.max(deadline);
+    }
+
+    /// Runs until `stop` returns `true` (checked after every event) or the
+    /// queue drains. Returns the number of events processed.
+    pub fn run_while<F: FnMut(&World<A>) -> bool>(&mut self, mut keep_going: F) -> u64 {
+        let mut n = 0;
+        while keep_going(self) && self.step() {
+            n += 1;
+        }
+        n
+    }
+
+    /// Schedules an application timer from outside (used by experiment
+    /// drivers to kick off flow sources).
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
+        self.queue.push(self.core.time + delay, Event::AppTimer { node, tag });
+    }
+}

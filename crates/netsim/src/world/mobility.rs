@@ -1,0 +1,81 @@
+//! Node movement and death.
+//!
+//! Positions, the spatial grid, batteries and the mobility ledger category
+//! are this subsystem's own state; the `Moved`/`Died` trace records and the
+//! kill consequence are returned as [`Effect`]s so the kernel fixes their
+//! order (partial `Moved` strictly before `Died` on a mid-step death).
+
+use imobif_geom::Point2;
+
+use super::kernel::{Effect, EffectBuf};
+use super::{observe, WorldCore};
+use crate::trace::TraceEvent;
+use crate::{EnergyCategory, NodeId};
+
+/// Moves `node` toward `target` by at most `max_step` meters, charging the
+/// mobility cost model. A node that cannot afford the full step moves as
+/// far as its battery allows, drains, and dies mid-step.
+pub(super) fn move_node(
+    core: &mut WorldCore,
+    node: NodeId,
+    target: Point2,
+    max_step: f64,
+    fx: &mut EffectBuf,
+) {
+    let pos = core.nodes[node.index()].position();
+    let (mut new_pos, mut moved) = pos.step_toward(target, max_step);
+    if moved <= 0.0 {
+        return;
+    }
+    let cost = core.mobility_model.cost(moved);
+    let residual = core.nodes[node.index()].residual_energy();
+    if cost <= residual {
+        core.nodes[node.index()].battery_mut().try_consume(cost).expect("checked affordable");
+        core.ledger.charge(node, EnergyCategory::Mobility, cost);
+        core.nodes[node.index()].set_position(new_pos, moved);
+        core.grid.update(node.raw(), new_pos);
+        // Trace effects only exist when tracing can observe them (see
+        // `delivery::send`).
+        if core.trace.is_some() {
+            fx.push(Effect::Trace(TraceEvent::Moved {
+                time: core.time,
+                node,
+                from: pos,
+                to: new_pos,
+                energy: cost,
+            }));
+        }
+    } else {
+        // Move as far as the battery allows, then die mid-step.
+        let affordable = core.mobility_model.reachable_distance(residual).min(moved);
+        if affordable > 0.0 && affordable.is_finite() {
+            (new_pos, moved) = pos.step_toward(target, affordable);
+            core.nodes[node.index()].set_position(new_pos, moved);
+            core.grid.update(node.raw(), new_pos);
+        }
+        let spent = core.nodes[node.index()].battery_mut().drain();
+        core.ledger.charge(node, EnergyCategory::Mobility, spent);
+        if core.trace.is_some() {
+            fx.push(Effect::Trace(TraceEvent::Moved {
+                time: core.time,
+                node,
+                from: pos,
+                to: new_pos,
+                energy: spent,
+            }));
+        }
+        fx.push(Effect::Kill { node });
+    }
+}
+
+/// Takes `node` out of service: removes it from the medium, records the
+/// death time, and emits `Died`.
+pub(super) fn kill(core: &mut WorldCore, node: NodeId) {
+    // Any leftover charge is stranded: below the per-action requirement
+    // that killed the node, so never spendable. It is deliberately not
+    // added to the ledger — it was not consumed.
+    let _stranded = core.nodes[node.index()].kill();
+    core.grid.remove(node.raw());
+    core.ledger.record_death(node, core.time);
+    observe::emit(core, TraceEvent::Died { time: core.time, node });
+}

@@ -1,0 +1,130 @@
+//! Observability: trace emission, plain-field kernel counters, and the
+//! one bridge that flushes them into an [`imobif_obs::Registry`].
+
+use super::{World, WorldCore};
+use crate::trace::{RingTrace, TraceEvent, TraceSink};
+use crate::{Application, EnergyCategory, NodeId};
+
+/// Plain-field kernel instrumentation, sibling to
+/// [`crate::event::QueueStats`]: ordinary `u64` fields bumped inline on hot
+/// paths (no atomics, no handle branches, no allocation) and flushed into a
+/// registry only by [`World::publish_metrics`]. Reset together with the
+/// world so recycled arenas start clean.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KernelStats {
+    /// HELLO beacons actually broadcast (dead nodes don't beacon).
+    pub hello_beacons: u64,
+    /// Application timers dispatched.
+    pub timers_fired: u64,
+    /// HELLO fan-out (hearers per beacon) binned by bit length, like
+    /// `QueueStats::occupancy_bins`: bin 0 is "no hearers", bin `i`
+    /// covers `2^(i-1) ≤ n < 2^i`, the last bin collects 64+.
+    pub hello_fanout_bins: [u64; 8],
+}
+
+impl KernelStats {
+    /// Representative value per `hello_fanout_bins` slot for flushing into
+    /// a histogram with bounds `[0, 1, 3, 7, 15, 31, 63]`.
+    pub const FANOUT_BIN_VALUES: [u64; 8] = [0, 1, 3, 7, 15, 31, 63, 127];
+
+    #[inline]
+    pub(super) fn fanout_bin(n: usize) -> usize {
+        ((usize::BITS - n.leading_zeros()) as usize).min(7)
+    }
+}
+
+/// Records `event` into the trace ring, if tracing is enabled. The only
+/// writer: every subsystem's trace output arrives here, via
+/// [`super::Effect::Trace`] or a direct call from `kill`.
+pub(super) fn emit(core: &mut WorldCore, event: TraceEvent) {
+    if let Some(trace) = &mut core.trace {
+        trace.record(&event);
+    }
+}
+
+impl<A: Application> World<A> {
+    /// Enables in-memory tracing, keeping the most recent `capacity`
+    /// kernel events (see [`crate::trace`]).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn enable_tracing(&mut self, capacity: usize) {
+        self.core.trace = Some(RingTrace::new(capacity));
+    }
+
+    /// The trace ring, if tracing is enabled.
+    #[must_use]
+    pub fn trace(&self) -> Option<&RingTrace> {
+        self.core.trace.as_ref()
+    }
+
+    /// Plain-field kernel instrumentation accumulated since construction or
+    /// the last reset.
+    #[must_use]
+    pub fn kernel_stats(&self) -> &KernelStats {
+        &self.core.stats
+    }
+
+    /// Flushes every plain-field stat — queue, kernel, energy ledger,
+    /// packet counters, trace occupancy — into `registry`.
+    ///
+    /// This is the only bridge between the simulator's zero-cost inline
+    /// counters and the observability registry: call it once per finished
+    /// run (the experiment runner does). Counters accumulate across calls,
+    /// so a batch of instances publishes network-wide totals; gauges hold
+    /// the most recent run's value. Publishing to a disabled registry is a
+    /// no-op beyond a few detached handle constructions.
+    pub fn publish_metrics(&self, registry: &imobif_obs::Registry) {
+        if !registry.is_enabled() {
+            return;
+        }
+        let q = self.queue.stats();
+        registry.counter("queue.pushes").add(q.pushes);
+        registry.counter("queue.pops").add(q.pops);
+        registry.gauge("queue.max_len").set(q.max_len as f64);
+        registry.counter("queue.overflow_pushes").add(q.overflow_pushes);
+        registry.counter("queue.overflow_drained").add(q.overflow_drained);
+        registry.counter("queue.window_slides").add(q.window_slides);
+        let occupancy =
+            registry.histogram("queue.occupied_buckets", &[0.0, 1.0, 3.0, 7.0, 15.0, 31.0, 63.0]);
+        for (&value, &count) in
+            crate::event::QueueStats::OCCUPANCY_BIN_VALUES.iter().zip(&q.occupancy_bins)
+        {
+            occupancy.observe_n(value as f64, count);
+        }
+
+        registry.counter("kernel.events_processed").add(self.events_processed);
+        registry.counter("kernel.hello_beacons").add(self.core.stats.hello_beacons);
+        registry.counter("kernel.timers_fired").add(self.core.stats.timers_fired);
+        let fanout =
+            registry.histogram("kernel.hello_fanout", &[0.0, 1.0, 3.0, 7.0, 15.0, 31.0, 63.0]);
+        for (&value, &count) in
+            KernelStats::FANOUT_BIN_VALUES.iter().zip(&self.core.stats.hello_fanout_bins)
+        {
+            fanout.observe_n(value as f64, count);
+        }
+
+        let totals = self.core.ledger.totals();
+        for (category, joules) in [
+            (EnergyCategory::Data, totals.data),
+            (EnergyCategory::Mobility, totals.mobility),
+            (EnergyCategory::Hello, totals.hello),
+            (EnergyCategory::Notification, totals.notification),
+        ] {
+            registry.float_counter(&format!("energy.{}_joules", category.as_str())).add(joules);
+        }
+        registry.counter("packets.sent").add(self.core.ledger.packets_sent);
+        registry.counter("packets.delivered").add(self.core.ledger.packets_delivered);
+        registry.counter("packets.dropped").add(self.core.ledger.packets_dropped);
+        let deaths = (0..self.core.nodes.len())
+            .filter(|&i| self.core.ledger.death_time(NodeId::new(i as u32)).is_some())
+            .count() as u64;
+        registry.counter("kernel.node_deaths").add(deaths);
+
+        if let Some(trace) = &self.core.trace {
+            registry.counter("trace.recorded").add(trace.total_recorded());
+            registry.counter("trace.evicted").add(trace.evicted());
+        }
+    }
+}

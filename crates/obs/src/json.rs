@@ -256,9 +256,7 @@ fn parse_string(bytes: &[u8], pos: &mut usize) -> Result<String, String> {
                     Some(b'b') => out.push('\u{8}'),
                     Some(b'f') => out.push('\u{c}'),
                     Some(b'u') => {
-                        let hex = bytes
-                            .get(*pos + 1..*pos + 5)
-                            .ok_or("truncated \\u escape")?;
+                        let hex = bytes.get(*pos + 1..*pos + 5).ok_or("truncated \\u escape")?;
                         let code = u32::from_str_radix(
                             std::str::from_utf8(hex).map_err(|_| "bad \\u escape")?,
                             16,
@@ -309,10 +307,7 @@ mod tests {
             ("seed".into(), Json::hex(0x67fd_e585_6d82_96c6)),
             ("pi".into(), Json::Num(std::f64::consts::PI)),
             ("n".into(), Json::Num(200001.0)),
-            (
-                "arr".into(),
-                Json::Arr(vec![Json::Null, Json::Bool(true), Json::Num(-0.5)]),
-            ),
+            ("arr".into(), Json::Arr(vec![Json::Null, Json::Bool(true), Json::Num(-0.5)])),
             ("empty".into(), Json::Obj(vec![])),
         ]);
         let text = doc.render();
@@ -340,9 +335,6 @@ mod tests {
     #[test]
     fn parse_accepts_foreign_whitespace_and_escapes() {
         let doc = Json::parse(" { \"a\" : [ 1 , \"\\u0041\\t\" ] } ").unwrap();
-        assert_eq!(
-            doc.get("a").unwrap().as_arr().unwrap()[1].as_str(),
-            Some("A\t")
-        );
+        assert_eq!(doc.get("a").unwrap().as_arr().unwrap()[1].as_str(), Some("A\t"));
     }
 }

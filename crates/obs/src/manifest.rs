@@ -102,10 +102,8 @@ impl RunManifest {
 
     /// Parses and schema-validates a manifest document.
     pub fn from_json(json: &Json) -> Result<RunManifest, String> {
-        let version = json
-            .get("schema_version")
-            .and_then(Json::as_u64)
-            .ok_or("missing schema_version")?;
+        let version =
+            json.get("schema_version").and_then(Json::as_u64).ok_or("missing schema_version")?;
         if version != MANIFEST_SCHEMA_VERSION {
             return Err(format!(
                 "unsupported schema_version {version} (want {MANIFEST_SCHEMA_VERSION})"
@@ -124,14 +122,9 @@ impl RunManifest {
             .ok_or("missing phases")?
             .iter()
             .map(|p| {
-                let name = p
-                    .get("name")
-                    .and_then(Json::as_str)
-                    .ok_or("phase missing name")?;
-                let secs = p
-                    .get("wall_secs")
-                    .and_then(Json::as_f64)
-                    .ok_or("phase missing wall_secs")?;
+                let name = p.get("name").and_then(Json::as_str).ok_or("phase missing name")?;
+                let secs =
+                    p.get("wall_secs").and_then(Json::as_f64).ok_or("phase missing wall_secs")?;
                 if secs < 0.0 {
                     return Err(format!("phase {name}: negative wall_secs"));
                 }
@@ -139,28 +132,15 @@ impl RunManifest {
             })
             .collect::<Result<Vec<_>, String>>()?;
         Ok(RunManifest {
-            tool: json
-                .get("tool")
-                .and_then(Json::as_str)
-                .ok_or("missing tool")?
-                .to_string(),
+            tool: json.get("tool").and_then(Json::as_str).ok_or("missing tool")?.to_string(),
             targets,
             config_hash: json
                 .get("config_hash")
                 .and_then(Json::as_hex)
                 .ok_or("missing/invalid config_hash")?,
-            seed: json
-                .get("seed")
-                .and_then(Json::as_hex)
-                .ok_or("missing/invalid seed")?,
-            flows: json
-                .get("flows")
-                .and_then(Json::as_u64)
-                .ok_or("missing flows")? as u32,
-            threads: json
-                .get("threads")
-                .and_then(Json::as_u64)
-                .ok_or("missing threads")? as usize,
+            seed: json.get("seed").and_then(Json::as_hex).ok_or("missing/invalid seed")?,
+            flows: json.get("flows").and_then(Json::as_u64).ok_or("missing flows")? as u32,
+            threads: json.get("threads").and_then(Json::as_u64).ok_or("missing threads")? as usize,
             phases,
             metrics: Snapshot::from_json(json.get("metrics").ok_or("missing metrics")?)?,
         })
@@ -207,7 +187,10 @@ mod tests {
         let m = sample();
         let good = m.render();
         assert!(RunManifest::validate(&good.replace("config_hash", "cfg")).is_err());
-        assert!(RunManifest::validate(&good.replace("\"schema_version\":1", "\"schema_version\":99")).is_err());
+        assert!(RunManifest::validate(
+            &good.replace("\"schema_version\":1", "\"schema_version\":99")
+        )
+        .is_err());
         assert!(RunManifest::validate("not json").is_err());
     }
 

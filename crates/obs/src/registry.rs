@@ -50,11 +50,9 @@ impl FloatCounter {
 
     #[inline]
     pub fn add(&self, v: f64) {
-        let _ = self
-            .0
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
-                Some((f64::from_bits(bits) + v).to_bits())
-            });
+        let _ = self.0.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            Some((f64::from_bits(bits) + v).to_bits())
+        });
     }
 
     pub fn get(&self) -> f64 {
@@ -111,18 +109,12 @@ impl Histogram {
     #[inline]
     pub fn observe(&self, v: f64) {
         let core = &*self.0;
-        let idx = core
-            .bounds
-            .iter()
-            .position(|&b| v <= b)
-            .unwrap_or(core.bounds.len());
+        let idx = core.bounds.iter().position(|&b| v <= b).unwrap_or(core.bounds.len());
         core.buckets[idx].fetch_add(1, Ordering::Relaxed);
         core.count.fetch_add(1, Ordering::Relaxed);
-        let _ = core
-            .sum
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
-                Some((f64::from_bits(bits) + v).to_bits())
-            });
+        let _ = core.sum.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            Some((f64::from_bits(bits) + v).to_bits())
+        });
     }
 
     /// Adds `n` observations directly to the bucket that holds `v` — used
@@ -132,18 +124,12 @@ impl Histogram {
             return;
         }
         let core = &*self.0;
-        let idx = core
-            .bounds
-            .iter()
-            .position(|&b| v <= b)
-            .unwrap_or(core.bounds.len());
+        let idx = core.bounds.iter().position(|&b| v <= b).unwrap_or(core.bounds.len());
         core.buckets[idx].fetch_add(n, Ordering::Relaxed);
         core.count.fetch_add(n, Ordering::Relaxed);
-        let _ = core
-            .sum
-            .fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
-                Some((f64::from_bits(bits) + v * n as f64).to_bits())
-            });
+        let _ = core.sum.fetch_update(Ordering::Relaxed, Ordering::Relaxed, |bits| {
+            Some((f64::from_bits(bits) + v * n as f64).to_bits())
+        });
     }
 
     pub fn count(&self) -> u64 {
@@ -153,12 +139,7 @@ impl Histogram {
     fn load(&self) -> HistogramValue {
         HistogramValue {
             bounds: self.0.bounds.to_vec(),
-            buckets: self
-                .0
-                .buckets
-                .iter()
-                .map(|b| b.load(Ordering::Relaxed))
-                .collect(),
+            buckets: self.0.buckets.iter().map(|b| b.load(Ordering::Relaxed)).collect(),
             count: self.count(),
             sum: f64::from_bits(self.0.sum.load(Ordering::Relaxed)),
         }
@@ -288,8 +269,7 @@ impl Snapshot {
                             .ok_or_else(|| format!("metric {name}: missing {key}"))?
                             .iter()
                             .map(|j| {
-                                j.as_f64()
-                                    .ok_or_else(|| format!("metric {name}: bad {key} entry"))
+                                j.as_f64().ok_or_else(|| format!("metric {name}: bad {key} entry"))
                             })
                             .collect()
                     };
@@ -358,20 +338,14 @@ pub struct Registry {
 
 impl Registry {
     pub fn enabled() -> Registry {
-        Registry {
-            enabled: true,
-            inner: Mutex::new(Vec::new()),
-        }
+        Registry { enabled: true, inner: Mutex::new(Vec::new()) }
     }
 
     /// A disabled registry: handles come back detached (never registered,
     /// never exported), so instrumented code runs identically with no one
     /// watching.
     pub fn disabled() -> Registry {
-        Registry {
-            enabled: false,
-            inner: Mutex::new(Vec::new()),
-        }
+        Registry { enabled: false, inner: Mutex::new(Vec::new()) }
     }
 
     pub fn is_enabled(&self) -> bool {
@@ -398,9 +372,8 @@ impl Registry {
             return FloatCounter::detached();
         }
         let mut inner = self.inner.lock().unwrap();
-        if let Some((_, Instrument::FloatCounter(c))) = inner
-            .iter()
-            .find(|(n, i)| n == name && matches!(i, Instrument::FloatCounter(_)))
+        if let Some((_, Instrument::FloatCounter(c))) =
+            inner.iter().find(|(n, i)| n == name && matches!(i, Instrument::FloatCounter(_)))
         {
             return c.clone();
         }
@@ -432,9 +405,8 @@ impl Registry {
             return Histogram::with_bounds(bounds);
         }
         let mut inner = self.inner.lock().unwrap();
-        if let Some((_, Instrument::Histogram(h))) = inner
-            .iter()
-            .find(|(n, i)| n == name && matches!(i, Instrument::Histogram(_)))
+        if let Some((_, Instrument::Histogram(h))) =
+            inner.iter().find(|(n, i)| n == name && matches!(i, Instrument::Histogram(_)))
         {
             return h.clone();
         }

@@ -20,14 +20,8 @@ use imobif_energy::{Battery, LinearMobilityCost, PowerLawModel};
 use imobif_geom::{Point2, Polyline};
 use imobif_netsim::{FlowId, NodeId, SimConfig, SimTime, World};
 
-const NODES: [(f64, f64); 6] = [
-    (0.0, 0.0),
-    (13.0, 11.0),
-    (27.0, -11.0),
-    (43.0, 11.0),
-    (57.0, -9.0),
-    (70.0, 0.0),
-];
+const NODES: [(f64, f64); 6] =
+    [(0.0, 0.0), (13.0, 11.0), (27.0, -11.0), (43.0, 11.0), (57.0, -9.0), (70.0, 0.0)];
 
 /// Renders positions on a coarse character grid.
 fn sketch(points: &[Point2]) -> String {
@@ -36,7 +30,8 @@ fn sketch(points: &[Point2]) -> String {
     let mut grid = vec![vec![b'.'; W]; H];
     for (i, p) in points.iter().enumerate() {
         let x = ((p.x / 71.0) * (W - 1) as f64).round().clamp(0.0, (W - 1) as f64) as usize;
-        let y = (((p.y + 12.0) / 24.0) * (H - 1) as f64).round().clamp(0.0, (H - 1) as f64) as usize;
+        let y =
+            (((p.y + 12.0) / 24.0) * (H - 1) as f64).round().clamp(0.0, (H - 1) as f64) as usize;
         grid[H - 1 - y][x] = b'0' + (i as u8);
     }
     grid.into_iter()
@@ -66,8 +61,8 @@ fn main() {
         .collect();
     world.start();
 
-    let before = Polyline::new(NODES.iter().map(|&(x, y)| Point2::new(x, y)).collect())
-        .expect("valid path");
+    let before =
+        Polyline::new(NODES.iter().map(|&(x, y)| Point2::new(x, y)).collect()).expect("valid path");
     println!("before (node i drawn as digit i):\n{}\n", sketch(before.vertices()));
     println!(
         "  hop lengths: {:?}",
@@ -85,7 +80,11 @@ fn main() {
 
     let after =
         Polyline::new(ids.iter().map(|&id| world.position(id)).collect()).expect("valid path");
-    println!("after {} packets of controlled mobility:\n{}\n", spec.packet_count(), sketch(after.vertices()));
+    println!(
+        "after {} packets of controlled mobility:\n{}\n",
+        spec.packet_count(),
+        sketch(after.vertices())
+    );
     println!(
         "  hop lengths: {:?}",
         after.hop_lengths().iter().map(|d| (d * 10.0).round() / 10.0).collect::<Vec<_>>()

@@ -73,10 +73,8 @@ fn run(mode: MobilityMode) -> Outcome {
         w.time() < SimTime::from_micros((spec.packet_count() + 30) * 1_000_000)
             && w.ledger().first_death().is_none()
     });
-    let lifetime_secs = world
-        .ledger()
-        .first_death()
-        .map_or(world.time().as_secs_f64(), |(_, t)| t.as_secs_f64());
+    let lifetime_secs =
+        world.ledger().first_death().map_or(world.time().as_secs_f64(), |(_, t)| t.as_secs_f64());
     let path =
         Polyline::new(ids.iter().map(|&id| world.position(id)).collect()).expect("valid path");
     Outcome {

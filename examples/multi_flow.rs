@@ -52,11 +52,8 @@ fn main() {
         &FlowSpec::paper_default(flow_a, vec![src_a, relay, dst_a], 2_400_000),
     )
     .expect("valid flow");
-    install_flow(
-        &mut world,
-        &FlowSpec::paper_default(flow_b, vec![src_b, relay, dst_b], 800_000),
-    )
-    .expect("valid flow");
+    install_flow(&mut world, &FlowSpec::paper_default(flow_b, vec![src_b, relay, dst_b], 800_000))
+        .expect("valid flow");
 
     println!("two crossing flows share the relay at {}", world.position(relay));
     println!("  flow A: {src_a}->{relay}->{dst_a}, 2.4 Mbit (midpoint target (15,15))");

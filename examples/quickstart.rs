@@ -97,8 +97,5 @@ fn main() {
         t.mobility,
         t.notification
     );
-    println!(
-        "  energy consumption ratio: {:.3} (lower is better)",
-        t.total() / b.total()
-    );
+    println!("  energy consumption ratio: {:.3} (lower is better)", t.total() / b.total());
 }

@@ -20,13 +20,7 @@ use imobif_energy::{Battery, LinearMobilityCost, PowerLawModel};
 use imobif_geom::Point2;
 use imobif_netsim::{FlowId, NodeId, SimConfig, SimTime, World};
 
-const NODES: [(f64, f64); 5] = [
-    (0.0, 0.0),
-    (14.0, 10.0),
-    (32.0, -10.0),
-    (50.0, 10.0),
-    (64.0, 0.0),
-];
+const NODES: [(f64, f64); 5] = [(0.0, 0.0), (14.0, 10.0), (32.0, -10.0), (50.0, 10.0), (64.0, 0.0)];
 
 fn run(mode: MobilityMode, flow_bits: u64) -> (f64, f64, u64) {
     let strategy: Arc<dyn MobilityStrategy> = Arc::new(MinEnergyStrategy::new());
@@ -58,10 +52,7 @@ fn run(mode: MobilityMode, flow_bits: u64) -> (f64, f64, u64) {
 
 fn main() {
     println!("energy by approach across flow lengths (bent 5-node path, k = 0.5 J/m)\n");
-    println!(
-        "{:>9} | {:>12} | {:>22} | {:>28}",
-        "flow", "no mobility", "cost-unaware", "iMobif"
-    );
+    println!("{:>9} | {:>12} | {:>22} | {:>28}", "flow", "no mobility", "cost-unaware", "iMobif");
     println!(
         "{:>9} | {:>10} J | {:>10} J ({:>7}) | {:>10} J ({:>7}, {:>5})",
         "", "total", "total", "walked", "total", "walked", "flips"

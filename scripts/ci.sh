@@ -7,6 +7,14 @@
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
+# First-party packages; vendor/ crates are workspace members but keep
+# their upstream formatting, so fmt is scoped to -p rather than --all.
+FIRST_PARTY=(-p imobif-geom -p imobif-energy -p imobif -p imobif-netsim
+             -p imobif-obs -p imobif-experiments -p imobif-bench -p imobif-repro)
+
+echo "==> cargo fmt --check (first-party packages)"
+cargo fmt --check "${FIRST_PARTY[@]}"
+
 echo "==> cargo build --release"
 cargo build --release --workspace
 
@@ -15,6 +23,9 @@ cargo test --workspace -q
 
 echo "==> cargo clippy"
 cargo clippy --workspace --all-targets -- -D warnings
+
+echo "==> cargo doc (no-deps, warnings denied)"
+RUSTDOCFLAGS="-D warnings" cargo doc --no-deps -q
 
 echo "==> bench smoke (hotpath_bench, throwaway output)"
 smoke_out=$(mktemp)

@@ -1,0 +1,191 @@
+//! Property tests pinning the pure decision kernel (`imobif::decision`)
+//! against its Fig. 1 definition and the global-information oracle
+//! (`imobif::oracle_decision`).
+//!
+//! Three angles:
+//!
+//! 1. [`imobif::decision::evaluate_relay`] is *exactly* the strategy's
+//!    preferred position plus `PerfSample::compute` at that position —
+//!    re-derived inline, bit for bit, across randomized inputs and all
+//!    four strategies.
+//! 2. The [`imobif::DecisionCache`] returns the stored decision verbatim
+//!    on a hit and misses whenever a position moved at all.
+//! 3. In regimes where the local single-relay view and the global
+//!    whole-path view cannot disagree — an already-optimal straight path,
+//!    and a sharply bent path carrying a flow far above the break-even
+//!    threshold — the kernel's fold-then-verdict pipeline agrees with the
+//!    oracle's enable/stay decision. (Exact equality does not hold in
+//!    general: the relay samples only its own hop, the oracle relaxes the
+//!    whole path.)
+
+use std::sync::Arc;
+
+use imobif::decision::{self, Decision, DecisionCacheConfig, DecisionInputs};
+use imobif::{
+    oracle_decision, DecisionCache, HybridStrategy, IncrementalStrategy, MaxLifetimeStrategy,
+    MinEnergyStrategy, MobilityStrategy, PerfSample, StrategyInputs,
+};
+use imobif_energy::{LinearMobilityCost, PowerLawModel};
+use imobif_geom::Point2;
+use proptest::prelude::*;
+
+fn models() -> (PowerLawModel, LinearMobilityCost) {
+    (PowerLawModel::paper_default(2.0).unwrap(), LinearMobilityCost::new(0.5).unwrap())
+}
+
+/// All four strategies from the paper's list (Assumption 1).
+fn strategies() -> Vec<Arc<dyn MobilityStrategy>> {
+    vec![
+        Arc::new(MinEnergyStrategy::new()),
+        Arc::new(MaxLifetimeStrategy::new(2.0).unwrap()),
+        Arc::new(HybridStrategy::new(0.5, 2.0).unwrap()),
+        Arc::new(IncrementalStrategy::new(MinEnergyStrategy::new(), 1.5).unwrap()),
+    ]
+}
+
+fn inputs(
+    (px, py): (f64, f64),
+    (sx, sy): (f64, f64),
+    (nx, ny): (f64, f64),
+    (pr, sr, nr): (f64, f64, f64),
+    bits: f64,
+) -> DecisionInputs {
+    DecisionInputs {
+        triple: StrategyInputs {
+            prev_position: Point2::new(px, py),
+            prev_residual: pr,
+            self_position: Point2::new(sx, sy),
+            self_residual: sr,
+            next_position: Point2::new(nx, ny),
+            next_residual: nr,
+        },
+        residual_flow_bits: bits,
+    }
+}
+
+proptest! {
+    /// Angle 1: `evaluate_relay` ≡ `next_position` + `PerfSample::compute`,
+    /// bit for bit, for every strategy.
+    #[test]
+    fn prop_evaluate_relay_matches_figure_1_definition(
+        px in -40.0..40.0f64, py in -40.0..40.0f64,
+        sx in -40.0..40.0f64, sy in -40.0..40.0f64,
+        nx in -40.0..40.0f64, ny in -40.0..40.0f64,
+        pr in 0.5..200.0f64, sr in 0.5..200.0f64, nr in 0.5..200.0f64,
+        bits in 1e3..1e9f64,
+    ) {
+        let (tx, mv) = models();
+        let d = inputs((px, py), (sx, sy), (nx, ny), (pr, sr, nr), bits);
+        for strategy in strategies() {
+            let got = decision::evaluate_relay(strategy.as_ref(), &d, &tx, &mv);
+            let want = strategy.next_position(&d.triple).map(|target| Decision {
+                target,
+                sample: PerfSample::compute(
+                    sr,
+                    d.triple.self_position,
+                    target,
+                    d.triple.next_position,
+                    bits,
+                    &tx,
+                    &mv,
+                ),
+            });
+            prop_assert_eq!(got, want);
+        }
+    }
+
+    /// Angle 2: the cache returns the stored decision verbatim for the
+    /// exact same inputs and misses whenever any position changed.
+    #[test]
+    fn prop_decision_cache_exact_hit_and_position_miss(
+        sx in -40.0..40.0f64, sy in -40.0..40.0f64,
+        sr in 0.5..200.0f64, bits in 1e3..1e9f64,
+        dx in 0.001..5.0f64,
+    ) {
+        let (tx, mv) = models();
+        let cfg = DecisionCacheConfig::default();
+        let d = inputs((0.0, 0.0), (sx, sy), (30.0, 0.0), (10.0, sr, 10.0), bits);
+        let strategy = MinEnergyStrategy::new();
+        let outcome = decision::evaluate_relay(&strategy, &d, &tx, &mv);
+        let cache = DecisionCache::store(d, outcome);
+        prop_assert_eq!(cache.lookup(&d, &cfg), Some(outcome));
+        let mut moved = d;
+        moved.triple.self_position = Point2::new(sx + dx, sy);
+        prop_assert_eq!(cache.lookup(&moved, &cfg), None);
+    }
+
+    /// Angle 3a: on an evenly spaced straight path the strategy target is
+    /// the current position, the sample degenerates to "no change", the
+    /// verdict never requests mobility — and the oracle agrees there is
+    /// nothing to gain (no break-even threshold exists).
+    #[test]
+    fn prop_straight_path_kernel_and_oracle_both_stay(
+        d in 10.0..25.0f64, sr in 50.0..200.0f64, bits in 1e3..1e11f64,
+    ) {
+        let (tx, mv) = models();
+        let strategy = MinEnergyStrategy::new();
+        let di = inputs((0.0, 0.0), (d, 0.0), (2.0 * d, 0.0), (100.0, sr, 100.0), bits);
+        let decision = decision::evaluate_relay(&strategy, &di, &tx, &mv)
+            .expect("min-energy always names a target");
+        let mut agg = strategy.init_aggregate();
+        decision::fold_sample(&strategy, &mut agg, &decision);
+        prop_assert_eq!(decision::status_verdict(&strategy, &agg, false), None);
+
+        let path =
+            [Point2::new(0.0, 0.0), Point2::new(d, 0.0), Point2::new(2.0 * d, 0.0)];
+        let oracle = oracle_decision(&path, &tx, &mv, bits).unwrap();
+        prop_assert!(!oracle.enable_mobility);
+        prop_assert!(oracle.threshold_bits.is_none());
+    }
+
+    /// Angle 3b: a sharply bent relay with ample energy carrying a flow far
+    /// above break-even — the kernel requests mobility and the oracle
+    /// enables it.
+    #[test]
+    fn prop_bent_path_huge_flow_kernel_and_oracle_both_move(
+        d in 12.0..20.0f64, y in 8.0..15.0f64,
+        sr in 400.0..800.0f64, bits in 1e10..1e11f64,
+    ) {
+        let (tx, mv) = models();
+        let strategy = MinEnergyStrategy::new();
+        let di = inputs((0.0, 0.0), (d, y), (2.0 * d, 0.0), (500.0, sr, 500.0), bits);
+        let decision = decision::evaluate_relay(&strategy, &di, &tx, &mv)
+            .expect("min-energy always names a target");
+        let mut agg = strategy.init_aggregate();
+        decision::fold_sample(&strategy, &mut agg, &decision);
+        prop_assert_eq!(decision::status_verdict(&strategy, &agg, false), Some(true));
+
+        let path = [Point2::new(0.0, 0.0), Point2::new(d, y), Point2::new(2.0 * d, 0.0)];
+        let oracle = oracle_decision(&path, &tx, &mv, bits).unwrap();
+        prop_assert!(oracle.enable_mobility);
+    }
+}
+
+/// The verdict is a pure function of (preference, current status): enable
+/// exactly on (Greater, off), disable exactly on (Less, on).
+#[test]
+fn status_verdict_truth_table() {
+    use imobif::Aggregate;
+    let strategy = MinEnergyStrategy::new();
+    let better = Aggregate { bits_no_move: 1.0, resi_no_move: 1.0, bits_move: 2.0, resi_move: 1.0 };
+    let worse = Aggregate { bits_no_move: 2.0, resi_no_move: 1.0, bits_move: 1.0, resi_move: 1.0 };
+    let equal = Aggregate { bits_no_move: 1.0, resi_no_move: 1.0, bits_move: 1.0, resi_move: 1.0 };
+    assert_eq!(decision::status_verdict(&strategy, &better, false), Some(true));
+    assert_eq!(decision::status_verdict(&strategy, &better, true), None);
+    assert_eq!(decision::status_verdict(&strategy, &worse, true), Some(false));
+    assert_eq!(decision::status_verdict(&strategy, &worse, false), None);
+    assert_eq!(decision::status_verdict(&strategy, &equal, true), None);
+    assert_eq!(decision::status_verdict(&strategy, &equal, false), None);
+}
+
+/// `combined_target` with a single weighted target is that target; with
+/// symmetric weights it is the centroid; with no weight it is `None`.
+#[test]
+fn combined_target_basics() {
+    let a = Point2::new(10.0, 0.0);
+    let b = Point2::new(0.0, 10.0);
+    assert_eq!(decision::combined_target([(a, 3.0)]), Some(a));
+    assert_eq!(decision::combined_target([(a, 1.0), (b, 1.0)]), Some(Point2::new(5.0, 5.0)));
+    assert_eq!(decision::combined_target([]), None);
+    assert_eq!(decision::combined_target([(a, 0.0)]), None);
+}

@@ -1,17 +1,81 @@
 //! Determinism guarantees: identical configuration produces bit-identical
 //! results, regardless of thread scheduling in the parallel batch runner.
 
+use std::sync::Arc;
+
+use imobif::{
+    install_flow, FlowSpec, HybridStrategy, ImobifApp, ImobifConfig, MobilityMode, MobilityStrategy,
+};
+use imobif_energy::{Battery, LinearMobilityCost, PowerLawModel};
 use imobif_experiments::config::ScenarioConfig;
 use imobif_experiments::runner::{run_batch, StrategyChoice};
 use imobif_experiments::topology::draw_scenario;
+use imobif_geom::Point2;
+use imobif_netsim::trace::events_to_jsonl;
+use imobif_netsim::{FlowId, NodeId, SimConfig, SimTime, World};
+use imobif_obs::fnv1a64;
+
+/// FNV-1a64 of the 40-node canonical run's JSONL kernel trace, recorded
+/// before the world/decision subsystem split. 40 nodes exceeds the kernel's
+/// small-world linear-scan threshold, so this pin covers the grid-backed
+/// HELLO path that the 5-node causality pin does not.
+const GRID_WORLD_TRACE_FNV: u64 = 0x905d_c5b4_7cec_bd17;
+
+/// A 40-node world: a 7-hop relay path carrying one large flow, surrounded
+/// by 33 beaconing bystanders. Exercises grid neighbor queries, HELLO
+/// observation, informed-mode movement, and delivery in one deterministic run.
+fn grid_world_trace_jsonl() -> String {
+    let strategy: Arc<dyn MobilityStrategy> =
+        Arc::new(HybridStrategy::new(0.5, 2.0).expect("paper-default hybrid"));
+    let mut w = World::new(
+        SimConfig::default(),
+        Box::new(PowerLawModel::paper_default(2.0).unwrap()),
+        Box::new(LinearMobilityCost::new(0.5).unwrap()),
+    )
+    .unwrap();
+    let cfg = ImobifConfig { mode: MobilityMode::Informed, ..Default::default() };
+    let mut ids: Vec<NodeId> = Vec::new();
+    // Relay path: a shallow zig-zag from x=0 to x=144, hops of 24 m.
+    for i in 0..7 {
+        let y = if i % 2 == 0 { 0.0 } else { 9.0 };
+        ids.push(w.add_node(
+            Point2::new(24.0 * i as f64, y),
+            Battery::new(80_000.0).unwrap(),
+            ImobifApp::new(cfg, strategy.clone()),
+        ));
+    }
+    // Bystanders: deterministic lattice offsets around the path.
+    for i in 0..33u32 {
+        let x = (i % 11) as f64 * 15.0 - 5.0;
+        let y = 20.0 + (i / 11) as f64 * 18.0;
+        w.add_node(
+            Point2::new(x, y),
+            Battery::new(50_000.0).unwrap(),
+            ImobifApp::new(cfg, strategy.clone()),
+        );
+    }
+    w.enable_tracing(200_000);
+    w.start();
+    install_flow(&mut w, &FlowSpec::paper_default(FlowId::new(0), ids, 24_000_000)).unwrap();
+    w.run_while(|w| w.time() < SimTime::from_micros(120_000_000));
+    events_to_jsonl(&w.trace().expect("tracing enabled").events())
+}
+
+#[test]
+fn grid_world_kernel_trace_is_bit_stable_and_pinned() {
+    let a = grid_world_trace_jsonl();
+    let b = grid_world_trace_jsonl();
+    assert_eq!(a, b, "identical setups must replay to byte-identical JSONL traces");
+    assert_eq!(
+        fnv1a64(a.as_bytes()),
+        GRID_WORLD_TRACE_FNV,
+        "kernel trace drifted from the pre-refactor pin (grid HELLO path)"
+    );
+}
 
 #[test]
 fn batches_are_bit_identical_across_runs() {
-    let cfg = ScenarioConfig {
-        mean_flow_bits: 4e5,
-        seed: 99,
-        ..ScenarioConfig::paper_default()
-    };
+    let cfg = ScenarioConfig { mean_flow_bits: 4e5, seed: 99, ..ScenarioConfig::paper_default() };
     let a = run_batch(&cfg, 6, StrategyChoice::MinEnergy);
     let b = run_batch(&cfg, 6, StrategyChoice::MinEnergy);
     assert_eq!(a, b, "parallel batches must not depend on scheduling");

@@ -53,13 +53,9 @@ fn ledger_equals_battery_drawdown() {
         let (mut w, ids) = build(mode, &energies);
         run_flow(&mut w, &ids, 4_000_000);
         assert!(w.ledger().first_death().is_none(), "no node should die here");
-        let drawdown: f64 =
-            ids.iter().map(|&id| 10_000.0 - w.residual_energy(id)).sum();
+        let drawdown: f64 = ids.iter().map(|&id| 10_000.0 - w.residual_energy(id)).sum();
         let ledger = w.ledger().totals().total();
-        assert!(
-            (ledger - drawdown).abs() < 1e-6,
-            "{mode}: ledger {ledger} != drawdown {drawdown}"
-        );
+        assert!((ledger - drawdown).abs() < 1e-6, "{mode}: ledger {ledger} != drawdown {drawdown}");
     }
 }
 
@@ -99,8 +95,7 @@ fn death_accounting_is_consistent() {
     assert!(t > SimTime::ZERO);
     // The ledger records at most what the battery held.
     assert!(w.ledger().node(weak).total() <= 1.0 + 1e-9);
-    let delivered =
-        w.app(*ids.last().unwrap()).dest(FlowId::new(0)).map_or(0, |d| d.received_bits);
+    let delivered = w.app(*ids.last().unwrap()).dest(FlowId::new(0)).map_or(0, |d| d.received_bits);
     assert!(delivered < 8_000_000);
     assert!(w.ledger().packets_dropped > 0);
 }

@@ -45,10 +45,7 @@ fn all_routers_reject_disconnected_pairs() {
         30.0,
     );
     let (a, b) = (NodeId::new(0), NodeId::new(1));
-    assert!(matches!(
-        GreedyRouter.route(&topo, a, b),
-        Err(RouteError::NoProgress { .. })
-    ));
+    assert!(matches!(GreedyRouter.route(&topo, a, b), Err(RouteError::NoProgress { .. })));
     assert_eq!(
         DijkstraRouter::new(LinkWeight::Hops).route(&topo, a, b).unwrap_err(),
         RouteError::Disconnected
@@ -58,8 +55,7 @@ fn all_routers_reject_disconnected_pairs() {
 
 #[test]
 fn flow_to_dead_node_is_rejected_at_setup() {
-    let (mut w, ids) =
-        world_with(&[(0.0, 0.0), (20.0, 0.0), (40.0, 0.0)], &[100.0, 100.0, 0.0]);
+    let (mut w, ids) = world_with(&[(0.0, 0.0), (20.0, 0.0), (40.0, 0.0)], &[100.0, 100.0, 0.0]);
     let spec = FlowSpec::paper_default(FlowId::new(0), ids.clone(), 8_000);
     assert_eq!(install_flow(&mut w, &spec).unwrap_err(), FlowSetupError::DeadNode(ids[2]));
 }
@@ -67,8 +63,7 @@ fn flow_to_dead_node_is_rejected_at_setup() {
 #[test]
 fn source_death_stops_the_flow_quietly() {
     // The source can afford only a handful of packets.
-    let (mut w, ids) =
-        world_with(&[(0.0, 0.0), (20.0, 0.0), (40.0, 0.0)], &[0.05, 100.0, 100.0]);
+    let (mut w, ids) = world_with(&[(0.0, 0.0), (20.0, 0.0), (40.0, 0.0)], &[0.05, 100.0, 100.0]);
     let spec = FlowSpec::paper_default(FlowId::new(0), ids.clone(), 8_000_000);
     install_flow(&mut w, &spec).unwrap();
     w.run_while(|w| w.time() < SimTime::from_micros(100_000_000));
@@ -128,8 +123,7 @@ fn wild_estimates_never_break_delivery() {
 fn zero_length_and_trivial_flows_are_rejected() {
     let (mut w, ids) = world_with(&[(0.0, 0.0), (20.0, 0.0)], &[100.0, 100.0]);
     assert_eq!(
-        install_flow(&mut w, &FlowSpec::paper_default(FlowId::new(0), ids.clone(), 0))
-            .unwrap_err(),
+        install_flow(&mut w, &FlowSpec::paper_default(FlowId::new(0), ids.clone(), 0)).unwrap_err(),
         FlowSetupError::EmptyFlow
     );
     assert_eq!(

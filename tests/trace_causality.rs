@@ -10,8 +10,15 @@ use imobif::{
 };
 use imobif_energy::{Battery, LinearMobilityCost, PowerLawModel};
 use imobif_geom::Point2;
-use imobif_netsim::trace::TraceEvent;
+use imobif_netsim::trace::{events_to_jsonl, TraceEvent};
 use imobif_netsim::{EnergyCategory, FlowId, NodeId, SimConfig, SimTime, World};
+use imobif_obs::fnv1a64;
+
+/// FNV-1a64 of the canonical informed-mode run's full JSONL kernel trace,
+/// recorded before the world/decision subsystem split. Any refactor of the
+/// kernel, mobility, beacon, or delivery subsystems must reproduce this trace
+/// byte for byte.
+const INFORMED_RUN_TRACE_FNV: u64 = 0x7812_64e5_cdd6_e29f;
 
 fn informed_world() -> (World<ImobifApp>, Vec<NodeId>) {
     let strategy: Arc<dyn MobilityStrategy> = Arc::new(MinEnergyStrategy::new());
@@ -52,9 +59,8 @@ fn movement_waits_for_the_enable_notification() {
         .first()
         .map(TraceEvent::time)
         .expect("a 6 MB flow must trigger movement");
-    let notif_sends = trace.filtered(|e| {
-        matches!(e, TraceEvent::Sent { category: EnergyCategory::Notification, .. })
-    });
+    let notif_sends = trace
+        .filtered(|e| matches!(e, TraceEvent::Sent { category: EnergyCategory::Notification, .. }));
     // The enable request travels dest → relays → source: path length − 1
     // notification transmissions before anything may move.
     assert!(
@@ -71,6 +77,21 @@ fn movement_waits_for_the_enable_notification() {
     // first movement: the (path_len - 1)-th notification send precedes it.
     let chain_complete = notif_sends[ids.len() - 2].time();
     assert!(chain_complete <= first_move);
+}
+
+#[test]
+fn informed_run_trace_fingerprint_is_pinned() {
+    let (mut w, ids) = informed_world();
+    install_flow(&mut w, &FlowSpec::paper_default(FlowId::new(0), ids.clone(), 48_000_000))
+        .unwrap();
+    w.run_while(|w| w.time() < SimTime::from_micros(200_000_000));
+    let jsonl = events_to_jsonl(&w.trace().expect("tracing enabled").events());
+    assert_eq!(
+        fnv1a64(jsonl.as_bytes()),
+        INFORMED_RUN_TRACE_FNV,
+        "kernel trace drifted from the pre-refactor pin; the event loop, \
+         mobility, beacon, and delivery subsystems must stay bit-identical"
+    );
 }
 
 #[test]
@@ -96,16 +117,12 @@ fn no_mobility_traces_contain_no_movement_or_notifications() {
         .collect();
     w.enable_tracing(100_000);
     w.start();
-    install_flow(&mut w, &FlowSpec::paper_default(FlowId::new(0), ids.clone(), 800_000))
-        .unwrap();
+    install_flow(&mut w, &FlowSpec::paper_default(FlowId::new(0), ids.clone(), 800_000)).unwrap();
     w.run_while(|w| w.time() < SimTime::from_micros(150_000_000));
     let trace = w.trace().expect("tracing enabled");
     assert!(trace.filtered(|e| matches!(e, TraceEvent::Moved { .. })).is_empty());
     assert!(trace
-        .filtered(|e| matches!(
-            e,
-            TraceEvent::Sent { category: EnergyCategory::Notification, .. }
-        ))
+        .filtered(|e| matches!(e, TraceEvent::Sent { category: EnergyCategory::Notification, .. }))
         .is_empty());
     assert!(trace.filtered(|e| matches!(e, TraceEvent::Died { .. })).is_empty());
     // Every data send has a matching delivery (loss-free medium, all alive).
