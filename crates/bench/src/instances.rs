@@ -18,7 +18,8 @@ use imobif_experiments::runner::{build_strategy, StrategyChoice};
 use imobif_experiments::topology::draw_scenario;
 use imobif_geom::Point2;
 use imobif_netsim::{
-    FlowId, NodeId, QueueBackend, SimConfig, SimDuration, SimTime, TopologyView, World,
+    FlowId, NodeId, QueueBackend, ShardedWorld, SimConfig, SimDuration, SimTime, TopologyView,
+    World,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -286,6 +287,141 @@ pub fn build_scale_arena(
     ScaleArenaRun { world, flows, packet_bits: cfg.packet_bits }
 }
 
+/// A [`ShardedWorld`] variant of [`ScaleArenaRun`] for the shard/thread
+/// scaling curves: the same constant-density deployment and flow recipe,
+/// run through the epoch-barrier engine so shard count and thread count can
+/// sweep while the trace fingerprint stays fixed.
+pub struct ShardedArenaRun {
+    /// The sharded world (flows installed, world started).
+    pub world: ShardedWorld<ImobifApp>,
+    /// `(flow, destination)` pairs for delivery accounting.
+    pub flows: Vec<(FlowId, NodeId)>,
+    /// Payload bits per packet (for packet counting).
+    pub packet_bits: u64,
+}
+
+impl ShardedArenaRun {
+    /// Runs until simulated time `t`.
+    pub fn run_until_time(&mut self, t: SimTime) {
+        self.world.run_until(t);
+    }
+
+    /// Payload packets delivered across all flows so far.
+    #[must_use]
+    pub fn delivered_packets(&self) -> u64 {
+        self.flows
+            .iter()
+            .map(|&(flow, dst)| {
+                self.world.app(dst).dest(flow).map_or(0, |d| d.received_bits) / self.packet_bits
+            })
+            .sum()
+    }
+}
+
+/// Builds the same constant-density arena as [`build_scale_arena`], but on a
+/// [`ShardedWorld`] split into `shards` spatial regions. Positions, paths,
+/// and flow specs are drawn from the same seeded stream, so two sharded
+/// arenas with equal `(node_count, n_flows, seed)` differ only in shard
+/// layout — and the epoch-barrier engine guarantees their traces are
+/// bit-identical regardless.
+///
+/// When `trace` is set the world records its merged cross-shard trace (used
+/// by the determinism sweep; costs memory at 100k nodes, so the throughput
+/// points leave it off).
+///
+/// # Panics
+///
+/// Panics if the scaled config is invalid or fewer than `n_flows` routable
+/// source/destination pairs exist — a bug in the benchmark setup, not a
+/// runtime condition.
+#[must_use]
+pub fn build_sharded_arena(
+    node_count: usize,
+    n_flows: usize,
+    shards: usize,
+    seed: u64,
+    trace: bool,
+) -> ShardedArenaRun {
+    use imobif_netsim::routing::{GreedyRouter, Router};
+
+    let cfg = ScenarioConfig {
+        node_count,
+        area_side: 150.0 * (node_count as f64 / 100.0).sqrt(),
+        seed,
+        ..ScenarioConfig::paper_default()
+    };
+    cfg.validate().expect("scaled config is valid");
+    let strategy = build_strategy(&cfg, StrategyChoice::MinEnergy);
+    let sim_cfg = SimConfig { queue_backend: QueueBackend::Calendar, ..cfg.sim_config() };
+    let bounds = (Point2::new(0.0, 0.0), Point2::new(cfg.area_side, cfg.area_side));
+    let mut world: ShardedWorld<ImobifApp> = ShardedWorld::new(
+        sim_cfg,
+        Box::new(cfg.tx_model().expect("validated config")),
+        Box::new(cfg.mobility_model().expect("validated config")),
+        bounds,
+        shards,
+    )
+    .expect("validated sim config");
+    let app_cfg = ImobifConfig {
+        mode: MobilityMode::Informed,
+        max_step: cfg.max_step,
+        cache: DecisionCacheConfig { enabled: true, ..Default::default() },
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positions: Vec<Point2> = (0..node_count)
+        .map(|_| Point2::new(rng.gen_range(0.0..cfg.area_side), rng.gen_range(0.0..cfg.area_side)))
+        .collect();
+    let ids: Vec<NodeId> = positions
+        .iter()
+        .map(|&p| {
+            world.add_node(
+                p,
+                Battery::new(1e5).expect("valid"),
+                ImobifApp::new(app_cfg, strategy.clone()),
+            )
+        })
+        .collect();
+    if trace {
+        world.enable_tracing();
+    }
+    world.start();
+
+    let topo = TopologyView::new(positions, vec![true; node_count], cfg.range);
+    let mut flows = Vec::with_capacity(n_flows);
+    let mut attempts = 0;
+    while flows.len() < n_flows {
+        attempts += 1;
+        assert!(attempts < 200 * n_flows, "arena must admit {n_flows} routable flows");
+        let src = ids[rng.gen_range(0..node_count)];
+        let dst = ids[rng.gen_range(0..node_count)];
+        if src == dst {
+            continue;
+        }
+        let Ok(path) = GreedyRouter.route(&topo, src, dst) else {
+            continue;
+        };
+        if path.len() < 3 {
+            continue;
+        }
+        let flow = FlowId::new(flows.len() as u32);
+        let spec = FlowSpec {
+            flow,
+            path,
+            total_bits: 8_000_000,
+            packet_bits: cfg.packet_bits,
+            interval: cfg.packet_interval(),
+            initial_mobility_enabled: cfg.initial_mobility_enabled,
+            estimate_factor: cfg.estimate_factor,
+            start_delay: SimDuration::from_millis(500),
+            strategy: strategy.kind(),
+        };
+        install_flow(&mut world, &spec).expect("routed paths are valid");
+        flows.push((flow, dst));
+    }
+    ShardedArenaRun { world, flows, packet_bits: cfg.packet_bits }
+}
+
 /// Builds a HELLO-dense arena: the full 100-node deployment with beaconing
 /// on and no data flows, so the run isolates the beacon → grid-query →
 /// neighbor-table path that fires `node_count` times per simulated second.
@@ -350,6 +486,18 @@ mod tests {
         run.run_until_time(SimTime::from_micros(3_000_000));
         assert!(run.world.events_processed() > 0);
         assert!(run.delivered_packets() > 0);
+    }
+
+    #[test]
+    fn sharded_arena_matches_itself_across_shard_counts() {
+        let mut one = build_sharded_arena(300, 4, 1, 7, true);
+        let mut four = build_sharded_arena(300, 4, 4, 7, true);
+        assert_eq!(one.flows.len(), 4);
+        one.run_until_time(SimTime::from_micros(3_000_000));
+        four.run_until_time(SimTime::from_micros(3_000_000));
+        assert!(one.delivered_packets() > 0);
+        assert_eq!(one.delivered_packets(), four.delivered_packets());
+        assert_eq!(one.world.trace_fnv(), four.world.trace_fnv());
     }
 
     #[test]

@@ -103,6 +103,6 @@ pub use mode::MobilityMode;
 pub use oracle::{oracle_decision, OracleDecision};
 pub use registry::StrategyRegistry;
 pub use relaxation::{lifetime_optimality_gap, relax, Relaxation};
-pub use setup::{install_flow, FlowSetupError, FlowSpec};
+pub use setup::{install_flow, FlowHost, FlowSetupError, FlowSpec};
 pub use strategies::{HybridStrategy, IncrementalStrategy, MaxLifetimeStrategy, MinEnergyStrategy};
 pub use strategy::{MobilityStrategy, StrategyInputs, StrategyKind};

@@ -4,10 +4,55 @@ use std::collections::HashSet;
 use std::error::Error;
 use std::fmt;
 
-use imobif_netsim::{FlowId, NodeId, SimDuration, World};
+use imobif_netsim::{FlowId, NodeId, ShardedWorld, SimDuration, World};
 use serde::{Deserialize, Serialize};
 
 use crate::{FlowEntry, ImobifApp, SourceFlow};
+
+/// A world flows can be installed into: the minimal surface
+/// [`install_flow`] needs, implemented by both the sequential
+/// [`World`] and the sharded [`ShardedWorld`] so experiment drivers share
+/// one validated setup path.
+pub trait FlowHost {
+    /// Number of nodes in the world.
+    fn node_count(&self) -> usize;
+    /// Whether `id` is alive.
+    fn is_alive(&self, id: NodeId) -> bool;
+    /// The iMobif agent at `id`.
+    fn app_mut(&mut self, id: NodeId) -> &mut ImobifApp;
+    /// Schedules the source's kick-off timer.
+    fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64);
+}
+
+impl FlowHost for World<ImobifApp> {
+    fn node_count(&self) -> usize {
+        World::node_count(self)
+    }
+    fn is_alive(&self, id: NodeId) -> bool {
+        World::is_alive(self, id)
+    }
+    fn app_mut(&mut self, id: NodeId) -> &mut ImobifApp {
+        World::app_mut(self, id)
+    }
+    fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
+        World::schedule_timer(self, node, delay, tag);
+    }
+}
+
+impl FlowHost for ShardedWorld<ImobifApp> {
+    fn node_count(&self) -> usize {
+        ShardedWorld::node_count(self)
+    }
+    fn is_alive(&self, id: NodeId) -> bool {
+        ShardedWorld::is_alive(self, id)
+    }
+    fn app_mut(&mut self, id: NodeId) -> &mut ImobifApp {
+        ShardedWorld::app_mut(self, id)
+    }
+    fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
+        ShardedWorld::schedule_timer(self, node, delay, tag);
+    }
+}
 
 /// Everything needed to start one one-to-one flow.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -102,9 +147,9 @@ impl fmt::Display for FlowSetupError {
 
 impl Error for FlowSetupError {}
 
-/// Installs a flow into a world of [`ImobifApp`] agents: flow-table entries
-/// along the path, source-side pacing state, and the timer that emits the
-/// first packet.
+/// Installs a flow into a world of [`ImobifApp`] agents — sequential or
+/// sharded, via [`FlowHost`]: flow-table entries along the path, source-side
+/// pacing state, and the timer that emits the first packet.
 ///
 /// The path is pinned, exactly as in the paper: routing resolves it once at
 /// flow setup and mobility then optimizes the positions of the chosen
@@ -115,7 +160,7 @@ impl Error for FlowSetupError {}
 ///
 /// Returns a [`FlowSetupError`] if the path is degenerate, repeats a node,
 /// references unknown/dead nodes, or the pacing parameters are zero.
-pub fn install_flow(world: &mut World<ImobifApp>, spec: &FlowSpec) -> Result<(), FlowSetupError> {
+pub fn install_flow(world: &mut impl FlowHost, spec: &FlowSpec) -> Result<(), FlowSetupError> {
     if spec.path.len() < 2 {
         return Err(FlowSetupError::PathTooShort);
     }
@@ -241,6 +286,53 @@ mod tests {
         assert_eq!(sf.total_bits, 24_000);
         assert!(!sf.mobility_enabled);
         assert_eq!(spec.packet_count(), 3);
+    }
+
+    #[test]
+    fn install_flow_drives_a_sharded_world_end_to_end() {
+        use imobif_netsim::{ShardedWorld, SimTime};
+
+        // The full iMobif protocol — data plane, aggregation, notifications,
+        // relay movement — running on the epoch-barrier engine, with the
+        // 1-shard run as the bit-exactness reference for 4 shards.
+        let run = |shards: usize| {
+            let bounds = (Point2::new(0.0, 0.0), Point2::new(80.0, 40.0));
+            let mut w = ShardedWorld::new(
+                SimConfig::default(),
+                Box::new(PowerLawModel::paper_default(2.0).unwrap()),
+                Box::new(LinearMobilityCost::new(0.5).unwrap()),
+                bounds,
+                shards,
+            )
+            .unwrap();
+            let strategy = Arc::new(MinEnergyStrategy::new());
+            let cfg = ImobifConfig::default();
+            let add = |x: f64, y: f64, w: &mut ShardedWorld<ImobifApp>| {
+                w.add_node(
+                    Point2::new(x, y),
+                    Battery::new(1_000.0).unwrap(),
+                    ImobifApp::new(cfg, strategy.clone()),
+                )
+            };
+            let src = add(0.0, 0.0, &mut w);
+            let relay = add(20.0, 15.0, &mut w);
+            let dst = add(40.0, 0.0, &mut w);
+            w.enable_tracing();
+            w.start();
+            let spec = FlowSpec::paper_default(FlowId::new(0), vec![src, relay, dst], 8_000_000);
+            install_flow(&mut w, &spec).unwrap();
+            w.run_until(SimTime::from_micros(1_100_000_000));
+            assert_eq!(
+                w.app(dst).dest(FlowId::new(0)).unwrap().received_bits,
+                8_000_000,
+                "{shards}-shard world delivered the whole flow"
+            );
+            assert!(w.position(relay).y < 15.0, "relay walked toward the chord");
+            let t = w.totals();
+            (w.position(relay), t.total().to_bits(), w.packets_delivered(), w.trace_fnv())
+        };
+        let base = run(1);
+        assert_eq!(run(4), base, "4-shard iMobif run diverged from 1-shard");
     }
 
     #[test]

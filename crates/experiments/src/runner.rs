@@ -408,9 +408,59 @@ impl CaseKey {
 /// few hundred entries.
 const CASE_MEMO_CAP: usize = 8192;
 
-fn case_memo() -> &'static Mutex<FxHashMap<CaseKey, CaseResult>> {
-    static MEMO: OnceLock<Mutex<FxHashMap<CaseKey, CaseResult>>> = OnceLock::new();
-    MEMO.get_or_init(|| Mutex::new(FxHashMap::default()))
+/// How many ways each memo map is split. A power of two so the shard pick
+/// is a mask; 8 is plenty — the batch engine caps at 16 workers, and two
+/// workers only contend when their keys land in the same eighth.
+const MEMO_SHARDS: usize = 8;
+
+/// A memo map sharded [`MEMO_SHARDS`] ways by key hash. The single global
+/// mutex it replaces serialized every worker on every case lookup; with
+/// sharding, lookups for different keys almost never touch the same lock.
+/// Entries are immutable once inserted (results are pure functions of their
+/// keys), so `get` clones the value out and drops the lock immediately.
+struct ShardedMemo<K, V> {
+    shards: [Mutex<FxHashMap<K, V>>; MEMO_SHARDS],
+}
+
+impl<K: std::hash::Hash + Eq, V: Clone> ShardedMemo<K, V> {
+    fn new() -> Self {
+        ShardedMemo { shards: std::array::from_fn(|_| Mutex::new(FxHashMap::default())) }
+    }
+
+    fn shard(&self, key: &K) -> &Mutex<FxHashMap<K, V>> {
+        use std::hash::Hasher;
+        let mut h = imobif_geom::hash::FxHasher::default();
+        key.hash(&mut h);
+        // Use high bits: FxHasher's low bits are the map's bucket index, so
+        // taking them for the shard pick would correlate the two.
+        &self.shards[(h.finish() >> 56) as usize & (MEMO_SHARDS - 1)]
+    }
+
+    fn get(&self, key: &K) -> Option<V> {
+        self.shard(key).lock().expect("memo shard lock").get(key).cloned()
+    }
+
+    /// Inserts unless the key is already present, clearing the target shard
+    /// first if it reached its slice of `cap` (the same bound-by-discard
+    /// policy the unsharded memo used, applied per shard).
+    fn insert_if_absent(&self, key: K, value: V, cap: usize) {
+        let mut shard = self.shard(&key).lock().expect("memo shard lock");
+        if shard.len() >= cap.div_ceil(MEMO_SHARDS) {
+            shard.clear();
+        }
+        shard.entry(key).or_insert(value);
+    }
+
+    fn clear(&self) {
+        for shard in &self.shards {
+            shard.lock().expect("memo shard lock").clear();
+        }
+    }
+}
+
+fn case_memo() -> &'static ShardedMemo<CaseKey, CaseResult> {
+    static MEMO: OnceLock<ShardedMemo<CaseKey, CaseResult>> = OnceLock::new();
+    MEMO.get_or_init(ShardedMemo::new)
 }
 
 /// Memo key for a *no-mobility baseline* instance: only the config fields
@@ -461,9 +511,9 @@ impl BaselineKey {
     }
 }
 
-fn baseline_memo() -> &'static Mutex<FxHashMap<BaselineKey, InstanceResult>> {
-    static MEMO: OnceLock<Mutex<FxHashMap<BaselineKey, InstanceResult>>> = OnceLock::new();
-    MEMO.get_or_init(|| Mutex::new(FxHashMap::default()))
+fn baseline_memo() -> &'static ShardedMemo<BaselineKey, InstanceResult> {
+    static MEMO: OnceLock<ShardedMemo<BaselineKey, InstanceResult>> = OnceLock::new();
+    MEMO.get_or_init(ShardedMemo::new)
 }
 
 /// Process-lifetime memo hit/miss totals. Monotone; [`clear_memos`] empties
@@ -512,8 +562,8 @@ pub fn memo_stats() -> MemoStats {
 /// change any output — but benchmarks that claim to measure a cold run must
 /// call this first, and tests that claim to recompute call it to mean it.
 pub fn clear_memos() {
-    case_memo().lock().expect("case memo lock").clear();
-    baseline_memo().lock().expect("baseline memo lock").clear();
+    case_memo().clear();
+    baseline_memo().clear();
     clear_draw_memo();
 }
 
@@ -554,9 +604,9 @@ fn run_case_in(
     registry: &Arc<StrategyRegistry>,
 ) -> CaseResult {
     let key = CaseKey::of(cfg, choice, index);
-    if let Some(hit) = case_memo().lock().expect("case memo lock").get(&key) {
+    if let Some(hit) = case_memo().get(&key) {
         CASE_MEMO_HITS.fetch_add(1, Ordering::Relaxed);
-        return hit.clone();
+        return hit;
     }
     CASE_MEMO_MISSES.fetch_add(1, Ordering::Relaxed);
     let obs = crate::obs::registry();
@@ -566,7 +616,7 @@ fn run_case_in(
         obs.float_counter("phase.scenario_draw_secs").add(t0.elapsed().as_secs_f64());
     }
     let bkey = BaselineKey::of(cfg, index);
-    let cached_baseline = baseline_memo().lock().expect("baseline memo lock").get(&bkey).cloned();
+    let cached_baseline = baseline_memo().get(&bkey);
     match &cached_baseline {
         Some(_) => BASELINE_MEMO_HITS.fetch_add(1, Ordering::Relaxed),
         None => BASELINE_MEMO_MISSES.fetch_add(1, Ordering::Relaxed),
@@ -576,11 +626,7 @@ fn run_case_in(
         None => {
             let r =
                 run_instance_in(arena, cfg, &draw, MobilityMode::NoMobility, strategy, registry);
-            baseline_memo()
-                .lock()
-                .expect("baseline memo lock")
-                .entry(bkey)
-                .or_insert_with(|| r.clone());
+            baseline_memo().insert_if_absent(bkey, r.clone(), usize::MAX);
             r
         }
     };
@@ -599,11 +645,7 @@ fn run_case_in(
         ),
         informed: run_instance_in(arena, cfg, &draw, MobilityMode::Informed, strategy, registry),
     };
-    let mut memo = case_memo().lock().expect("case memo lock");
-    if memo.len() >= CASE_MEMO_CAP {
-        memo.clear();
-    }
-    memo.entry(key).or_insert_with(|| case.clone());
+    case_memo().insert_if_absent(key, case.clone(), CASE_MEMO_CAP);
     case
 }
 

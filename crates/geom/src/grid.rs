@@ -38,6 +38,14 @@ pub struct SpatialGrid {
     positions: FxHashMap<u32, Point2>,
 }
 
+/// Closest distance along one axis from coordinate `c` to cell index `g`
+/// (the interval `[g·cell, (g+1)·cell]`); zero when `c` lies inside it.
+#[inline]
+fn cell_axis_gap(c: f64, g: i64, cell: f64) -> f64 {
+    let lo = g as f64 * cell;
+    (lo - c).max(c - (lo + cell)).max(0.0)
+}
+
 impl SpatialGrid {
     /// Creates an empty grid with the given cell size in meters.
     ///
@@ -155,7 +163,19 @@ impl SpatialGrid {
         let span = (radius / self.cell_size).ceil() as i64;
         let (cx, cy) = self.cell_of(center);
         for gx in (cx - span)..=(cx + span) {
+            // Closest x-distance from `center` to the cell column; columns
+            // (and below, cells) whose rectangle lies entirely outside the
+            // radius are pruned before touching the hash table — for the
+            // common radius ≈ cell-size query this skips most corner cells.
+            let dx = cell_axis_gap(center.x, gx, self.cell_size);
+            if dx * dx > r_sq {
+                continue;
+            }
             for gy in (cy - span)..=(cy + span) {
+                let dy = cell_axis_gap(center.y, gy, self.cell_size);
+                if dx * dx + dy * dy > r_sq {
+                    continue;
+                }
                 let Some(bucket) = self.cells.get(&(gx, gy)) else {
                     continue;
                 };

@@ -4,7 +4,8 @@
 use imobif_energy::{MobilityCostModel, TxEnergyModel};
 use imobif_geom::Point2;
 
-use crate::{EnergyCategory, NeighborEntry, NodeId, NodeState, SimDuration, SimTime};
+use crate::node::NodeStore;
+use crate::{EnergyCategory, NeighborEntry, NodeId, SimDuration, SimTime};
 
 /// A protocol running on every node of a [`crate::World`].
 ///
@@ -172,7 +173,16 @@ pub struct PeerInfo {
 pub struct NodeCtx<'a> {
     pub(crate) id: NodeId,
     pub(crate) now: SimTime,
-    pub(crate) nodes: &'a [NodeState],
+    /// The store holding this node's own state. In a [`crate::World`] this
+    /// is the global store; in a [`crate::ShardedWorld`] it is the owning
+    /// shard's local store.
+    pub(crate) store: &'a NodeStore,
+    /// Index of this node within `store`.
+    pub(crate) slot: usize,
+    /// Ground-truth store indexed by global node id, for the
+    /// perfect-information mode used when HELLO is disabled. `None` in
+    /// sharded worlds, where no ground-truth remote reads exist.
+    pub(crate) truth: Option<&'a NodeStore>,
     pub(crate) tx_model: &'a dyn TxEnergyModel,
     pub(crate) mobility_model: &'a dyn MobilityCostModel,
     pub(crate) hello_enabled: bool,
@@ -194,37 +204,41 @@ impl NodeCtx<'_> {
     /// This node's current position.
     #[must_use]
     pub fn position(&self) -> Point2 {
-        self.nodes[self.id.index()].position()
+        self.store.position(self.slot)
     }
 
     /// This node's residual energy in joules.
     #[must_use]
     pub fn residual_energy(&self) -> f64 {
-        self.nodes[self.id.index()].residual_energy()
+        self.store.residual(self.slot)
     }
 
     /// Fresh neighbor-table entries, sorted by id.
     #[must_use]
     pub fn neighbors(&self) -> Vec<NeighborEntry> {
-        self.nodes[self.id.index()].neighbor_table().fresh(self.now)
+        self.store.neighbor_table(self.slot).fresh(self.now)
     }
 
     /// What this node knows about `peer`.
     ///
     /// With HELLO enabled, the knowledge comes from the neighbor table and
     /// is `None` for peers never heard from (or heard too long ago). With
-    /// HELLO disabled, ground truth is returned for any live node.
+    /// HELLO disabled, ground truth is returned for any live node (sharded
+    /// worlds have no ground-truth store, so they require HELLO).
     #[must_use]
     pub fn peer_info(&self, peer: NodeId) -> Option<PeerInfo> {
         if self.hello_enabled {
-            self.nodes[self.id.index()]
-                .neighbor_table()
+            self.store
+                .neighbor_table(self.slot)
                 .get(peer, self.now)
                 .map(|e| PeerInfo { position: e.position, residual_energy: e.residual_energy })
         } else {
-            let n = self.nodes.get(peer.index())?;
-            n.is_alive()
-                .then(|| PeerInfo { position: n.position(), residual_energy: n.residual_energy() })
+            let truth = self.truth?;
+            let i = peer.index();
+            (i < truth.len() && truth.is_alive(i)).then(|| PeerInfo {
+                position: truth.position(i),
+                residual_energy: truth.residual(i),
+            })
         }
     }
 

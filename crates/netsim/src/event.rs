@@ -190,6 +190,14 @@ struct Calendar<E> {
     gcursor: u64,
     /// Events scheduled beyond the current window, earliest first.
     overflow: BinaryHeap<Scheduled<E>>,
+    /// Storage recycled from drained buckets. A periodic workload (HELLO
+    /// beacons, pacing timers) drops its whole batch into one bucket per
+    /// period, and each period lands on a different ring slot — so without
+    /// recycling, every cold slot regrows a `Vec` from zero (a full doubling
+    /// chain of allocations) while the capacity of the slot just drained
+    /// sits stranded until the ring wraps. Handing drained storage to the
+    /// next cold bucket makes steady-state pushes allocation-free.
+    spares: Vec<Vec<Scheduled<E>>>,
     len: usize,
 }
 
@@ -201,12 +209,32 @@ impl<E> Calendar<E> {
             cursor: 0,
             gcursor: 0,
             overflow: BinaryHeap::new(),
+            spares: Vec::new(),
             len: 0,
         }
     }
 
     fn ring_index(t: u64) -> usize {
         ((t / BUCKET_WIDTH_MICROS) % NUM_BUCKETS as u64) as usize
+    }
+
+    /// Gives a cold (capacity-zero) bucket recycled storage before its
+    /// first push, if any is pooled.
+    fn warm(bucket: &mut Vec<Scheduled<E>>, spares: &mut Vec<Vec<Scheduled<E>>>) {
+        if bucket.capacity() == 0 {
+            if let Some(spare) = spares.pop() {
+                *bucket = spare;
+            }
+        }
+    }
+
+    /// Moves a drained bucket's storage into the spare pool so the next
+    /// cold bucket can reuse it instead of reallocating.
+    fn recycle(&mut self, idx: usize) {
+        let bucket = &mut self.buckets[idx];
+        if bucket.capacity() > 0 && self.spares.len() < NUM_BUCKETS {
+            self.spares.push(std::mem::take(bucket));
+        }
     }
 
     fn push(&mut self, item: Scheduled<E>, stats: &mut QueueStats) {
@@ -217,6 +245,7 @@ impl<E> Calendar<E> {
             // sorted element trivially satisfies the cursor invariant.
             self.gcursor = g;
             self.cursor = Self::ring_index(t);
+            Self::warm(&mut self.buckets[self.cursor], &mut self.spares);
             self.buckets[self.cursor].push(item);
             self.occupancy |= 1 << self.cursor;
         } else if g <= self.gcursor {
@@ -230,6 +259,7 @@ impl<E> Calendar<E> {
             // Inside the window: O(1) append, sorted when the cursor gets
             // there.
             let idx = Self::ring_index(t);
+            Self::warm(&mut self.buckets[idx], &mut self.spares);
             self.buckets[idx].push(item);
             self.occupancy |= 1 << idx;
         } else {
@@ -256,6 +286,7 @@ impl<E> Calendar<E> {
         self.len -= 1;
         if self.buckets[self.cursor].is_empty() {
             self.occupancy &= !(1 << self.cursor);
+            self.recycle(self.cursor);
             if self.len > 0 {
                 self.advance(stats);
             }
@@ -303,6 +334,7 @@ impl<E> Calendar<E> {
             let item = self.overflow.pop().expect("peeked non-empty");
             stats.overflow_drained += 1;
             let idx = Self::ring_index(item.time.as_micros());
+            Self::warm(&mut self.buckets[idx], &mut self.spares);
             self.buckets[idx].push(item);
             self.occupancy |= 1 << idx;
         }
@@ -370,6 +402,29 @@ impl<E> EventQueue<E> {
         let seq = self.next_seq;
         self.next_seq += 1;
         let item = Scheduled { time, seq, event };
+        match &mut self.backend {
+            Backend::Calendar(c) => c.push(item, &mut self.stats),
+            Backend::BinaryHeap(h) => h.push(item),
+        }
+        self.stats.pushes += 1;
+        let len = self.len() as u64;
+        if len > self.stats.max_len {
+            self.stats.max_len = len;
+        }
+    }
+
+    /// Schedules `event` at `time` under a caller-chosen tiebreak key
+    /// instead of the internal insertion sequence. Events at equal times pop
+    /// in ascending key order.
+    ///
+    /// This is the sharded world's scheduling primitive: each shard keys
+    /// events by `(node id << 32) | per-node sequence`, which makes the pop
+    /// order of any pair of nodes' events independent of which other nodes
+    /// share the queue — the property that keeps N-shard runs bit-identical
+    /// to 1-shard runs. A queue must use either `push` or `push_keyed`
+    /// exclusively; mixing them can collide keys.
+    pub fn push_keyed(&mut self, time: SimTime, key: u64, event: E) {
+        let item = Scheduled { time, seq: key, event };
         match &mut self.backend {
             Backend::Calendar(c) => c.push(item, &mut self.stats),
             Backend::BinaryHeap(h) => h.push(item),

@@ -10,8 +10,10 @@
 //! # Architecture
 //!
 //! * [`World`] — the kernel: event queue ([`EventQueue`]), virtual clock
-//!   ([`SimTime`]), node physical state ([`NodeState`]), energy charging and
-//!   the [`EnergyLedger`].
+//!   ([`SimTime`]), node physical state (the struct-of-arrays
+//!   [`NodeStore`]), energy charging and the [`EnergyLedger`].
+//! * [`ShardedWorld`] — the same kernel partitioned into spatial shards
+//!   with deterministic epoch barriers, for 100k-node arenas.
 //! * [`Application`] — the protocol layer. One instance per node; hooks
 //!   receive a read-only [`NodeCtx`] and push [`Action`]s into a reusable
 //!   [`Outbox`]. The iMobif framework (crate `imobif`) is an `Application`.
@@ -97,7 +99,8 @@ pub use event::{EventQueue, QueueBackend, QueueStats};
 pub use hello::{NeighborEntry, NeighborTable};
 pub use id::{FlowId, NodeId};
 pub use medium::TopologyView;
-pub use node::NodeState;
+pub use node::{NodeRef, NodeStore};
 pub use stats::{EnergyCategory, EnergyLedger, NodeEnergy};
 pub use time::{SimDuration, SimTime};
+pub use world::shard::{ShardLayout, ShardedWorld};
 pub use world::{Effect, KernelStats, TimerKind, World};

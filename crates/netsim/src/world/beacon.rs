@@ -21,40 +21,28 @@ pub(super) const SMALL_WORLD_SCAN: usize = 32;
 /// hearer's neighbor table, and reschedules the next beacon. A node that
 /// cannot afford the beacon dies instead and its beacon chain stops.
 pub(super) fn hello_beacon(core: &mut WorldCore, node: NodeId, fx: &mut EffectBuf) {
-    if !core.nodes[node.index()].is_alive() {
+    if !core.nodes.is_alive(node.index()) {
         return;
     }
     if core.cfg.hello.charge_energy {
         // Beacons are broadcast at full range power.
         let e = core.tx_model.energy(core.cfg.range, core.cfg.hello.bits as f64);
-        if core.nodes[node.index()].battery_mut().try_consume(e).is_err() {
+        if core.nodes.battery_mut(node.index()).try_consume(e).is_err() {
             fx.push(Effect::Kill { node });
             return;
         }
         core.ledger.charge(node, EnergyCategory::Hello, e);
     }
-    let (pos, residual) = {
-        let n = &core.nodes[node.index()];
-        (n.position(), n.residual_energy())
-    };
+    let pos = core.nodes.position(node.index());
+    let residual = core.nodes.residual(node.index());
     // Reuse the scratch buffer: HELLO is the densest event class and must
     // not allocate in the steady state. Tiny deployments (the pinned-path
-    // experiment worlds) skip the grid entirely: a linear scan over a
-    // handful of nodes beats nine hash-bucket probes, and it yields the
-    // same hearer set — the grid holds exactly the alive nodes, and ids
-    // come out already sorted.
+    // experiment worlds) skip the grid entirely: a linear scan over the
+    // position and liveness columns beats nine hash-bucket probes, and it
+    // yields the same hearer set — the grid holds exactly the alive nodes,
+    // and ids come out already sorted.
     if core.nodes.len() <= SMALL_WORLD_SCAN {
-        let r_sq = core.cfg.range * core.cfg.range;
-        core.hearers.clear();
-        let nodes = &core.nodes;
-        core.hearers.extend(
-            nodes
-                .iter()
-                .filter(|n| {
-                    n.id() != node && n.is_alive() && pos.distance_sq_to(n.position()) <= r_sq
-                })
-                .map(|n| n.id().raw()),
-        );
+        scan_hearers(&core.nodes, node, pos, core.cfg.range, &mut core.hearers);
     } else {
         core.grid.query_range_into(pos, core.cfg.range, &mut core.hearers);
         core.hearers.retain(|&k| k != node.raw());
@@ -64,10 +52,28 @@ pub(super) fn hello_beacon(core: &mut WorldCore, node: NodeId, fx: &mut EffectBu
     core.stats.hello_fanout_bins[KernelStats::fanout_bin(core.hearers.len())] += 1;
     let now = core.time;
     for &k in &core.hearers {
-        let hearer = &mut core.nodes[k as usize];
-        if hearer.is_alive() {
-            hearer.neighbor_table_mut().observe(node, pos, residual, now);
+        let hearer = k as usize;
+        if core.nodes.is_alive(hearer) {
+            core.nodes.neighbor_table_mut(hearer).observe(node, pos, residual, now);
         }
     }
     fx.push(Effect::Timer { node, delay: core.cfg.hello.period, kind: TimerKind::Beacon });
+}
+
+/// Linear hearer scan over the struct-of-arrays columns: every live node
+/// other than `node` within `range` of `pos`, ascending by id.
+pub(super) fn scan_hearers(
+    nodes: &crate::node::NodeStore,
+    node: NodeId,
+    pos: imobif_geom::Point2,
+    range: f64,
+    hearers: &mut Vec<u32>,
+) {
+    let r_sq = range * range;
+    hearers.clear();
+    let (positions, alive) = (nodes.positions(), nodes.alive_flags());
+    hearers.extend((0..positions.len()).filter_map(|i| {
+        (i != node.index() && alive[i] && pos.distance_sq_to(positions[i]) <= r_sq)
+            .then_some(i as u32)
+    }));
 }

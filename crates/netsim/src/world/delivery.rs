@@ -23,9 +23,9 @@ pub(super) fn send(
     category: EnergyCategory,
     fx: &mut EffectBuf,
 ) {
-    let d = core.nodes[from.index()].position().distance_to(core.nodes[to.index()].position());
+    let d = core.nodes.position(from.index()).distance_to(core.nodes.position(to.index()));
     let e = core.tx_model.energy(d, bits as f64);
-    if core.nodes[from.index()].battery_mut().try_consume(e).is_err() {
+    if core.nodes.battery_mut(from.index()).try_consume(e).is_err() {
         // The residual energy cannot cover this transmission: the node
         // is out of service (its leftover charge is below the per-packet
         // requirement, the paper's death condition).
@@ -58,7 +58,7 @@ pub(super) fn send(
 /// delivered — the kernel then dispatches `on_message`; a dead destination
 /// drops the packet instead.
 pub(super) fn receive(core: &mut WorldCore, from: NodeId, to: NodeId, fx: &mut EffectBuf) -> bool {
-    if !core.nodes[to.index()].is_alive() {
+    if !core.nodes.is_alive(to.index()) {
         core.ledger.packets_dropped += 1;
         if core.trace.is_some() {
             fx.push(Effect::Trace(TraceEvent::Dropped { time: core.time, to }));

@@ -134,7 +134,7 @@ impl<A: Application> World<A> {
         }
         for i in 0..self.core.nodes.len() {
             let id = NodeId::new(i as u32);
-            if !self.core.nodes[i].is_alive() {
+            if !self.core.nodes.is_alive(i) {
                 continue;
             }
             self.dispatch(id, |app, ctx, out| app.on_start(ctx, out));
@@ -159,7 +159,9 @@ impl<A: Application> World<A> {
             let ctx = NodeCtx {
                 id,
                 now: self.core.time,
-                nodes: &self.core.nodes,
+                store: &self.core.nodes,
+                slot: id.index(),
+                truth: Some(&self.core.nodes),
                 tx_model: self.core.tx_model.as_ref(),
                 mobility_model: self.core.mobility_model.as_ref(),
                 hello_enabled: self.core.cfg.hello.enabled,
@@ -167,7 +169,7 @@ impl<A: Application> World<A> {
             f(&mut self.apps[id.index()], &ctx, &mut outbox);
         }
         for action in outbox.drain() {
-            if !self.core.nodes[id.index()].is_alive() {
+            if !self.core.nodes.is_alive(id.index()) {
                 // A previous action in this batch killed the node.
                 break;
             }
@@ -247,7 +249,7 @@ impl<A: Application> World<A> {
                 }
             }
             Event::AppTimer { node, tag } => {
-                if self.core.nodes[node.index()].is_alive() {
+                if self.core.nodes.is_alive(node.index()) {
                     self.core.stats.timers_fired += 1;
                     self.dispatch(node, |app, ctx, out| app.on_timer(ctx, tag, out));
                 }

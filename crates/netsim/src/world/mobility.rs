@@ -22,17 +22,17 @@ pub(super) fn move_node(
     max_step: f64,
     fx: &mut EffectBuf,
 ) {
-    let pos = core.nodes[node.index()].position();
+    let pos = core.nodes.position(node.index());
     let (mut new_pos, mut moved) = pos.step_toward(target, max_step);
     if moved <= 0.0 {
         return;
     }
     let cost = core.mobility_model.cost(moved);
-    let residual = core.nodes[node.index()].residual_energy();
+    let residual = core.nodes.residual(node.index());
     if cost <= residual {
-        core.nodes[node.index()].battery_mut().try_consume(cost).expect("checked affordable");
+        core.nodes.battery_mut(node.index()).try_consume(cost).expect("checked affordable");
         core.ledger.charge(node, EnergyCategory::Mobility, cost);
-        core.nodes[node.index()].set_position(new_pos, moved);
+        core.nodes.set_position(node.index(), new_pos, moved);
         core.grid.update(node.raw(), new_pos);
         // Trace effects only exist when tracing can observe them (see
         // `delivery::send`).
@@ -50,10 +50,10 @@ pub(super) fn move_node(
         let affordable = core.mobility_model.reachable_distance(residual).min(moved);
         if affordable > 0.0 && affordable.is_finite() {
             (new_pos, moved) = pos.step_toward(target, affordable);
-            core.nodes[node.index()].set_position(new_pos, moved);
+            core.nodes.set_position(node.index(), new_pos, moved);
             core.grid.update(node.raw(), new_pos);
         }
-        let spent = core.nodes[node.index()].battery_mut().drain();
+        let spent = core.nodes.battery_mut(node.index()).drain();
         core.ledger.charge(node, EnergyCategory::Mobility, spent);
         if core.trace.is_some() {
             fx.push(Effect::Trace(TraceEvent::Moved {
@@ -74,7 +74,7 @@ pub(super) fn kill(core: &mut WorldCore, node: NodeId) {
     // Any leftover charge is stranded: below the per-action requirement
     // that killed the node, so never spendable. It is deliberately not
     // added to the ledger — it was not consumed.
-    let _stranded = core.nodes[node.index()].kill();
+    let _stranded = core.nodes.kill(node.index());
     core.grid.remove(node.raw());
     core.ledger.record_death(node, core.time);
     observe::emit(core, TraceEvent::Died { time: core.time, node });

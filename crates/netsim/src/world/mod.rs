@@ -16,6 +16,7 @@ mod delivery;
 mod kernel;
 mod mobility;
 mod observe;
+pub(crate) mod shard;
 #[cfg(test)]
 mod tests;
 
@@ -25,10 +26,11 @@ pub use observe::KernelStats;
 use imobif_energy::{Battery, MobilityCostModel, TxEnergyModel};
 use imobif_geom::{Point2, SpatialGrid};
 
+use crate::node::{NodeRef, NodeStore};
 use crate::trace::RingTrace;
 use crate::{
-    Application, EnergyLedger, EventQueue, NeighborTable, NodeId, NodeState, Outbox, SimConfig,
-    SimError, SimTime, TopologyView,
+    Application, EnergyLedger, EventQueue, NeighborTable, NodeId, Outbox, SimConfig, SimError,
+    SimTime, TopologyView,
 };
 use kernel::Event;
 
@@ -41,7 +43,7 @@ pub(crate) struct WorldCore {
     tx_model: Box<dyn TxEnergyModel>,
     mobility_model: Box<dyn MobilityCostModel>,
     time: SimTime,
-    nodes: Vec<NodeState>,
+    nodes: NodeStore,
     grid: SpatialGrid,
     ledger: EnergyLedger,
     trace: Option<RingTrace>,
@@ -107,7 +109,7 @@ impl<A: Application> World<A> {
                 tx_model,
                 mobility_model,
                 time: SimTime::ZERO,
-                nodes: Vec::new(),
+                nodes: NodeStore::new(),
                 ledger: EnergyLedger::new(),
                 trace: None,
                 hearers: Vec::new(),
@@ -141,9 +143,7 @@ impl<A: Application> World<A> {
         recycled_apps: &mut Vec<A>,
     ) -> Result<(), SimError> {
         cfg.validate()?;
-        for node in self.core.nodes.drain(..) {
-            self.spare_tables.push(node.into_neighbor_table());
-        }
+        self.core.nodes.drain_tables_into(&mut self.spare_tables);
         recycled_apps.append(&mut self.apps);
         if self.queue.backend() == cfg.queue_backend {
             self.queue.clear();
@@ -193,11 +193,10 @@ impl<A: Application> World<A> {
             }
             None => NeighborTable::new(self.core.cfg.hello.ttl),
         };
-        let node = NodeState::new(id, position, battery, table);
-        if node.is_alive() {
+        let slot = self.core.nodes.push(position, battery, table);
+        if self.core.nodes.is_alive(slot) {
             self.core.grid.insert(id.raw(), position);
         }
-        self.core.nodes.push(node);
         self.apps.push(app);
         self.core.ledger.grow_to(self.core.nodes.len());
         id
@@ -230,26 +229,26 @@ impl<A: Application> World<A> {
 
     /// Kernel state of a node. Panics if `id` is out of range.
     #[must_use]
-    pub fn node(&self, id: NodeId) -> &NodeState {
-        &self.core.nodes[id.index()]
+    pub fn node(&self, id: NodeId) -> NodeRef<'_> {
+        NodeRef::new(&self.core.nodes, id.index())
     }
 
     /// Position of a node.
     #[must_use]
     pub fn position(&self, id: NodeId) -> Point2 {
-        self.node(id).position()
+        self.core.nodes.position(id.index())
     }
 
     /// Whether a node is alive.
     #[must_use]
     pub fn is_alive(&self, id: NodeId) -> bool {
-        self.node(id).is_alive()
+        self.core.nodes.is_alive(id.index())
     }
 
     /// Residual energy of a node, in joules.
     #[must_use]
     pub fn residual_energy(&self, id: NodeId) -> f64 {
-        self.node(id).residual_energy()
+        self.core.nodes.residual(id.index())
     }
 
     /// The application instance of a node. Panics if `id` is out of range.
@@ -280,8 +279,8 @@ impl<A: Application> World<A> {
     #[must_use]
     pub fn topology_view(&self) -> TopologyView {
         TopologyView::new(
-            self.core.nodes.iter().map(NodeState::position).collect(),
-            self.core.nodes.iter().map(NodeState::is_alive).collect(),
+            self.core.nodes.positions().to_vec(),
+            self.core.nodes.alive_flags().to_vec(),
             self.core.cfg.range,
         )
     }

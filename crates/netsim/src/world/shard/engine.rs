@@ -1,0 +1,442 @@
+//! The per-shard event engine: one shard's node columns, calendar queue
+//! and event loop, plus the cross-shard effect types the epoch barrier
+//! exchanges.
+//!
+//! A shard is a self-contained copy of the kernel's event loop over the
+//! nodes it owns. It mutates only its own state (batteries, positions,
+//! neighbor tables, local ledger, local queue); every consequence that
+//! touches another node — a packet delivery, a HELLO observation, a
+//! position or liveness change other shards must see — is pushed into the
+//! shard's outgoing [`Xfer`] buffer, the sharded analogue of the kernel's
+//! [`Effect`](crate::Effect) channel, and applied at the next epoch
+//! barrier in globally sorted [`XKey`] order.
+
+use imobif_geom::{Point2, SpatialGrid};
+
+use super::super::beacon::SMALL_WORLD_SCAN;
+use super::super::kernel::Event;
+use super::super::observe::KernelStats;
+use crate::node::NodeStore;
+use crate::trace::TraceEvent;
+use crate::{
+    Action, Application, EnergyCategory, EnergyLedger, EventQueue, NeighborTable, NodeCtx, NodeId,
+    Outbox, SimConfig, SimTime,
+};
+
+use imobif_energy::{MobilityCostModel, TxEnergyModel};
+
+/// Deterministic total order for cross-shard effects and trace events:
+/// `(emission time, emitting node, per-node emission sequence)`. The key is
+/// independent of shard assignment — two runs at different shard counts
+/// produce identical key streams — which is what makes the barrier
+/// exchange (and the merged trace) bit-identical at any shard count.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub(super) struct XKey {
+    pub(super) time: SimTime,
+    pub(super) origin: u32,
+    pub(super) seq: u32,
+}
+
+/// One cross-shard consequence, exchanged at epoch barriers.
+#[derive(Debug)]
+pub(super) enum XferKind<M> {
+    /// A paid-for packet in flight to `to`, arriving at `arrival`
+    /// (≥ one epoch width in the future, by the lookahead invariant).
+    Deliver { arrival: SimTime, from: NodeId, to: NodeId, msg: M },
+    /// A HELLO observation: `hearer` heard `origin` beacon at the key's
+    /// time, learning its position and residual energy.
+    Observe { hearer: NodeId, origin: NodeId, position: Point2, residual: f64 },
+    /// `node` moved; patch the replica snapshot.
+    Moved { node: NodeId, to: Point2 },
+    /// `node` died; patch the replica snapshot.
+    Died { node: NodeId },
+}
+
+/// A keyed cross-shard effect.
+#[derive(Debug)]
+pub(super) struct Xfer<M> {
+    pub(super) key: XKey,
+    pub(super) kind: XferKind<M>,
+}
+
+/// The epoch-frozen global snapshot every shard reads: position and
+/// liveness columns (the same struct-of-arrays layout as [`NodeStore`])
+/// indexed by global node id, plus a spatial grid over the live nodes for
+/// beacon fan-out queries. Only the barrier exchange writes it, from
+/// `Moved`/`Died` effects in key order.
+#[derive(Debug)]
+pub(super) struct Replica {
+    pub(super) positions: Vec<Point2>,
+    pub(super) alive: Vec<bool>,
+    pub(super) grid: SpatialGrid,
+}
+
+impl Replica {
+    pub(super) fn new(cell_size: f64) -> Self {
+        Replica { positions: Vec::new(), alive: Vec::new(), grid: SpatialGrid::new(cell_size) }
+    }
+}
+
+/// Read-only simulation context shared by every shard: configuration,
+/// energy models, and the global owner map (`global id → (shard, slot)`).
+pub(super) struct SharedCtx<'a> {
+    pub(super) cfg: &'a SimConfig,
+    pub(super) tx_model: &'a dyn TxEnergyModel,
+    pub(super) mobility_model: &'a dyn MobilityCostModel,
+    pub(super) owner: &'a [(u32, u32)],
+}
+
+impl SharedCtx<'_> {
+    #[inline]
+    pub(super) fn slot_of(&self, id: NodeId) -> usize {
+        self.owner[id.index()].1 as usize
+    }
+}
+
+/// One spatial shard: the nodes it owns (struct-of-arrays, locally
+/// indexed), their applications, a local calendar queue keyed by
+/// `(node, per-node seq)`, a local energy ledger (slot-indexed), and the
+/// outgoing cross-shard effect buffer.
+pub(super) struct Shard<A: Application> {
+    pub(super) nodes: NodeStore,
+    pub(super) apps: Vec<A>,
+    /// Local slot → global node id (ascending: slots are assigned in
+    /// `add_node` order).
+    pub(super) globals: Vec<NodeId>,
+    pub(super) queue: EventQueue<Event<A::Msg>>,
+    /// Per-slot sequence for queue keys (`(id << 32) | seq`).
+    pub(super) qseq: Vec<u32>,
+    /// Per-slot sequence for [`XKey`]s (cross effects and trace events).
+    pub(super) eseq: Vec<u32>,
+    /// Slot-indexed ledger; global totals are aggregated by the world.
+    pub(super) ledger: EnergyLedger,
+    pub(super) outbox: Outbox<A::Msg>,
+    pub(super) out: Vec<Xfer<A::Msg>>,
+    pub(super) trace: Option<Vec<(XKey, TraceEvent)>>,
+    pub(super) hearers: Vec<u32>,
+    pub(super) stats: KernelStats,
+    pub(super) events_processed: u64,
+    /// Local clock: the latest event time this shard has processed.
+    pub(super) time: SimTime,
+}
+
+impl<A: Application> Shard<A> {
+    pub(super) fn new(backend: crate::QueueBackend) -> Self {
+        Shard {
+            nodes: NodeStore::new(),
+            apps: Vec::new(),
+            globals: Vec::new(),
+            queue: EventQueue::with_backend(backend),
+            qseq: Vec::new(),
+            eseq: Vec::new(),
+            ledger: EnergyLedger::new(),
+            outbox: Outbox::new(),
+            out: Vec::new(),
+            trace: None,
+            hearers: Vec::new(),
+            stats: KernelStats::default(),
+            events_processed: 0,
+            time: SimTime::ZERO,
+        }
+    }
+
+    /// Returns the shard to its just-constructed state, recycling neighbor
+    /// tables and application instances.
+    pub(super) fn clear_into(
+        &mut self,
+        backend: crate::QueueBackend,
+        spare_tables: &mut Vec<NeighborTable>,
+        recycled_apps: &mut Vec<A>,
+    ) {
+        self.nodes.drain_tables_into(spare_tables);
+        recycled_apps.append(&mut self.apps);
+        self.globals.clear();
+        if self.queue.backend() == backend {
+            self.queue.clear();
+        } else {
+            self.queue = EventQueue::with_backend(backend);
+        }
+        self.qseq.clear();
+        self.eseq.clear();
+        self.ledger.clear();
+        self.outbox.clear();
+        self.out.clear();
+        self.trace = None;
+        self.hearers.clear();
+        self.stats = KernelStats::default();
+        self.events_processed = 0;
+        self.time = SimTime::ZERO;
+    }
+
+    /// Next queue key for `slot` / global `id`: ascending per-node
+    /// sequence, shard-assignment independent.
+    pub(super) fn qkey(&mut self, slot: usize, id: NodeId) -> u64 {
+        let s = self.qseq[slot];
+        self.qseq[slot] = s.wrapping_add(1);
+        (u64::from(id.raw()) << 32) | u64::from(s)
+    }
+
+    fn ekey(&mut self, slot: usize, id: NodeId) -> XKey {
+        let s = self.eseq[slot];
+        self.eseq[slot] = s.wrapping_add(1);
+        XKey { time: self.time, origin: id.raw(), seq: s }
+    }
+
+    fn push_event(&mut self, time: SimTime, slot: usize, id: NodeId, event: Event<A::Msg>) {
+        let key = self.qkey(slot, id);
+        self.queue.push_keyed(time, key, event);
+    }
+
+    fn emit(&mut self, slot: usize, id: NodeId, kind: XferKind<A::Msg>) {
+        let key = self.ekey(slot, id);
+        self.out.push(Xfer { key, kind });
+    }
+
+    fn trace_emit(&mut self, slot: usize, id: NodeId, event: TraceEvent) {
+        if self.trace.is_some() {
+            let key = self.ekey(slot, id);
+            self.trace.as_mut().expect("checked").push((key, event));
+        }
+    }
+
+    /// Kills the node at `slot`: drains the battery, records the death in
+    /// the local ledger, emits the `Died` snapshot patch and trace record.
+    fn kill(&mut self, slot: usize, id: NodeId) {
+        let _stranded = self.nodes.kill(slot);
+        let time = self.time;
+        self.ledger.record_death(NodeId::new(slot as u32), time);
+        self.emit(slot, id, XferKind::Died { node: id });
+        self.trace_emit(slot, id, TraceEvent::Died { time, node: id });
+    }
+
+    /// Runs every local event strictly before `end` (and at or before
+    /// `deadline`), reading the epoch-frozen `rep` snapshot for all remote
+    /// state.
+    pub(super) fn run_epoch(
+        &mut self,
+        sh: &SharedCtx<'_>,
+        rep: &Replica,
+        end: SimTime,
+        deadline: SimTime,
+    ) {
+        while let Some(t) = self.queue.peek_time() {
+            if t >= end || t > deadline {
+                break;
+            }
+            self.step(sh, rep);
+        }
+    }
+
+    fn step(&mut self, sh: &SharedCtx<'_>, rep: &Replica) {
+        let Some((t, event)) = self.queue.pop() else {
+            return;
+        };
+        self.time = self.time.max(t);
+        self.events_processed += 1;
+        match event {
+            Event::Deliver { from, to, msg } => {
+                let slot = sh.slot_of(to);
+                if self.nodes.is_alive(slot) {
+                    self.ledger.packets_delivered += 1;
+                    let time = self.time;
+                    self.trace_emit(slot, to, TraceEvent::Delivered { time, from, to });
+                    self.dispatch(sh, rep, to, slot, |app, ctx, out| {
+                        app.on_message(ctx, from, msg, out);
+                    });
+                } else {
+                    self.ledger.packets_dropped += 1;
+                    let time = self.time;
+                    self.trace_emit(slot, to, TraceEvent::Dropped { time, to });
+                }
+            }
+            Event::AppTimer { node, tag } => {
+                let slot = sh.slot_of(node);
+                if self.nodes.is_alive(slot) {
+                    self.stats.timers_fired += 1;
+                    self.dispatch(sh, rep, node, slot, |app, ctx, out| {
+                        app.on_timer(ctx, tag, out);
+                    });
+                }
+            }
+            Event::HelloBeacon { node } => self.hello_beacon(sh, rep, node),
+        }
+    }
+
+    /// Runs one application hook and applies the actions it pushed, in push
+    /// order — the shard-local mirror of the kernel's dispatch.
+    pub(super) fn dispatch<F>(
+        &mut self,
+        sh: &SharedCtx<'_>,
+        rep: &Replica,
+        id: NodeId,
+        slot: usize,
+        f: F,
+    ) where
+        F: FnOnce(&mut A, &NodeCtx<'_>, &mut Outbox<A::Msg>),
+    {
+        let mut outbox = std::mem::take(&mut self.outbox);
+        outbox.clear();
+        {
+            let ctx = NodeCtx {
+                id,
+                now: self.time,
+                store: &self.nodes,
+                slot,
+                truth: None,
+                tx_model: sh.tx_model,
+                mobility_model: sh.mobility_model,
+                hello_enabled: sh.cfg.hello.enabled,
+            };
+            f(&mut self.apps[slot], &ctx, &mut outbox);
+        }
+        for action in outbox.drain() {
+            if !self.nodes.is_alive(slot) {
+                // A previous action in this batch killed the node.
+                break;
+            }
+            match action {
+                Action::Send { to, bits, msg, category } => {
+                    self.send(sh, rep, id, slot, to, bits, msg, category);
+                }
+                Action::SetTimer { delay, tag } => {
+                    let at = self.time + delay;
+                    self.push_event(at, slot, id, Event::AppTimer { node: id, tag });
+                }
+                Action::MoveToward { target, max_step } => {
+                    self.move_node(sh, id, slot, target, max_step);
+                }
+            }
+        }
+        self.outbox = outbox;
+    }
+
+    /// Unicast send. The receiver's distance comes from the epoch-frozen
+    /// replica snapshot — uniformly for local *and* remote receivers, which
+    /// is what keeps the energy charge independent of the shard count.
+    #[allow(clippy::too_many_arguments)]
+    fn send(
+        &mut self,
+        sh: &SharedCtx<'_>,
+        rep: &Replica,
+        from: NodeId,
+        slot: usize,
+        to: NodeId,
+        bits: u64,
+        msg: A::Msg,
+        category: EnergyCategory,
+    ) {
+        let d = self.nodes.position(slot).distance_to(rep.positions[to.index()]);
+        let e = sh.tx_model.energy(d, bits as f64);
+        if self.nodes.battery_mut(slot).try_consume(e).is_err() {
+            // Same order as the kernel: the unaffordable sender dies
+            // (recording `Died`), then the packet records `Dropped`.
+            self.ledger.packets_dropped += 1;
+            self.kill(slot, from);
+            let time = self.time;
+            self.trace_emit(slot, from, TraceEvent::Dropped { time, to });
+            return;
+        }
+        self.ledger.charge(NodeId::new(slot as u32), category, e);
+        self.ledger.packets_sent += 1;
+        let time = self.time;
+        self.trace_emit(slot, from, TraceEvent::Sent { time, from, to, bits, category, energy: e });
+        let arrival = self.time + sh.cfg.tx_delay(bits);
+        self.emit(slot, from, XferKind::Deliver { arrival, from, to, msg });
+    }
+
+    /// Bounded movement step; mirrors the kernel's mobility subsystem and
+    /// additionally emits the `Moved` snapshot patch (partial `Moved`
+    /// strictly before `Died` on a mid-step death, as the trace pins).
+    fn move_node(
+        &mut self,
+        sh: &SharedCtx<'_>,
+        id: NodeId,
+        slot: usize,
+        target: Point2,
+        max_step: f64,
+    ) {
+        let pos = self.nodes.position(slot);
+        let (mut new_pos, mut moved) = pos.step_toward(target, max_step);
+        if moved <= 0.0 {
+            return;
+        }
+        let cost = sh.mobility_model.cost(moved);
+        let residual = self.nodes.residual(slot);
+        if cost <= residual {
+            self.nodes.battery_mut(slot).try_consume(cost).expect("checked affordable");
+            self.ledger.charge(NodeId::new(slot as u32), EnergyCategory::Mobility, cost);
+            self.nodes.set_position(slot, new_pos, moved);
+            let time = self.time;
+            self.trace_emit(
+                slot,
+                id,
+                TraceEvent::Moved { time, node: id, from: pos, to: new_pos, energy: cost },
+            );
+            self.emit(slot, id, XferKind::Moved { node: id, to: new_pos });
+        } else {
+            let affordable = sh.mobility_model.reachable_distance(residual).min(moved);
+            if affordable > 0.0 && affordable.is_finite() {
+                (new_pos, moved) = pos.step_toward(target, affordable);
+                self.nodes.set_position(slot, new_pos, moved);
+            }
+            let spent = self.nodes.battery_mut(slot).drain();
+            self.ledger.charge(NodeId::new(slot as u32), EnergyCategory::Mobility, spent);
+            let time = self.time;
+            self.trace_emit(
+                slot,
+                id,
+                TraceEvent::Moved { time, node: id, from: pos, to: new_pos, energy: spent },
+            );
+            self.emit(slot, id, XferKind::Moved { node: id, to: new_pos });
+            self.kill(slot, id);
+        }
+    }
+
+    /// One HELLO beacon: hearers come from the epoch-frozen snapshot, and
+    /// the observations they would record are emitted as `Observe` effects
+    /// applied at the next barrier — HELLO processing latency of at most
+    /// one epoch, identical at every shard count.
+    fn hello_beacon(&mut self, sh: &SharedCtx<'_>, rep: &Replica, node: NodeId) {
+        let slot = sh.slot_of(node);
+        if !self.nodes.is_alive(slot) {
+            return;
+        }
+        if sh.cfg.hello.charge_energy {
+            let e = sh.tx_model.energy(sh.cfg.range, sh.cfg.hello.bits as f64);
+            if self.nodes.battery_mut(slot).try_consume(e).is_err() {
+                self.kill(slot, node);
+                return;
+            }
+            self.ledger.charge(NodeId::new(slot as u32), EnergyCategory::Hello, e);
+        }
+        let pos = self.nodes.position(slot);
+        let residual = self.nodes.residual(slot);
+        if rep.positions.len() <= SMALL_WORLD_SCAN {
+            let r_sq = sh.cfg.range * sh.cfg.range;
+            self.hearers.clear();
+            self.hearers.extend((0..rep.positions.len()).filter_map(|i| {
+                (i != node.index() && rep.alive[i] && pos.distance_sq_to(rep.positions[i]) <= r_sq)
+                    .then_some(i as u32)
+            }));
+        } else {
+            rep.grid.query_range_into(pos, sh.cfg.range, &mut self.hearers);
+            self.hearers.retain(|&k| k != node.raw());
+            self.hearers.sort_unstable();
+        }
+        self.stats.hello_beacons += 1;
+        self.stats.hello_fanout_bins[KernelStats::fanout_bin(self.hearers.len())] += 1;
+        // Swap the scratch buffer out so `emit` can borrow `self` mutably.
+        let hearers = std::mem::take(&mut self.hearers);
+        for &h in &hearers {
+            let hearer = NodeId::new(h);
+            self.emit(
+                slot,
+                node,
+                XferKind::Observe { hearer, origin: node, position: pos, residual },
+            );
+        }
+        self.hearers = hearers;
+        let at = self.time + sh.cfg.hello.period;
+        self.push_event(at, slot, node, Event::HelloBeacon { node });
+    }
+}

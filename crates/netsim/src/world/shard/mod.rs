@@ -1,0 +1,778 @@
+//! Spatially sharded world: the kernel partitioned into a grid of shards,
+//! each owning its nodes' state and a local calendar queue, coupled only
+//! through deterministic epoch barriers.
+//!
+//! # Epoch-barrier protocol (DESIGN.md §11)
+//!
+//! The conservative-window argument: every cross-node interaction has a
+//! minimum latency of `cfg.hop_latency` (the fixed component of
+//! [`SimConfig::tx_delay`]), so a shard can process all events in the
+//! window `[next, next + hop_latency)` — where `next` is the *global*
+//! minimum pending event time — without ever receiving an event that lands
+//! inside the window. Each epoch:
+//!
+//! 1. the coordinator computes `next` and publishes the window end;
+//! 2. every shard drains its local queue up to (exclusive) the window end,
+//!    reading remote state only from the epoch-frozen replica snapshot and
+//!    pushing cross-shard consequences into its outgoing effect buffer;
+//! 3. at the barrier, all outgoing effects are merged, sorted by their
+//!    shard-count-independent key `(time, origin node, per-node sequence)`,
+//!    and applied: deliveries enqueue on the owner shard, HELLO
+//!    observations update hearer tables, `Moved`/`Died` patch the replica.
+//!
+//! Because the effect keys, the per-node queue keys, and the window
+//! boundaries are all derived from values independent of the shard
+//! assignment, a run is **bit-identical at any shard count** — the 1-shard
+//! world is the reference, and a property test pins `N`-shard traces to it.
+//!
+//! # Intentional semantic deltas vs [`World`](crate::World)
+//!
+//! The sharded world is not trace-identical to the sequential `World`; it
+//! trades a bounded, deterministic staleness for decoupling:
+//!
+//! * HELLO observations commit at the next barrier (≤ one `hop_latency`
+//!   after the beacon) instead of instantaneously;
+//! * transmission distance uses the receiver's epoch-frozen snapshot
+//!   position rather than its live position;
+//! * beacon hearer sets come from the snapshot positions/liveness.
+//!
+//! All deltas are identical at every shard count, so experiments compare
+//! sharded runs against sharded runs. Ground-truth peer reads (the
+//! HELLO-disabled mode) cannot cross shards, so sharded worlds require
+//! `cfg.hello.enabled`.
+
+mod engine;
+#[cfg(test)]
+mod tests;
+
+use imobif_energy::{Battery, MobilityCostModel, TxEnergyModel};
+use imobif_geom::Point2;
+
+use super::kernel::Event;
+use super::observe::KernelStats;
+use crate::trace::TraceEvent;
+use crate::{
+    Application, NeighborTable, NodeEnergy, NodeId, SimConfig, SimDuration, SimError, SimTime,
+    TopologyView,
+};
+use engine::{Replica, Shard, SharedCtx, XKey, Xfer, XferKind};
+
+/// The spatial partition: a `gx × gy` grid of rectangular cells over the
+/// deployment bounds, one shard per cell. Nodes are assigned to the shard
+/// owning their *initial* position and keep that assignment when they move
+/// (ownership is static; movement is propagated through snapshot patches).
+#[derive(Debug, Clone)]
+pub struct ShardLayout {
+    min: Point2,
+    gx: usize,
+    gy: usize,
+    cell_w: f64,
+    cell_h: f64,
+}
+
+impl ShardLayout {
+    /// Builds a layout of `shards` cells over the rectangle `min..=max`,
+    /// factoring the count into the most square grid it divides into
+    /// (e.g. 8 → 2×4, 16 → 4×4).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `shards` is zero or the bounds are inverted.
+    #[must_use]
+    pub fn new(min: Point2, max: Point2, shards: usize) -> Self {
+        assert!(shards >= 1, "shard count must be at least 1");
+        assert!(max.x >= min.x && max.y >= min.y, "inverted layout bounds");
+        let mut gx = 1;
+        let mut d = 1;
+        while d * d <= shards {
+            if shards.is_multiple_of(d) {
+                gx = d;
+            }
+            d += 1;
+        }
+        let gy = shards / gx;
+        ShardLayout {
+            min,
+            gx,
+            gy,
+            cell_w: (max.x - min.x) / gx as f64,
+            cell_h: (max.y - min.y) / gy as f64,
+        }
+    }
+
+    /// Total number of shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.gx * self.gy
+    }
+
+    /// The grid dimensions `(columns, rows)`.
+    #[must_use]
+    pub fn grid_dims(&self) -> (usize, usize) {
+        (self.gx, self.gy)
+    }
+
+    /// The shard owning `p`. Points outside the bounds clamp to the edge
+    /// cells, so every point maps to a valid shard.
+    #[must_use]
+    pub fn shard_of(&self, p: Point2) -> usize {
+        // Float→int casts saturate (NaN → 0), so degenerate geometry
+        // (zero-width bounds) still lands in a valid cell.
+        let cx = (((p.x - self.min.x) / self.cell_w).floor() as usize).min(self.gx - 1);
+        let cy = (((p.y - self.min.y) / self.cell_h).floor() as usize).min(self.gy - 1);
+        cy * self.gx + cx
+    }
+}
+
+/// The sharded analogue of [`World`](crate::World): the same kernel
+/// semantics partitioned into spatial shards coupled only through
+/// deterministic epoch barriers (see the module docs for the protocol and
+/// the intentional semantic deltas).
+///
+/// Output — traces, energy totals, packet counters, death times — is
+/// **bit-identical at any shard count and any thread count**; shards and
+/// threads are purely a performance knob. `set_threads(n)` with `n > 1`
+/// processes shards on `n` worker threads inside each epoch.
+pub struct ShardedWorld<A: Application> {
+    cfg: SimConfig,
+    layout: ShardLayout,
+    tx_model: Box<dyn TxEnergyModel>,
+    mobility_model: Box<dyn MobilityCostModel>,
+    shards: Vec<Shard<A>>,
+    /// Global node id → `(shard, slot within shard)`.
+    owner: Vec<(u32, u32)>,
+    /// Epoch-frozen global position/liveness snapshot (see [`engine`]).
+    replica: Replica,
+    /// Reusable gather buffer for the barrier exchange.
+    inbox: Vec<Xfer<A::Msg>>,
+    /// Neighbor tables recycled across resets, as in `World::reset_into`.
+    spare_tables: Vec<NeighborTable>,
+    time: SimTime,
+    started: bool,
+    threads: usize,
+}
+
+impl<A: Application> ShardedWorld<A> {
+    /// Creates an empty sharded world over the deployment rectangle
+    /// `bounds` with `shards` spatial shards.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError::InvalidConfig`] if the configuration fails
+    /// [`SimConfig::validate`], if `hello.enabled` is false (sharded worlds
+    /// have no cross-shard ground truth), if `hop_latency` is zero (the
+    /// epoch width — the conservative-window argument needs positive
+    /// lookahead), or if `shards` is zero.
+    pub fn new(
+        cfg: SimConfig,
+        tx_model: Box<dyn TxEnergyModel>,
+        mobility_model: Box<dyn MobilityCostModel>,
+        bounds: (Point2, Point2),
+        shards: usize,
+    ) -> Result<Self, SimError> {
+        cfg.validate()?;
+        Self::validate_sharding(&cfg, shards)?;
+        let layout = ShardLayout::new(bounds.0, bounds.1, shards);
+        let shards = (0..layout.shard_count()).map(|_| Shard::new(cfg.queue_backend)).collect();
+        Ok(ShardedWorld {
+            replica: Replica::new(cfg.range.max(1.0)),
+            cfg,
+            layout,
+            tx_model,
+            mobility_model,
+            shards,
+            owner: Vec::new(),
+            inbox: Vec::new(),
+            spare_tables: Vec::new(),
+            time: SimTime::ZERO,
+            started: false,
+            threads: 1,
+        })
+    }
+
+    fn validate_sharding(cfg: &SimConfig, shards: usize) -> Result<(), SimError> {
+        if !cfg.hello.enabled {
+            return Err(SimError::InvalidConfig { field: "hello.enabled" });
+        }
+        if cfg.hop_latency == SimDuration::ZERO {
+            return Err(SimError::InvalidConfig { field: "hop_latency" });
+        }
+        if shards == 0 {
+            return Err(SimError::InvalidConfig { field: "shards" });
+        }
+        Ok(())
+    }
+
+    /// Returns the world to its just-constructed state under a (possibly
+    /// different) configuration, bounds and shard count, keeping every
+    /// allocation — shard node columns, queues, neighbor tables — for the
+    /// next replicate; application instances are drained into
+    /// `recycled_apps`. A reset world is observationally identical to a
+    /// fresh `ShardedWorld::new` with the same arguments (property-tested).
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`ShardedWorld::new`]; the world is unusable only
+    /// if it was already unusable.
+    pub fn reset_into(
+        &mut self,
+        cfg: SimConfig,
+        tx_model: Box<dyn TxEnergyModel>,
+        mobility_model: Box<dyn MobilityCostModel>,
+        bounds: (Point2, Point2),
+        shards: usize,
+        recycled_apps: &mut Vec<A>,
+    ) -> Result<(), SimError> {
+        cfg.validate()?;
+        Self::validate_sharding(&cfg, shards)?;
+        let layout = ShardLayout::new(bounds.0, bounds.1, shards);
+        for s in &mut self.shards {
+            s.clear_into(cfg.queue_backend, &mut self.spare_tables, recycled_apps);
+        }
+        let n = layout.shard_count();
+        self.shards.truncate(n);
+        while self.shards.len() < n {
+            self.shards.push(Shard::new(cfg.queue_backend));
+        }
+        self.owner.clear();
+        self.replica.positions.clear();
+        self.replica.alive.clear();
+        if self.replica.grid.cell_size() == cfg.range.max(1.0) {
+            self.replica.grid.clear();
+        } else {
+            self.replica.grid = imobif_geom::SpatialGrid::new(cfg.range.max(1.0));
+        }
+        self.inbox.clear();
+        self.cfg = cfg;
+        self.layout = layout;
+        self.tx_model = tx_model;
+        self.mobility_model = mobility_model;
+        self.time = SimTime::ZERO;
+        self.started = false;
+        Ok(())
+    }
+
+    /// Adds a node with its application instance, returning its global id.
+    /// The node joins the shard owning its position. Panics if called after
+    /// [`ShardedWorld::start`].
+    pub fn add_node(&mut self, position: Point2, battery: Battery, app: A) -> NodeId {
+        assert!(!self.started, "nodes must be added before start()");
+        let id = NodeId::new(self.owner.len() as u32);
+        let si = self.layout.shard_of(position);
+        let table = match self.spare_tables.pop() {
+            Some(mut t) => {
+                t.reset(self.cfg.hello.ttl);
+                t
+            }
+            None => NeighborTable::new(self.cfg.hello.ttl),
+        };
+        let shard = &mut self.shards[si];
+        let slot = shard.nodes.push(position, battery, table);
+        shard.apps.push(app);
+        shard.globals.push(id);
+        shard.qseq.push(0);
+        shard.eseq.push(0);
+        shard.ledger.grow_to(shard.nodes.len());
+        self.owner.push((si as u32, slot as u32));
+        let alive = shard.nodes.is_alive(slot);
+        self.replica.positions.push(position);
+        self.replica.alive.push(alive);
+        if alive {
+            self.replica.grid.insert(id.raw(), position);
+        }
+        id
+    }
+
+    /// Starts the world: schedules every node's HELLO beacon chain and runs
+    /// `on_start` hooks, both in global node-id order, then performs one
+    /// barrier exchange so start-time effects are applied.
+    ///
+    /// # Panics
+    ///
+    /// Panics if called twice.
+    pub fn start(&mut self) {
+        assert!(!self.started, "start() called twice");
+        self.started = true;
+        for i in 0..self.owner.len() {
+            let (si, slot) = self.owner[i];
+            let id = NodeId::new(i as u32);
+            let shard = &mut self.shards[si as usize];
+            let key = shard.qkey(slot as usize, id);
+            shard.queue.push_keyed(SimTime::ZERO, key, Event::HelloBeacon { node: id });
+        }
+        let Self { cfg, tx_model, mobility_model, owner, shards, replica, inbox, .. } = self;
+        let owner: &[(u32, u32)] = owner;
+        let sh = SharedCtx {
+            cfg,
+            tx_model: tx_model.as_ref(),
+            mobility_model: mobility_model.as_ref(),
+            owner,
+        };
+        for (i, &(si, slot)) in owner.iter().enumerate() {
+            let id = NodeId::new(i as u32);
+            let shard = &mut shards[si as usize];
+            if !shard.nodes.is_alive(slot as usize) {
+                continue;
+            }
+            shard.dispatch(&sh, replica, id, slot as usize, |app, ctx, out| {
+                app.on_start(ctx, out);
+            });
+        }
+        exchange::<A, _>(&mut shards[..], owner, replica, inbox);
+    }
+
+    /// Schedules an application timer from outside (used by experiment
+    /// drivers to kick off flow sources).
+    pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
+        let (si, slot) = self.locate(node);
+        let at = self.time + delay;
+        let shard = &mut self.shards[si];
+        let key = shard.qkey(slot, node);
+        shard.queue.push_keyed(at, key, Event::AppTimer { node, tag });
+    }
+
+    /// Runs epochs until the clock passes `deadline` or every queue drains.
+    /// With `set_threads(n > 1)`, shards are processed by `n` worker
+    /// threads inside each epoch; the output is identical either way.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the world was not started.
+    pub fn run_until(&mut self, deadline: SimTime)
+    where
+        A: Send,
+        A::Msg: Send,
+    {
+        assert!(self.started, "run_until() before start()");
+        let epoch = self.cfg.hop_latency;
+        let workers = self.threads.min(self.shards.len());
+        if workers <= 1 {
+            self.run_serial(deadline, epoch);
+        } else {
+            self.run_parallel(deadline, epoch, workers);
+        }
+        self.time = self.time.max(deadline);
+    }
+
+    fn run_serial(&mut self, deadline: SimTime, epoch: SimDuration) {
+        let Self { cfg, tx_model, mobility_model, owner, shards, replica, inbox, time, .. } = self;
+        let owner: &[(u32, u32)] = owner;
+        let sh = SharedCtx {
+            cfg,
+            tx_model: tx_model.as_ref(),
+            mobility_model: mobility_model.as_ref(),
+            owner,
+        };
+        while let Some(next) = shards.iter().filter_map(|s| s.queue.peek_time()).min() {
+            if next > deadline {
+                break;
+            }
+            let end = next + epoch;
+            for s in shards.iter_mut() {
+                s.run_epoch(&sh, replica, end, deadline);
+            }
+            exchange::<A, _>(&mut shards[..], owner, replica, inbox);
+            *time = (*time).max(end.min(deadline));
+        }
+    }
+
+    fn run_parallel(&mut self, deadline: SimTime, epoch: SimDuration, workers: usize)
+    where
+        A: Send,
+        A::Msg: Send,
+    {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        use std::sync::{Barrier, Mutex, RwLock};
+
+        let Self { cfg, tx_model, mobility_model, owner, shards, replica, inbox, time, .. } = self;
+        let owner: &[(u32, u32)] = owner;
+        let sh = SharedCtx {
+            cfg,
+            tx_model: tx_model.as_ref(),
+            mobility_model: mobility_model.as_ref(),
+            owner,
+        };
+        let nshards = shards.len();
+        let cells: Vec<Mutex<&mut Shard<A>>> = shards.iter_mut().map(Mutex::new).collect();
+        let replica_lock = RwLock::new(replica);
+        // The published epoch window end; `u64::MAX` tells workers to exit.
+        let epoch_end = AtomicU64::new(0);
+        let barrier = Barrier::new(workers + 1);
+        std::thread::scope(|scope| {
+            for w in 0..workers {
+                let (cells, replica_lock) = (&cells, &replica_lock);
+                let (barrier, epoch_end, sh) = (&barrier, &epoch_end, &sh);
+                scope.spawn(move || loop {
+                    // Barrier A: the coordinator published the window.
+                    barrier.wait();
+                    let end_us = epoch_end.load(Ordering::Acquire);
+                    if end_us == u64::MAX {
+                        break;
+                    }
+                    let end = SimTime::from_micros(end_us);
+                    let rep = replica_lock.read().expect("replica lock poisoned");
+                    let mut i = w;
+                    while i < nshards {
+                        let mut shard = cells[i].lock().expect("shard lock poisoned");
+                        shard.run_epoch(sh, &rep, end, deadline);
+                        i += workers;
+                    }
+                    drop(rep);
+                    // Barrier B: every shard finished the epoch.
+                    barrier.wait();
+                });
+            }
+            loop {
+                let next = cells
+                    .iter()
+                    .filter_map(|c| c.lock().expect("shard lock poisoned").queue.peek_time())
+                    .min();
+                match next {
+                    Some(next) if next <= deadline => {
+                        let end = next + epoch;
+                        epoch_end.store(end.as_micros(), Ordering::Release);
+                        barrier.wait(); // A: workers start the epoch
+                        barrier.wait(); // B: workers finished the epoch
+                        let mut rep = replica_lock.write().expect("replica lock poisoned");
+                        let mut guards: Vec<_> =
+                            cells.iter().map(|c| c.lock().expect("shard lock poisoned")).collect();
+                        let mut refs: Vec<&mut Shard<A>> =
+                            guards.iter_mut().map(|g| &mut ***g).collect();
+                        exchange::<A, _>(&mut refs[..], owner, &mut rep, inbox);
+                        *time = (*time).max(end.min(deadline));
+                    }
+                    _ => {
+                        epoch_end.store(u64::MAX, Ordering::Release);
+                        barrier.wait();
+                        break;
+                    }
+                }
+            }
+        });
+    }
+
+    #[inline]
+    fn locate(&self, id: NodeId) -> (usize, usize) {
+        let (si, slot) = self.owner[id.index()];
+        (si as usize, slot as usize)
+    }
+
+    /// Current virtual time.
+    #[must_use]
+    pub fn time(&self) -> SimTime {
+        self.time
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.owner.len()
+    }
+
+    /// Number of spatial shards.
+    #[must_use]
+    pub fn shard_count(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The spatial partition.
+    #[must_use]
+    pub fn layout(&self) -> &ShardLayout {
+        &self.layout
+    }
+
+    /// The configuration.
+    #[must_use]
+    pub fn config(&self) -> &SimConfig {
+        &self.cfg
+    }
+
+    /// Sets the number of shard-processing threads used by
+    /// [`ShardedWorld::run_until`] (clamped to at least 1; capped at the
+    /// shard count at run time). Purely a performance knob — the output is
+    /// identical at any setting.
+    pub fn set_threads(&mut self, n: usize) {
+        self.threads = n.max(1);
+    }
+
+    /// The configured thread count.
+    #[must_use]
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Whether a node is alive.
+    #[must_use]
+    pub fn is_alive(&self, id: NodeId) -> bool {
+        let (si, slot) = self.locate(id);
+        self.shards[si].nodes.is_alive(slot)
+    }
+
+    /// Position of a node (the owner shard's live value).
+    #[must_use]
+    pub fn position(&self, id: NodeId) -> Point2 {
+        let (si, slot) = self.locate(id);
+        self.shards[si].nodes.position(slot)
+    }
+
+    /// Residual energy of a node, in joules.
+    #[must_use]
+    pub fn residual_energy(&self, id: NodeId) -> f64 {
+        let (si, slot) = self.locate(id);
+        self.shards[si].nodes.residual(slot)
+    }
+
+    /// Total distance a node has moved, in meters.
+    #[must_use]
+    pub fn total_moved(&self, id: NodeId) -> f64 {
+        let (si, slot) = self.locate(id);
+        self.shards[si].nodes.total_moved(slot)
+    }
+
+    /// The application instance of a node.
+    #[must_use]
+    pub fn app(&self, id: NodeId) -> &A {
+        let (si, slot) = self.locate(id);
+        &self.shards[si].apps[slot]
+    }
+
+    /// Mutable access to a node's application instance (for flow setup by
+    /// experiment drivers).
+    pub fn app_mut(&mut self, id: NodeId) -> &mut A {
+        let (si, slot) = self.locate(id);
+        &mut self.shards[si].apps[slot]
+    }
+
+    /// Number of pending events across all shards.
+    #[must_use]
+    pub fn pending_events(&self) -> usize {
+        self.shards.iter().map(|s| s.queue.len()).sum()
+    }
+
+    /// Kernel events processed across all shards since construction or the
+    /// last reset.
+    #[must_use]
+    pub fn events_processed(&self) -> u64 {
+        self.shards.iter().map(|s| s.events_processed).sum()
+    }
+
+    /// Packets sent across all shards.
+    #[must_use]
+    pub fn packets_sent(&self) -> u64 {
+        self.shards.iter().map(|s| s.ledger.packets_sent).sum()
+    }
+
+    /// Packets delivered across all shards.
+    #[must_use]
+    pub fn packets_delivered(&self) -> u64 {
+        self.shards.iter().map(|s| s.ledger.packets_delivered).sum()
+    }
+
+    /// Packets dropped across all shards.
+    #[must_use]
+    pub fn packets_dropped(&self) -> u64 {
+        self.shards.iter().map(|s| s.ledger.packets_dropped).sum()
+    }
+
+    /// Per-category energy expenditure of one node.
+    #[must_use]
+    pub fn node_energy(&self, id: NodeId) -> NodeEnergy {
+        let (si, slot) = self.locate(id);
+        *self.shards[si].ledger.node(NodeId::new(slot as u32))
+    }
+
+    /// Network-wide energy totals.
+    ///
+    /// Accumulated in **global node-id order** — never as per-shard partial
+    /// sums — so the floating-point result is bit-identical at any shard
+    /// count.
+    #[must_use]
+    pub fn totals(&self) -> NodeEnergy {
+        let mut t = NodeEnergy::default();
+        for &(si, slot) in &self.owner {
+            let e = self.shards[si as usize].ledger.node(NodeId::new(slot));
+            t.data += e.data;
+            t.mobility += e.mobility;
+            t.hello += e.hello;
+            t.notification += e.notification;
+        }
+        t
+    }
+
+    /// When a node died, if it has.
+    #[must_use]
+    pub fn death_time(&self, id: NodeId) -> Option<SimTime> {
+        let (si, slot) = self.locate(id);
+        self.shards[si].ledger.death_time(NodeId::new(slot as u32))
+    }
+
+    /// The earliest death and its node (ties broken by lowest global id) —
+    /// the paper's network-lifetime metric.
+    #[must_use]
+    pub fn first_death(&self) -> Option<(NodeId, SimTime)> {
+        let mut best: Option<(NodeId, SimTime)> = None;
+        for (i, &(si, slot)) in self.owner.iter().enumerate() {
+            if let Some(t) = self.shards[si as usize].ledger.death_time(NodeId::new(slot)) {
+                let better = match best {
+                    None => true,
+                    Some((_, bt)) => t < bt,
+                };
+                if better {
+                    best = Some((NodeId::new(i as u32), t));
+                }
+            }
+        }
+        best
+    }
+
+    /// Kernel instrumentation summed across shards.
+    #[must_use]
+    pub fn kernel_stats(&self) -> KernelStats {
+        let mut total = KernelStats::default();
+        for s in &self.shards {
+            total.hello_beacons += s.stats.hello_beacons;
+            total.timers_fired += s.stats.timers_fired;
+            for (acc, &bin) in total.hello_fanout_bins.iter_mut().zip(&s.stats.hello_fanout_bins) {
+                *acc += bin;
+            }
+        }
+        total
+    }
+
+    /// A routing snapshot of the replica connectivity graph (the
+    /// epoch-frozen positions and liveness every shard reads).
+    #[must_use]
+    pub fn topology_view(&self) -> TopologyView {
+        TopologyView::new(
+            self.replica.positions.clone(),
+            self.replica.alive.clone(),
+            self.cfg.range,
+        )
+    }
+
+    /// Enables in-memory tracing on every shard. Unlike
+    /// [`World::enable_tracing`](crate::World::enable_tracing) the sharded
+    /// trace is unbounded — it exists to fingerprint determinism, not to
+    /// sample long runs.
+    pub fn enable_tracing(&mut self) {
+        for s in &mut self.shards {
+            if s.trace.is_none() {
+                s.trace = Some(Vec::new());
+            }
+        }
+    }
+
+    /// The per-shard traces merged into one global stream, ordered by the
+    /// shard-count-independent key `(time, origin node, per-node
+    /// sequence)`.
+    #[must_use]
+    pub fn merged_trace(&self) -> Vec<TraceEvent> {
+        let mut keyed: Vec<(XKey, TraceEvent)> = Vec::new();
+        for s in &self.shards {
+            if let Some(t) = &s.trace {
+                keyed.extend(t.iter().copied());
+            }
+        }
+        keyed.sort_unstable_by_key(|&(k, _)| k);
+        keyed.into_iter().map(|(_, e)| e).collect()
+    }
+
+    /// FNV-1a fingerprint of the merged trace serialized as JSONL — the
+    /// value the shard-count-invariance gates compare.
+    #[must_use]
+    pub fn trace_fnv(&self) -> u64 {
+        imobif_obs::fnv1a64(crate::trace::events_to_jsonl(&self.merged_trace()).as_bytes())
+    }
+}
+
+impl<A: Application> std::fmt::Debug for ShardedWorld<A> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedWorld")
+            .field("time", &self.time)
+            .field("nodes", &self.owner.len())
+            .field("shards", &self.shards.len())
+            .field("threads", &self.threads)
+            .field("started", &self.started)
+            .finish_non_exhaustive()
+    }
+}
+
+/// Mutable access to a set of shards by index — implemented for the owned
+/// slice (serial path) and for a slice of locked references (parallel
+/// path), so the barrier exchange is written once.
+trait ShardIndex<A: Application> {
+    fn count(&self) -> usize;
+    fn at(&mut self, i: usize) -> &mut Shard<A>;
+}
+
+impl<A: Application> ShardIndex<A> for [Shard<A>] {
+    fn count(&self) -> usize {
+        self.len()
+    }
+    fn at(&mut self, i: usize) -> &mut Shard<A> {
+        &mut self[i]
+    }
+}
+
+impl<A: Application> ShardIndex<A> for [&mut Shard<A>] {
+    fn count(&self) -> usize {
+        self.len()
+    }
+    fn at(&mut self, i: usize) -> &mut Shard<A> {
+        &mut *self[i]
+    }
+}
+
+/// The barrier: gathers every shard's outgoing effects, sorts them by the
+/// shard-count-independent key, and applies them in that global order —
+/// deliveries enqueue on the owner shard (keyed with the *target's* queue
+/// sequence), observations update hearer tables, `Moved`/`Died` patch the
+/// replica snapshot. The application order, and therefore every downstream
+/// state change, is identical at any shard count.
+fn exchange<A: Application, S: ShardIndex<A> + ?Sized>(
+    shards: &mut S,
+    owner: &[(u32, u32)],
+    replica: &mut Replica,
+    inbox: &mut Vec<Xfer<A::Msg>>,
+) {
+    debug_assert!(inbox.is_empty());
+    for i in 0..shards.count() {
+        inbox.append(&mut shards.at(i).out);
+    }
+    inbox.sort_unstable_by_key(|x| x.key);
+    for x in inbox.drain(..) {
+        match x.kind {
+            XferKind::Deliver { arrival, from, to, msg } => {
+                let (si, slot) = owner[to.index()];
+                let shard = shards.at(si as usize);
+                let key = shard.qkey(slot as usize, to);
+                shard.queue.push_keyed(arrival, key, Event::Deliver { from, to, msg });
+            }
+            XferKind::Observe { hearer, origin, position, residual } => {
+                let (si, slot) = owner[hearer.index()];
+                let shard = shards.at(si as usize);
+                // Liveness is checked against the owner's ground truth at
+                // application time: hearers that died inside the epoch
+                // never record the observation, at any shard count.
+                if shard.nodes.is_alive(slot as usize) {
+                    shard
+                        .nodes
+                        .neighbor_table_mut(slot as usize)
+                        .observe(origin, position, residual, x.key.time);
+                }
+            }
+            XferKind::Moved { node, to } => {
+                replica.positions[node.index()] = to;
+                if replica.alive[node.index()] {
+                    replica.grid.update(node.raw(), to);
+                }
+            }
+            XferKind::Died { node } => {
+                if replica.alive[node.index()] {
+                    replica.alive[node.index()] = false;
+                    replica.grid.remove(node.raw());
+                }
+            }
+        }
+    }
+}

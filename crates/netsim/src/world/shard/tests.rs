@@ -1,0 +1,394 @@
+//! Sharded-world tests: shard-count/thread-count invariance, effect-order
+//! pins in the merged trace, reset identity, and layout geometry.
+
+use super::*;
+use crate::trace::TraceEvent;
+use crate::{EnergyCategory, NodeCtx, Outbox};
+use imobif_energy::{LinearMobilityCost, PowerLawModel};
+
+/// Test protocol: forwards a counter along a chain, optionally moves on
+/// receipt, and records what it saw.
+#[derive(Debug, Default)]
+struct Echo {
+    received: Vec<(NodeId, u32)>,
+    forward_to: Option<NodeId>,
+    move_target: Option<Point2>,
+    seen_neighbors: usize,
+}
+
+impl Application for Echo {
+    type Msg = u32;
+
+    fn on_message(&mut self, _ctx: &NodeCtx<'_>, from: NodeId, msg: u32, out: &mut Outbox<u32>) {
+        self.received.push((from, msg));
+        if let Some(next) = self.forward_to {
+            out.send(next, 8000, msg + 1, EnergyCategory::Data);
+        }
+        if let Some(target) = self.move_target {
+            out.move_toward(target, 1.0);
+        }
+    }
+
+    fn on_timer(&mut self, ctx: &NodeCtx<'_>, tag: u64, out: &mut Outbox<u32>) {
+        self.seen_neighbors = ctx.neighbors().len();
+        if let Some(next) = self.forward_to {
+            out.send(next, 8000, tag as u32, EnergyCategory::Data);
+        }
+    }
+}
+
+const BOUNDS: (Point2, Point2) = (Point2 { x: 0.0, y: 0.0 }, Point2 { x: 100.0, y: 100.0 });
+
+fn make_sharded(shards: usize) -> ShardedWorld<Echo> {
+    ShardedWorld::new(
+        SimConfig::default(),
+        Box::new(PowerLawModel::paper_default(2.0).unwrap()),
+        Box::new(LinearMobilityCost::new(0.5).unwrap()),
+        BOUNDS,
+        shards,
+    )
+    .unwrap()
+}
+
+#[derive(Debug, Clone)]
+struct Scenario {
+    positions: Vec<Point2>,
+    joules: f64,
+    move_y: f64,
+    timers: Vec<u64>,
+    run_micros: u64,
+}
+
+/// Everything observable about a finished run. Derives `PartialEq` so the
+/// invariance tests compare runs bit-for-bit (energies via `to_bits`).
+#[derive(Debug, PartialEq)]
+struct Fingerprint {
+    positions: Vec<Point2>,
+    energies: Vec<u64>,
+    total_moved: Vec<u64>,
+    sent: u64,
+    delivered: u64,
+    dropped: u64,
+    totals: [u64; 4],
+    first_death: Option<(NodeId, SimTime)>,
+    events_processed: u64,
+    time: SimTime,
+    trace: Vec<TraceEvent>,
+    fnv: u64,
+}
+
+fn run_scenario(w: &mut ShardedWorld<Echo>, sc: &Scenario) -> Fingerprint {
+    let ids: Vec<NodeId> = sc
+        .positions
+        .iter()
+        .map(|&p| w.add_node(p, Battery::new(sc.joules).unwrap(), Echo::default()))
+        .collect();
+    w.enable_tracing();
+    for pair in ids.windows(2) {
+        w.app_mut(pair[0]).forward_to = Some(pair[1]);
+    }
+    if ids.len() > 1 {
+        w.app_mut(ids[1]).move_target = Some(Point2::new(50.0, sc.move_y));
+    }
+    w.start();
+    for (i, &t) in sc.timers.iter().enumerate() {
+        w.schedule_timer(ids[0], SimDuration::from_millis(t), i as u64);
+    }
+    w.run_until(SimTime::from_micros(sc.run_micros));
+    let totals = w.totals();
+    Fingerprint {
+        positions: ids.iter().map(|&id| w.position(id)).collect(),
+        energies: ids.iter().map(|&id| w.residual_energy(id).to_bits()).collect(),
+        total_moved: ids.iter().map(|&id| w.total_moved(id).to_bits()).collect(),
+        sent: w.packets_sent(),
+        delivered: w.packets_delivered(),
+        dropped: w.packets_dropped(),
+        totals: [
+            totals.data.to_bits(),
+            totals.mobility.to_bits(),
+            totals.hello.to_bits(),
+            totals.notification.to_bits(),
+        ],
+        first_death: w.first_death(),
+        events_processed: w.events_processed(),
+        time: w.time(),
+        trace: w.merged_trace(),
+        fnv: w.trace_fnv(),
+    }
+}
+
+// ---------------------------------------------------------------- layout
+
+#[test]
+fn layout_factors_into_most_square_grid() {
+    let cases = [(1, (1, 1)), (2, (1, 2)), (4, (2, 2)), (8, (2, 4)), (16, (4, 4)), (5, (1, 5))];
+    for (shards, dims) in cases {
+        let l = ShardLayout::new(BOUNDS.0, BOUNDS.1, shards);
+        assert_eq!(l.grid_dims(), dims, "shards={shards}");
+        assert_eq!(l.shard_count(), shards);
+    }
+}
+
+#[test]
+fn layout_maps_every_point_to_a_valid_cell() {
+    let l = ShardLayout::new(BOUNDS.0, BOUNDS.1, 4);
+    assert_eq!(l.shard_of(Point2::new(10.0, 10.0)), 0);
+    assert_eq!(l.shard_of(Point2::new(90.0, 10.0)), 1);
+    assert_eq!(l.shard_of(Point2::new(10.0, 90.0)), 2);
+    assert_eq!(l.shard_of(Point2::new(90.0, 90.0)), 3);
+    // Outside the bounds clamps to edge cells; degenerate bounds still map.
+    assert_eq!(l.shard_of(Point2::new(-5.0, -5.0)), 0);
+    assert_eq!(l.shard_of(Point2::new(500.0, 500.0)), 3);
+    let degenerate = ShardLayout::new(Point2::new(3.0, 3.0), Point2::new(3.0, 3.0), 4);
+    assert!(degenerate.shard_of(Point2::new(3.0, 3.0)) < 4);
+}
+
+// ------------------------------------------------------------ construction
+
+#[test]
+fn sharded_world_rejects_unshardable_configs() {
+    let mk = |cfg: SimConfig, shards: usize| {
+        ShardedWorld::<Echo>::new(
+            cfg,
+            Box::new(PowerLawModel::paper_default(2.0).unwrap()),
+            Box::new(LinearMobilityCost::new(0.5).unwrap()),
+            BOUNDS,
+            shards,
+        )
+        .map(|_| ())
+    };
+    let mut no_hello = SimConfig::default();
+    no_hello.hello.enabled = false;
+    assert_eq!(mk(no_hello, 2), Err(SimError::InvalidConfig { field: "hello.enabled" }));
+    let no_lookahead = SimConfig { hop_latency: SimDuration::ZERO, ..SimConfig::default() };
+    assert_eq!(mk(no_lookahead, 2), Err(SimError::InvalidConfig { field: "hop_latency" }));
+    assert_eq!(mk(SimConfig::default(), 0), Err(SimError::InvalidConfig { field: "shards" }));
+}
+
+// -------------------------------------------------------------- semantics
+
+#[test]
+fn cross_shard_chain_delivers_and_charges_like_a_chain_should() {
+    // Three nodes spanning all four shards' midline, 20 m apart.
+    let mut w = make_sharded(4);
+    let sc = Scenario {
+        positions: vec![Point2::new(30.0, 50.0), Point2::new(50.0, 50.0), Point2::new(70.0, 50.0)],
+        joules: 10.0,
+        move_y: 50.0,
+        timers: vec![10],
+        run_micros: 10_000_000,
+    };
+    let ids = [NodeId::new(0), NodeId::new(1), NodeId::new(2)];
+    let fp = run_scenario(&mut w, &sc);
+    assert_eq!(w.app(ids[2]).received, vec![(ids[1], 1)]);
+    assert!(fp.delivered >= 2, "timer packet relayed across two hops");
+    let e0 = w.node_energy(ids[0]).data;
+    let expected = PowerLawModel::paper_default(2.0).unwrap().energy(20.0, 8000.0);
+    assert!((e0 - expected).abs() < 1e-12, "sender charged for the 20 m hop");
+    // The ledger total equals the battery drawdown.
+    let drawdown: f64 = ids.iter().map(|&id| 10.0 - w.residual_energy(id)).sum();
+    assert!((w.totals().total() - drawdown).abs() < 1e-9);
+}
+
+#[test]
+fn hello_observations_cross_shard_boundaries() {
+    // Two nodes 2 m apart but on opposite sides of the 2×2 layout's
+    // vertical midline: neighbor knowledge can only arrive via the barrier.
+    let mut w = make_sharded(4);
+    let a = w.add_node(Point2::new(49.0, 50.0), Battery::new(10.0).unwrap(), Echo::default());
+    let b = w.add_node(Point2::new(51.0, 50.0), Battery::new(10.0).unwrap(), Echo::default());
+    assert_ne!(w.layout().shard_of(w.position(a)), w.layout().shard_of(w.position(b)));
+    w.start();
+    w.schedule_timer(a, SimDuration::from_millis(2500), 0);
+    w.schedule_timer(b, SimDuration::from_millis(2500), 0);
+    w.run_until(SimTime::from_micros(3_000_000));
+    assert_eq!(w.app(a).seen_neighbors, 1, "a heard b's beacons across the boundary");
+    assert_eq!(w.app(b).seen_neighbors, 1, "b heard a's beacons across the boundary");
+    let stats = w.kernel_stats();
+    assert!(stats.hello_beacons >= 6);
+    assert_eq!(stats.hello_fanout_bins.iter().sum::<u64>(), stats.hello_beacons);
+}
+
+#[test]
+fn trace_pins_sent_before_delivered() {
+    let mut w = make_sharded(2);
+    let sc = Scenario {
+        positions: vec![Point2::new(40.0, 50.0), Point2::new(60.0, 50.0)],
+        joules: 10.0,
+        move_y: 50.0,
+        timers: vec![5],
+        run_micros: 2_000_000,
+    };
+    let fp = run_scenario(&mut w, &sc);
+    let sent_at = fp.trace.iter().position(|e| matches!(e, TraceEvent::Sent { .. }));
+    let delivered_at = fp.trace.iter().position(|e| matches!(e, TraceEvent::Delivered { .. }));
+    assert!(sent_at.unwrap() < delivered_at.unwrap(), "Sent precedes its Delivered");
+}
+
+#[test]
+fn trace_pins_died_then_dropped_on_unaffordable_send() {
+    let mut w = make_sharded(2);
+    let a = w.add_node(Point2::new(40.0, 50.0), Battery::new(1e-6).unwrap(), Echo::default());
+    let b = w.add_node(Point2::new(60.0, 50.0), Battery::new(10.0).unwrap(), Echo::default());
+    w.app_mut(a).forward_to = Some(b);
+    w.enable_tracing();
+    w.start();
+    w.schedule_timer(a, SimDuration::from_millis(5), 0);
+    w.run_until(SimTime::from_micros(1_000_000));
+    let trace = w.merged_trace();
+    let died = trace.iter().position(|e| matches!(e, TraceEvent::Died { .. })).unwrap();
+    let dropped = trace.iter().position(|e| matches!(e, TraceEvent::Dropped { .. })).unwrap();
+    assert!(died < dropped, "the kernel order: Kill (recording Died) then Dropped");
+    assert!(!trace.iter().any(|e| matches!(e, TraceEvent::Sent { .. })));
+    assert!(!w.is_alive(a));
+    assert_eq!(w.first_death().unwrap().0, a);
+}
+
+#[test]
+fn trace_pins_partial_moved_then_died_on_midstep_death() {
+    let mut w = make_sharded(2);
+    // b can afford receiving (free) but not the full 1 m step (cost 0.5/m):
+    // budget 0.3 J ⇒ 0.6 m partial move, then death.
+    let a = w.add_node(Point2::new(40.0, 50.0), Battery::new(10.0).unwrap(), Echo::default());
+    let b = w.add_node(Point2::new(60.0, 50.0), Battery::new(0.3).unwrap(), Echo::default());
+    w.app_mut(a).forward_to = Some(b);
+    w.app_mut(b).move_target = Some(Point2::new(60.0, 90.0));
+    w.enable_tracing();
+    w.start();
+    w.schedule_timer(a, SimDuration::from_millis(5), 0);
+    w.run_until(SimTime::from_micros(1_000_000));
+    let trace = w.merged_trace();
+    let moved = trace.iter().position(|e| matches!(e, TraceEvent::Moved { .. })).unwrap();
+    let died = trace.iter().position(|e| matches!(e, TraceEvent::Died { .. })).unwrap();
+    assert!(moved < died, "partial Moved strictly precedes Died");
+    match &trace[moved] {
+        TraceEvent::Moved { energy, to, .. } => {
+            assert!((energy - 0.3).abs() < 1e-9, "the whole residual is spent");
+            assert!((to.y - 50.0 - 0.6).abs() < 1e-9, "moved exactly as far as affordable");
+        }
+        other => panic!("expected Moved, got {other:?}"),
+    }
+    assert!(!w.is_alive(b));
+}
+
+// ------------------------------------------------------------- invariance
+
+fn invariance_scenario() -> Scenario {
+    Scenario {
+        positions: vec![
+            Point2::new(12.0, 80.0),
+            Point2::new(30.0, 70.0),
+            Point2::new(48.0, 55.0),
+            Point2::new(62.0, 48.0),
+            Point2::new(80.0, 30.0),
+            Point2::new(95.0, 12.0),
+        ],
+        joules: 0.8,
+        move_y: 20.0,
+        timers: vec![0, 150, 300, 450],
+        run_micros: 8_000_000,
+    }
+}
+
+#[test]
+fn shard_count_is_invisible_in_every_observable() {
+    let sc = invariance_scenario();
+    let mut base_w = make_sharded(1);
+    let base = run_scenario(&mut base_w, &sc);
+    assert!(base.delivered > 0 && base.sent > 0, "scenario exercises the data plane");
+    for shards in [2usize, 4, 8, 16] {
+        let mut w = make_sharded(shards);
+        let got = run_scenario(&mut w, &sc);
+        assert_eq!(got, base, "{shards}-shard run diverged from the 1-shard reference");
+    }
+}
+
+#[test]
+fn thread_count_is_invisible_in_every_observable() {
+    let sc = invariance_scenario();
+    let mut serial = make_sharded(4);
+    let base = run_scenario(&mut serial, &sc);
+    for threads in [2usize, 4] {
+        let mut w = make_sharded(4);
+        w.set_threads(threads);
+        let got = run_scenario(&mut w, &sc);
+        assert_eq!(got, base, "{threads}-thread run diverged from the serial run");
+    }
+}
+
+proptest::proptest! {
+    /// The tentpole guarantee, over random topologies: a 1-shard world and
+    /// N-shard worlds (serial and threaded) produce bit-identical traces,
+    /// energies, counters and death times.
+    #[test]
+    fn prop_one_vs_n_shards_trace_identity(
+        coords in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 2..9),
+        joules in 0.001..10.0f64,
+        move_y in 0.0..100.0f64,
+        timers in proptest::collection::vec(0u64..1_000, 0..5),
+        shards in 2usize..9,
+    ) {
+        let sc = Scenario {
+            positions: coords.iter().map(|&(x, y)| Point2::new(x, y)).collect(),
+            joules,
+            move_y,
+            timers,
+            run_micros: 4_000_000,
+        };
+        let mut base_w = make_sharded(1);
+        let base = run_scenario(&mut base_w, &sc);
+        let mut w = make_sharded(shards);
+        let got = run_scenario(&mut w, &sc);
+        proptest::prop_assert_eq!(&got, &base);
+        let mut threaded = make_sharded(shards);
+        threaded.set_threads(2);
+        let got_threaded = run_scenario(&mut threaded, &sc);
+        proptest::prop_assert_eq!(&got_threaded, &base);
+    }
+
+    /// Reset-and-reuse is bit-identical to a fresh sharded world, including
+    /// across shard-count changes (the warmup runs at a different count).
+    #[test]
+    fn prop_reset_sharded_world_matches_fresh(
+        coords in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 2..8),
+        joules in 0.001..10.0f64,
+        timers in proptest::collection::vec(0u64..1_000, 0..4),
+        shards in 1usize..6,
+        warm_shards in 1usize..6,
+        warm_n in 1usize..6,
+    ) {
+        let sc = Scenario {
+            positions: coords.iter().map(|&(x, y)| Point2::new(x, y)).collect(),
+            joules,
+            move_y: 10.0,
+            timers,
+            run_micros: 3_000_000,
+        };
+        let mut fresh = make_sharded(shards);
+        let want = run_scenario(&mut fresh, &sc);
+
+        let mut reused = make_sharded(warm_shards);
+        let warmup = Scenario {
+            positions: (0..warm_n).map(|i| Point2::new(5.0 + 13.0 * i as f64, 33.0)).collect(),
+            joules: 0.02,
+            move_y: 70.0,
+            timers: vec![20, 40],
+            run_micros: 2_000_000,
+        };
+        let _ = run_scenario(&mut reused, &warmup);
+        let mut apps = Vec::new();
+        reused
+            .reset_into(
+                SimConfig::default(),
+                Box::new(PowerLawModel::paper_default(2.0).unwrap()),
+                Box::new(LinearMobilityCost::new(0.5).unwrap()),
+                BOUNDS,
+                shards,
+                &mut apps,
+            )
+            .unwrap();
+        proptest::prop_assert_eq!(apps.len(), warm_n, "old apps are recycled to the caller");
+        let got = run_scenario(&mut reused, &sc);
+        proptest::prop_assert_eq!(&got, &want);
+    }
+}

@@ -343,7 +343,7 @@ fn mobility_move_effects_full_step_and_mid_step_death() {
     mobility::move_node(&mut w.core, a, Point2::new(10.0, 0.0), 1.0, &mut fx);
     assert_eq!(fx.len, 1);
     assert!(matches!(fx.slots[0], Some(Effect::Trace(TraceEvent::Moved { .. }))));
-    assert_eq!(w.core.nodes[0].position(), Point2::new(1.0, 0.0));
+    assert_eq!(w.core.nodes.position(0), Point2::new(1.0, 0.0));
 
     // Unaffordable: partial Moved strictly before Kill.
     let mut w = core_world(&[(0.0, 0.0, 0.2)]);
@@ -353,8 +353,8 @@ fn mobility_move_effects_full_step_and_mid_step_death() {
     assert!(matches!(fx.slots[0], Some(Effect::Trace(TraceEvent::Moved { .. }))));
     assert!(matches!(fx.slots[1], Some(Effect::Kill { node }) if node == a));
     // 0.2 J at 0.5 J/m bought 0.4 m; the battery is exactly drained.
-    assert!((w.core.nodes[0].position().x - 0.4).abs() < 1e-12);
-    assert_eq!(w.core.nodes[0].residual_energy(), 0.0);
+    assert!((w.core.nodes.position(0).x - 0.4).abs() < 1e-12);
+    assert_eq!(w.core.nodes.residual(0), 0.0);
 
     // A degenerate step (already at the target) produces no effects.
     let mut w = core_world(&[(5.0, 5.0, 10.0)]);
@@ -402,7 +402,7 @@ fn beacon_effects_reschedule_or_kill() {
     ));
     assert_eq!(w.core.stats.hello_beacons, 1);
     // The neighbor heard it.
-    assert_eq!(w.core.nodes[1].neighbor_table().fresh(w.core.time).len(), 1);
+    assert_eq!(w.core.nodes.neighbor_table(1).fresh(w.core.time).len(), 1);
 
     // A node that cannot afford the beacon dies and stops beaconing.
     let mut cfg = SimConfig::default();
