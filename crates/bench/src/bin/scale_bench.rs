@@ -1,9 +1,9 @@
 //! Scaling benchmark runner for the sharded world engine.
 //!
-//! Measures the spatial-sharding work and writes `BENCH_4.json` (PR 3's
-//! numbers are kept in `BENCH_3.json`; the current report additionally
-//! gates that the shard refactor holds PR 3 throughput on the serial
-//! engine):
+//! Measures the epoch-pipeline work and writes `BENCH_5.json` (PR 6's
+//! numbers are kept in `BENCH_4.json`; the current report additionally
+//! gates that the delta-sync barrier rewrite actually killed the
+//! epoch-barrier tax):
 //!
 //! * `hello_dense` — the 100-node beacon arena under both queue variants,
 //!   plus a *steady-state* allocation gate: a warmed calendar-backed world
@@ -16,9 +16,23 @@
 //!   single-shard path);
 //! * `shard_sweep` — one constant-density arena run at 1/2/4/8/16 shards,
 //!   gating that the merged trace FNV *and* the summary fingerprint are
-//!   bit-identical at every shard count;
+//!   bit-identical at every shard count (and, on full runs, equal to the
+//!   PR 6 pins — the rewrite may not perturb the simulation);
+//! * `shard_overhead` — best-of-N serial events/sec at 1 vs 16 shards on
+//!   the sweep workload (gate: the 16-shard tax ratio stays ≤ 1.10; PR 6
+//!   recorded 1.41×);
 //! * `sharded_100k` — a 100 000-node constant-density arena through the
-//!   epoch-barrier engine (gate: completes and delivers);
+//!   epoch-barrier engine (gates: completes and delivers, and on full runs
+//!   holds ≥ 2× PR 6's 247 302 events/sec);
+//! * `sharded_epoch_allocs` — a warmed sharded HELLO-dense world (beacons
+//!   only, stationary nodes, so application state is saturated) must
+//!   allocate exactly 0 times across every epoch of a long window: the
+//!   scheduler, outboxes, merge cursor and replica patching all run on
+//!   recycled storage;
+//! * `replica_delta_equivalence` — the activity-scheduled (fast-forward)
+//!   run must produce the same merged-trace FNV as a dense step-every-epoch
+//!   schedule, and the delta-synced replica must equal every shard's
+//!   ground-truth state bit-for-bit at the end;
 //! * `sharded_thread_scaling` — the sharded arena at 1/2/4 workers with a
 //!   trace-identity check per point; the > 1.5× speedup gate at 4 threads
 //!   runs only on hosts with ≥ 4 CPUs and is otherwise recorded as an
@@ -41,12 +55,15 @@
 //!   (gate: byte-identical both ways).
 //!
 //! Usage:
-//! `cargo run --release -p imobif-bench --bin scale_bench [--smoke] [out.json]`
+//! `cargo run --release -p imobif-bench --bin scale_bench [--smoke]
+//! [--profile-epochs] [out.json]`
 //!
 //! `--smoke` runs a reduced workload (small arenas, short windows — the
 //! 100 000-node arena still builds at full size but simulates a shorter
 //! window; no JSON written unless a path is given) and exits nonzero if
-//! any gate fails — this is the CI entry point.
+//! any gate fails — this is the CI entry point. `--profile-epochs` prints
+//! the 100k arena's per-epoch scheduler/compute/merge wall-time breakdown
+//! so a barrier regression is attributable without a profiler.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -55,7 +72,8 @@ use std::time::Instant;
 use imobif::{MobilityMode, StrategyRegistry};
 use imobif_bench::alloc_track::{self, CountingAlloc};
 use imobif_bench::instances::{
-    build_fig6, build_hello_dense, build_scale_arena, build_sharded_arena, Variant,
+    build_fig6, build_hello_dense, build_scale_arena, build_sharded_arena,
+    build_sharded_hello_dense, Variant,
 };
 use imobif_experiments::config::ScenarioConfig;
 use imobif_experiments::figures::{ext, fig5, fig6, fig7, fig8};
@@ -123,6 +141,25 @@ fn pr3_arena_baseline(nodes: usize) -> Option<(f64, f64)> {
 /// pre-observability tip (commit f3c1f5a): the figure bytes the
 /// instrumented engine must still produce, registry disabled or enabled.
 const PRE_PR_FIG6_CSV_FNV: u64 = 0x67fd_e585_6d82_96c6;
+
+/// PR 6's fingerprints for the full sweep workload (BENCH_4.json): the
+/// epoch-pipeline rewrite must reproduce the simulation bit-for-bit, not
+/// merely agree with itself across shard counts.
+const PR4_SWEEP_TRACE_FNV: u64 = 0x20de_a642_2e6d_913c;
+/// See [`PR4_SWEEP_TRACE_FNV`].
+const PR4_SWEEP_SUMMARY_FNV: u64 = 0xbca0_645b_b9b7_1a01;
+/// PR 6's trace fingerprint for the full thread-sweep workload
+/// (BENCH_4.json).
+const PR4_THREAD_TRACE_FNV: u64 = 0x112d_658e_8cfd_184f;
+/// PR 6's sharded_100k throughput (BENCH_4.json): the delta-sync barrier
+/// must at least double it.
+const PR4_SHARDED_100K_EVENTS_PER_SEC: f64 = 247_302.0;
+/// Required multiple of [`PR4_SHARDED_100K_EVENTS_PER_SEC`].
+const SHARDED_100K_SPEEDUP: f64 = 2.0;
+/// Maximum serial shard tax: 1-shard over 16-shard events/sec on the sweep
+/// workload. PR 6 recorded 1.41×; with O(activity) barriers the tax must
+/// stay within noise of free.
+const SHARD_OVERHEAD_MAX: f64 = 1.10;
 
 #[derive(Debug, Clone, Copy)]
 struct Measurement {
@@ -419,14 +456,16 @@ fn end_to_end_all(flows: u64, seed: u64) -> (f64, &'static str) {
 
 fn main() {
     let mut smoke = false;
+    let mut profile_epochs = false;
     let mut out_path: Option<String> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
             "--smoke" => smoke = true,
+            "--profile-epochs" => profile_epochs = true,
             other => out_path = Some(other.to_string()),
         }
     }
-    let out_path = out_path.unwrap_or_else(|| "BENCH_4.json".to_string());
+    let out_path = out_path.unwrap_or_else(|| "BENCH_5.json".to_string());
     let mut gate_failures: Vec<String> = Vec::new();
 
     // -- hello_dense: the PR 1 regression, re-measured --------------------
@@ -560,6 +599,70 @@ fn main() {
             ));
         }
     }
+    // The smoke workload differs, so only the full sweep can be compared
+    // against the PR 6 recordings.
+    if !smoke {
+        if sweep[0].trace_fnv != PR4_SWEEP_TRACE_FNV {
+            gate_failures.push(format!(
+                "shard sweep: trace FNV {:#018x} differs from the PR 6 pin {PR4_SWEEP_TRACE_FNV:#018x} (the rewrite perturbed the simulation)",
+                sweep[0].trace_fnv
+            ));
+        }
+        if sweep[0].summary_fnv != PR4_SWEEP_SUMMARY_FNV {
+            gate_failures.push(format!(
+                "shard sweep: summary FNV {:#018x} differs from the PR 6 pin {PR4_SWEEP_SUMMARY_FNV:#018x}",
+                sweep[0].summary_fnv
+            ));
+        }
+    }
+
+    // -- shard overhead: the epoch-barrier tax, measured directly ----------
+    // Always the full 1 000-node sweep workload, even under --smoke: the
+    // reduced 300-node arena leaves ~19 nodes per shard at 16 shards, where
+    // fixed per-epoch costs dominate and the ~2 ms runs drown in scheduler
+    // noise. A point here costs ~15 ms, so CI can afford the real thing.
+    // Best-of-N on both sides, re-sampled like every other timing gate
+    // before declaring failure.
+    let (ov_nodes, ov_flows, ov_secs): (usize, usize, u64) = (1_000, 8, 10);
+    let ov_reps = if smoke { 3 } else { 5 };
+    eprintln!("measuring shard overhead (1 vs 16 shards, best of {ov_reps}) ...");
+    let overhead_point = |shards: usize, reps: usize| -> f64 {
+        let mut best = 0.0f64;
+        for _ in 0..reps {
+            let mut run = build_sharded_arena(ov_nodes, ov_flows, shards, 2025, false);
+            let t0 = Instant::now();
+            run.run_until_time(SimTime::from_micros(ov_secs * 1_000_000));
+            let evps = run.world.events_processed() as f64 / t0.elapsed().as_secs_f64();
+            best = best.max(evps);
+        }
+        best
+    };
+    // Rounds are paired: both sides are measured back to back and the best
+    // per-round ratio wins. Maxing each side independently across rounds
+    // lets one lucky-fast 1-shard outlier set a bar that a later, throttled
+    // 16-shard sample can never meet (seen on 1-cpu CI hosts after a long
+    // build saturates the quota).
+    let mut ov_1 = overhead_point(1, ov_reps);
+    let mut ov_16 = overhead_point(16, ov_reps);
+    let mut shard_overhead_ratio = ov_1 / ov_16;
+    for _ in 0..3 {
+        if shard_overhead_ratio <= SHARD_OVERHEAD_MAX {
+            break;
+        }
+        eprintln!("  re-sampling shard overhead (noisy round) ...");
+        let r_1 = overhead_point(1, ov_reps);
+        let r_16 = overhead_point(16, ov_reps);
+        if r_1 / r_16 < shard_overhead_ratio {
+            ov_1 = r_1;
+            ov_16 = r_16;
+            shard_overhead_ratio = r_1 / r_16;
+        }
+    }
+    if shard_overhead_ratio > SHARD_OVERHEAD_MAX {
+        gate_failures.push(format!(
+            "shard overhead: 16 shards run {shard_overhead_ratio:.3}x slower than 1 shard (gate <= {SHARD_OVERHEAD_MAX}; the epoch barrier is taxing again)"
+        ));
+    }
 
     // -- 100k-node sharded arena -------------------------------------------
     let k100_secs: u64 = if smoke { 1 } else { 5 };
@@ -567,6 +670,9 @@ fn main() {
     let t0 = Instant::now();
     let mut k100 = build_sharded_arena(100_000, 64, 64, 2025, false);
     let k100_build_secs = t0.elapsed().as_secs_f64();
+    if profile_epochs {
+        k100.world.enable_epoch_profiling();
+    }
     let t0 = Instant::now();
     k100.run_until_time(SimTime::from_micros(k100_secs * 1_000_000));
     let k100_wall_secs = t0.elapsed().as_secs_f64();
@@ -575,7 +681,77 @@ fn main() {
     if k100_delivered == 0 {
         gate_failures.push("100k-node arena delivered no packets".to_string());
     }
+    let k100_evps = k100_events as f64 / k100_wall_secs;
+    // The smoke window is one cold sim-second; only the full 5-second run
+    // is comparable to the PR 6 recording.
+    if !smoke && k100_evps < SHARDED_100K_SPEEDUP * PR4_SHARDED_100K_EVENTS_PER_SEC {
+        gate_failures.push(format!(
+            "sharded_100k runs {k100_evps:.0} events/sec, below {SHARDED_100K_SPEEDUP}x the PR 6 recording ({PR4_SHARDED_100K_EVENTS_PER_SEC:.0})"
+        ));
+    }
+    if let Some(p) = k100.world.epoch_profile() {
+        eprintln!(
+            "  epoch profile: {} epochs, {} shard-epochs run, {} idle shard-epochs skipped (mean {:.1} active shards of {})",
+            p.epochs,
+            p.shard_epochs,
+            p.idle_shard_epochs_skipped,
+            p.mean_active_shards(),
+            64
+        );
+        eprintln!(
+            "  epoch walls: schedule {:.3}s, shard compute {:.3}s, barrier apply {:.3}s",
+            p.sched_secs, p.compute_secs, p.apply_secs
+        );
+        eprintln!(
+            "  barrier volume: {} delivers merged, {} observations applied, {} replica patches",
+            p.delivers_merged, p.observations_applied, p.replica_patches
+        );
+    }
     drop(k100);
+
+    // -- sharded epoch pipeline: zero steady-state allocations -------------
+    // HELLO-dense on the sharded engine: stationary nodes, beacons only, so
+    // application state saturates in the first rounds and a warmed window
+    // isolates the epoch machinery (scheduler, outboxes, merge, replica
+    // patching) — which must run entirely on recycled storage.
+    let ea_meas_secs: u64 = if smoke { 20 } else { 60 };
+    eprintln!("measuring sharded epoch allocations ({ea_meas_secs} warmed sim-secs) ...");
+    let epoch_allocs = {
+        let mut w = build_sharded_hello_dense(16);
+        w.run_until(SimTime::from_micros(5_000_000));
+        let snap = alloc_track::snapshot();
+        w.run_until(SimTime::from_micros((5 + ea_meas_secs) * 1_000_000));
+        alloc_track::snapshot().allocs_since(&snap)
+    };
+    if epoch_allocs != 0 {
+        gate_failures.push(format!(
+            "warmed sharded hello_dense allocated {epoch_allocs} times over {ea_meas_secs} sim-secs (must be 0: the epoch pipeline must recycle its storage)"
+        ));
+    }
+
+    // -- replica delta sync: equivalence checks ----------------------------
+    // The activity scheduler must be pure scheduling (same trace as a dense
+    // step-every-epoch run), and the delta-synced replica must end bit-equal
+    // to every shard's authoritative state.
+    eprintln!("checking replica-delta and fast-forward equivalence ...");
+    let (rd_fnvs, rd_replica_ok) = {
+        let mut dense = build_sharded_arena(sw_nodes, sw_flows, 8, 2025, true);
+        dense.world.set_dense_epochs(true);
+        dense.run_until_time(SimTime::from_micros(sw_secs * 1_000_000));
+        let mut fast = build_sharded_arena(sw_nodes, sw_flows, 8, 2025, true);
+        fast.run_until_time(SimTime::from_micros(sw_secs * 1_000_000));
+        let sync = fast.world.verify_replica_sync();
+        if let Err(e) = &sync {
+            gate_failures.push(format!("replica delta sync diverged from ground truth: {e}"));
+        }
+        ((dense.world.trace_fnv(), fast.world.trace_fnv()), sync.is_ok())
+    };
+    if rd_fnvs.0 != rd_fnvs.1 {
+        gate_failures.push(format!(
+            "epoch fast-forward changed the trace: dense {:#018x} vs scheduled {:#018x}",
+            rd_fnvs.0, rd_fnvs.1
+        ));
+    }
 
     // -- sharded thread scaling --------------------------------------------
     let host_cpus = std::thread::available_parallelism().map_or(1, usize::from);
@@ -598,6 +774,12 @@ fn main() {
                 p.workers
             ));
         }
+    }
+    if !smoke && tpoints[0].trace_fnv != PR4_THREAD_TRACE_FNV {
+        gate_failures.push(format!(
+            "thread sweep: trace FNV {:#018x} differs from the PR 6 pin {PR4_THREAD_TRACE_FNV:#018x}",
+            tpoints[0].trace_fnv
+        ));
     }
     // The speedup gate is honest about the host: on a single-core machine a
     // "speedup" number would be scheduler noise around 1.0, so the gate is
@@ -726,7 +908,7 @@ fn main() {
 
     let mut json = String::new();
     json.push_str("{\n");
-    json.push_str("  \"benchmark\": \"sharded world: spatial shards, epoch barriers, SoA node store, 100k arenas\",\n");
+    json.push_str("  \"benchmark\": \"epoch pipeline: delta replica sync, k-way xfer merge, persistent worker pool, fast-forward\",\n");
     let _ = writeln!(json, "  \"host\": {{ \"available_parallelism\": {host_cpus} }},");
     json.push_str("  \"hello_dense\": {\n");
     json_measurement(&mut json, "before", &hello_before);
@@ -788,8 +970,21 @@ fn main() {
     json.push_str("    ]\n  },\n");
     let _ = writeln!(
         json,
-        "  \"sharded_100k\": {{ \"nodes\": 100000, \"flows\": 64, \"shards\": 64, \"sim_secs\": {k100_secs}, \"build_secs\": {k100_build_secs:.3}, \"wall_secs\": {k100_wall_secs:.3}, \"events\": {k100_events}, \"events_per_sec\": {:.0}, \"delivered_packets\": {k100_delivered} }},",
-        k100_events as f64 / k100_wall_secs
+        "  \"shard_overhead\": {{ \"workload\": \"sweep arena, {ov_nodes} nodes, {ov_flows} flows, {ov_secs} sim-secs, serial, best of {ov_reps}\", \"events_per_sec_1_shard\": {ov_1:.0}, \"events_per_sec_16_shards\": {ov_16:.0}, \"shard_overhead_ratio\": {shard_overhead_ratio:.4}, \"gate\": \"<= {SHARD_OVERHEAD_MAX}\", \"pr6_recorded\": 1.41 }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"sharded_100k\": {{ \"nodes\": 100000, \"flows\": 64, \"shards\": 64, \"sim_secs\": {k100_secs}, \"build_secs\": {k100_build_secs:.3}, \"wall_secs\": {k100_wall_secs:.3}, \"events\": {k100_events}, \"events_per_sec\": {k100_evps:.0}, \"delivered_packets\": {k100_delivered}, \"pr6_events_per_sec\": {PR4_SHARDED_100K_EVENTS_PER_SEC:.0}, \"speedup_vs_pr6\": {:.2}, \"gate\": \">= {SHARDED_100K_SPEEDUP}x (full runs)\" }},",
+        k100_evps / PR4_SHARDED_100K_EVENTS_PER_SEC
+    );
+    let _ = writeln!(
+        json,
+        "  \"sharded_epoch_allocs\": {{ \"workload\": \"sharded hello_dense, 16 shards, beacons only\", \"warm_sim_secs\": 5, \"measured_sim_secs\": {ea_meas_secs}, \"allocations\": {epoch_allocs}, \"gate\": \"== 0\" }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"replica_delta_equivalence\": {{ \"workload\": \"sweep arena, 8 shards\", \"dense_trace_fnv1a64\": \"{:#018x}\", \"scheduled_trace_fnv1a64\": \"{:#018x}\", \"replica_matches_ground_truth\": {rd_replica_ok} }},",
+        rd_fnvs.0, rd_fnvs.1
     );
     json.push_str("  \"sharded_thread_scaling\": {\n");
     let _ = writeln!(

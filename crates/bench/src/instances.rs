@@ -356,8 +356,8 @@ pub fn build_sharded_arena(
     let bounds = (Point2::new(0.0, 0.0), Point2::new(cfg.area_side, cfg.area_side));
     let mut world: ShardedWorld<ImobifApp> = ShardedWorld::new(
         sim_cfg,
-        Box::new(cfg.tx_model().expect("validated config")),
-        Box::new(cfg.mobility_model().expect("validated config")),
+        std::sync::Arc::new(cfg.tx_model().expect("validated config")),
+        std::sync::Arc::new(cfg.mobility_model().expect("validated config")),
         bounds,
         shards,
     )
@@ -442,6 +442,47 @@ pub fn build_hello_dense(variant: Variant) -> World<ImobifApp> {
     .expect("validated sim config");
     let app_cfg = ImobifConfig {
         cache: DecisionCacheConfig { enabled: variant.cache_enabled, ..Default::default() },
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(cfg.seed);
+    for _ in 0..cfg.node_count {
+        let p = Point2::new(rng.gen_range(0.0..cfg.area_side), rng.gen_range(0.0..cfg.area_side));
+        world.add_node(
+            p,
+            Battery::new(1e5).expect("valid"),
+            ImobifApp::new(app_cfg, strategy.clone()),
+        );
+    }
+    world.start();
+    world
+}
+
+/// The HELLO-dense deployment of [`build_hello_dense`] on a
+/// [`ShardedWorld`]: stationary nodes, beacons only. With no flows and no
+/// mobility the application state saturates after the first beacon rounds,
+/// so a warmed run isolates the epoch pipeline itself — scheduler, outbox
+/// recycling, observation grouping, and barrier apply — for the
+/// zero-allocation gate.
+///
+/// # Panics
+///
+/// Panics on an invalid default config — a bug, not a runtime condition.
+#[must_use]
+pub fn build_sharded_hello_dense(shards: usize) -> ShardedWorld<ImobifApp> {
+    let cfg = ScenarioConfig::paper_default();
+    let strategy = build_strategy(&cfg, StrategyChoice::MinEnergy);
+    let sim_cfg = SimConfig { queue_backend: QueueBackend::Calendar, ..cfg.sim_config() };
+    let bounds = (Point2::new(0.0, 0.0), Point2::new(cfg.area_side, cfg.area_side));
+    let mut world: ShardedWorld<ImobifApp> = ShardedWorld::new(
+        sim_cfg,
+        std::sync::Arc::new(cfg.tx_model().expect("validated config")),
+        std::sync::Arc::new(cfg.mobility_model().expect("validated config")),
+        bounds,
+        shards,
+    )
+    .expect("validated sim config");
+    let app_cfg = ImobifConfig {
+        cache: DecisionCacheConfig { enabled: true, ..Default::default() },
         ..Default::default()
     };
     let mut rng = StdRng::seed_from_u64(cfg.seed);

@@ -299,8 +299,8 @@ mod tests {
             let bounds = (Point2::new(0.0, 0.0), Point2::new(80.0, 40.0));
             let mut w = ShardedWorld::new(
                 SimConfig::default(),
-                Box::new(PowerLawModel::paper_default(2.0).unwrap()),
-                Box::new(LinearMobilityCost::new(0.5).unwrap()),
+                Arc::new(PowerLawModel::paper_default(2.0).unwrap()),
+                Arc::new(LinearMobilityCost::new(0.5).unwrap()),
                 bounds,
                 shards,
             )

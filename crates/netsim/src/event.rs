@@ -198,6 +198,12 @@ struct Calendar<E> {
     /// sits stranded until the ring wraps. Handing drained storage to the
     /// next cold bucket makes steady-state pushes allocation-free.
     spares: Vec<Vec<Scheduled<E>>>,
+    /// High-water bucket capacity seen at recycle time. When a cold bucket
+    /// warms with the spare pool empty (the first ring revolution, before
+    /// anything has drained), it reserves this much in one shot instead of
+    /// crawling up a doubling chain — the cold-start analogue of the spare
+    /// pool itself.
+    cap_hint: usize,
     len: usize,
 }
 
@@ -210,6 +216,7 @@ impl<E> Calendar<E> {
             gcursor: 0,
             overflow: BinaryHeap::new(),
             spares: Vec::new(),
+            cap_hint: 0,
             len: 0,
         }
     }
@@ -219,12 +226,27 @@ impl<E> Calendar<E> {
     }
 
     /// Gives a cold (capacity-zero) bucket recycled storage before its
-    /// first push, if any is pooled.
-    fn warm(bucket: &mut Vec<Scheduled<E>>, spares: &mut Vec<Vec<Scheduled<E>>>) {
+    /// first push — or, when nothing is pooled yet, a single full-size
+    /// reservation at the high-water capacity so the cold start pays one
+    /// allocation per bucket instead of a doubling chain.
+    fn warm(bucket: &mut Vec<Scheduled<E>>, spares: &mut Vec<Vec<Scheduled<E>>>, cap_hint: usize) {
         if bucket.capacity() == 0 {
             if let Some(spare) = spares.pop() {
                 *bucket = spare;
+            } else if cap_hint > 0 {
+                bucket.reserve_exact(cap_hint);
             }
+        }
+    }
+
+    /// Folds a bucket's capacity into the cold-start hint. Called after
+    /// pushes (a growing bucket raises the hint *during* the first burst,
+    /// before anything has drained) and at recycle time.
+    #[inline]
+    fn note_cap(&mut self, idx: usize) {
+        let cap = self.buckets[idx].capacity();
+        if cap > self.cap_hint {
+            self.cap_hint = cap;
         }
     }
 
@@ -232,6 +254,7 @@ impl<E> Calendar<E> {
     /// cold bucket can reuse it instead of reallocating.
     fn recycle(&mut self, idx: usize) {
         let bucket = &mut self.buckets[idx];
+        self.cap_hint = self.cap_hint.max(bucket.capacity());
         if bucket.capacity() > 0 && self.spares.len() < NUM_BUCKETS {
             self.spares.push(std::mem::take(bucket));
         }
@@ -245,8 +268,9 @@ impl<E> Calendar<E> {
             // sorted element trivially satisfies the cursor invariant.
             self.gcursor = g;
             self.cursor = Self::ring_index(t);
-            Self::warm(&mut self.buckets[self.cursor], &mut self.spares);
+            Self::warm(&mut self.buckets[self.cursor], &mut self.spares, self.cap_hint);
             self.buckets[self.cursor].push(item);
+            self.note_cap(self.cursor);
             self.occupancy |= 1 << self.cursor;
         } else if g <= self.gcursor {
             // At or before the cursor bucket (including "in the past"):
@@ -255,12 +279,14 @@ impl<E> Calendar<E> {
             let bucket = &mut self.buckets[self.cursor];
             let pos = bucket.partition_point(|s| (s.time, s.seq) > key);
             bucket.insert(pos, item);
+            self.note_cap(self.cursor);
         } else if g < self.gcursor + NUM_BUCKETS as u64 {
             // Inside the window: O(1) append, sorted when the cursor gets
             // there.
             let idx = Self::ring_index(t);
-            Self::warm(&mut self.buckets[idx], &mut self.spares);
+            Self::warm(&mut self.buckets[idx], &mut self.spares, self.cap_hint);
             self.buckets[idx].push(item);
+            self.note_cap(idx);
             self.occupancy |= 1 << idx;
         } else {
             self.overflow.push(item);
@@ -334,7 +360,7 @@ impl<E> Calendar<E> {
             let item = self.overflow.pop().expect("peeked non-empty");
             stats.overflow_drained += 1;
             let idx = Self::ring_index(item.time.as_micros());
-            Self::warm(&mut self.buckets[idx], &mut self.spares);
+            Self::warm(&mut self.buckets[idx], &mut self.spares, self.cap_hint);
             self.buckets[idx].push(item);
             self.occupancy |= 1 << idx;
         }

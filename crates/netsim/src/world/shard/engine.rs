@@ -1,21 +1,21 @@
 //! The per-shard event engine: one shard's node columns, calendar queue
-//! and event loop, plus the cross-shard effect types the epoch barrier
-//! exchanges.
+//! and event loop.
 //!
 //! A shard is a self-contained copy of the kernel's event loop over the
 //! nodes it owns. It mutates only its own state (batteries, positions,
 //! neighbor tables, local ledger, local queue); every consequence that
 //! touches another node — a packet delivery, a HELLO observation, a
 //! position or liveness change other shards must see — is pushed into the
-//! shard's outgoing [`Xfer`] buffer, the sharded analogue of the kernel's
-//! [`Effect`](crate::Effect) channel, and applied at the next epoch
-//! barrier in globally sorted [`XKey`] order.
+//! epoch's [`ShardOutbox`], partitioned by destination shard at emission,
+//! and applied at the next epoch barrier (see [`xfer`](super::xfer) for
+//! the run layout and the ordering argument).
 
 use imobif_geom::{Point2, SpatialGrid};
 
 use super::super::beacon::SMALL_WORLD_SCAN;
 use super::super::kernel::Event;
 use super::super::observe::KernelStats;
+use super::xfer::{Dlv, ObsGroup, RepPatch, ShardOutbox};
 use crate::node::NodeStore;
 use crate::trace::TraceEvent;
 use crate::{
@@ -25,11 +25,13 @@ use crate::{
 
 use imobif_energy::{MobilityCostModel, TxEnergyModel};
 
-/// Deterministic total order for cross-shard effects and trace events:
+/// Deterministic total order for cross-shard deliveries and trace events:
 /// `(emission time, emitting node, per-node emission sequence)`. The key is
-/// independent of shard assignment — two runs at different shard counts
-/// produce identical key streams — which is what makes the barrier
-/// exchange (and the merged trace) bit-identical at any shard count.
+/// independent of shard assignment — ordering between *different* nodes
+/// never consults `seq`, and one node's `seq` values are assigned in its
+/// own event order, which every shard layout reproduces. That is what
+/// makes the barrier merge (and the merged trace) bit-identical at any
+/// shard count.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
 pub(super) struct XKey {
     pub(super) time: SimTime,
@@ -37,33 +39,13 @@ pub(super) struct XKey {
     pub(super) seq: u32,
 }
 
-/// One cross-shard consequence, exchanged at epoch barriers.
-#[derive(Debug)]
-pub(super) enum XferKind<M> {
-    /// A paid-for packet in flight to `to`, arriving at `arrival`
-    /// (≥ one epoch width in the future, by the lookahead invariant).
-    Deliver { arrival: SimTime, from: NodeId, to: NodeId, msg: M },
-    /// A HELLO observation: `hearer` heard `origin` beacon at the key's
-    /// time, learning its position and residual energy.
-    Observe { hearer: NodeId, origin: NodeId, position: Point2, residual: f64 },
-    /// `node` moved; patch the replica snapshot.
-    Moved { node: NodeId, to: Point2 },
-    /// `node` died; patch the replica snapshot.
-    Died { node: NodeId },
-}
-
-/// A keyed cross-shard effect.
-#[derive(Debug)]
-pub(super) struct Xfer<M> {
-    pub(super) key: XKey,
-    pub(super) kind: XferKind<M>,
-}
-
 /// The epoch-frozen global snapshot every shard reads: position and
 /// liveness columns (the same struct-of-arrays layout as [`NodeStore`])
 /// indexed by global node id, plus a spatial grid over the live nodes for
-/// beacon fan-out queries. Only the barrier exchange writes it, from
-/// `Moved`/`Died` effects in key order.
+/// beacon fan-out queries. Only the barrier writes it, from the owner
+/// shards' [`RepPatch`] runs — O(changes) per epoch, never a rebuild. The
+/// coordinator hands it to workers behind an `Arc` and regains exclusive
+/// access (`Arc::get_mut`) once every worker has reported its epoch done.
 #[derive(Debug)]
 pub(super) struct Replica {
     pub(super) positions: Vec<Point2>,
@@ -95,8 +77,9 @@ impl SharedCtx<'_> {
 
 /// One spatial shard: the nodes it owns (struct-of-arrays, locally
 /// indexed), their applications, a local calendar queue keyed by
-/// `(node, per-node seq)`, a local energy ledger (slot-indexed), and the
-/// outgoing cross-shard effect buffer.
+/// `(node, per-node seq)`, and a local energy ledger (slot-indexed).
+/// Cross-shard effects go into the epoch's [`ShardOutbox`], which the
+/// coordinator owns and passes in.
 pub(super) struct Shard<A: Application> {
     pub(super) nodes: NodeStore,
     pub(super) apps: Vec<A>,
@@ -106,14 +89,16 @@ pub(super) struct Shard<A: Application> {
     pub(super) queue: EventQueue<Event<A::Msg>>,
     /// Per-slot sequence for queue keys (`(id << 32) | seq`).
     pub(super) qseq: Vec<u32>,
-    /// Per-slot sequence for [`XKey`]s (cross effects and trace events).
+    /// Per-slot sequence for [`XKey`]s (deliveries and trace events).
     pub(super) eseq: Vec<u32>,
     /// Slot-indexed ledger; global totals are aggregated by the world.
     pub(super) ledger: EnergyLedger,
     pub(super) outbox: Outbox<A::Msg>,
-    pub(super) out: Vec<Xfer<A::Msg>>,
     pub(super) trace: Option<Vec<(XKey, TraceEvent)>>,
     pub(super) hearers: Vec<u32>,
+    /// Monotonic beacon counter; stamps destination observation runs so a
+    /// beacon can open at most one group per destination.
+    pub(super) beacon_stamp: u64,
     pub(super) stats: KernelStats,
     pub(super) events_processed: u64,
     /// Local clock: the latest event time this shard has processed.
@@ -131,9 +116,9 @@ impl<A: Application> Shard<A> {
             eseq: Vec::new(),
             ledger: EnergyLedger::new(),
             outbox: Outbox::new(),
-            out: Vec::new(),
             trace: None,
             hearers: Vec::new(),
+            beacon_stamp: 0,
             stats: KernelStats::default(),
             events_processed: 0,
             time: SimTime::ZERO,
@@ -160,9 +145,9 @@ impl<A: Application> Shard<A> {
         self.eseq.clear();
         self.ledger.clear();
         self.outbox.clear();
-        self.out.clear();
         self.trace = None;
         self.hearers.clear();
+        self.beacon_stamp = 0;
         self.stats = KernelStats::default();
         self.events_processed = 0;
         self.time = SimTime::ZERO;
@@ -187,11 +172,6 @@ impl<A: Application> Shard<A> {
         self.queue.push_keyed(time, key, event);
     }
 
-    fn emit(&mut self, slot: usize, id: NodeId, kind: XferKind<A::Msg>) {
-        let key = self.ekey(slot, id);
-        self.out.push(Xfer { key, kind });
-    }
-
     fn trace_emit(&mut self, slot: usize, id: NodeId, event: TraceEvent) {
         if self.trace.is_some() {
             let key = self.ekey(slot, id);
@@ -200,22 +180,23 @@ impl<A: Application> Shard<A> {
     }
 
     /// Kills the node at `slot`: drains the battery, records the death in
-    /// the local ledger, emits the `Died` snapshot patch and trace record.
-    fn kill(&mut self, slot: usize, id: NodeId) {
+    /// the local ledger, emits the `Died` replica patch and trace record.
+    fn kill(&mut self, slot: usize, id: NodeId, xout: &mut ShardOutbox<A::Msg>) {
         let _stranded = self.nodes.kill(slot);
         let time = self.time;
         self.ledger.record_death(NodeId::new(slot as u32), time);
-        self.emit(slot, id, XferKind::Died { node: id });
+        xout.rep.push(RepPatch::Died { node: id });
         self.trace_emit(slot, id, TraceEvent::Died { time, node: id });
     }
 
     /// Runs every local event strictly before `end` (and at or before
     /// `deadline`), reading the epoch-frozen `rep` snapshot for all remote
-    /// state.
+    /// state and emitting cross-shard effects into `xout`.
     pub(super) fn run_epoch(
         &mut self,
         sh: &SharedCtx<'_>,
         rep: &Replica,
+        xout: &mut ShardOutbox<A::Msg>,
         end: SimTime,
         deadline: SimTime,
     ) {
@@ -223,11 +204,11 @@ impl<A: Application> Shard<A> {
             if t >= end || t > deadline {
                 break;
             }
-            self.step(sh, rep);
+            self.step(sh, rep, xout);
         }
     }
 
-    fn step(&mut self, sh: &SharedCtx<'_>, rep: &Replica) {
+    fn step(&mut self, sh: &SharedCtx<'_>, rep: &Replica, xout: &mut ShardOutbox<A::Msg>) {
         let Some((t, event)) = self.queue.pop() else {
             return;
         };
@@ -240,7 +221,7 @@ impl<A: Application> Shard<A> {
                     self.ledger.packets_delivered += 1;
                     let time = self.time;
                     self.trace_emit(slot, to, TraceEvent::Delivered { time, from, to });
-                    self.dispatch(sh, rep, to, slot, |app, ctx, out| {
+                    self.dispatch(sh, rep, xout, to, slot, |app, ctx, out| {
                         app.on_message(ctx, from, msg, out);
                     });
                 } else {
@@ -253,12 +234,12 @@ impl<A: Application> Shard<A> {
                 let slot = sh.slot_of(node);
                 if self.nodes.is_alive(slot) {
                     self.stats.timers_fired += 1;
-                    self.dispatch(sh, rep, node, slot, |app, ctx, out| {
+                    self.dispatch(sh, rep, xout, node, slot, |app, ctx, out| {
                         app.on_timer(ctx, tag, out);
                     });
                 }
             }
-            Event::HelloBeacon { node } => self.hello_beacon(sh, rep, node),
+            Event::HelloBeacon { node } => self.hello_beacon(sh, rep, xout, node),
         }
     }
 
@@ -268,6 +249,7 @@ impl<A: Application> Shard<A> {
         &mut self,
         sh: &SharedCtx<'_>,
         rep: &Replica,
+        xout: &mut ShardOutbox<A::Msg>,
         id: NodeId,
         slot: usize,
         f: F,
@@ -296,14 +278,14 @@ impl<A: Application> Shard<A> {
             }
             match action {
                 Action::Send { to, bits, msg, category } => {
-                    self.send(sh, rep, id, slot, to, bits, msg, category);
+                    self.send(sh, rep, xout, id, slot, to, bits, msg, category);
                 }
                 Action::SetTimer { delay, tag } => {
                     let at = self.time + delay;
                     self.push_event(at, slot, id, Event::AppTimer { node: id, tag });
                 }
                 Action::MoveToward { target, max_step } => {
-                    self.move_node(sh, id, slot, target, max_step);
+                    self.move_node(sh, xout, id, slot, target, max_step);
                 }
             }
         }
@@ -313,11 +295,14 @@ impl<A: Application> Shard<A> {
     /// Unicast send. The receiver's distance comes from the epoch-frozen
     /// replica snapshot — uniformly for local *and* remote receivers, which
     /// is what keeps the energy charge independent of the shard count.
+    /// Local deliveries also go through the outbox: enqueueing them early
+    /// would consume the target's queue sequence out of global key order.
     #[allow(clippy::too_many_arguments)]
     fn send(
         &mut self,
         sh: &SharedCtx<'_>,
         rep: &Replica,
+        xout: &mut ShardOutbox<A::Msg>,
         from: NodeId,
         slot: usize,
         to: NodeId,
@@ -331,7 +316,7 @@ impl<A: Application> Shard<A> {
             // Same order as the kernel: the unaffordable sender dies
             // (recording `Died`), then the packet records `Dropped`.
             self.ledger.packets_dropped += 1;
-            self.kill(slot, from);
+            self.kill(slot, from, xout);
             let time = self.time;
             self.trace_emit(slot, from, TraceEvent::Dropped { time, to });
             return;
@@ -341,15 +326,18 @@ impl<A: Application> Shard<A> {
         let time = self.time;
         self.trace_emit(slot, from, TraceEvent::Sent { time, from, to, bits, category, energy: e });
         let arrival = self.time + sh.cfg.tx_delay(bits);
-        self.emit(slot, from, XferKind::Deliver { arrival, from, to, msg });
+        let (dsi, dslot) = sh.owner[to.index()];
+        let key = self.ekey(slot, from);
+        xout.dlv[dsi as usize].push(Dlv { key, arrival, from, to, slot: dslot, msg });
     }
 
     /// Bounded movement step; mirrors the kernel's mobility subsystem and
-    /// additionally emits the `Moved` snapshot patch (partial `Moved`
+    /// additionally emits the `Moved` replica patch (partial `Moved`
     /// strictly before `Died` on a mid-step death, as the trace pins).
     fn move_node(
         &mut self,
         sh: &SharedCtx<'_>,
+        xout: &mut ShardOutbox<A::Msg>,
         id: NodeId,
         slot: usize,
         target: Point2,
@@ -372,7 +360,7 @@ impl<A: Application> Shard<A> {
                 id,
                 TraceEvent::Moved { time, node: id, from: pos, to: new_pos, energy: cost },
             );
-            self.emit(slot, id, XferKind::Moved { node: id, to: new_pos });
+            xout.rep.push(RepPatch::Moved { node: id, to: new_pos });
         } else {
             let affordable = sh.mobility_model.reachable_distance(residual).min(moved);
             if affordable > 0.0 && affordable.is_finite() {
@@ -387,16 +375,23 @@ impl<A: Application> Shard<A> {
                 id,
                 TraceEvent::Moved { time, node: id, from: pos, to: new_pos, energy: spent },
             );
-            self.emit(slot, id, XferKind::Moved { node: id, to: new_pos });
-            self.kill(slot, id);
+            xout.rep.push(RepPatch::Moved { node: id, to: new_pos });
+            self.kill(slot, id, xout);
         }
     }
 
     /// One HELLO beacon: hearers come from the epoch-frozen snapshot, and
-    /// the observations they would record are emitted as `Observe` effects
-    /// applied at the next barrier — HELLO processing latency of at most
-    /// one epoch, identical at every shard count.
-    fn hello_beacon(&mut self, sh: &SharedCtx<'_>, rep: &Replica, node: NodeId) {
+    /// the observations they would record are emitted as one grouped run
+    /// entry per destination shard, applied at the next barrier — HELLO
+    /// processing latency of at most one epoch, identical at every shard
+    /// count.
+    fn hello_beacon(
+        &mut self,
+        sh: &SharedCtx<'_>,
+        rep: &Replica,
+        xout: &mut ShardOutbox<A::Msg>,
+        node: NodeId,
+    ) {
         let slot = sh.slot_of(node);
         if !self.nodes.is_alive(slot) {
             return;
@@ -404,7 +399,7 @@ impl<A: Application> Shard<A> {
         if sh.cfg.hello.charge_energy {
             let e = sh.tx_model.energy(sh.cfg.range, sh.cfg.hello.bits as f64);
             if self.nodes.battery_mut(slot).try_consume(e).is_err() {
-                self.kill(slot, node);
+                self.kill(slot, node, xout);
                 return;
             }
             self.ledger.charge(NodeId::new(slot as u32), EnergyCategory::Hello, e);
@@ -425,17 +420,26 @@ impl<A: Application> Shard<A> {
         }
         self.stats.hello_beacons += 1;
         self.stats.hello_fanout_bins[KernelStats::fanout_bin(self.hearers.len())] += 1;
-        // Swap the scratch buffer out so `emit` can borrow `self` mutably.
-        let hearers = std::mem::take(&mut self.hearers);
-        for &h in &hearers {
-            let hearer = NodeId::new(h);
-            self.emit(
-                slot,
-                node,
-                XferKind::Observe { hearer, origin: node, position: pos, residual },
-            );
+        self.beacon_stamp += 1;
+        let stamp = self.beacon_stamp;
+        let time = self.time;
+        for &h in &self.hearers {
+            let (dsi, dslot) = sh.owner[h as usize];
+            let run = &mut xout.obs[dsi as usize];
+            if run.mark != stamp {
+                run.mark = stamp;
+                run.groups.push(ObsGroup {
+                    time,
+                    origin: node,
+                    position: pos,
+                    residual,
+                    start: run.slots.len() as u32,
+                    len: 0,
+                });
+            }
+            run.slots.push(dslot);
+            run.groups.last_mut().expect("group opened above").len += 1;
         }
-        self.hearers = hearers;
         let at = self.time + sh.cfg.hello.period;
         self.push_event(at, slot, node, Event::HelloBeacon { node });
     }

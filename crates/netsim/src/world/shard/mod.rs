@@ -2,7 +2,7 @@
 //! each owning its nodes' state and a local calendar queue, coupled only
 //! through deterministic epoch barriers.
 //!
-//! # Epoch-barrier protocol (DESIGN.md §11)
+//! # Epoch-barrier protocol (DESIGN.md §11–12)
 //!
 //! The conservative-window argument: every cross-node interaction has a
 //! minimum latency of `cfg.hop_latency` (the fixed component of
@@ -11,19 +11,29 @@
 //! minimum pending event time — without ever receiving an event that lands
 //! inside the window. Each epoch:
 //!
-//! 1. the coordinator computes `next` and publishes the window end;
-//! 2. every shard drains its local queue up to (exclusive) the window end,
-//!    reading remote state only from the epoch-frozen replica snapshot and
-//!    pushing cross-shard consequences into its outgoing effect buffer;
-//! 3. at the barrier, all outgoing effects are merged, sorted by their
-//!    shard-count-independent key `(time, origin node, per-node sequence)`,
-//!    and applied: deliveries enqueue on the owner shard, HELLO
-//!    observations update hearer tables, `Moved`/`Died` patch the replica.
+//! 1. the scheduler pops the next window off a lazy min-heap of per-shard
+//!    next-event times and selects the **active** shards — those with an
+//!    event inside the window. Idle shards are never touched, and sparse
+//!    phases fast-forward the epoch clock in one jump (windows are placed
+//!    at event times, never stepped through empty wall-clock);
+//! 2. every active shard drains its local queue up to (exclusive) the
+//!    window end, reading remote state only from the epoch-frozen replica
+//!    snapshot and pushing cross-shard consequences into its
+//!    per-destination outbox runs;
+//! 3. at the barrier, deliveries are k-way merged per destination in their
+//!    shard-count-independent key order `(time, origin node, per-node
+//!    sequence)` and enqueued on the owner shards, grouped HELLO
+//!    observations update hearer tables, and keyless replica patches
+//!    update the frozen position/liveness snapshot in O(changes).
 //!
-//! Because the effect keys, the per-node queue keys, and the window
+//! Because the delivery keys, the per-node queue keys, and the window
 //! boundaries are all derived from values independent of the shard
-//! assignment, a run is **bit-identical at any shard count** — the 1-shard
-//! world is the reference, and a property test pins `N`-shard traces to it.
+//! assignment — and every barrier effect either keeps its per-node order
+//! (same source run) or commutes (disjoint state) — a run is
+//! **bit-identical at any shard count and any worker count**. The 1-shard
+//! world is the reference; property tests pin `N`-shard and `N`-worker
+//! traces to it, and pin the activity scheduler to the dense
+//! step-every-epoch schedule.
 //!
 //! # Intentional semantic deltas vs [`World`](crate::World)
 //!
@@ -42,8 +52,15 @@
 //! `cfg.hello.enabled`.
 
 mod engine;
+mod pool;
+mod profile;
 #[cfg(test)]
 mod tests;
+mod xfer;
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+use std::sync::Arc;
 
 use imobif_energy::{Battery, MobilityCostModel, TxEnergyModel};
 use imobif_geom::Point2;
@@ -55,7 +72,10 @@ use crate::{
     Application, NeighborTable, NodeEnergy, NodeId, SimConfig, SimDuration, SimError, SimTime,
     TopologyView,
 };
-use engine::{Replica, Shard, SharedCtx, XKey, Xfer, XferKind};
+use engine::{Replica, Shard, SharedCtx, XKey};
+use pool::{Job, WorkerCtx, WorkerPool};
+pub use profile::EpochProfile;
+use xfer::{MergeScratch, RepPatch, ShardOutbox};
 
 /// The spatial partition: a `gx × gy` grid of rectangular cells over the
 /// deployment bounds, one shard per cell. Nodes are assigned to the shard
@@ -124,6 +144,115 @@ impl ShardLayout {
     }
 }
 
+/// The activity scheduler: a lazy min-heap of `(next event time, shard)`
+/// entries plus per-epoch scratch. Entries may be stale (a shard's queue
+/// moved on since the entry was pushed); they are validated against the
+/// live queue on pop and replaced, so the heap never needs decrease-key.
+#[derive(Debug, Default)]
+struct Scheduler {
+    heap: BinaryHeap<Reverse<(SimTime, u32)>>,
+    /// Shards with an event inside the current window, ascending.
+    active: Vec<u32>,
+    /// Window candidates past the run deadline, re-queued after the epoch.
+    deferred: Vec<(SimTime, u32)>,
+    /// Destination shards that received a delivery at the last barrier
+    /// (their heap entries are stale-high and need a fresh push).
+    woken: Vec<u32>,
+    /// `mark[s] == epoch_id` ⇒ shard `s` was already claimed this epoch
+    /// (deduplicates multiple heap entries for one shard).
+    mark: Vec<u64>,
+    epoch_id: u64,
+}
+
+impl Scheduler {
+    fn rebuild<A: Application>(&mut self, shards: &[Shard<A>]) {
+        self.heap.clear();
+        self.active.clear();
+        self.deferred.clear();
+        self.woken.clear();
+        self.mark.clear();
+        self.mark.resize(shards.len(), 0);
+        self.epoch_id = 0;
+        for (i, s) in shards.iter().enumerate() {
+            if let Some(t) = s.queue.peek_time() {
+                self.heap.push(Reverse((t, i as u32)));
+            }
+        }
+    }
+
+    /// The earliest pending event time across all shards, validating (and
+    /// repairing) stale heap entries on the way.
+    fn next_pending<A: Application>(&mut self, shards: &[Shard<A>]) -> Option<SimTime> {
+        loop {
+            let &Reverse((t, s)) = self.heap.peek()?;
+            match shards[s as usize].queue.peek_time() {
+                Some(a) if a == t => return Some(t),
+                Some(a) => {
+                    self.heap.pop();
+                    self.heap.push(Reverse((a, s)));
+                }
+                None => {
+                    self.heap.pop();
+                }
+            }
+        }
+    }
+
+    /// Claims every shard with an event inside `[.., end)` into `active`
+    /// (sorted ascending for deterministic barrier application). Shards
+    /// whose next event lies past `deadline` are deferred, not run.
+    fn collect_active<A: Application>(
+        &mut self,
+        shards: &[Shard<A>],
+        end: SimTime,
+        deadline: SimTime,
+    ) {
+        self.active.clear();
+        self.deferred.clear();
+        self.epoch_id += 1;
+        let eid = self.epoch_id;
+        while let Some(&Reverse((t, s))) = self.heap.peek() {
+            if t >= end {
+                break;
+            }
+            self.heap.pop();
+            if self.mark[s as usize] == eid {
+                continue;
+            }
+            let Some(a) = shards[s as usize].queue.peek_time() else { continue };
+            if a != t {
+                self.heap.push(Reverse((a, s)));
+                continue;
+            }
+            self.mark[s as usize] = eid;
+            if t > deadline {
+                self.deferred.push((t, s));
+            } else {
+                self.active.push(s);
+            }
+        }
+        for &(t, s) in &self.deferred {
+            self.heap.push(Reverse((t, s)));
+        }
+        self.active.sort_unstable();
+    }
+
+    /// Re-queues fresh entries for shards whose queues changed this epoch:
+    /// the ones that ran, and the ones a barrier delivery woke.
+    fn repush<A: Application>(&mut self, shards: &[Shard<A>]) {
+        for i in 0..self.active.len() + self.woken.len() {
+            let s = if i < self.active.len() {
+                self.active[i]
+            } else {
+                self.woken[i - self.active.len()]
+            };
+            if let Some(t) = shards[s as usize].queue.peek_time() {
+                self.heap.push(Reverse((t, s)));
+            }
+        }
+    }
+}
+
 /// The sharded analogue of [`World`](crate::World): the same kernel
 /// semantics partitioned into spatial shards coupled only through
 /// deterministic epoch barriers (see the module docs for the protocol and
@@ -132,21 +261,36 @@ impl ShardLayout {
 /// Output — traces, energy totals, packet counters, death times — is
 /// **bit-identical at any shard count and any thread count**; shards and
 /// threads are purely a performance knob. `set_threads(n)` with `n > 1`
-/// processes shards on `n` worker threads inside each epoch.
+/// processes shards on a persistent pool of `n` worker threads inside each
+/// epoch; the pool parks between epochs and survives `reset_into`.
 pub struct ShardedWorld<A: Application> {
     cfg: SimConfig,
     layout: ShardLayout,
-    tx_model: Box<dyn TxEnergyModel>,
-    mobility_model: Box<dyn MobilityCostModel>,
+    tx_model: Arc<dyn TxEnergyModel + Send + Sync>,
+    mobility_model: Arc<dyn MobilityCostModel + Send + Sync>,
     shards: Vec<Shard<A>>,
+    /// Per-source outboxes, owned by the coordinator so barriers can read
+    /// a source's runs while mutating destination shards.
+    outs: Vec<ShardOutbox<A::Msg>>,
     /// Global node id → `(shard, slot within shard)`.
     owner: Vec<(u32, u32)>,
-    /// Epoch-frozen global position/liveness snapshot (see [`engine`]).
-    replica: Replica,
-    /// Reusable gather buffer for the barrier exchange.
-    inbox: Vec<Xfer<A::Msg>>,
+    /// Epoch-frozen global position/liveness snapshot, shared with pool
+    /// workers during an epoch and patched in place between epochs.
+    replica: Arc<Replica>,
+    sched: Scheduler,
+    merge: MergeScratch,
+    /// Lazily created worker threads; `None` until a multi-threaded run.
+    worker_pool: Option<WorkerPool<A>>,
+    /// Empty shard/outbox shells swapped in while the real ones are out on
+    /// worker threads, recycled forever.
+    spare_shards: Vec<Shard<A>>,
+    spare_outs: Vec<ShardOutbox<A::Msg>>,
     /// Neighbor tables recycled across resets, as in `World::reset_into`.
     spare_tables: Vec<NeighborTable>,
+    profile: Option<Box<EpochProfile>>,
+    /// Test-only schedule: run every shard every epoch (the PR 6
+    /// behavior) instead of only active shards.
+    dense_epochs: bool,
     time: SimTime,
     started: bool,
     threads: usize,
@@ -155,6 +299,9 @@ pub struct ShardedWorld<A: Application> {
 impl<A: Application> ShardedWorld<A> {
     /// Creates an empty sharded world over the deployment rectangle
     /// `bounds` with `shards` spatial shards.
+    ///
+    /// The energy models are shared (`Arc`) rather than owned (`Box`)
+    /// because the persistent worker pool hands them to its threads.
     ///
     /// # Errors
     ///
@@ -165,25 +312,40 @@ impl<A: Application> ShardedWorld<A> {
     /// lookahead), or if `shards` is zero.
     pub fn new(
         cfg: SimConfig,
-        tx_model: Box<dyn TxEnergyModel>,
-        mobility_model: Box<dyn MobilityCostModel>,
+        tx_model: Arc<dyn TxEnergyModel + Send + Sync>,
+        mobility_model: Arc<dyn MobilityCostModel + Send + Sync>,
         bounds: (Point2, Point2),
         shards: usize,
     ) -> Result<Self, SimError> {
         cfg.validate()?;
         Self::validate_sharding(&cfg, shards)?;
         let layout = ShardLayout::new(bounds.0, bounds.1, shards);
-        let shards = (0..layout.shard_count()).map(|_| Shard::new(cfg.queue_backend)).collect();
+        let n = layout.shard_count();
+        let shards = (0..n).map(|_| Shard::new(cfg.queue_backend)).collect();
+        let outs = (0..n)
+            .map(|_| {
+                let mut o = ShardOutbox::default();
+                o.reset_dests(n);
+                o
+            })
+            .collect();
         Ok(ShardedWorld {
-            replica: Replica::new(cfg.range.max(1.0)),
+            replica: Arc::new(Replica::new(cfg.range.max(1.0))),
             cfg,
             layout,
             tx_model,
             mobility_model,
             shards,
+            outs,
             owner: Vec::new(),
-            inbox: Vec::new(),
+            sched: Scheduler::default(),
+            merge: MergeScratch::default(),
+            worker_pool: None,
+            spare_shards: Vec::new(),
+            spare_outs: Vec::new(),
             spare_tables: Vec::new(),
+            profile: None,
+            dense_epochs: false,
             time: SimTime::ZERO,
             started: false,
             threads: 1,
@@ -205,10 +367,11 @@ impl<A: Application> ShardedWorld<A> {
 
     /// Returns the world to its just-constructed state under a (possibly
     /// different) configuration, bounds and shard count, keeping every
-    /// allocation — shard node columns, queues, neighbor tables — for the
-    /// next replicate; application instances are drained into
-    /// `recycled_apps`. A reset world is observationally identical to a
-    /// fresh `ShardedWorld::new` with the same arguments (property-tested).
+    /// allocation — shard node columns, queues, neighbor tables, outbox
+    /// runs, the worker pool — for the next replicate; application
+    /// instances are drained into `recycled_apps`. A reset world is
+    /// observationally identical to a fresh `ShardedWorld::new` with the
+    /// same arguments (property-tested).
     ///
     /// # Errors
     ///
@@ -217,8 +380,8 @@ impl<A: Application> ShardedWorld<A> {
     pub fn reset_into(
         &mut self,
         cfg: SimConfig,
-        tx_model: Box<dyn TxEnergyModel>,
-        mobility_model: Box<dyn MobilityCostModel>,
+        tx_model: Arc<dyn TxEnergyModel + Send + Sync>,
+        mobility_model: Arc<dyn MobilityCostModel + Send + Sync>,
         bounds: (Point2, Point2),
         shards: usize,
         recycled_apps: &mut Vec<A>,
@@ -232,17 +395,25 @@ impl<A: Application> ShardedWorld<A> {
         let n = layout.shard_count();
         self.shards.truncate(n);
         while self.shards.len() < n {
-            self.shards.push(Shard::new(cfg.queue_backend));
+            self.shards
+                .push(self.spare_shards.pop().unwrap_or_else(|| Shard::new(cfg.queue_backend)));
+            let shard = self.shards.last_mut().expect("just pushed");
+            shard.clear_into(cfg.queue_backend, &mut self.spare_tables, recycled_apps);
+        }
+        self.outs.truncate(n);
+        self.outs.resize_with(n, ShardOutbox::default);
+        for o in &mut self.outs {
+            o.reset_dests(n);
         }
         self.owner.clear();
-        self.replica.positions.clear();
-        self.replica.alive.clear();
-        if self.replica.grid.cell_size() == cfg.range.max(1.0) {
-            self.replica.grid.clear();
+        let replica = Arc::get_mut(&mut self.replica).expect("replica uniquely held between runs");
+        replica.positions.clear();
+        replica.alive.clear();
+        if replica.grid.cell_size() == cfg.range.max(1.0) {
+            replica.grid.clear();
         } else {
-            self.replica.grid = imobif_geom::SpatialGrid::new(cfg.range.max(1.0));
+            replica.grid = imobif_geom::SpatialGrid::new(cfg.range.max(1.0));
         }
-        self.inbox.clear();
         self.cfg = cfg;
         self.layout = layout;
         self.tx_model = tx_model;
@@ -275,10 +446,11 @@ impl<A: Application> ShardedWorld<A> {
         shard.ledger.grow_to(shard.nodes.len());
         self.owner.push((si as u32, slot as u32));
         let alive = shard.nodes.is_alive(slot);
-        self.replica.positions.push(position);
-        self.replica.alive.push(alive);
+        let replica = Arc::get_mut(&mut self.replica).expect("replica uniquely held between runs");
+        replica.positions.push(position);
+        replica.alive.push(alive);
         if alive {
-            self.replica.grid.insert(id.raw(), position);
+            replica.grid.insert(id.raw(), position);
         }
         id
     }
@@ -300,7 +472,19 @@ impl<A: Application> ShardedWorld<A> {
             let key = shard.qkey(slot as usize, id);
             shard.queue.push_keyed(SimTime::ZERO, key, Event::HelloBeacon { node: id });
         }
-        let Self { cfg, tx_model, mobility_model, owner, shards, replica, inbox, .. } = self;
+        let Self {
+            cfg,
+            tx_model,
+            mobility_model,
+            owner,
+            shards,
+            outs,
+            replica,
+            sched,
+            merge,
+            profile,
+            ..
+        } = self;
         let owner: &[(u32, u32)] = owner;
         let sh = SharedCtx {
             cfg,
@@ -314,11 +498,21 @@ impl<A: Application> ShardedWorld<A> {
             if !shard.nodes.is_alive(slot as usize) {
                 continue;
             }
-            shard.dispatch(&sh, replica, id, slot as usize, |app, ctx, out| {
+            let xout = &mut outs[si as usize];
+            shard.dispatch(&sh, replica, xout, id, slot as usize, |app, ctx, out| {
                 app.on_start(ctx, out);
             });
         }
-        exchange::<A, _>(&mut shards[..], owner, replica, inbox);
+        sched.active.clear();
+        sched.active.extend(0..shards.len() as u32);
+        apply_epoch(
+            shards,
+            outs,
+            sched,
+            Arc::get_mut(replica).expect("replica uniquely held between runs"),
+            merge,
+            profile,
+        );
     }
 
     /// Schedules an application timer from outside (used by experiment
@@ -332,30 +526,45 @@ impl<A: Application> ShardedWorld<A> {
     }
 
     /// Runs epochs until the clock passes `deadline` or every queue drains.
-    /// With `set_threads(n > 1)`, shards are processed by `n` worker
-    /// threads inside each epoch; the output is identical either way.
+    /// With `set_threads(n > 1)`, active shards are processed by the
+    /// persistent `n`-worker pool inside each epoch; the output is
+    /// identical either way.
     ///
     /// # Panics
     ///
     /// Panics if the world was not started.
     pub fn run_until(&mut self, deadline: SimTime)
     where
-        A: Send,
-        A::Msg: Send,
+        A: Send + 'static,
+        A::Msg: Send + 'static,
     {
         assert!(self.started, "run_until() before start()");
         let epoch = self.cfg.hop_latency;
         let workers = self.threads.min(self.shards.len());
         if workers <= 1 {
-            self.run_serial(deadline, epoch);
+            self.run_epochs_serial(deadline, epoch);
         } else {
-            self.run_parallel(deadline, epoch, workers);
+            self.run_epochs_pooled(deadline, epoch, workers);
         }
         self.time = self.time.max(deadline);
     }
 
-    fn run_serial(&mut self, deadline: SimTime, epoch: SimDuration) {
-        let Self { cfg, tx_model, mobility_model, owner, shards, replica, inbox, time, .. } = self;
+    fn run_epochs_serial(&mut self, deadline: SimTime, epoch: SimDuration) {
+        let dense = self.dense_epochs;
+        let Self {
+            cfg,
+            tx_model,
+            mobility_model,
+            owner,
+            shards,
+            outs,
+            replica,
+            sched,
+            merge,
+            profile,
+            time,
+            ..
+        } = self;
         let owner: &[(u32, u32)] = owner;
         let sh = SharedCtx {
             cfg,
@@ -363,92 +572,159 @@ impl<A: Application> ShardedWorld<A> {
             mobility_model: mobility_model.as_ref(),
             owner,
         };
-        while let Some(next) = shards.iter().filter_map(|s| s.queue.peek_time()).min() {
+        sched.rebuild(shards);
+        loop {
+            let t0 = profile::tick(profile);
+            let next = if dense {
+                shards.iter().filter_map(|s| s.queue.peek_time()).min()
+            } else {
+                sched.next_pending(shards)
+            };
+            let Some(next) = next else { break };
             if next > deadline {
                 break;
             }
             let end = next + epoch;
-            for s in shards.iter_mut() {
-                s.run_epoch(&sh, replica, end, deadline);
+            if dense {
+                sched.active.clear();
+                sched.active.extend(0..shards.len() as u32);
+            } else {
+                sched.collect_active(shards, end, deadline);
             }
-            exchange::<A, _>(&mut shards[..], owner, replica, inbox);
+            if let Some(p) = profile.as_mut() {
+                p.sched_secs += profile::tock(t0);
+                p.epochs += 1;
+                p.shard_epochs += sched.active.len() as u64;
+                p.idle_shard_epochs_skipped += (shards.len() - sched.active.len()) as u64;
+            }
+            let t1 = profile::tick(profile);
+            for &s in &sched.active {
+                shards[s as usize].run_epoch(&sh, replica, &mut outs[s as usize], end, deadline);
+            }
+            if let Some(p) = profile.as_mut() {
+                p.compute_secs += profile::tock(t1);
+            }
+            let t2 = profile::tick(profile);
+            apply_epoch(
+                shards,
+                outs,
+                sched,
+                Arc::get_mut(replica).expect("replica uniquely held between epochs"),
+                merge,
+                profile,
+            );
+            if !dense {
+                sched.repush(shards);
+            }
+            if let Some(p) = profile.as_mut() {
+                p.apply_secs += profile::tock(t2);
+            }
             *time = (*time).max(end.min(deadline));
         }
     }
 
-    fn run_parallel(&mut self, deadline: SimTime, epoch: SimDuration, workers: usize)
+    fn run_epochs_pooled(&mut self, deadline: SimTime, epoch: SimDuration, workers: usize)
     where
-        A: Send,
-        A::Msg: Send,
+        A: Send + 'static,
+        A::Msg: Send + 'static,
     {
-        use std::sync::atomic::{AtomicU64, Ordering};
-        use std::sync::{Barrier, Mutex, RwLock};
-
-        let Self { cfg, tx_model, mobility_model, owner, shards, replica, inbox, time, .. } = self;
-        let owner: &[(u32, u32)] = owner;
-        let sh = SharedCtx {
-            cfg,
-            tx_model: tx_model.as_ref(),
-            mobility_model: mobility_model.as_ref(),
-            owner,
+        let recreate = match &self.worker_pool {
+            Some(p) => p.workers() != workers,
+            None => true,
         };
-        let nshards = shards.len();
-        let cells: Vec<Mutex<&mut Shard<A>>> = shards.iter_mut().map(Mutex::new).collect();
-        let replica_lock = RwLock::new(replica);
-        // The published epoch window end; `u64::MAX` tells workers to exit.
-        let epoch_end = AtomicU64::new(0);
-        let barrier = Barrier::new(workers + 1);
-        std::thread::scope(|scope| {
-            for w in 0..workers {
-                let (cells, replica_lock) = (&cells, &replica_lock);
-                let (barrier, epoch_end, sh) = (&barrier, &epoch_end, &sh);
-                scope.spawn(move || loop {
-                    // Barrier A: the coordinator published the window.
-                    barrier.wait();
-                    let end_us = epoch_end.load(Ordering::Acquire);
-                    if end_us == u64::MAX {
-                        break;
-                    }
-                    let end = SimTime::from_micros(end_us);
-                    let rep = replica_lock.read().expect("replica lock poisoned");
-                    let mut i = w;
-                    while i < nshards {
-                        let mut shard = cells[i].lock().expect("shard lock poisoned");
-                        shard.run_epoch(sh, &rep, end, deadline);
-                        i += workers;
-                    }
-                    drop(rep);
-                    // Barrier B: every shard finished the epoch.
-                    barrier.wait();
+        if recreate {
+            self.worker_pool = Some(WorkerPool::new(workers));
+        }
+        let ctx = Arc::new(WorkerCtx {
+            cfg: self.cfg,
+            tx_model: Arc::clone(&self.tx_model),
+            mobility_model: Arc::clone(&self.mobility_model),
+            owner: self.owner.clone(),
+        });
+        let backend = self.cfg.queue_backend;
+        let dense = self.dense_epochs;
+        let Self {
+            shards,
+            outs,
+            replica,
+            sched,
+            merge,
+            worker_pool,
+            spare_shards,
+            spare_outs,
+            profile,
+            time,
+            ..
+        } = self;
+        let pool = worker_pool.as_ref().expect("pool created above");
+        sched.rebuild(shards);
+        loop {
+            let t0 = profile::tick(profile);
+            let next = if dense {
+                shards.iter().filter_map(|s| s.queue.peek_time()).min()
+            } else {
+                sched.next_pending(shards)
+            };
+            let Some(next) = next else { break };
+            if next > deadline {
+                break;
+            }
+            let end = next + epoch;
+            if dense {
+                sched.active.clear();
+                sched.active.extend(0..shards.len() as u32);
+            } else {
+                sched.collect_active(shards, end, deadline);
+            }
+            if let Some(p) = profile.as_mut() {
+                p.sched_secs += profile::tock(t0);
+                p.epochs += 1;
+                p.shard_epochs += sched.active.len() as u64;
+                p.idle_shard_epochs_skipped += (shards.len() - sched.active.len()) as u64;
+            }
+            let t1 = profile::tick(profile);
+            for &s in &sched.active {
+                let shard = std::mem::replace(
+                    &mut shards[s as usize],
+                    spare_shards.pop().unwrap_or_else(|| Shard::new(backend)),
+                );
+                let out =
+                    std::mem::replace(&mut outs[s as usize], spare_outs.pop().unwrap_or_default());
+                pool.submit(Job {
+                    idx: s,
+                    shard,
+                    out,
+                    end,
+                    deadline,
+                    rep: Arc::clone(replica),
+                    ctx: Arc::clone(&ctx),
                 });
             }
-            loop {
-                let next = cells
-                    .iter()
-                    .filter_map(|c| c.lock().expect("shard lock poisoned").queue.peek_time())
-                    .min();
-                match next {
-                    Some(next) if next <= deadline => {
-                        let end = next + epoch;
-                        epoch_end.store(end.as_micros(), Ordering::Release);
-                        barrier.wait(); // A: workers start the epoch
-                        barrier.wait(); // B: workers finished the epoch
-                        let mut rep = replica_lock.write().expect("replica lock poisoned");
-                        let mut guards: Vec<_> =
-                            cells.iter().map(|c| c.lock().expect("shard lock poisoned")).collect();
-                        let mut refs: Vec<&mut Shard<A>> =
-                            guards.iter_mut().map(|g| &mut ***g).collect();
-                        exchange::<A, _>(&mut refs[..], owner, &mut rep, inbox);
-                        *time = (*time).max(end.min(deadline));
-                    }
-                    _ => {
-                        epoch_end.store(u64::MAX, Ordering::Release);
-                        barrier.wait();
-                        break;
-                    }
-                }
+            for _ in 0..sched.active.len() {
+                let done = pool.collect();
+                spare_shards.push(std::mem::replace(&mut shards[done.idx as usize], done.shard));
+                spare_outs.push(std::mem::replace(&mut outs[done.idx as usize], done.out));
             }
-        });
+            if let Some(p) = profile.as_mut() {
+                p.compute_secs += profile::tock(t1);
+            }
+            let t2 = profile::tick(profile);
+            apply_epoch(
+                shards,
+                outs,
+                sched,
+                Arc::get_mut(replica).expect("replica uniquely held between epochs"),
+                merge,
+                profile,
+            );
+            if !dense {
+                sched.repush(shards);
+            }
+            if let Some(p) = profile.as_mut() {
+                p.apply_secs += profile::tock(t2);
+            }
+            *time = (*time).max(end.min(deadline));
+        }
     }
 
     #[inline]
@@ -490,7 +766,9 @@ impl<A: Application> ShardedWorld<A> {
     /// Sets the number of shard-processing threads used by
     /// [`ShardedWorld::run_until`] (clamped to at least 1; capped at the
     /// shard count at run time). Purely a performance knob — the output is
-    /// identical at any setting.
+    /// identical at any setting. The worker pool is created lazily on the
+    /// first multi-threaded run and persists until the count changes or
+    /// the world drops.
     pub fn set_threads(&mut self, n: usize) {
         self.threads = n.max(1);
     }
@@ -499,6 +777,67 @@ impl<A: Application> ShardedWorld<A> {
     #[must_use]
     pub fn threads(&self) -> usize {
         self.threads
+    }
+
+    /// Enables per-epoch cost attribution (see [`EpochProfile`]); cheap
+    /// counters plus three clock reads per epoch.
+    pub fn enable_epoch_profiling(&mut self) {
+        if self.profile.is_none() {
+            self.profile = Some(Box::default());
+        }
+    }
+
+    /// The accumulated epoch profile, if profiling is enabled.
+    #[must_use]
+    pub fn epoch_profile(&self) -> Option<&EpochProfile> {
+        self.profile.as_deref()
+    }
+
+    /// Test/bench hook: run every shard every epoch (the PR 6 schedule)
+    /// instead of only the active ones. Output is bit-identical either
+    /// way — property-tested — so this exists purely as the reference
+    /// schedule for those tests.
+    #[doc(hidden)]
+    pub fn set_dense_epochs(&mut self, on: bool) {
+        self.dense_epochs = on;
+    }
+
+    /// Test hook: checks that the delta-synced replica exactly matches a
+    /// from-scratch snapshot of every shard's ground truth (bitwise
+    /// positions, liveness, and grid membership). Valid between runs —
+    /// the replica is intentionally one barrier stale *inside* an epoch.
+    #[doc(hidden)]
+    pub fn verify_replica_sync(&self) -> Result<(), String> {
+        for (i, &(si, slot)) in self.owner.iter().enumerate() {
+            let sh = &self.shards[si as usize];
+            let slot = slot as usize;
+            let alive = sh.nodes.is_alive(slot);
+            if self.replica.alive[i] != alive {
+                return Err(format!(
+                    "node {i}: replica alive={}, ground truth={}",
+                    self.replica.alive[i], alive
+                ));
+            }
+            let truth = sh.nodes.position(slot);
+            let rep = self.replica.positions[i];
+            if truth.x.to_bits() != rep.x.to_bits() || truth.y.to_bits() != rep.y.to_bits() {
+                return Err(format!(
+                    "node {i}: replica position {rep:?} != ground truth {truth:?}"
+                ));
+            }
+            match (alive, self.replica.grid.position(i as u32)) {
+                (true, Some(g))
+                    if g.x.to_bits() == truth.x.to_bits() && g.y.to_bits() == truth.y.to_bits() => {
+                }
+                (false, None) => {}
+                (_, g) => {
+                    return Err(format!(
+                        "node {i}: grid entry {g:?} inconsistent (alive={alive}, truth={truth:?})"
+                    ))
+                }
+            }
+        }
+        Ok(())
     }
 
     /// Whether a node is alive.
@@ -697,82 +1036,107 @@ impl<A: Application> std::fmt::Debug for ShardedWorld<A> {
     }
 }
 
-/// Mutable access to a set of shards by index — implemented for the owned
-/// slice (serial path) and for a slice of locked references (parallel
-/// path), so the barrier exchange is written once.
-trait ShardIndex<A: Application> {
-    fn count(&self) -> usize;
-    fn at(&mut self, i: usize) -> &mut Shard<A>;
-}
-
-impl<A: Application> ShardIndex<A> for [Shard<A>] {
-    fn count(&self) -> usize {
-        self.len()
-    }
-    fn at(&mut self, i: usize) -> &mut Shard<A> {
-        &mut self[i]
-    }
-}
-
-impl<A: Application> ShardIndex<A> for [&mut Shard<A>] {
-    fn count(&self) -> usize {
-        self.len()
-    }
-    fn at(&mut self, i: usize) -> &mut Shard<A> {
-        &mut *self[i]
-    }
-}
-
-/// The barrier: gathers every shard's outgoing effects, sorts them by the
-/// shard-count-independent key, and applies them in that global order —
-/// deliveries enqueue on the owner shard (keyed with the *target's* queue
-/// sequence), observations update hearer tables, `Moved`/`Died` patch the
-/// replica snapshot. The application order, and therefore every downstream
-/// state change, is identical at any shard count.
-fn exchange<A: Application, S: ShardIndex<A> + ?Sized>(
-    shards: &mut S,
-    owner: &[(u32, u32)],
+/// The barrier: applies every active shard's outgoing effect runs.
+///
+/// * Replica patches first (source-by-source: per-node order is preserved
+///   within a source run, and patches for different nodes commute).
+/// * Grouped observations next, destination-major for table locality —
+///   observations need no merge (overwrite-by-id into a sorted table;
+///   same-origin order comes from the single source run).
+/// * Deliveries last, k-way merged per destination in strict global key
+///   order, because applying one consumes the target's queue sequence and
+///   downstream tie-breaks depend on it. Destinations that receive a
+///   delivery are recorded in `sched.woken` so the activity heap learns
+///   their (possibly earlier) next event time.
+fn apply_epoch<A: Application>(
+    shards: &mut [Shard<A>],
+    outs: &mut [ShardOutbox<A::Msg>],
+    sched: &mut Scheduler,
     replica: &mut Replica,
-    inbox: &mut Vec<Xfer<A::Msg>>,
+    merge: &mut MergeScratch,
+    profile: &mut Option<Box<EpochProfile>>,
 ) {
-    debug_assert!(inbox.is_empty());
-    for i in 0..shards.count() {
-        inbox.append(&mut shards.at(i).out);
-    }
-    inbox.sort_unstable_by_key(|x| x.key);
-    for x in inbox.drain(..) {
-        match x.kind {
-            XferKind::Deliver { arrival, from, to, msg } => {
-                let (si, slot) = owner[to.index()];
-                let shard = shards.at(si as usize);
-                let key = shard.qkey(slot as usize, to);
-                shard.queue.push_keyed(arrival, key, Event::Deliver { from, to, msg });
-            }
-            XferKind::Observe { hearer, origin, position, residual } => {
-                let (si, slot) = owner[hearer.index()];
-                let shard = shards.at(si as usize);
-                // Liveness is checked against the owner's ground truth at
-                // application time: hearers that died inside the epoch
-                // never record the observation, at any shard count.
-                if shard.nodes.is_alive(slot as usize) {
-                    shard
-                        .nodes
-                        .neighbor_table_mut(slot as usize)
-                        .observe(origin, position, residual, x.key.time);
+    sched.woken.clear();
+    let mut delivers = 0u64;
+    let mut observations = 0u64;
+    let mut patches = 0u64;
+    for &s in &sched.active {
+        let rep_run = &mut outs[s as usize].rep;
+        patches += rep_run.len() as u64;
+        for patch in rep_run.drain(..) {
+            match patch {
+                RepPatch::Moved { node, to } => {
+                    replica.positions[node.index()] = to;
+                    if replica.alive[node.index()] {
+                        replica.grid.update(node.raw(), to);
+                    }
                 }
-            }
-            XferKind::Moved { node, to } => {
-                replica.positions[node.index()] = to;
-                if replica.alive[node.index()] {
-                    replica.grid.update(node.raw(), to);
-                }
-            }
-            XferKind::Died { node } => {
-                if replica.alive[node.index()] {
-                    replica.alive[node.index()] = false;
-                    replica.grid.remove(node.raw());
+                RepPatch::Died { node } => {
+                    if replica.alive[node.index()] {
+                        replica.alive[node.index()] = false;
+                        replica.grid.remove(node.raw());
+                    }
                 }
             }
         }
+    }
+    for (d, dest) in shards.iter_mut().enumerate() {
+        for &s in &sched.active {
+            let run = &mut outs[s as usize].obs[d];
+            if run.groups.is_empty() {
+                continue;
+            }
+            for g in &run.groups {
+                for &slot in &run.slots[g.start as usize..(g.start + g.len) as usize] {
+                    // Liveness is checked against the owner's ground truth
+                    // at application time: hearers that died inside the
+                    // epoch never record the observation, at any shard
+                    // count.
+                    if dest.nodes.is_alive(slot as usize) {
+                        dest.nodes
+                            .neighbor_table_mut(slot as usize)
+                            .observe(g.origin, g.position, g.residual, g.time);
+                    }
+                }
+            }
+            observations += run.slots.len() as u64;
+            run.groups.clear();
+            run.slots.clear();
+        }
+    }
+    for (d, dest) in shards.iter_mut().enumerate() {
+        merge.heap.clear();
+        for &s in &sched.active {
+            let run = &outs[s as usize].dlv[d];
+            if let Some(head) = run.first() {
+                merge.heap.push(std::cmp::Reverse((head.key, s)));
+            }
+        }
+        if merge.heap.is_empty() {
+            continue;
+        }
+        sched.woken.push(d as u32);
+        while let Some(std::cmp::Reverse((_, s))) = merge.heap.pop() {
+            let limit = merge.heap.peek().map(|&std::cmp::Reverse((k, _))| k);
+            let run = &mut outs[s as usize].dlv[d];
+            let upto = limit.map_or(run.len(), |lk| run.partition_point(|x| x.key < lk));
+            delivers += upto as u64;
+            for x in run.drain(..upto) {
+                let key = dest.qkey(x.slot as usize, x.to);
+                dest.queue.push_keyed(
+                    x.arrival,
+                    key,
+                    Event::Deliver { from: x.from, to: x.to, msg: x.msg },
+                );
+            }
+            if let Some(head) = run.first() {
+                merge.heap.push(std::cmp::Reverse((head.key, s)));
+            }
+        }
+    }
+    if let Some(p) = profile.as_mut() {
+        p.delivers_merged += delivers;
+        p.observations_applied += observations;
+        p.replica_patches += patches;
     }
 }

@@ -1,0 +1,58 @@
+//! Per-epoch cost attribution for the sharded engine.
+//!
+//! Enabled via [`ShardedWorld::enable_epoch_profiling`]
+//! (crate::ShardedWorld::enable_epoch_profiling); when off, the engine
+//! never reads the clock. The breakdown separates the three places an
+//! epoch spends time — scheduling (finding the next window and the active
+//! shards), compute (running shard event loops), and the barrier apply
+//! (merging deliveries, recording observations, patching the replica) —
+//! so a shard-overhead regression is attributable without a profiler.
+
+/// Cumulative epoch-pipeline counters and wall-time attribution.
+#[derive(Debug, Default, Clone, Copy, PartialEq)]
+pub struct EpochProfile {
+    /// Barrier-delimited windows executed.
+    pub epochs: u64,
+    /// Shard event loops actually run (≤ `epochs × shard_count`).
+    pub shard_epochs: u64,
+    /// Shard event loops skipped because the shard had no event inside the
+    /// window — the work the activity scheduler avoids versus running
+    /// every shard every epoch.
+    pub idle_shard_epochs_skipped: u64,
+    /// Cross-shard deliveries routed through the k-way merge.
+    pub delivers_merged: u64,
+    /// Individual hearer observations recorded at barriers.
+    pub observations_applied: u64,
+    /// Replica position/liveness patches applied at barriers.
+    pub replica_patches: u64,
+    /// Wall-clock seconds choosing windows and active shards.
+    pub sched_secs: f64,
+    /// Wall-clock seconds inside shard event loops.
+    pub compute_secs: f64,
+    /// Wall-clock seconds applying barrier effects.
+    pub apply_secs: f64,
+}
+
+impl EpochProfile {
+    /// Mean shards run per epoch.
+    #[must_use]
+    pub fn mean_active_shards(&self) -> f64 {
+        if self.epochs == 0 {
+            0.0
+        } else {
+            self.shard_epochs as f64 / self.epochs as f64
+        }
+    }
+}
+
+/// Starts a wall-clock measurement if profiling is on.
+#[inline]
+pub(super) fn tick(profile: &Option<Box<EpochProfile>>) -> Option<std::time::Instant> {
+    profile.as_ref().map(|_| std::time::Instant::now())
+}
+
+/// Seconds elapsed since a [`tick`], or `0.0` when profiling is off.
+#[inline]
+pub(super) fn tock(start: Option<std::time::Instant>) -> f64 {
+    start.map_or(0.0, |t0| t0.elapsed().as_secs_f64())
+}

@@ -42,8 +42,8 @@ const BOUNDS: (Point2, Point2) = (Point2 { x: 0.0, y: 0.0 }, Point2 { x: 100.0, 
 fn make_sharded(shards: usize) -> ShardedWorld<Echo> {
     ShardedWorld::new(
         SimConfig::default(),
-        Box::new(PowerLawModel::paper_default(2.0).unwrap()),
-        Box::new(LinearMobilityCost::new(0.5).unwrap()),
+        Arc::new(PowerLawModel::paper_default(2.0).unwrap()),
+        Arc::new(LinearMobilityCost::new(0.5).unwrap()),
         BOUNDS,
         shards,
     )
@@ -150,8 +150,8 @@ fn sharded_world_rejects_unshardable_configs() {
     let mk = |cfg: SimConfig, shards: usize| {
         ShardedWorld::<Echo>::new(
             cfg,
-            Box::new(PowerLawModel::paper_default(2.0).unwrap()),
-            Box::new(LinearMobilityCost::new(0.5).unwrap()),
+            Arc::new(PowerLawModel::paper_default(2.0).unwrap()),
+            Arc::new(LinearMobilityCost::new(0.5).unwrap()),
             BOUNDS,
             shards,
         )
@@ -380,8 +380,8 @@ proptest::proptest! {
         reused
             .reset_into(
                 SimConfig::default(),
-                Box::new(PowerLawModel::paper_default(2.0).unwrap()),
-                Box::new(LinearMobilityCost::new(0.5).unwrap()),
+                Arc::new(PowerLawModel::paper_default(2.0).unwrap()),
+                Arc::new(LinearMobilityCost::new(0.5).unwrap()),
                 BOUNDS,
                 shards,
                 &mut apps,
@@ -389,6 +389,61 @@ proptest::proptest! {
             .unwrap();
         proptest::prop_assert_eq!(apps.len(), warm_n, "old apps are recycled to the caller");
         let got = run_scenario(&mut reused, &sc);
+        proptest::prop_assert_eq!(&got, &want);
+    }
+
+    /// The delta-synced replica equals the ground truth rebuilt from every
+    /// shard's authoritative state after arbitrary move/kill sequences —
+    /// the low-energy scenarios here die mid-run, the mover relocates
+    /// across shard boundaries, and the pool path is exercised too.
+    #[test]
+    fn prop_delta_synced_replica_matches_ground_truth(
+        coords in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 2..9),
+        joules in 0.001..2.0f64,
+        move_y in 0.0..100.0f64,
+        timers in proptest::collection::vec(0u64..1_000, 0..5),
+        shards in 1usize..9,
+        threads in 1usize..4,
+    ) {
+        let sc = Scenario {
+            positions: coords.iter().map(|&(x, y)| Point2::new(x, y)).collect(),
+            joules,
+            move_y,
+            timers,
+            run_micros: 4_000_000,
+        };
+        let mut w = make_sharded(shards);
+        w.set_threads(threads);
+        let _ = run_scenario(&mut w, &sc);
+        let sync = w.verify_replica_sync();
+        proptest::prop_assert!(sync.is_ok(), "replica diverged: {:?}", sync);
+    }
+
+    /// Epoch fast-forward (the activity scheduler skipping idle shards) is
+    /// observationally identical to stepping every shard through every
+    /// epoch, across 1..16 shards and 1..4 workers.
+    #[test]
+    fn prop_fast_forward_matches_dense_epochs(
+        coords in proptest::collection::vec((0.0..100.0f64, 0.0..100.0f64), 2..9),
+        joules in 0.001..10.0f64,
+        move_y in 0.0..100.0f64,
+        timers in proptest::collection::vec(0u64..1_000, 0..5),
+        shards in 1usize..17,
+        threads in 1usize..5,
+    ) {
+        let sc = Scenario {
+            positions: coords.iter().map(|&(x, y)| Point2::new(x, y)).collect(),
+            joules,
+            move_y,
+            timers,
+            run_micros: 4_000_000,
+        };
+        let mut dense = make_sharded(shards);
+        dense.set_dense_epochs(true);
+        let want = run_scenario(&mut dense, &sc);
+        let mut fast = make_sharded(shards);
+        fast.set_threads(threads);
+        let got = run_scenario(&mut fast, &sc);
         proptest::prop_assert_eq!(&got, &want);
     }
 }

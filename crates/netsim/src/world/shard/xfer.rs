@@ -1,0 +1,131 @@
+//! Cross-shard transfer buffers: per-destination-shard effect runs.
+//!
+//! PR 6 carried every cross-shard consequence as a uniform `Xfer` enum in a
+//! single per-shard vector, gathered into one global inbox and sorted at
+//! every barrier. That sort — O(total effects log total effects) per epoch,
+//! over ~100-byte elements dominated by HELLO observations — was the
+//! epoch-barrier tax. This module replaces it with three effect-specific
+//! runs, each exploiting what the barrier actually needs from it:
+//!
+//! * **Deliveries** ([`Dlv`]) keep their [`XKey`] and are partitioned by
+//!   destination shard at emission. Within one `(source, destination)` run
+//!   they are already in key order (shard event loops pop in `(time, node,
+//!   seq)` order and per-node sequences are monotonic), so the barrier
+//!   restores the exact global order with a k-way binary-heap merge over
+//!   the source runs of each destination — no sort. Strict key order
+//!   matters here because applying a delivery consumes the *target's*
+//!   queue sequence, which downstream tie-breaks depend on.
+//! * **Observations** ([`ObsGroup`]) are grouped: one group per beacon per
+//!   destination shard plus a flat array of destination-local hearer
+//!   slots, instead of one full-size effect per hearer. Applying an
+//!   observation is an idempotent-by-id overwrite into a sorted neighbor
+//!   table, so observations of *different* origins commute and
+//!   observations of the *same* origin are already ordered within their
+//!   single source run — groups need no key and no merge at all.
+//! * **Replica patches** ([`RepPatch`]) are keyless position/liveness
+//!   deltas. A node's patches all come from its one owner shard (runs
+//!   preserve per-node order) and patches for different nodes touch
+//!   disjoint replica entries, so runs are applied source-by-source.
+//!
+//! The buffers are owned by the coordinator (not the shard), sized to the
+//! shard count, and recycled every epoch: steady-state barriers allocate
+//! nothing.
+
+use imobif_geom::Point2;
+
+use super::engine::XKey;
+use crate::{NodeId, SimTime};
+
+/// One cross-shard packet delivery, keyed for the barrier merge.
+#[derive(Debug)]
+pub(super) struct Dlv<M> {
+    pub(super) key: XKey,
+    pub(super) arrival: SimTime,
+    pub(super) from: NodeId,
+    pub(super) to: NodeId,
+    /// Destination-local slot of `to`, resolved at emission.
+    pub(super) slot: u32,
+    pub(super) msg: M,
+}
+
+/// One HELLO beacon's observations landing in one destination shard: the
+/// shared beacon payload plus a `start..start + len` window into the
+/// destination run's flat hearer-slot array.
+#[derive(Debug, Clone, Copy)]
+pub(super) struct ObsGroup {
+    pub(super) time: SimTime,
+    pub(super) origin: NodeId,
+    pub(super) position: Point2,
+    pub(super) residual: f64,
+    pub(super) start: u32,
+    pub(super) len: u32,
+}
+
+/// The observation run for one destination shard.
+#[derive(Debug, Default)]
+pub(super) struct ObsRun {
+    pub(super) groups: Vec<ObsGroup>,
+    /// Destination-local hearer slots, windowed by the groups.
+    pub(super) slots: Vec<u32>,
+    /// Beacon stamp that last opened a group here (emission-side scratch:
+    /// lets a beacon detect "first hearer in this destination" in O(1)).
+    pub(super) mark: u64,
+}
+
+/// A keyless replica delta: the owner shard's position/liveness changes,
+/// applied to the epoch-frozen [`Replica`](super::engine::Replica) in
+/// emission order.
+#[derive(Debug, Clone, Copy)]
+pub(super) enum RepPatch {
+    Moved { node: NodeId, to: Point2 },
+    Died { node: NodeId },
+}
+
+/// One shard's outgoing effects for the current epoch, partitioned by
+/// destination shard. Owned by the coordinator so the barrier can read a
+/// source's runs while mutating destination shards.
+#[derive(Debug)]
+pub(super) struct ShardOutbox<M> {
+    /// `dlv[d]`: deliveries bound for shard `d`, in local key order.
+    pub(super) dlv: Vec<Vec<Dlv<M>>>,
+    /// `obs[d]`: grouped observations bound for shard `d`.
+    pub(super) obs: Vec<ObsRun>,
+    /// Replica deltas for nodes this shard owns.
+    pub(super) rep: Vec<RepPatch>,
+}
+
+impl<M> Default for ShardOutbox<M> {
+    fn default() -> Self {
+        ShardOutbox { dlv: Vec::new(), obs: Vec::new(), rep: Vec::new() }
+    }
+}
+
+impl<M> ShardOutbox<M> {
+    /// Sizes the per-destination runs to `dests` shards, clearing any
+    /// leftover contents and emission marks (capacity is kept).
+    pub(super) fn reset_dests(&mut self, dests: usize) {
+        self.dlv.truncate(dests);
+        self.obs.truncate(dests);
+        for run in &mut self.dlv {
+            run.clear();
+        }
+        for run in &mut self.obs {
+            run.groups.clear();
+            run.slots.clear();
+            run.mark = 0;
+        }
+        self.dlv.resize_with(dests, Vec::new);
+        self.obs.resize_with(dests, ObsRun::default);
+        self.rep.clear();
+    }
+}
+
+/// Reusable scratch for the barrier's k-way delivery merge: a binary heap
+/// of `(head key, source shard)` run cursors. The merge pops the run with
+/// the smallest head, drains its prefix up to the next-smallest head
+/// (moving elements by value), and re-pushes the run if it still has
+/// items — no sort, no clones, no allocation after warmup.
+#[derive(Debug, Default)]
+pub(super) struct MergeScratch {
+    pub(super) heap: std::collections::BinaryHeap<std::cmp::Reverse<(XKey, u32)>>,
+}

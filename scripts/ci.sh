@@ -55,6 +55,12 @@ echo "==> scaling bench smoke (scale_bench --smoke: allocation + determinism gat
 #   - figure CSV byte-identical across worker counts
 #   - sharded world: trace + summary fingerprints bit-identical at every
 #     shard count (1/2/4/8/16) and every worker-thread count
+#   - shard overhead: 16-shard serial ev/s within 1.10x of 1-shard on the
+#     full sweep workload (the epoch-barrier tax stays dead)
+#   - a warmed sharded hello_dense world allocates exactly 0 times per
+#     epoch (outboxes, scheduler, merge cursor all on recycled storage)
+#   - replica-delta equivalence: fast-forward trace FNV == dense
+#     step-every-epoch FNV, and the delta-synced replica == ground truth
 #   - a reduced 100k-node constant-density arena builds and delivers packets
 #   - disabled-mode metrics overhead within 1% (paired in-process ratio)
 #   - fig6 CSV bytes identical to the pre-observability tip with the
