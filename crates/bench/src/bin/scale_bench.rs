@@ -50,6 +50,11 @@
 //! * `metrics_overhead` — paired, interleaved hello_dense runs with the
 //!   observability layer in its shipping disabled mode vs no registry at
 //!   all (gate: within 1% by robust paired estimators, one retry);
+//! * `span_overhead` — the same paired harness on the *sharded* engine
+//!   (sharded hello_dense): span tracing in its shipping disabled mode —
+//!   no clock reads, no span construction — vs no observability calls at
+//!   all (gate: within 1%), plus an informational spans-enabled probe on
+//!   the sweep workload;
 //! * `figure_identity` — fig6 CSV (8 flows, seed 2025) hashed against the
 //!   pre-observability tip, with the registry disabled *and* enabled
 //!   (gate: byte-identical both ways).
@@ -63,7 +68,12 @@
 //! window; no JSON written unless a path is given) and exits nonzero if
 //! any gate fails — this is the CI entry point. `--profile-epochs` prints
 //! the 100k arena's per-epoch scheduler/compute/merge wall-time breakdown
-//! so a barrier regression is attributable without a profiler.
+//! so a barrier regression is attributable without a profiler. The
+//! breakdown is derived from the span-tracing layer (`ShardedWorld::
+//! enable_spans` + always-on epoch counters); `compute` sums per-shard
+//! span wall time, so on pooled runs it can exceed the run's wall clock,
+//! and the old coordinator-side wall is the `barrier_wait` phase. For a
+//! per-shard flamegraph use `imobif spans flame`.
 
 use std::fmt::Write as _;
 use std::sync::Arc;
@@ -387,6 +397,59 @@ fn metrics_overhead_round(sim_secs: u64, pairs: usize) -> (f64, f64) {
     let mut pair_ratios: Vec<f64> = samples.iter().map(|s| s.0 / s.1).collect();
     pair_ratios.sort_by(f64::total_cmp);
     (best_base / best_disabled, pair_ratios[pair_ratios.len() / 2])
+}
+
+/// One paired span-overhead round: `pairs` interleaved (no-observability,
+/// disabled-spans) sharded hello_dense runs. The disabled side is the
+/// shipping default — the engine's span slot is `None`, so the epoch loop
+/// reads no clock and constructs no span; the end-of-run `publish_metrics`
+/// goes to a disabled registry and early-returns. Same robust estimators
+/// as [`metrics_overhead_round`].
+fn span_overhead_round(sim_secs: u64, pairs: usize) -> (f64, f64) {
+    let cap = SimTime::from_micros(sim_secs * 1_000_000);
+    let disabled = Registry::disabled();
+    let mut samples = Vec::with_capacity(pairs);
+    for _ in 0..pairs {
+        let mut w = build_sharded_hello_dense(8);
+        let t0 = Instant::now();
+        w.run_until(cap);
+        let base = t0.elapsed().as_secs_f64();
+        assert!(w.events_processed() > 0, "sharded hello_dense must process events");
+
+        let mut w = build_sharded_hello_dense(8);
+        let t0 = Instant::now();
+        w.run_until(cap);
+        w.publish_metrics(&disabled);
+        assert!(w.epoch_profile().is_none(), "spans must stay disabled");
+        let with_disabled = t0.elapsed().as_secs_f64();
+        samples.push((base, with_disabled));
+    }
+    let best_base = samples.iter().map(|s| s.0).fold(f64::INFINITY, f64::min);
+    let best_disabled = samples.iter().map(|s| s.1).fold(f64::INFINITY, f64::min);
+    let mut pair_ratios: Vec<f64> = samples.iter().map(|s| s.0 / s.1).collect();
+    pair_ratios.sort_by(f64::total_cmp);
+    (best_base / best_disabled, pair_ratios[pair_ratios.len() / 2])
+}
+
+/// Spans-enabled provenance run on the sweep workload: informational
+/// events/sec with full span tracing on, plus sanity checks that the sink
+/// captured per-shard compute spans and that the derived profile agrees
+/// with the always-on counters. Non-gating on time.
+fn spans_enabled_probe(nodes: usize, n_flows: usize, shards: usize, sim_secs: u64) -> (f64, u64) {
+    let mut run = build_sharded_arena(nodes, n_flows, shards, 2025, false);
+    run.world.enable_spans(imobif_netsim::DEFAULT_SPAN_CAPACITY);
+    let t0 = Instant::now();
+    run.run_until_time(SimTime::from_micros(sim_secs * 1_000_000));
+    let wall = t0.elapsed().as_secs_f64();
+    let evps = run.world.events_processed() as f64 / wall;
+    let p = run.world.epoch_profile().expect("spans enabled");
+    let sink = run.world.spans().expect("spans enabled");
+    assert!(p.epochs > 0 && p.compute_secs > 0.0, "profile must attribute compute time");
+    assert!(
+        sink.aggregates().iter().any(|a| a.name == imobif_obs::span::phase::COMPUTE),
+        "sink must hold per-shard compute aggregates"
+    );
+    (evps, sink.recorded())
 }
 
 /// Enabled-registry provenance run: same workload with a live registry and
@@ -864,6 +927,32 @@ fn main() {
     }
     let enabled_probe = metrics_enabled_probe(obs_sim_secs);
 
+    // -- observability: disabled-span overhead on the sharded engine -------
+    // Same paired protocol as metrics_overhead, but through the epoch
+    // pipeline: the span slot is `None`, so the engine must read no clock
+    // and build no span anywhere in the loop.
+    let (span_sim_secs, span_pairs) = if smoke { (2_000, 5) } else { (10_000, 9) };
+    eprintln!("measuring span overhead ({span_pairs} pairs, {span_sim_secs} sim-secs) ...");
+    let (mut span_best, mut span_median) = span_overhead_round(span_sim_secs, span_pairs);
+    let mut span_retried = false;
+    for _ in 0..2 {
+        if span_best.max(span_median) >= 0.99 {
+            break;
+        }
+        eprintln!("  retrying (round scored {:.3}) ...", span_best.max(span_median));
+        span_retried = true;
+        let (b, m) = span_overhead_round(span_sim_secs, span_pairs);
+        span_best = span_best.max(b);
+        span_median = span_median.max(m);
+    }
+    let span_score = span_best.max(span_median);
+    if span_score < 0.99 {
+        gate_failures.push(format!(
+            "disabled-span overhead: paired score {span_score:.3} (< 0.99 of no-observability throughput on the sharded engine)"
+        ));
+    }
+    let (spans_on_evps, spans_recorded) = spans_enabled_probe(sw_nodes, sw_flows, 8, sw_secs);
+
     // -- observability: figure-output identity -----------------------------
     eprintln!("checking fig6 figure-output identity (registry disabled and enabled) ...");
     clear_memos();
@@ -1044,6 +1133,14 @@ fn main() {
         json,
         "  \"metrics_overhead\": {{ \"pairs\": {obs_pairs}, \"sim_secs\": {obs_sim_secs}, \"best_ratio\": {best_ratio:.4}, \"median_pair_ratio\": {median_ratio:.4}, \"score\": {overhead_score:.4}, \"retried\": {overhead_retried}, \"enabled_events_per_sec\": {:.0}, \"note\": \"ratio = wall(no registry) / wall(disabled registry), paired in-process; gate >= 0.99\" }},",
         enabled_probe.events_per_sec()
+    );
+    let _ = writeln!(
+        json,
+        "  \"span_overhead\": {{ \"workload\": \"sharded hello_dense, 8 shards\", \"pairs\": {span_pairs}, \"sim_secs\": {span_sim_secs}, \"best_ratio\": {span_best:.4}, \"median_pair_ratio\": {span_median:.4}, \"score\": {span_score:.4}, \"retried\": {span_retried}, \"note\": \"ratio = wall(no observability) / wall(spans disabled), paired in-process; gate >= 0.99\" }},"
+    );
+    let _ = writeln!(
+        json,
+        "  \"spans_enabled\": {{ \"workload\": \"sweep arena, {sw_nodes} nodes, {sw_flows} flows, 8 shards, {sw_secs} sim-secs\", \"events_per_sec\": {spans_on_evps:.0}, \"spans_recorded\": {spans_recorded}, \"note\": \"informational: full span tracing on\" }},"
     );
     let _ = writeln!(
         json,

@@ -325,6 +325,10 @@ impl ShardedArenaRun {
 /// layout — and the epoch-barrier engine guarantees their traces are
 /// bit-identical regardless.
 ///
+/// Delegates to [`imobif_experiments::spans_tools::build_sharded_workload`]
+/// so the `imobif spans` CLI and the benchmark suite profile the exact same
+/// FNV-pinned workload.
+///
 /// When `trace` is set the world records its merged cross-shard trace (used
 /// by the determinism sweep; costs memory at 100k nodes, so the throughput
 /// points leave it off).
@@ -342,84 +346,10 @@ pub fn build_sharded_arena(
     seed: u64,
     trace: bool,
 ) -> ShardedArenaRun {
-    use imobif_netsim::routing::{GreedyRouter, Router};
-
-    let cfg = ScenarioConfig {
-        node_count,
-        area_side: 150.0 * (node_count as f64 / 100.0).sqrt(),
-        seed,
-        ..ScenarioConfig::paper_default()
-    };
-    cfg.validate().expect("scaled config is valid");
-    let strategy = build_strategy(&cfg, StrategyChoice::MinEnergy);
-    let sim_cfg = SimConfig { queue_backend: QueueBackend::Calendar, ..cfg.sim_config() };
-    let bounds = (Point2::new(0.0, 0.0), Point2::new(cfg.area_side, cfg.area_side));
-    let mut world: ShardedWorld<ImobifApp> = ShardedWorld::new(
-        sim_cfg,
-        std::sync::Arc::new(cfg.tx_model().expect("validated config")),
-        std::sync::Arc::new(cfg.mobility_model().expect("validated config")),
-        bounds,
-        shards,
-    )
-    .expect("validated sim config");
-    let app_cfg = ImobifConfig {
-        mode: MobilityMode::Informed,
-        max_step: cfg.max_step,
-        cache: DecisionCacheConfig { enabled: true, ..Default::default() },
-        ..Default::default()
-    };
-    let mut rng = StdRng::seed_from_u64(seed);
-    let positions: Vec<Point2> = (0..node_count)
-        .map(|_| Point2::new(rng.gen_range(0.0..cfg.area_side), rng.gen_range(0.0..cfg.area_side)))
-        .collect();
-    let ids: Vec<NodeId> = positions
-        .iter()
-        .map(|&p| {
-            world.add_node(
-                p,
-                Battery::new(1e5).expect("valid"),
-                ImobifApp::new(app_cfg, strategy.clone()),
-            )
-        })
-        .collect();
-    if trace {
-        world.enable_tracing();
-    }
-    world.start();
-
-    let topo = TopologyView::new(positions, vec![true; node_count], cfg.range);
-    let mut flows = Vec::with_capacity(n_flows);
-    let mut attempts = 0;
-    while flows.len() < n_flows {
-        attempts += 1;
-        assert!(attempts < 200 * n_flows, "arena must admit {n_flows} routable flows");
-        let src = ids[rng.gen_range(0..node_count)];
-        let dst = ids[rng.gen_range(0..node_count)];
-        if src == dst {
-            continue;
-        }
-        let Ok(path) = GreedyRouter.route(&topo, src, dst) else {
-            continue;
-        };
-        if path.len() < 3 {
-            continue;
-        }
-        let flow = FlowId::new(flows.len() as u32);
-        let spec = FlowSpec {
-            flow,
-            path,
-            total_bits: 8_000_000,
-            packet_bits: cfg.packet_bits,
-            interval: cfg.packet_interval(),
-            initial_mobility_enabled: cfg.initial_mobility_enabled,
-            estimate_factor: cfg.estimate_factor,
-            start_delay: SimDuration::from_millis(500),
-            strategy: strategy.kind(),
-        };
-        install_flow(&mut world, &spec).expect("routed paths are valid");
-        flows.push((flow, dst));
-    }
-    ShardedArenaRun { world, flows, packet_bits: cfg.packet_bits }
+    let run = imobif_experiments::spans_tools::build_sharded_workload(
+        node_count, n_flows, shards, seed, trace,
+    );
+    ShardedArenaRun { world: run.world, flows: run.flows, packet_bits: run.packet_bits }
 }
 
 /// Builds a HELLO-dense arena: the full 100-node deployment with beaconing

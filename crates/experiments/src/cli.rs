@@ -9,6 +9,9 @@
 //!   (additionally export Prometheus text format);
 //! * `trace record|summary|dump` — record a traced flow case to JSONL and
 //!   analyze recordings offline;
+//! * `spans summary|dump|flame` — run the sharded scale workload with span
+//!   tracing on and report phase wall-time (markdown table, JSONL stream,
+//!   or collapsed-stack text + flamegraph SVG);
 //! * `manifest-check FILE` — validate a run-manifest artifact.
 
 use std::fs;
@@ -17,11 +20,12 @@ use std::time::Instant;
 
 use imobif::MobilityMode;
 use imobif_netsim::trace::{events_from_jsonl, events_to_jsonl};
-use imobif_obs::{fnv1a64, PhaseTimer, RunManifest};
+use imobif_obs::{fnv1a64, PhaseTimer, Registry, RunManifest};
 
 use crate::config::ScenarioConfig;
 use crate::figures::{ext, fig5, fig6, fig7, fig8};
 use crate::runner::StrategyChoice;
+use crate::spans_tools::{self, SpansRunSpec};
 use crate::trace_tools;
 
 const USAGE: &str = "usage:
@@ -32,6 +36,9 @@ const USAGE: &str = "usage:
          [--strategy min-energy|max-lifetime] [--cap N]
   imobif trace summary FILE
   imobif trace dump FILE [--kind K] [--node N] [--limit L]
+  imobif spans summary|dump|flame [--nodes N] [--flows F] [--shards K]
+         [--threads T] [--secs S] [--seed SEED] [--span-cap N]
+         [--progress] [--out DIR]
   imobif manifest-check FILE";
 
 /// Runs the CLI against `argv` (program name already stripped) and returns
@@ -40,6 +47,7 @@ const USAGE: &str = "usage:
 pub fn run(argv: &[String]) -> i32 {
     let result = match argv.first().map(String::as_str) {
         Some("trace") => trace_cmd(&argv[1..]),
+        Some("spans") => spans_cmd(&argv[1..]),
         Some("manifest-check") => manifest_check_cmd(&argv[1..]),
         _ => figures_cmd(argv),
     };
@@ -243,6 +251,7 @@ fn figures_cmd(argv: &[String]) -> Result<(), String> {
 
     if args.metrics {
         crate::obs::publish_memo_metrics(&registry);
+        let snapshot = registry.snapshot();
         let manifest = RunManifest {
             tool: "imobif-experiments".to_string(),
             targets: args.targets.clone(),
@@ -251,7 +260,8 @@ fn figures_cmd(argv: &[String]) -> Result<(), String> {
             flows: u32::try_from(args.flows).unwrap_or(u32::MAX),
             threads: crate::runner::thread_count(),
             phases: timer.into_phases(),
-            metrics: registry.snapshot(),
+            trace: crate::obs::trace_health(&snapshot),
+            metrics: snapshot,
         };
         // The manifest embeds the full metrics snapshot, so one JSON file
         // is the complete run artifact; default to the working directory
@@ -375,6 +385,110 @@ fn trace_dump(argv: &[String]) -> Result<(), String> {
     Ok(())
 }
 
+fn parse_spans_args(argv: &[String]) -> Result<(SpansRunSpec, Option<PathBuf>), String> {
+    let mut spec = SpansRunSpec::default();
+    let mut out: Option<PathBuf> = None;
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--nodes" => spec.nodes = parse_value(it.next(), "--nodes")?,
+            "--flows" => spec.flows = parse_value(it.next(), "--flows")?,
+            "--shards" => spec.shards = parse_value(it.next(), "--shards")?,
+            "--threads" => spec.threads = parse_value(it.next(), "--threads")?,
+            "--secs" => spec.secs = parse_value(it.next(), "--secs")?,
+            "--seed" => spec.seed = parse_value(it.next(), "--seed")?,
+            "--span-cap" => spec.span_cap = parse_value(it.next(), "--span-cap")?,
+            "--progress" => spec.progress = true,
+            "--out" => out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    if spec.shards == 0 || spec.nodes == 0 || spec.secs == 0 {
+        return Err("--nodes, --shards and --secs must be positive".to_string());
+    }
+    Ok((spec, out))
+}
+
+fn spans_config_hash(sub: &str, spec: &SpansRunSpec) -> u64 {
+    let canonical = format!(
+        "spans-{sub};nodes={};flows={};shards={};threads={};secs={};seed={};span_cap={}",
+        spec.nodes, spec.flows, spec.shards, spec.threads, spec.secs, spec.seed, spec.span_cap
+    );
+    fnv1a64(canonical.as_bytes())
+}
+
+/// `imobif spans summary|dump|flame`: run the sharded scale workload with
+/// span tracing enabled, then report. With `--out`, every subcommand also
+/// writes `run_manifest.json` (schema v2, per-shard metric families) and
+/// `metrics.prom`; `flame` defaults `--out` to the working directory since
+/// its whole point is file artifacts.
+fn spans_cmd(argv: &[String]) -> Result<(), String> {
+    let sub = argv.first().map(String::as_str);
+    if !matches!(sub, Some("summary" | "dump" | "flame")) {
+        return Err(USAGE.to_string());
+    }
+    let sub = sub.expect("matched above");
+    let (spec, mut out) = parse_spans_args(&argv[1..])?;
+    if sub == "flame" && out.is_none() {
+        out = Some(PathBuf::from("."));
+    }
+    let mut timer = PhaseTimer::new();
+    timer.start("build");
+    let mut run = spans_tools::prepare(&spec);
+    timer.start("run");
+    spans_tools::drive(&mut run, &spec);
+    timer.start("export");
+    let out = out.as_deref();
+
+    match sub {
+        "summary" => print!("{}", spans_tools::summary_markdown(&run, &spec)),
+        "dump" => {
+            let jsonl = run.world.spans().map(imobif_obs::SpanSink::to_jsonl).unwrap_or_default();
+            match out {
+                Some(_) => write_artifact(out, "spans.jsonl", &jsonl),
+                None => print!("{jsonl}"),
+            }
+        }
+        "flame" => {
+            let aggs = spans_tools::sorted_aggregates(&run);
+            let folded = crate::flame::to_folded(&aggs);
+            // Round-trip through the parser so a malformed emitter fails
+            // loudly here instead of downstream in external tooling.
+            let stacks = crate::flame::parse_folded(&folded)
+                .map_err(|e| format!("internal: generated folded text invalid: {e}"))?;
+            let title = format!(
+                "imobif spans — {} nodes / {} shards / {}s sim",
+                spec.nodes, spec.shards, spec.secs
+            );
+            write_artifact(out, "spans.folded", &folded);
+            write_artifact(out, "spans_flame.svg", &crate::flame::flame_svg(&stacks, &title));
+        }
+        _ => unreachable!(),
+    }
+
+    if out.is_some() {
+        let registry = Registry::enabled();
+        run.world.publish_metrics(&registry);
+        timer.finish();
+        let snapshot = registry.snapshot();
+        let manifest = RunManifest {
+            tool: "imobif-spans".to_string(),
+            targets: vec![format!("spans-{sub}")],
+            config_hash: spans_config_hash(sub, &spec),
+            seed: spec.seed,
+            flows: u32::try_from(spec.flows).unwrap_or(u32::MAX),
+            threads: spec.threads,
+            phases: timer.into_phases(),
+            trace: crate::obs::trace_health(&snapshot),
+            metrics: snapshot,
+        };
+        write_artifact(out, "run_manifest.json", &manifest.render());
+        write_artifact(out, "metrics.prom", &manifest.metrics.to_prometheus());
+    }
+    Ok(())
+}
+
 fn manifest_check_cmd(argv: &[String]) -> Result<(), String> {
     let path = argv.first().ok_or(USAGE)?;
     if argv.len() > 1 {
@@ -438,6 +552,59 @@ mod tests {
     fn unknown_subcommand_is_a_figure_arg_error() {
         assert_eq!(run(&argv(&["definitely-not-a-figure"])), 2);
         assert_eq!(run(&argv(&["trace"])), 2);
+        assert_eq!(run(&argv(&["spans"])), 2);
+        assert_eq!(run(&argv(&["spans", "sideways"])), 2);
         assert_eq!(run(&argv(&["manifest-check"])), 2);
+    }
+
+    #[test]
+    fn spans_args_parse_defaults_and_flags() {
+        let (s, out) = parse_spans_args(&argv(&[
+            "--nodes",
+            "200",
+            "--shards",
+            "4",
+            "--secs",
+            "3",
+            "--progress",
+        ]))
+        .unwrap();
+        assert_eq!((s.nodes, s.shards, s.secs), (200, 4, 3));
+        assert!(s.progress);
+        assert!(out.is_none());
+        let (d, _) = parse_spans_args(&[]).unwrap();
+        assert_eq!(d, SpansRunSpec::default());
+        assert!(parse_spans_args(&argv(&["--shards", "0"])).is_err());
+        assert!(parse_spans_args(&argv(&["--bogus"])).is_err());
+        assert_ne!(
+            spans_config_hash("flame", &d),
+            spans_config_hash("flame", &SpansRunSpec { seed: 1, ..d })
+        );
+    }
+
+    #[test]
+    fn spans_flame_writes_parseable_artifacts() {
+        let dir = std::env::temp_dir().join(format!("imobif-spans-flame-{}", std::process::id()));
+        let dir_s = dir.to_str().expect("utf-8 temp path").to_string();
+        let code = run(&argv(&[
+            "spans", "flame", "--nodes", "120", "--flows", "2", "--shards", "4", "--secs", "1",
+            "--out", &dir_s,
+        ]));
+        assert_eq!(code, 0);
+        let folded = fs::read_to_string(dir.join("spans.folded")).expect("folded written");
+        let stacks = crate::flame::parse_folded(&folded).expect("folded parses");
+        assert!(!stacks.is_empty());
+        assert!(stacks.iter().any(|(frames, _)| frames[0].starts_with("shard")));
+        let svg = fs::read_to_string(dir.join("spans_flame.svg")).expect("svg written");
+        assert!(svg.starts_with("<svg"));
+        let manifest_text =
+            fs::read_to_string(dir.join("run_manifest.json")).expect("manifest written");
+        let manifest = RunManifest::validate(&manifest_text).expect("manifest valid");
+        assert_eq!(manifest.tool, "imobif-spans");
+        assert!(manifest.trace.spans_recorded > 0);
+        assert!(manifest.metrics.counter("shard.epochs").unwrap_or(0) > 0);
+        let prom = fs::read_to_string(dir.join("metrics.prom")).expect("prom written");
+        imobif_obs::promlint::lint(&prom).expect("prom text is clean");
+        let _ = fs::remove_dir_all(&dir);
     }
 }

@@ -1,0 +1,246 @@
+//! Flamegraph export for span aggregates.
+//!
+//! Two artifacts, both derived from the exact per-`(phase, shard)`
+//! aggregates of a [`SpanSink`](imobif_obs::SpanSink) (never from the raw
+//! span ring, which may have evicted):
+//!
+//! * **Collapsed-stack text** (`spans.folded`) — one line per stack,
+//!   `frame;frame value`, the interchange format consumed by the standard
+//!   flamegraph toolchain (`flamegraph.pl`, inferno, speedscope). Our
+//!   stacks are two frames deep: the scope (`coord` or `shardN`) and the
+//!   phase name; the value is total wall microseconds.
+//! * **A self-contained SVG icicle** (`spans_flame.svg`) — no scripts, no
+//!   external fonts; rectangles are laid out top-down with width
+//!   proportional to wall time and carry `<title>` tooltips.
+//!
+//! Output ordering is deterministic: stacks sort lexicographically, which
+//! puts `coord` before `shardN` and phases alphabetically within a scope.
+
+use imobif_obs::{fnv1a64, PhaseAgg, COORD_SHARD};
+
+/// Human label for a span scope: `coord` or `shardN`.
+#[must_use]
+pub fn scope_label(shard: u32) -> String {
+    if shard == COORD_SHARD {
+        "coord".to_string()
+    } else {
+        format!("shard{shard}")
+    }
+}
+
+/// Renders span aggregates as collapsed-stack text: one
+/// `scope;phase total_us` line per aggregate with nonzero wall time,
+/// sorted lexicographically.
+#[must_use]
+pub fn to_folded(aggs: &[PhaseAgg]) -> String {
+    let mut lines: Vec<String> = aggs
+        .iter()
+        .filter(|a| a.total_us > 0)
+        .map(|a| format!("{};{} {}", scope_label(a.shard), a.name, a.total_us))
+        .collect();
+    lines.sort();
+    let mut out = lines.join("\n");
+    if !out.is_empty() {
+        out.push('\n');
+    }
+    out
+}
+
+/// Parses collapsed-stack text back into `(frames, value)` stacks.
+///
+/// Accepts the format [`to_folded`] emits (and the wider ecosystem
+/// convention): non-empty lines of `frame;frame;... value`, frames free of
+/// spaces and semicolons, value a base-10 integer.
+pub fn parse_folded(text: &str) -> Result<Vec<(Vec<String>, u64)>, String> {
+    let mut stacks = Vec::new();
+    for (i, line) in text.lines().enumerate() {
+        let line = line.trim_end();
+        if line.is_empty() {
+            continue;
+        }
+        let n = i + 1;
+        let (stack, value) =
+            line.rsplit_once(' ').ok_or_else(|| format!("line {n}: missing value column"))?;
+        let value: u64 =
+            value.parse().map_err(|e| format!("line {n}: bad value {value:?}: {e}"))?;
+        let frames: Vec<String> = stack.split(';').map(str::to_string).collect();
+        if frames.iter().any(|f| f.is_empty() || f.contains(' ')) {
+            return Err(format!("line {n}: malformed stack {stack:?}"));
+        }
+        stacks.push((frames, value));
+    }
+    Ok(stacks)
+}
+
+/// One node of the flame trie: a frame, its subtree total, its children.
+struct Node {
+    name: String,
+    value: u64,
+    children: Vec<Node>,
+}
+
+impl Node {
+    fn child(&mut self, name: &str) -> &mut Node {
+        if let Some(i) = self.children.iter().position(|c| c.name == name) {
+            return &mut self.children[i];
+        }
+        self.children.push(Node { name: name.to_string(), value: 0, children: Vec::new() });
+        self.children.last_mut().expect("just pushed")
+    }
+
+    fn depth(&self) -> usize {
+        1 + self.children.iter().map(Node::depth).max().unwrap_or(0)
+    }
+}
+
+/// Deterministic warm fill color per frame name (the classic flamegraph
+/// look, minus the randomness so diffs stay stable).
+fn fill(name: &str) -> String {
+    let h = fnv1a64(name.as_bytes());
+    let r = 205 + (h % 50) as u16;
+    let g = 50 + ((h >> 8) % 130) as u16;
+    let b = (h >> 16) % 50;
+    format!("rgb({r},{g},{b})")
+}
+
+const WIDTH: f64 = 1000.0;
+const ROW_H: f64 = 20.0;
+const TITLE_H: f64 = 28.0;
+
+fn escape(s: &str) -> String {
+    s.replace('&', "&amp;").replace('<', "&lt;").replace('>', "&gt;")
+}
+
+fn render_node(node: &Node, x0: f64, depth: usize, per_us: f64, svg: &mut String) {
+    let mut x = x0;
+    for c in &node.children {
+        let w = c.value as f64 * per_us;
+        let y = TITLE_H + depth as f64 * ROW_H;
+        let label = if w > 8.0 * (c.name.len() as f64 + 2.0) {
+            format!(
+                "<text x=\"{:.1}\" y=\"{:.1}\" font-size=\"12\" \
+                 font-family=\"monospace\">{}</text>",
+                x + 3.0,
+                y + 14.0,
+                escape(&c.name)
+            )
+        } else {
+            String::new()
+        };
+        svg.push_str(&format!(
+            "<g><title>{} — {} µs</title>\
+             <rect x=\"{:.1}\" y=\"{:.1}\" width=\"{:.1}\" height=\"{:.1}\" \
+             fill=\"{}\" stroke=\"white\"/>{}</g>\n",
+            escape(&c.name),
+            c.value,
+            x,
+            y,
+            w.max(0.5),
+            ROW_H - 1.0,
+            fill(&c.name),
+            label
+        ));
+        render_node(c, x, depth + 1, per_us, svg);
+        x += w;
+    }
+}
+
+/// Renders parsed stacks as a self-contained icicle SVG (root row on top,
+/// one row per stack depth, widths proportional to value).
+#[must_use]
+pub fn flame_svg(stacks: &[(Vec<String>, u64)], title: &str) -> String {
+    let mut root = Node { name: "all".to_string(), value: 0, children: Vec::new() };
+    for (frames, value) in stacks {
+        root.value += value;
+        let mut node = &mut root;
+        for f in frames {
+            node = node.child(f);
+            node.value += value;
+        }
+    }
+    let depth = root.depth();
+    let height = TITLE_H + depth as f64 * ROW_H + 4.0;
+    let per_us = if root.value == 0 { 0.0 } else { WIDTH / root.value as f64 };
+    let mut svg = format!(
+        "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{WIDTH}\" height=\"{height}\" \
+         viewBox=\"0 0 {WIDTH} {height}\">\n\
+         <rect width=\"100%\" height=\"100%\" fill=\"#fdfdfd\"/>\n\
+         <text x=\"{:.1}\" y=\"19\" font-size=\"15\" font-family=\"monospace\" \
+         text-anchor=\"middle\">{}</text>\n",
+        WIDTH / 2.0,
+        escape(title)
+    );
+    svg.push_str(&format!(
+        "<g><title>all — {} µs</title>\
+         <rect x=\"0\" y=\"{TITLE_H}\" width=\"{WIDTH}\" height=\"{:.1}\" \
+         fill=\"#c8c8c8\" stroke=\"white\"/>\
+         <text x=\"3\" y=\"{:.1}\" font-size=\"12\" font-family=\"monospace\">all</text></g>\n",
+        root.value,
+        ROW_H - 1.0,
+        TITLE_H + 14.0,
+    ));
+    render_node(&root, 0.0, 1, per_us, &mut svg);
+    svg.push_str("</svg>\n");
+    svg
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn agg(name: &'static str, shard: u32, total_us: u64) -> PhaseAgg {
+        PhaseAgg {
+            name,
+            shard,
+            count: 1,
+            total_us,
+            max_us: total_us,
+            bins: [0; imobif_obs::span::SPAN_WALL_BINS],
+        }
+    }
+
+    #[test]
+    fn folded_sorts_and_round_trips() {
+        let aggs = [
+            agg("compute", 1, 40),
+            agg("compute", 0, 30),
+            agg("sched", COORD_SHARD, 10),
+            agg("xfer_merge", COORD_SHARD, 0), // zero wall: dropped
+        ];
+        let folded = to_folded(&aggs);
+        assert_eq!(folded, "coord;sched 10\nshard0;compute 30\nshard1;compute 40\n");
+        let stacks = parse_folded(&folded).expect("own output parses");
+        assert_eq!(stacks.len(), 3);
+        assert_eq!(stacks[0], (vec!["coord".to_string(), "sched".to_string()], 10));
+        assert_eq!(stacks[2].1, 40);
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        assert!(parse_folded("no-value-column\n").is_err());
+        assert!(parse_folded("a;b not-a-number\n").is_err());
+        assert!(parse_folded("a;;b 3\n").is_err());
+        assert!(parse_folded("").expect("empty ok").is_empty());
+    }
+
+    #[test]
+    fn svg_contains_every_frame_and_is_proportional() {
+        let stacks = parse_folded("coord;sched 100\nshard0;compute 900\n").expect("parses");
+        let svg = flame_svg(&stacks, "test flame");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.ends_with("</svg>\n"));
+        assert!(svg.contains("shard0"));
+        assert!(svg.contains("sched"));
+        assert!(svg.contains("test flame"));
+        // Root covers the full width; compute's rect is 9× sched's.
+        assert!(svg.contains("width=\"900.0\""));
+        assert!(svg.contains("width=\"100.0\""));
+    }
+
+    #[test]
+    fn empty_input_still_renders_valid_svg() {
+        let svg = flame_svg(&[], "empty");
+        assert!(svg.starts_with("<svg"));
+        assert!(svg.contains("empty"));
+    }
+}

@@ -38,10 +38,12 @@ pub mod chart;
 pub mod cli;
 pub mod config;
 pub mod figures;
+pub mod flame;
 pub mod metrics;
 pub mod obs;
 pub mod render;
 pub mod report;
 pub mod runner;
+pub mod spans_tools;
 pub mod topology;
 pub mod trace_tools;

@@ -10,7 +10,7 @@
 
 use std::sync::{Arc, Mutex, OnceLock};
 
-use imobif_obs::Registry;
+use imobif_obs::{Registry, Snapshot, TraceHealth};
 
 fn slot() -> &'static Mutex<Arc<Registry>> {
     static SLOT: OnceLock<Mutex<Arc<Registry>>> = OnceLock::new();
@@ -60,6 +60,24 @@ pub fn publish_memo_metrics(registry: &Registry) {
     registry.gauge("memo.draw.misses").set(stats.draw_misses as f64);
 }
 
+/// Assembles the manifest's trace-health block from a metrics snapshot.
+///
+/// The engines publish their sink health as `trace.{recorded,evicted}`
+/// (`World::publish_metrics` / `ShardedWorld::publish_metrics`) and
+/// `spans.{recorded,evicted}` (sharded engine only) counter families; a
+/// family absent from the snapshot means the corresponding sink never ran
+/// and counts as zero.
+#[must_use]
+pub fn trace_health(snap: &Snapshot) -> TraceHealth {
+    let c = |name: &str| snap.counter(name).unwrap_or(0);
+    TraceHealth {
+        trace_recorded: c("trace.recorded"),
+        trace_evicted: c("trace.evicted"),
+        spans_recorded: c("spans.recorded"),
+        spans_evicted: c("spans.evicted"),
+    }
+}
+
 /// Serializes tests that swap the process-wide registry slot, so parallel
 /// test threads cannot observe each other's enabled/disabled state.
 #[cfg(test)]
@@ -93,6 +111,19 @@ mod tests {
         assert_eq!(registry().snapshot().counter("test.visible"), Some(1));
         disable_metrics();
         assert!(!registry().is_enabled());
+    }
+
+    #[test]
+    fn trace_health_reads_sink_counters_and_defaults_to_zero() {
+        let reg = Registry::enabled();
+        reg.counter("trace.recorded").add(7);
+        reg.counter("spans.recorded").add(3);
+        let h = trace_health(&reg.snapshot());
+        assert_eq!(h.trace_recorded, 7);
+        assert_eq!(h.trace_evicted, 0);
+        assert_eq!(h.spans_recorded, 3);
+        assert_eq!(h.spans_evicted, 0);
+        assert_eq!(trace_health(&Registry::disabled().snapshot()), TraceHealth::default());
     }
 
     #[test]

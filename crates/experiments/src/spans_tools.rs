@@ -1,0 +1,345 @@
+//! Sharded-workload span tooling behind `imobif spans summary|dump|flame`.
+//!
+//! The workload is the constant-density scale arena used by the benchmark
+//! suite's shard/thread scaling curves (`imobif-bench` delegates its
+//! builder here so the CLI profiles *exactly* the FNV-pinned workload):
+//! `node_count` iMobif nodes uniformly placed on a square sized for
+//! constant density, `n_flows` greedy-routed flows of 8 Mbit each, run
+//! through the epoch-barrier engine. Span tracing is enabled for the whole
+//! run, so afterwards the world carries raw spans (ring-bounded), exact
+//! per-phase aggregates, and the always-on epoch counters.
+
+use std::io::Write as _;
+use std::sync::Arc;
+use std::time::Instant;
+
+use imobif::{install_flow, DecisionCacheConfig, FlowSpec, ImobifApp, ImobifConfig, MobilityMode};
+use imobif_energy::Battery;
+use imobif_geom::Point2;
+use imobif_netsim::routing::{GreedyRouter, Router};
+use imobif_netsim::{
+    FlowId, NodeId, QueueBackend, ShardedWorld, SimConfig, SimDuration, SimTime, TopologyView,
+};
+use imobif_obs::{PhaseAgg, Registry, COORD_SHARD};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::ScenarioConfig;
+use crate::flame::scope_label;
+use crate::runner::{build_strategy, StrategyChoice};
+
+/// A built sharded workload: world started, flows installed.
+pub struct ShardedRun {
+    /// The sharded world (flows installed, world started).
+    pub world: ShardedWorld<ImobifApp>,
+    /// `(flow, destination)` pairs for delivery accounting.
+    pub flows: Vec<(FlowId, NodeId)>,
+    /// Payload bits per packet (for packet counting).
+    pub packet_bits: u64,
+}
+
+impl ShardedRun {
+    /// Payload packets delivered across all flows so far.
+    #[must_use]
+    pub fn delivered_packets(&self) -> u64 {
+        self.flows
+            .iter()
+            .map(|&(flow, dst)| {
+                self.world.app(dst).dest(flow).map_or(0, |d| d.received_bits) / self.packet_bits
+            })
+            .sum()
+    }
+}
+
+/// Builds the constant-density sharded arena: `node_count` nodes uniformly
+/// placed on a square scaled for constant density (the paper's 100-node
+/// density), `n_flows` greedy-routed 8-Mbit flows, min-energy informed
+/// mobility, calendar queue. Positions, paths, and flow specs are drawn
+/// from one seeded stream, so equal `(node_count, n_flows, seed)` produce
+/// bit-identical simulations at any shard/thread count.
+///
+/// When `trace` is set the world records its merged cross-shard trace
+/// (costs memory at large node counts).
+///
+/// # Panics
+///
+/// Panics if the scaled config is invalid or fewer than `n_flows` routable
+/// source/destination pairs exist — a setup bug, not a runtime condition.
+#[must_use]
+pub fn build_sharded_workload(
+    node_count: usize,
+    n_flows: usize,
+    shards: usize,
+    seed: u64,
+    trace: bool,
+) -> ShardedRun {
+    let cfg = ScenarioConfig {
+        node_count,
+        area_side: 150.0 * (node_count as f64 / 100.0).sqrt(),
+        seed,
+        ..ScenarioConfig::paper_default()
+    };
+    cfg.validate().expect("scaled config is valid");
+    let strategy = build_strategy(&cfg, StrategyChoice::MinEnergy);
+    let sim_cfg = SimConfig { queue_backend: QueueBackend::Calendar, ..cfg.sim_config() };
+    let bounds = (Point2::new(0.0, 0.0), Point2::new(cfg.area_side, cfg.area_side));
+    let mut world: ShardedWorld<ImobifApp> = ShardedWorld::new(
+        sim_cfg,
+        Arc::new(cfg.tx_model().expect("validated config")),
+        Arc::new(cfg.mobility_model().expect("validated config")),
+        bounds,
+        shards,
+    )
+    .expect("validated sim config");
+    let app_cfg = ImobifConfig {
+        mode: MobilityMode::Informed,
+        max_step: cfg.max_step,
+        cache: DecisionCacheConfig { enabled: true, ..Default::default() },
+        ..Default::default()
+    };
+    let mut rng = StdRng::seed_from_u64(seed);
+    let positions: Vec<Point2> = (0..node_count)
+        .map(|_| Point2::new(rng.gen_range(0.0..cfg.area_side), rng.gen_range(0.0..cfg.area_side)))
+        .collect();
+    let ids: Vec<NodeId> = positions
+        .iter()
+        .map(|&p| {
+            world.add_node(
+                p,
+                Battery::new(1e5).expect("valid"),
+                ImobifApp::new(app_cfg, strategy.clone()),
+            )
+        })
+        .collect();
+    if trace {
+        world.enable_tracing();
+    }
+    world.start();
+
+    let topo = TopologyView::new(positions, vec![true; node_count], cfg.range);
+    let mut flows = Vec::with_capacity(n_flows);
+    let mut attempts = 0;
+    while flows.len() < n_flows {
+        attempts += 1;
+        assert!(attempts < 200 * n_flows, "arena must admit {n_flows} routable flows");
+        let src = ids[rng.gen_range(0..node_count)];
+        let dst = ids[rng.gen_range(0..node_count)];
+        if src == dst {
+            continue;
+        }
+        let Ok(path) = GreedyRouter.route(&topo, src, dst) else {
+            continue;
+        };
+        if path.len() < 3 {
+            continue;
+        }
+        let flow = FlowId::new(flows.len() as u32);
+        let spec = FlowSpec {
+            flow,
+            path,
+            total_bits: 8_000_000,
+            packet_bits: cfg.packet_bits,
+            interval: cfg.packet_interval(),
+            initial_mobility_enabled: cfg.initial_mobility_enabled,
+            estimate_factor: cfg.estimate_factor,
+            start_delay: SimDuration::from_millis(500),
+            strategy: strategy.kind(),
+        };
+        install_flow(&mut world, &spec).expect("routed paths are valid");
+        flows.push((flow, dst));
+    }
+    ShardedRun { world, flows, packet_bits: cfg.packet_bits }
+}
+
+/// Parameters of one `imobif spans` run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SpansRunSpec {
+    /// Nodes in the arena.
+    pub nodes: usize,
+    /// Flows installed.
+    pub flows: usize,
+    /// Spatial shards.
+    pub shards: usize,
+    /// Worker threads (1 = serial coordinator loop).
+    pub threads: usize,
+    /// Simulated seconds to run.
+    pub secs: u64,
+    /// Topology/flow seed.
+    pub seed: u64,
+    /// Span ring capacity.
+    pub span_cap: usize,
+    /// Emit a live progress line on stderr while running.
+    pub progress: bool,
+}
+
+impl Default for SpansRunSpec {
+    fn default() -> Self {
+        SpansRunSpec {
+            nodes: 1000,
+            flows: 8,
+            shards: 8,
+            threads: 1,
+            secs: 10,
+            seed: 2025,
+            span_cap: imobif_netsim::DEFAULT_SPAN_CAPACITY,
+            progress: false,
+        }
+    }
+}
+
+/// Builds the workload for `spec` with span tracing enabled.
+#[must_use]
+pub fn prepare(spec: &SpansRunSpec) -> ShardedRun {
+    let mut run = build_sharded_workload(spec.nodes, spec.flows, spec.shards, spec.seed, false);
+    run.world.enable_spans(spec.span_cap);
+    run.world.set_threads(spec.threads);
+    run
+}
+
+/// Runs the workload to `spec.secs` of simulated time, in slices so a
+/// `--progress` line (epochs/sec, mean active shards, sim fraction, ETA)
+/// can refresh on stderr between slices. Slicing does not perturb results:
+/// epoch windows are aligned to the deadline-free schedule either way.
+pub fn drive(run: &mut ShardedRun, spec: &SpansRunSpec) {
+    const SLICES: u64 = 40;
+    let total_us = spec.secs * 1_000_000;
+    let t0 = Instant::now();
+    let mut last_epochs = 0u64;
+    let mut last_wall = 0.0f64;
+    for i in 1..=SLICES {
+        run.world.run_until(SimTime::from_micros(total_us * i / SLICES));
+        if !spec.progress {
+            continue;
+        }
+        let wall = t0.elapsed().as_secs_f64();
+        let p = run.world.epoch_profile().unwrap_or_default();
+        let frac = i as f64 / SLICES as f64;
+        let rate = if wall > last_wall {
+            (p.epochs - last_epochs) as f64 / (wall - last_wall)
+        } else {
+            0.0
+        };
+        let eta = if frac > 0.0 { wall / frac * (1.0 - frac) } else { 0.0 };
+        eprint!(
+            "\rspans: {:3.0}% sim | {} epochs @ {:.0}/s | {:.1} active shards | eta {:.1}s   ",
+            frac * 100.0,
+            p.epochs,
+            rate,
+            p.mean_active_shards(),
+            eta
+        );
+        let _ = std::io::stderr().flush();
+        last_epochs = p.epochs;
+        last_wall = wall;
+    }
+    if spec.progress {
+        eprintln!();
+    }
+}
+
+/// Span aggregates in deterministic report order: coordinator scope first,
+/// then shards ascending; phases alphabetically within a scope.
+#[must_use]
+pub fn sorted_aggregates(run: &ShardedRun) -> Vec<PhaseAgg> {
+    let mut aggs: Vec<PhaseAgg> =
+        run.world.spans().map(|sp| sp.aggregates().to_vec()).unwrap_or_default();
+    // COORD_SHARD is u32::MAX; map it below every real shard index.
+    let key = |a: &PhaseAgg| if a.shard == COORD_SHARD { 0u64 } else { a.shard as u64 + 1 };
+    aggs.sort_by(|a, b| key(a).cmp(&key(b)).then(a.name.cmp(b.name)));
+    aggs
+}
+
+/// Markdown report: run parameters, epoch-pipeline counters, and a
+/// per-`(scope, phase)` wall-time table.
+#[must_use]
+pub fn summary_markdown(run: &ShardedRun, spec: &SpansRunSpec) -> String {
+    let p = run.world.epoch_profile().unwrap_or_default();
+    let sp = run.world.spans();
+    let (recorded, evicted) = sp.map_or((0, 0), |s| (s.recorded(), s.evicted()));
+    let mut out = format!(
+        "# spans summary — {} nodes, {} flows, {} shards, {} thread(s), {}s sim, seed {}\n\n",
+        spec.nodes, spec.flows, spec.shards, spec.threads, spec.secs, spec.seed
+    );
+    out.push_str(&format!(
+        "epochs: {} | shard-epochs: {} (mean {:.2} active) | idle skipped: {}\n",
+        p.epochs,
+        p.shard_epochs,
+        p.mean_active_shards(),
+        p.idle_shard_epochs_skipped
+    ));
+    let reg = Registry::enabled();
+    run.world.publish_metrics(&reg);
+    let snap = reg.snapshot();
+    out.push_str(&format!(
+        "fast-forward: {} epochs ({:.3} sim-secs skipped) | xfer: {} delivers, \
+         {} observations, {} replica patches\n",
+        snap.counter("shard.fast_forward.epochs").unwrap_or(0),
+        snap.float("shard.fast_forward.sim_secs_skipped").unwrap_or(0.0),
+        p.delivers_merged,
+        p.observations_applied,
+        p.replica_patches
+    ));
+    out.push_str(&format!(
+        "wall: sched {:.3}s | compute {:.3}s (summed per shard) | apply {:.3}s\n",
+        p.sched_secs, p.compute_secs, p.apply_secs
+    ));
+    out.push_str(&format!(
+        "spans recorded: {recorded} (evicted from ring: {evicted}) | packets delivered: {}\n\n",
+        run.delivered_packets()
+    ));
+    out.push_str("| scope | phase | count | total ms | mean µs | max µs |\n");
+    out.push_str("|---|---|---:|---:|---:|---:|\n");
+    for a in sorted_aggregates(run) {
+        out.push_str(&format!(
+            "| {} | {} | {} | {:.3} | {:.1} | {} |\n",
+            scope_label(a.shard),
+            a.name,
+            a.count,
+            a.total_us as f64 / 1e3,
+            a.mean_us(),
+            a.max_us
+        ));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_spec() -> SpansRunSpec {
+        SpansRunSpec { nodes: 120, flows: 2, shards: 4, secs: 2, ..SpansRunSpec::default() }
+    }
+
+    #[test]
+    fn prepare_drive_summarize_round_trip() {
+        let spec = tiny_spec();
+        let mut run = prepare(&spec);
+        drive(&mut run, &spec);
+        assert_eq!(run.world.time(), SimTime::from_micros(spec.secs * 1_000_000));
+        let p = run.world.epoch_profile().expect("spans enabled");
+        assert!(p.epochs > 0);
+        let md = summary_markdown(&run, &spec);
+        assert!(md.contains("| coord | sched |"));
+        assert!(md.contains("| shard0 | compute |"));
+        let aggs = sorted_aggregates(&run);
+        assert!(!aggs.is_empty());
+        // coord rows first, shards ascending afterwards.
+        let first_real = aggs.iter().position(|a| a.shard != COORD_SHARD).expect("shard rows");
+        assert!(aggs[..first_real].iter().all(|a| a.shard == COORD_SHARD));
+        assert!(aggs[first_real..].windows(2).all(|w| w[0].shard <= w[1].shard));
+    }
+
+    #[test]
+    fn sliced_drive_matches_single_run_until() {
+        let spec = tiny_spec();
+        let mut sliced = prepare(&spec);
+        drive(&mut sliced, &spec);
+        let mut whole =
+            build_sharded_workload(spec.nodes, spec.flows, spec.shards, spec.seed, false);
+        whole.world.run_until(SimTime::from_micros(spec.secs * 1_000_000));
+        assert_eq!(sliced.world.events_processed(), whole.world.events_processed());
+        assert_eq!(sliced.world.packets_delivered(), whole.world.packets_delivered());
+        assert_eq!(sliced.delivered_packets(), whole.delivered_packets());
+    }
+}

@@ -102,5 +102,5 @@ pub use medium::TopologyView;
 pub use node::{NodeRef, NodeStore};
 pub use stats::{EnergyCategory, EnergyLedger, NodeEnergy};
 pub use time::{SimDuration, SimTime};
-pub use world::shard::{EpochProfile, ShardLayout, ShardedWorld};
+pub use world::shard::{EpochProfile, ShardLayout, ShardedWorld, DEFAULT_SPAN_CAPACITY};
 pub use world::{Effect, KernelStats, TimerKind, World};

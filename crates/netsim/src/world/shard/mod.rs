@@ -64,6 +64,8 @@ use std::sync::Arc;
 
 use imobif_energy::{Battery, MobilityCostModel, TxEnergyModel};
 use imobif_geom::Point2;
+use imobif_obs::span::phase;
+use imobif_obs::{Registry, SpanSink, COORD_SHARD};
 
 use super::kernel::Event;
 use super::observe::KernelStats;
@@ -74,8 +76,15 @@ use crate::{
 };
 use engine::{Replica, Shard, SharedCtx, XKey};
 use pool::{Job, WorkerCtx, WorkerPool};
+use profile::EpochCounters;
 pub use profile::EpochProfile;
 use xfer::{MergeScratch, RepPatch, ShardOutbox};
+
+/// Span ring capacity used by [`ShardedWorld::enable_epoch_profiling`];
+/// callers wanting longer raw-span retention use
+/// [`ShardedWorld::enable_spans`] directly (phase aggregates are exact at
+/// any capacity).
+pub const DEFAULT_SPAN_CAPACITY: usize = 1 << 16;
 
 /// The spatial partition: a `gx × gy` grid of rectangular cells over the
 /// deployment bounds, one shard per cell. Nodes are assigned to the shard
@@ -287,7 +296,10 @@ pub struct ShardedWorld<A: Application> {
     spare_outs: Vec<ShardOutbox<A::Msg>>,
     /// Neighbor tables recycled across resets, as in `World::reset_into`.
     spare_tables: Vec<NeighborTable>,
-    profile: Option<Box<EpochProfile>>,
+    /// Always-on pipeline counters (plain integer adds, no clock reads).
+    counters: EpochCounters,
+    /// Span sink; `None` ⇒ zero cost: no timestamps read, no spans built.
+    spans: Option<Box<SpanSink>>,
     /// Test-only schedule: run every shard every epoch (the PR 6
     /// behavior) instead of only active shards.
     dense_epochs: bool,
@@ -344,7 +356,8 @@ impl<A: Application> ShardedWorld<A> {
             spare_shards: Vec::new(),
             spare_outs: Vec::new(),
             spare_tables: Vec::new(),
-            profile: None,
+            counters: EpochCounters::default(),
+            spans: None,
             dense_epochs: false,
             time: SimTime::ZERO,
             started: false,
@@ -418,6 +431,10 @@ impl<A: Application> ShardedWorld<A> {
         self.layout = layout;
         self.tx_model = tx_model;
         self.mobility_model = mobility_model;
+        self.counters = EpochCounters::default();
+        if let Some(sp) = &mut self.spans {
+            sp.clear();
+        }
         self.time = SimTime::ZERO;
         self.started = false;
         Ok(())
@@ -482,7 +499,8 @@ impl<A: Application> ShardedWorld<A> {
             replica,
             sched,
             merge,
-            profile,
+            counters,
+            spans,
             ..
         } = self;
         let owner: &[(u32, u32)] = owner;
@@ -511,7 +529,9 @@ impl<A: Application> ShardedWorld<A> {
             sched,
             Arc::get_mut(replica).expect("replica uniquely held between runs"),
             merge,
-            profile,
+            counters,
+            spans,
+            0,
         );
     }
 
@@ -561,7 +581,8 @@ impl<A: Application> ShardedWorld<A> {
             replica,
             sched,
             merge,
-            profile,
+            counters,
+            spans,
             time,
             ..
         } = self;
@@ -573,8 +594,10 @@ impl<A: Application> ShardedWorld<A> {
             owner,
         };
         sched.rebuild(shards);
+        // End of the previous window this run, for fast-forward detection.
+        let mut prev_end: Option<SimTime> = None;
         loop {
-            let t0 = profile::tick(profile);
+            let t0 = spans.as_ref().map(|sp| sp.now_us());
             let next = if dense {
                 shards.iter().filter_map(|s| s.queue.peek_time()).min()
             } else {
@@ -584,6 +607,7 @@ impl<A: Application> ShardedWorld<A> {
             if next > deadline {
                 break;
             }
+            let eid = counters.epochs;
             let end = next + epoch;
             if dense {
                 sched.active.clear();
@@ -591,33 +615,40 @@ impl<A: Application> ShardedWorld<A> {
             } else {
                 sched.collect_active(shards, end, deadline);
             }
-            if let Some(p) = profile.as_mut() {
-                p.sched_secs += profile::tock(t0);
-                p.epochs += 1;
-                p.shard_epochs += sched.active.len() as u64;
-                p.idle_shard_epochs_skipped += (shards.len() - sched.active.len()) as u64;
+            if let Some(pe) = prev_end {
+                if next > pe {
+                    counters.fast_forward_epochs += 1;
+                    counters.fast_forward_us_skipped += next.as_micros() - pe.as_micros();
+                }
             }
-            let t1 = profile::tick(profile);
+            prev_end = Some(end);
+            counters.epochs += 1;
+            counters.shard_epochs += sched.active.len() as u64;
+            counters.idle_shard_epochs_skipped += (shards.len() - sched.active.len()) as u64;
+            if let Some(sp) = spans.as_mut() {
+                let now = sp.now_us();
+                sp.record(phase::SCHED, COORD_SHARD, eid, t0.unwrap_or(now), now);
+            }
             for &s in &sched.active {
+                let c0 = spans.as_ref().map(|sp| sp.now_us());
                 shards[s as usize].run_epoch(&sh, replica, &mut outs[s as usize], end, deadline);
+                if let Some(sp) = spans.as_mut() {
+                    let now = sp.now_us();
+                    sp.record(phase::COMPUTE, s, eid, c0.unwrap_or(now), now);
+                }
             }
-            if let Some(p) = profile.as_mut() {
-                p.compute_secs += profile::tock(t1);
-            }
-            let t2 = profile::tick(profile);
             apply_epoch(
                 shards,
                 outs,
                 sched,
                 Arc::get_mut(replica).expect("replica uniquely held between epochs"),
                 merge,
-                profile,
+                counters,
+                spans,
+                eid,
             );
             if !dense {
                 sched.repush(shards);
-            }
-            if let Some(p) = profile.as_mut() {
-                p.apply_secs += profile::tock(t2);
             }
             *time = (*time).max(end.min(deadline));
         }
@@ -652,14 +683,16 @@ impl<A: Application> ShardedWorld<A> {
             worker_pool,
             spare_shards,
             spare_outs,
-            profile,
+            counters,
+            spans,
             time,
             ..
         } = self;
         let pool = worker_pool.as_ref().expect("pool created above");
         sched.rebuild(shards);
+        let mut prev_end: Option<SimTime> = None;
         loop {
-            let t0 = profile::tick(profile);
+            let t0 = spans.as_ref().map(|sp| sp.now_us());
             let next = if dense {
                 shards.iter().filter_map(|s| s.queue.peek_time()).min()
             } else {
@@ -669,6 +702,7 @@ impl<A: Application> ShardedWorld<A> {
             if next > deadline {
                 break;
             }
+            let eid = counters.epochs;
             let end = next + epoch;
             if dense {
                 sched.active.clear();
@@ -676,13 +710,26 @@ impl<A: Application> ShardedWorld<A> {
             } else {
                 sched.collect_active(shards, end, deadline);
             }
-            if let Some(p) = profile.as_mut() {
-                p.sched_secs += profile::tock(t0);
-                p.epochs += 1;
-                p.shard_epochs += sched.active.len() as u64;
-                p.idle_shard_epochs_skipped += (shards.len() - sched.active.len()) as u64;
+            if let Some(pe) = prev_end {
+                if next > pe {
+                    counters.fast_forward_epochs += 1;
+                    counters.fast_forward_us_skipped += next.as_micros() - pe.as_micros();
+                }
             }
-            let t1 = profile::tick(profile);
+            prev_end = Some(end);
+            counters.epochs += 1;
+            counters.shard_epochs += sched.active.len() as u64;
+            counters.idle_shard_epochs_skipped += (shards.len() - sched.active.len()) as u64;
+            counters.pool_jobs += sched.active.len() as u64;
+            counters.pool_max_depth = counters.pool_max_depth.max(sched.active.len() as u64);
+            if let Some(sp) = spans.as_mut() {
+                let now = sp.now_us();
+                sp.record(phase::SCHED, COORD_SHARD, eid, t0.unwrap_or(now), now);
+            }
+            // Workers time their own compute spans against a copy of the
+            // sink's clock and ship `(start, end)` back with each `Done`.
+            let clock = spans.as_ref().map(|sp| sp.clock());
+            let t1 = spans.as_ref().map(|sp| sp.now_us());
             for &s in &sched.active {
                 let shard = std::mem::replace(
                     &mut shards[s as usize],
@@ -698,30 +745,33 @@ impl<A: Application> ShardedWorld<A> {
                     deadline,
                     rep: Arc::clone(replica),
                     ctx: Arc::clone(&ctx),
+                    clock,
                 });
             }
             for _ in 0..sched.active.len() {
                 let done = pool.collect();
+                if let (Some(sp), Some((a, b))) = (spans.as_mut(), done.span_us) {
+                    sp.record(phase::COMPUTE, done.idx, eid, a, b);
+                }
                 spare_shards.push(std::mem::replace(&mut shards[done.idx as usize], done.shard));
                 spare_outs.push(std::mem::replace(&mut outs[done.idx as usize], done.out));
             }
-            if let Some(p) = profile.as_mut() {
-                p.compute_secs += profile::tock(t1);
+            if let Some(sp) = spans.as_mut() {
+                let now = sp.now_us();
+                sp.record(phase::BARRIER_WAIT, COORD_SHARD, eid, t1.unwrap_or(now), now);
             }
-            let t2 = profile::tick(profile);
             apply_epoch(
                 shards,
                 outs,
                 sched,
                 Arc::get_mut(replica).expect("replica uniquely held between epochs"),
                 merge,
-                profile,
+                counters,
+                spans,
+                eid,
             );
             if !dense {
                 sched.repush(shards);
-            }
-            if let Some(p) = profile.as_mut() {
-                p.apply_secs += profile::tock(t2);
             }
             *time = (*time).max(end.min(deadline));
         }
@@ -779,18 +829,108 @@ impl<A: Application> ShardedWorld<A> {
         self.threads
     }
 
-    /// Enables per-epoch cost attribution (see [`EpochProfile`]); cheap
-    /// counters plus three clock reads per epoch.
-    pub fn enable_epoch_profiling(&mut self) {
-        if self.profile.is_none() {
-            self.profile = Some(Box::default());
+    /// Enables epoch span tracing: every epoch phase (scheduling, each
+    /// shard's compute window, barrier wait, and the three barrier stages)
+    /// records a `(name, shard, epoch, t_start, t_end)` span into a ring
+    /// of `capacity` raw spans plus exact per-phase aggregates. When not
+    /// enabled the engine never reads the clock and builds no spans.
+    /// Purely observational — simulation output is bit-identical either
+    /// way (property-tested).
+    pub fn enable_spans(&mut self, capacity: usize) {
+        if self.spans.is_none() {
+            self.spans = Some(Box::new(SpanSink::new(capacity)));
         }
     }
 
-    /// The accumulated epoch profile, if profiling is enabled.
+    /// The span sink, if span tracing is enabled.
     #[must_use]
-    pub fn epoch_profile(&self) -> Option<&EpochProfile> {
-        self.profile.as_deref()
+    pub fn spans(&self) -> Option<&SpanSink> {
+        self.spans.as_deref()
+    }
+
+    /// Enables per-epoch cost attribution (see [`EpochProfile`]) — an
+    /// alias for [`ShardedWorld::enable_spans`] with the default ring
+    /// capacity, since the profile is derived from the span aggregates.
+    pub fn enable_epoch_profiling(&mut self) {
+        self.enable_spans(DEFAULT_SPAN_CAPACITY);
+    }
+
+    /// The epoch profile derived from the always-on pipeline counters and
+    /// the span aggregates; `None` until span tracing/profiling is
+    /// enabled. See [`profile`](EpochProfile)'s module docs for the
+    /// format change vs the pre-span profiler.
+    #[must_use]
+    pub fn epoch_profile(&self) -> Option<EpochProfile> {
+        self.spans.as_deref().map(|sp| EpochProfile::derive(&self.counters, sp))
+    }
+
+    /// Flushes the engine's pipeline counters, per-shard families, and
+    /// span aggregates into `registry`, once per call (the run loops
+    /// never touch the registry). No-op on a disabled registry.
+    ///
+    /// Families: `shard.*` pipeline/fast-forward/xfer/pool counters,
+    /// per-shard `shard.s{i}.events_processed`, and — when span tracing
+    /// is on — `spans.{recorded,evicted}` plus per-scope
+    /// `shard.{coord|s{i}}.{phase}_wall_us` histograms and
+    /// `..._secs` totals, with `shard.pool.utilization` derived from the
+    /// compute/barrier-wait ratio. With tracing enabled,
+    /// `trace.{recorded,evicted}` mirrors the serial world's family
+    /// (sharded traces are unbounded, so `evicted` is always 0).
+    pub fn publish_metrics(&self, registry: &Registry) {
+        if !registry.is_enabled() {
+            return;
+        }
+        let c = &self.counters;
+        registry.counter("shard.epochs").add(c.epochs);
+        registry.counter("shard.shard_epochs").add(c.shard_epochs);
+        registry.counter("shard.idle_shard_epochs_skipped").add(c.idle_shard_epochs_skipped);
+        registry.counter("shard.fast_forward.epochs").add(c.fast_forward_epochs);
+        registry
+            .float_counter("shard.fast_forward.sim_secs_skipped")
+            .add(c.fast_forward_us_skipped as f64 / 1e6);
+        registry.counter("shard.xfer.delivers_merged").add(c.delivers_merged);
+        registry.counter("shard.xfer.observations_applied").add(c.observations_applied);
+        registry.counter("shard.xfer.replica_patches").add(c.replica_patches);
+        registry.counter("shard.pool.jobs").add(c.pool_jobs);
+        registry.gauge("shard.pool.max_queue_depth").set(c.pool_max_depth as f64);
+        let workers = self.threads.min(self.shards.len());
+        registry.gauge("shard.pool.workers").set(workers as f64);
+        registry.gauge("shard.count").set(self.shards.len() as f64);
+        for (i, s) in self.shards.iter().enumerate() {
+            registry.counter(&format!("shard.s{i}.events_processed")).add(s.events_processed);
+        }
+        if self.shards.iter().any(|s| s.trace.is_some()) {
+            let recorded: u64 =
+                self.shards.iter().map(|s| s.trace.as_ref().map_or(0, Vec::len) as u64).sum();
+            registry.counter("trace.recorded").add(recorded);
+            registry.counter("trace.evicted").add(0);
+        }
+        if let Some(sp) = &self.spans {
+            registry.counter("spans.recorded").add(sp.recorded());
+            registry.counter("spans.evicted").add(sp.evicted());
+            for agg in sp.aggregates() {
+                let scope = if agg.shard == COORD_SHARD {
+                    "coord".to_string()
+                } else {
+                    format!("s{}", agg.shard)
+                };
+                let h = registry.histogram(
+                    &format!("shard.{scope}.{}_wall_us", agg.name),
+                    &imobif_obs::span::SPAN_WALL_BOUNDS_US,
+                );
+                for (bin, &n) in agg.bins.iter().enumerate() {
+                    h.observe_n(imobif_obs::span::SPAN_WALL_BIN_VALUES[bin], n);
+                }
+                registry
+                    .float_counter(&format!("shard.{scope}.{}_secs", agg.name))
+                    .add(agg.total_us as f64 / 1e6);
+            }
+            let compute = sp.total_secs(phase::COMPUTE);
+            let barrier = sp.total_secs(phase::BARRIER_WAIT);
+            if barrier > 0.0 && workers > 0 {
+                registry.gauge("shard.pool.utilization").set(compute / (workers as f64 * barrier));
+            }
+        }
     }
 
     /// Test/bench hook: run every shard every epoch (the PR 6 schedule)
@@ -1022,6 +1162,14 @@ impl<A: Application> ShardedWorld<A> {
     pub fn trace_fnv(&self) -> u64 {
         imobif_obs::fnv1a64(crate::trace::events_to_jsonl(&self.merged_trace()).as_bytes())
     }
+
+    /// Total trace events recorded across shards. Sharded traces are
+    /// unbounded (unlike the serial world's `RingTrace`), so nothing is
+    /// ever evicted and this equals the merged trace length.
+    #[must_use]
+    pub fn trace_events_recorded(&self) -> u64 {
+        self.shards.iter().map(|s| s.trace.as_ref().map_or(0, Vec::len) as u64).sum()
+    }
 }
 
 impl<A: Application> std::fmt::Debug for ShardedWorld<A> {
@@ -1048,18 +1196,22 @@ impl<A: Application> std::fmt::Debug for ShardedWorld<A> {
 ///   downstream tie-breaks depend on it. Destinations that receive a
 ///   delivery are recorded in `sched.woken` so the activity heap learns
 ///   their (possibly earlier) next event time.
+#[allow(clippy::too_many_arguments)]
 fn apply_epoch<A: Application>(
     shards: &mut [Shard<A>],
     outs: &mut [ShardOutbox<A::Msg>],
     sched: &mut Scheduler,
     replica: &mut Replica,
     merge: &mut MergeScratch,
-    profile: &mut Option<Box<EpochProfile>>,
+    counters: &mut EpochCounters,
+    spans: &mut Option<Box<SpanSink>>,
+    epoch_id: u64,
 ) {
     sched.woken.clear();
     let mut delivers = 0u64;
     let mut observations = 0u64;
     let mut patches = 0u64;
+    let t_rep = spans.as_ref().map(|sp| sp.now_us());
     for &s in &sched.active {
         let rep_run = &mut outs[s as usize].rep;
         patches += rep_run.len() as u64;
@@ -1080,6 +1232,13 @@ fn apply_epoch<A: Application>(
             }
         }
     }
+    let t_obs = if let Some(sp) = spans.as_mut() {
+        let now = sp.now_us();
+        sp.record(phase::REPLICA_SYNC, COORD_SHARD, epoch_id, t_rep.unwrap_or(now), now);
+        Some(now)
+    } else {
+        None
+    };
     for (d, dest) in shards.iter_mut().enumerate() {
         for &s in &sched.active {
             let run = &mut outs[s as usize].obs[d];
@@ -1104,6 +1263,13 @@ fn apply_epoch<A: Application>(
             run.slots.clear();
         }
     }
+    let t_dlv = if let Some(sp) = spans.as_mut() {
+        let now = sp.now_us();
+        sp.record(phase::OBS_APPLY, COORD_SHARD, epoch_id, t_obs.unwrap_or(now), now);
+        Some(now)
+    } else {
+        None
+    };
     for (d, dest) in shards.iter_mut().enumerate() {
         merge.heap.clear();
         for &s in &sched.active {
@@ -1134,9 +1300,11 @@ fn apply_epoch<A: Application>(
             }
         }
     }
-    if let Some(p) = profile.as_mut() {
-        p.delivers_merged += delivers;
-        p.observations_applied += observations;
-        p.replica_patches += patches;
+    if let Some(sp) = spans.as_mut() {
+        let now = sp.now_us();
+        sp.record(phase::XFER_MERGE, COORD_SHARD, epoch_id, t_dlv.unwrap_or(now), now);
     }
+    counters.delivers_merged += delivers;
+    counters.observations_applied += observations;
+    counters.replica_patches += patches;
 }

@@ -26,6 +26,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 
 use imobif_energy::{MobilityCostModel, TxEnergyModel};
+use imobif_obs::SpanClock;
 
 use super::engine::{Replica, Shard, SharedCtx};
 use super::xfer::ShardOutbox;
@@ -62,6 +63,9 @@ pub(super) struct Job<A: Application> {
     pub(super) deadline: SimTime,
     pub(super) rep: Arc<Replica>,
     pub(super) ctx: Arc<WorkerCtx>,
+    /// Span clock copied from the coordinator's sink; `None` ⇒ span
+    /// tracing is off and the worker never reads the clock.
+    pub(super) clock: Option<SpanClock>,
 }
 
 /// A finished job: the shard and its filled outbox, returned by value.
@@ -69,6 +73,9 @@ pub(super) struct Done<A: Application> {
     pub(super) idx: u32,
     pub(super) shard: Shard<A>,
     pub(super) out: ShardOutbox<A::Msg>,
+    /// `(start_us, end_us)` of the compute window on the job's clock,
+    /// recorded into the sink by the coordinator at collect time.
+    pub(super) span_us: Option<(u64, u64)>,
 }
 
 /// The persistent worker threads. Workers block on the shared job queue
@@ -99,14 +106,16 @@ impl<A: Application> WorkerPool<A> {
                         rx.recv()
                     };
                     let Ok(job) = job else { break };
-                    let Job { idx, mut shard, mut out, end, deadline, rep, ctx } = job;
+                    let Job { idx, mut shard, mut out, end, deadline, rep, ctx, clock } = job;
+                    let start_us = clock.map(|c| c.now_us());
                     shard.run_epoch(&ctx.shared(), &rep, &mut out, end, deadline);
+                    let span_us = clock.zip(start_us).map(|(c, a)| (a, c.now_us()));
                     // Release the replica handle *before* signaling done:
                     // the coordinator's `Arc::get_mut` after collecting the
                     // epoch's `Done`s relies on it.
                     drop(rep);
                     drop(ctx);
-                    if done_tx.send(Done { idx, shard, out }).is_err() {
+                    if done_tx.send(Done { idx, shard, out, span_us }).is_err() {
                         break;
                     }
                 })

@@ -1,14 +1,62 @@
-//! Per-epoch cost attribution for the sharded engine.
+//! Per-epoch cost attribution for the sharded engine, derived on demand.
 //!
-//! Enabled via [`ShardedWorld::enable_epoch_profiling`]
-//! (crate::ShardedWorld::enable_epoch_profiling); when off, the engine
-//! never reads the clock. The breakdown separates the three places an
-//! epoch spends time — scheduling (finding the next window and the active
-//! shards), compute (running shard event loops), and the barrier apply
-//! (merging deliveries, recording observations, patching the replica) —
-//! so a shard-overhead regression is attributable without a profiler.
+//! Since the span-tracing rework, the engine keeps no profiling-only
+//! bookkeeping. [`EpochProfile`] is assembled from two sources that exist
+//! anyway:
+//!
+//! * [`EpochCounters`] — always-on plain `u64` pipeline counters (a few
+//!   integer adds per epoch, no clock reads, no allocation — the same
+//!   discipline as `KernelStats`);
+//! * the [`SpanSink`](imobif_obs::SpanSink) phase aggregates — wall-time
+//!   totals per `(phase, shard)`, populated only while span tracing is
+//!   enabled ([`ShardedWorld::enable_spans`]
+//!   (crate::ShardedWorld::enable_spans)); when off, the engine never
+//!   reads the clock.
+//!
+//! Format change vs the pre-span profiler: `compute_secs` now sums the
+//! *per-shard* compute spans, so on pooled runs it counts total worker
+//! time and can exceed the run's wall clock (the old value was the
+//! coordinator's submit-to-collect wall, now reported separately as the
+//! `barrier_wait` phase). `apply_secs` is the sum of the three barrier
+//! phases (`replica_sync` + `obs_apply` + `xfer_merge`). The counter
+//! fields are cumulative from world construction/reset, not from
+//! profiling enablement.
 
-/// Cumulative epoch-pipeline counters and wall-time attribution.
+use imobif_obs::span::phase;
+use imobif_obs::SpanSink;
+
+/// Always-on epoch-pipeline counters. Incremented unconditionally by the
+/// run loops and the barrier: pure integer adds, no clock, no allocation.
+#[derive(Debug, Default, Clone, Copy)]
+pub(super) struct EpochCounters {
+    /// Barrier-delimited windows executed.
+    pub(super) epochs: u64,
+    /// Shard event loops actually run (≤ `epochs × shard_count`).
+    pub(super) shard_epochs: u64,
+    /// Shard event loops skipped because the shard had no event inside
+    /// the window.
+    pub(super) idle_shard_epochs_skipped: u64,
+    /// Cross-shard deliveries routed through the k-way merge.
+    pub(super) delivers_merged: u64,
+    /// Individual hearer observations recorded at barriers.
+    pub(super) observations_applied: u64,
+    /// Replica position/liveness patches applied at barriers.
+    pub(super) replica_patches: u64,
+    /// Windows whose start jumped past the previous window's end — the
+    /// activity scheduler fast-forwarding over idle sim time.
+    pub(super) fast_forward_epochs: u64,
+    /// Simulated microseconds those jumps skipped.
+    pub(super) fast_forward_us_skipped: u64,
+    /// Shard jobs submitted to the worker pool (pooled runs only).
+    pub(super) pool_jobs: u64,
+    /// Largest number of jobs in flight in one epoch (pooled runs only).
+    pub(super) pool_max_depth: u64,
+}
+
+/// Cumulative epoch-pipeline counters and wall-time attribution. A
+/// point-in-time view derived by [`ShardedWorld::epoch_profile`]
+/// (crate::ShardedWorld::epoch_profile); see the module docs for how each
+/// field is sourced and how the format changed with span tracing.
 #[derive(Debug, Default, Clone, Copy, PartialEq)]
 pub struct EpochProfile {
     /// Barrier-delimited windows executed.
@@ -27,7 +75,8 @@ pub struct EpochProfile {
     pub replica_patches: u64,
     /// Wall-clock seconds choosing windows and active shards.
     pub sched_secs: f64,
-    /// Wall-clock seconds inside shard event loops.
+    /// Wall-clock seconds inside shard event loops, summed per shard (may
+    /// exceed run wall time on pooled runs).
     pub compute_secs: f64,
     /// Wall-clock seconds applying barrier effects.
     pub apply_secs: f64,
@@ -43,16 +92,22 @@ impl EpochProfile {
             self.shard_epochs as f64 / self.epochs as f64
         }
     }
-}
 
-/// Starts a wall-clock measurement if profiling is on.
-#[inline]
-pub(super) fn tick(profile: &Option<Box<EpochProfile>>) -> Option<std::time::Instant> {
-    profile.as_ref().map(|_| std::time::Instant::now())
-}
-
-/// Seconds elapsed since a [`tick`], or `0.0` when profiling is off.
-#[inline]
-pub(super) fn tock(start: Option<std::time::Instant>) -> f64 {
-    start.map_or(0.0, |t0| t0.elapsed().as_secs_f64())
+    /// Assembles the profile view from the always-on counters and the
+    /// span aggregates.
+    pub(super) fn derive(c: &EpochCounters, sink: &SpanSink) -> EpochProfile {
+        EpochProfile {
+            epochs: c.epochs,
+            shard_epochs: c.shard_epochs,
+            idle_shard_epochs_skipped: c.idle_shard_epochs_skipped,
+            delivers_merged: c.delivers_merged,
+            observations_applied: c.observations_applied,
+            replica_patches: c.replica_patches,
+            sched_secs: sink.total_secs(phase::SCHED),
+            compute_secs: sink.total_secs(phase::COMPUTE),
+            apply_secs: sink.total_secs(phase::REPLICA_SYNC)
+                + sink.total_secs(phase::OBS_APPLY)
+                + sink.total_secs(phase::XFER_MERGE),
+        }
+    }
 }

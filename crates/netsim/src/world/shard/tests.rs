@@ -447,3 +447,137 @@ proptest::proptest! {
         proptest::prop_assert_eq!(&got, &want);
     }
 }
+
+// ------------------------------------------------------------------ spans
+
+#[test]
+fn spans_do_not_perturb_any_observable() {
+    let sc = invariance_scenario();
+    let mut plain = make_sharded(4);
+    let base = run_scenario(&mut plain, &sc);
+    assert!(plain.spans().is_none(), "spans stay off unless enabled");
+
+    let mut spanned = make_sharded(4);
+    spanned.enable_spans(1 << 12);
+    let got = run_scenario(&mut spanned, &sc);
+    assert_eq!(got, base, "span tracing changed simulation output");
+    let sink = spanned.spans().expect("spans enabled");
+    assert!(sink.recorded() > 0, "a run this size records spans");
+    let phases: Vec<&str> = sink.aggregates().iter().map(|a| a.name).collect();
+    for want in [phase::SCHED, phase::COMPUTE, phase::XFER_MERGE, phase::OBS_APPLY] {
+        assert!(phases.contains(&want), "missing phase {want}: {phases:?}");
+    }
+
+    let mut pooled = make_sharded(4);
+    pooled.set_threads(2);
+    pooled.enable_spans(1 << 12);
+    let got = run_scenario(&mut pooled, &sc);
+    assert_eq!(got, base, "span tracing on the pooled path changed output");
+    let sink = pooled.spans().expect("spans enabled");
+    assert!(
+        sink.aggregates().iter().any(|a| a.name == phase::BARRIER_WAIT),
+        "pooled runs record barrier_wait spans"
+    );
+    assert!(
+        sink.aggregates().iter().any(|a| a.name == phase::COMPUTE && a.shard != COORD_SHARD),
+        "worker-timed compute spans carry real shard ids"
+    );
+}
+
+#[test]
+fn epoch_profile_is_derived_from_counters_and_span_aggregates() {
+    let sc = invariance_scenario();
+    let mut w = make_sharded(4);
+    assert!(w.epoch_profile().is_none(), "no profile before enabling");
+    w.enable_epoch_profiling();
+    let _ = run_scenario(&mut w, &sc);
+    let p = w.epoch_profile().expect("profiling enabled");
+    assert!(p.epochs > 0);
+    assert!(p.shard_epochs >= p.epochs, "at least one shard runs per epoch");
+    assert!(p.mean_active_shards() <= 4.0);
+    assert!(p.sched_secs >= 0.0 && p.compute_secs >= 0.0 && p.apply_secs >= 0.0);
+    let sink = w.spans().expect("profiling is span-backed");
+    let sched_count: u64 =
+        sink.aggregates().iter().filter(|a| a.name == phase::SCHED).map(|a| a.count).sum();
+    assert_eq!(sched_count, p.epochs, "one sched span per epoch");
+    let compute_count: u64 =
+        sink.aggregates().iter().filter(|a| a.name == phase::COMPUTE).map(|a| a.count).sum();
+    assert_eq!(compute_count, p.shard_epochs, "one compute span per shard-epoch");
+}
+
+#[test]
+fn publish_metrics_flushes_shard_families() {
+    let sc = invariance_scenario();
+    let mut w = make_sharded(4);
+    w.enable_spans(1 << 12);
+    let _ = run_scenario(&mut w, &sc);
+    let p = w.epoch_profile().expect("spans enabled");
+
+    let reg = imobif_obs::Registry::enabled();
+    w.publish_metrics(&reg);
+    let snap = reg.snapshot();
+    assert_eq!(snap.counter("shard.epochs"), Some(p.epochs));
+    assert_eq!(snap.counter("shard.shard_epochs"), Some(p.shard_epochs));
+    assert_eq!(snap.counter("shard.xfer.delivers_merged"), Some(p.delivers_merged));
+    assert_eq!(snap.counter("shard.xfer.observations_applied"), Some(p.observations_applied));
+    assert_eq!(snap.counter("shard.xfer.replica_patches"), Some(p.replica_patches));
+    assert!(
+        snap.counter("shard.fast_forward.epochs").expect("family present") > 0,
+        "sparse timer schedule fast-forwards"
+    );
+    let per_shard: u64 = (0..4)
+        .map(|i| snap.counter(&format!("shard.s{i}.events_processed")).expect("per-shard family"))
+        .sum();
+    assert_eq!(per_shard, w.events_processed());
+    assert_eq!(snap.counter("spans.recorded"), Some(w.spans().unwrap().recorded()));
+    // Traces were enabled by run_scenario; the trace family mirrors them.
+    assert_eq!(snap.counter("trace.recorded"), Some(w.trace_events_recorded()));
+    match snap.get("shard.coord.sched_wall_us") {
+        Some(imobif_obs::MetricValue::Histogram(h)) => assert_eq!(h.count, p.epochs),
+        other => panic!("expected sched wall histogram, got {other:?}"),
+    }
+    // Prometheus rendering of the full family set lints clean.
+    imobif_obs::promlint::lint(&snap.to_prometheus()).expect("shard families lint clean");
+
+    let off = imobif_obs::Registry::disabled();
+    w.publish_metrics(&off);
+    assert!(off.snapshot().entries.is_empty(), "disabled registry stays empty");
+}
+
+#[test]
+fn span_ring_evicts_but_aggregates_and_profile_stay_exact() {
+    let sc = invariance_scenario();
+    let mut w = make_sharded(4);
+    w.enable_spans(8);
+    let _ = run_scenario(&mut w, &sc);
+    let sink = w.spans().expect("spans enabled");
+    assert!(sink.recorded() > 8, "run outgrows a tiny ring");
+    assert_eq!(sink.evicted(), sink.recorded() - 8);
+    assert_eq!(sink.spans().len(), 8);
+    let p = w.epoch_profile().expect("profile still derivable");
+    let sched_count: u64 =
+        sink.aggregates().iter().filter(|a| a.name == phase::SCHED).map(|a| a.count).sum();
+    assert_eq!(sched_count, p.epochs, "aggregates are exempt from ring eviction");
+}
+
+#[test]
+fn reset_clears_spans_and_counters() {
+    let sc = invariance_scenario();
+    let mut w = make_sharded(4);
+    w.enable_spans(1 << 12);
+    let _ = run_scenario(&mut w, &sc);
+    assert!(w.epoch_profile().expect("enabled").epochs > 0);
+    let mut apps = Vec::new();
+    w.reset_into(
+        SimConfig::default(),
+        Arc::new(PowerLawModel::paper_default(2.0).unwrap()),
+        Arc::new(LinearMobilityCost::new(0.5).unwrap()),
+        BOUNDS,
+        4,
+        &mut apps,
+    )
+    .unwrap();
+    let p = w.epoch_profile().expect("span enablement survives reset");
+    assert_eq!(p.epochs, 0);
+    assert_eq!(w.spans().unwrap().recorded(), 0);
+}

@@ -14,15 +14,24 @@
 //! * [`json`] — a minimal JSON value model with a renderer and a
 //!   recursive-descent parser, enough for manifests and trace tooling.
 //! * [`manifest`] — the per-run manifest artifact: config hash, seed,
-//!   thread count, per-phase wall times, and a full metrics snapshot.
+//!   thread count, per-phase wall times, trace/span ring health, and a
+//!   full metrics snapshot.
+//! * [`span`] — epoch span tracing for the sharded engine: a ring-buffered
+//!   [`SpanSink`] of `(name, shard, epoch, t_start, t_end)` phases plus
+//!   exact per-phase aggregates, zero-cost when disabled.
+//! * [`promlint`] — a text-exposition-format linter run over
+//!   `Snapshot::to_prometheus` output in tests and CI.
 
 pub mod json;
 pub mod manifest;
+pub mod promlint;
 pub mod registry;
+pub mod span;
 
 pub use json::Json;
-pub use manifest::{PhaseTimer, RunManifest};
+pub use manifest::{PhaseTimer, RunManifest, TraceHealth};
 pub use registry::{Counter, FloatCounter, Gauge, Histogram, MetricValue, Registry, Snapshot};
+pub use span::{PhaseAgg, Span, SpanClock, SpanSink, COORD_SHARD};
 
 /// FNV-1a 64-bit hash, the workspace's standard content fingerprint
 /// (config hashes in manifests, CSV byte-identity gates in the benches).

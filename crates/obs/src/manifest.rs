@@ -12,7 +12,51 @@ use std::time::Instant;
 use crate::json::Json;
 use crate::registry::Snapshot;
 
-pub const MANIFEST_SCHEMA_VERSION: u64 = 1;
+/// Current schema. v2 added the `trace` ring-health block; v1 documents
+/// (without it) still parse, with the block defaulting to all-zero.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 2;
+
+/// Oldest schema version [`RunManifest::from_json`] still accepts.
+pub const MANIFEST_MIN_SCHEMA_VERSION: u64 = 1;
+
+/// Ring-buffer health of the run's trace and span sinks: how much was
+/// recorded and how much fell off the ring. A nonzero eviction count means
+/// the corresponding dump artifact is truncated (aggregates and metrics
+/// stay exact — only raw event/span streams evict).
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct TraceHealth {
+    /// Trace events recorded (including later-evicted ones).
+    pub trace_recorded: u64,
+    /// Trace events evicted from the `RingTrace`.
+    pub trace_evicted: u64,
+    /// Spans recorded (including later-evicted ones).
+    pub spans_recorded: u64,
+    /// Spans evicted from the `SpanSink` ring.
+    pub spans_evicted: u64,
+}
+
+impl TraceHealth {
+    fn to_json(self) -> Json {
+        Json::Obj(vec![
+            ("trace_recorded".into(), Json::Num(self.trace_recorded as f64)),
+            ("trace_evicted".into(), Json::Num(self.trace_evicted as f64)),
+            ("spans_recorded".into(), Json::Num(self.spans_recorded as f64)),
+            ("spans_evicted".into(), Json::Num(self.spans_evicted as f64)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<TraceHealth, String> {
+        let field = |key: &str| {
+            json.get(key).and_then(Json::as_u64).ok_or_else(|| format!("trace: missing {key}"))
+        };
+        Ok(TraceHealth {
+            trace_recorded: field("trace_recorded")?,
+            trace_evicted: field("trace_evicted")?,
+            spans_recorded: field("spans_recorded")?,
+            spans_evicted: field("spans_evicted")?,
+        })
+    }
+}
 
 /// Wall-clock phase timer: `start("draw")` closes the previous phase and
 /// opens the next; `finish()` closes the last one.
@@ -62,6 +106,8 @@ pub struct RunManifest {
     pub threads: usize,
     /// `(phase name, wall seconds)` in execution order.
     pub phases: Vec<(String, f64)>,
+    /// Trace/span ring health (schema v2; zero for v1 documents).
+    pub trace: TraceHealth,
     pub metrics: Snapshot,
 }
 
@@ -92,6 +138,7 @@ impl RunManifest {
                         .collect(),
                 ),
             ),
+            ("trace".into(), self.trace.to_json()),
             ("metrics".into(), self.metrics.to_json()),
         ])
     }
@@ -104,11 +151,17 @@ impl RunManifest {
     pub fn from_json(json: &Json) -> Result<RunManifest, String> {
         let version =
             json.get("schema_version").and_then(Json::as_u64).ok_or("missing schema_version")?;
-        if version != MANIFEST_SCHEMA_VERSION {
+        if !(MANIFEST_MIN_SCHEMA_VERSION..=MANIFEST_SCHEMA_VERSION).contains(&version) {
             return Err(format!(
-                "unsupported schema_version {version} (want {MANIFEST_SCHEMA_VERSION})"
+                "unsupported schema_version {version} \
+                 (want {MANIFEST_MIN_SCHEMA_VERSION}..={MANIFEST_SCHEMA_VERSION})"
             ));
         }
+        let trace = match json.get("trace") {
+            Some(t) => TraceHealth::from_json(t)?,
+            None if version < 2 => TraceHealth::default(),
+            None => return Err("missing trace block (required from schema v2)".into()),
+        };
         let targets = json
             .get("targets")
             .and_then(Json::as_arr)
@@ -142,6 +195,7 @@ impl RunManifest {
             flows: json.get("flows").and_then(Json::as_u64).ok_or("missing flows")? as u32,
             threads: json.get("threads").and_then(Json::as_u64).ok_or("missing threads")? as usize,
             phases,
+            trace,
             metrics: Snapshot::from_json(json.get("metrics").ok_or("missing metrics")?)?,
         })
     }
@@ -170,6 +224,12 @@ mod tests {
             flows: 8,
             threads: 4,
             phases: vec![("draw".into(), 0.25), ("case".into(), 1.5)],
+            trace: TraceHealth {
+                trace_recorded: 120,
+                trace_evicted: 20,
+                spans_recorded: 64,
+                spans_evicted: 0,
+            },
             metrics: reg.snapshot(),
         }
     }
@@ -188,10 +248,28 @@ mod tests {
         let good = m.render();
         assert!(RunManifest::validate(&good.replace("config_hash", "cfg")).is_err());
         assert!(RunManifest::validate(
-            &good.replace("\"schema_version\":1", "\"schema_version\":99")
+            &good.replace("\"schema_version\":2", "\"schema_version\":99")
         )
         .is_err());
+        // v2 documents must carry the trace block.
+        assert!(RunManifest::validate(&good.replace("\"trace\"", "\"trce\"")).is_err());
         assert!(RunManifest::validate("not json").is_err());
+    }
+
+    #[test]
+    fn accepts_v1_documents_without_trace_block() {
+        let m = sample();
+        let mut json = m.to_json();
+        let Json::Obj(entries) = &mut json else { panic!("manifest renders an object") };
+        entries.retain(|(k, _)| k != "trace");
+        for (k, v) in entries.iter_mut() {
+            if k == "schema_version" {
+                *v = Json::Num(1.0);
+            }
+        }
+        let back = RunManifest::validate(&json.render()).expect("v1 manifest still parses");
+        assert_eq!(back.trace, TraceHealth::default());
+        assert_eq!(back.metrics, m.metrics);
     }
 
     #[test]

@@ -294,15 +294,19 @@ impl Snapshot {
     }
 
     /// Prometheus text exposition format (metric names sanitized to
-    /// `[a-zA-Z0-9_:]`, dots become underscores).
+    /// `[a-zA-Z0-9_:]`, dots become underscores; a leading digit gains an
+    /// underscore prefix since name grammar forbids digit-first names).
     pub fn to_prometheus(&self) -> String {
         use std::fmt::Write as _;
         let mut out = String::new();
         for (name, value) in &self.entries {
-            let name: String = name
+            let mut name: String = name
                 .chars()
                 .map(|c| if c.is_ascii_alphanumeric() || c == ':' { c } else { '_' })
                 .collect();
+            if name.starts_with(|c: char| c.is_ascii_digit()) {
+                name.insert(0, '_');
+            }
             match value {
                 MetricValue::Counter(c) => {
                     let _ = writeln!(out, "# TYPE {name} counter\n{name} {c}");

@@ -63,9 +63,29 @@ echo "==> scaling bench smoke (scale_bench --smoke: allocation + determinism gat
 #     step-every-epoch FNV, and the delta-synced replica == ground truth
 #   - a reduced 100k-node constant-density arena builds and delivers packets
 #   - disabled-mode metrics overhead within 1% (paired in-process ratio)
+#   - disabled-span overhead on the sharded engine within 1% (paired
+#     in-process ratio; disabled spans read no clock and build no span)
 #   - fig6 CSV bytes identical to the pre-observability tip with the
 #     registry disabled AND enabled
 cargo run --release -q -p imobif-bench --bin scale_bench -- --smoke >/dev/null
+
+echo "==> spans flame smoke (collapsed stacks + SVG + sharded manifest)"
+spans_dir=$(mktemp -d)
+trap 'rm -f "${smoke_out:-}"; rm -rf "$spans_dir"' EXIT
+cargo run --release -q -p imobif-experiments --bin imobif -- \
+    spans flame --nodes 300 --flows 4 --shards 4 --secs 5 --out "$spans_dir" >/dev/null
+# Every folded line must parse as `scope;phase value`.
+grep -Eq '^(shard[0-9]+|coord);[a-z_]+ [0-9]+$' "$spans_dir/spans.folded"
+if grep -Evq '^(shard[0-9]+|coord);[a-z_]+ [0-9]+$' "$spans_dir/spans.folded"; then
+    echo "spans.folded contains malformed lines" >&2
+    exit 1
+fi
+grep -q '<svg' "$spans_dir/spans_flame.svg"
+grep -q '"shard.epochs"' "$spans_dir/run_manifest.json"
+grep -q '"spans_recorded"' "$spans_dir/run_manifest.json"
+grep -q '^shard_epochs ' "$spans_dir/metrics.prom"
+cargo run --release -q -p imobif-experiments --bin imobif -- \
+    manifest-check "$spans_dir/run_manifest.json"
 
 if [[ "$SMOKE" == "1" ]]; then
     echo "==> ci OK (smoke subset)"
@@ -74,7 +94,7 @@ fi
 
 echo "==> observability smoke (manifest + metrics artifacts, trace tooling)"
 obs_dir=$(mktemp -d)
-trap 'rm -f "$smoke_out"; rm -rf "$obs_dir"' EXIT
+trap 'rm -f "${smoke_out:-}"; rm -rf "$obs_dir" "$spans_dir"' EXIT
 # A small figure run with metrics on must emit a manifest that validates
 # and carries nonzero kernel readings.
 cargo run --release -q -p imobif-experiments --bin imobif -- \

@@ -15,7 +15,7 @@ use imobif_experiments::obs;
 use imobif_experiments::runner::{build_strategy, run_instance, StrategyChoice};
 use imobif_experiments::topology::draw_scenario;
 use imobif_experiments::trace_tools::record_case;
-use imobif_obs::{PhaseTimer, RunManifest};
+use imobif_obs::{PhaseTimer, RunManifest, TraceHealth};
 
 /// Serializes tests that swap the process-wide registry slot.
 static REGISTRY_LOCK: Mutex<()> = Mutex::new(());
@@ -104,6 +104,7 @@ fn manifest_round_trips_a_live_run() {
         flows: 1,
         threads: 1,
         phases: timer.into_phases(),
+        trace: TraceHealth::default(),
         metrics: reg.snapshot(),
     };
     let text = manifest.render();
