@@ -1,12 +1,15 @@
 //! Shared command-line implementation behind the `imobif` and
 //! `imobif-experiments` binaries.
 //!
-//! Three command families:
+//! The command families:
 //!
 //! * figure regeneration (the default): `[all|fig5|fig6|fig7|fig8|ext]`
 //!   with `--flows/--seed/--out/--threads`, plus the observability flags
 //!   `--metrics` (write a run manifest + metrics JSON) and `--prom`
 //!   (additionally export Prometheus text format);
+//! * `scenario list|validate|print|run` — the declarative scenario layer:
+//!   run any builtin (`examples/scenarios/*.toml`) or user spec file
+//!   through its adapter, with the same artifact and manifest machinery;
 //! * `trace record|summary|dump` — record a traced flow case to JSONL and
 //!   analyze recordings offline;
 //! * `spans summary|dump|flame` — run the sharded scale workload with span
@@ -20,17 +23,23 @@ use std::time::Instant;
 
 use imobif::MobilityMode;
 use imobif_netsim::trace::{events_from_jsonl, events_to_jsonl};
-use imobif_obs::{fnv1a64, PhaseTimer, Registry, RunManifest};
+use imobif_obs::{fnv1a64, PhaseTimer, Registry, RunManifest, ScenarioInfo};
 
 use crate::config::ScenarioConfig;
 use crate::figures::{ext, fig5, fig6, fig7, fig8};
 use crate::runner::StrategyChoice;
+use crate::scenario::{Adapter, ScenarioSpec};
 use crate::spans_tools::{self, SpansRunSpec};
 use crate::trace_tools;
 
 const USAGE: &str = "usage:
   imobif [all|fig5|fig6|fig7|fig8|ext] [--flows N] [--seed S] [--out DIR]
          [--threads T] [--metrics] [--prom]
+  imobif scenario list
+  imobif scenario validate FILE...
+  imobif scenario print NAME|FILE
+  imobif scenario run NAME|FILE [--flows N] [--seed S] [--out DIR]
+         [--threads T] [--metrics] [--prom] [--fnv]
   imobif trace record [--out FILE] [--seed S] [--index I]
          [--mode no-mobility|cost-unaware|informed]
          [--strategy min-energy|max-lifetime] [--cap N]
@@ -46,6 +55,7 @@ const USAGE: &str = "usage:
 #[must_use]
 pub fn run(argv: &[String]) -> i32 {
     let result = match argv.first().map(String::as_str) {
+        Some("scenario") => scenario_cmd(&argv[1..]),
         Some("trace") => trace_cmd(&argv[1..]),
         Some("spans") => spans_cmd(&argv[1..]),
         Some("manifest-check") => manifest_check_cmd(&argv[1..]),
@@ -261,11 +271,222 @@ fn figures_cmd(argv: &[String]) -> Result<(), String> {
             threads: crate::runner::thread_count(),
             phases: timer.into_phases(),
             trace: crate::obs::trace_health(&snapshot),
+            scenario: None,
             metrics: snapshot,
         };
         // The manifest embeds the full metrics snapshot, so one JSON file
         // is the complete run artifact; default to the working directory
         // when no --out was given.
+        let artifact_dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
+        write_artifact(Some(&artifact_dir), "run_manifest.json", &manifest.render());
+        if args.prom {
+            write_artifact(Some(&artifact_dir), "metrics.prom", &manifest.metrics.to_prometheus());
+        }
+    }
+    Ok(())
+}
+
+fn scenario_cmd(argv: &[String]) -> Result<(), String> {
+    match argv.first().map(String::as_str) {
+        Some("list") => scenario_list(),
+        Some("validate") => scenario_validate(&argv[1..]),
+        Some("print") => scenario_print(&argv[1..]),
+        Some("run") => scenario_run(&argv[1..]),
+        _ => Err(USAGE.to_string()),
+    }
+}
+
+/// Resolves `NAME|FILE`: a builtin scenario name wins, anything else is
+/// read from disk. Returns the parsed spec.
+fn load_spec(arg: &str) -> Result<ScenarioSpec, String> {
+    let text = match crate::scenario::builtin_source(arg) {
+        Some(src) => src.to_string(),
+        None => fs::read_to_string(arg).map_err(|e| {
+            format!("`{arg}` is not a builtin scenario and cannot be read as a file: {e}")
+        })?,
+    };
+    ScenarioSpec::parse(&text).map_err(|e| format!("{arg}: {e}"))
+}
+
+fn scenario_list() -> Result<(), String> {
+    println!("builtin scenarios (examples/scenarios/*.toml):\n");
+    for name in crate::scenario::BUILTIN_NAMES {
+        let spec = crate::scenario::builtin(name).expect("registered builtin");
+        let runs = if spec.variants.is_empty() { 1 } else { spec.variants.len() };
+        println!("  {name:<18} {:<8} {} run(s) — {}", spec.adapter.name(), runs, spec.description);
+    }
+    Ok(())
+}
+
+fn scenario_validate(argv: &[String]) -> Result<(), String> {
+    if argv.is_empty() {
+        return Err(USAGE.to_string());
+    }
+    let mut failures = 0usize;
+    for arg in argv {
+        match load_spec(arg).and_then(|spec| spec.compile().map_err(|e| format!("{arg}: {e}"))) {
+            Ok(compiled) => {
+                println!(
+                    "ok: {arg} ({} run(s), adapter {})",
+                    compiled.runs.len(),
+                    compiled.adapter.name()
+                );
+            }
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                failures += 1;
+            }
+        }
+    }
+    if failures > 0 {
+        return Err(format!("{failures} of {} spec(s) failed validation", argv.len()));
+    }
+    Ok(())
+}
+
+fn scenario_print(argv: &[String]) -> Result<(), String> {
+    let [arg] = argv else { return Err(USAGE.to_string()) };
+    let spec = load_spec(arg)?;
+    spec.compile().map_err(|e| format!("{arg}: {e}"))?;
+    print!("{}", spec.to_toml());
+    Ok(())
+}
+
+struct ScenarioRunArgs {
+    target: String,
+    flows: Option<u64>,
+    seed: Option<u64>,
+    out: Option<PathBuf>,
+    metrics: bool,
+    prom: bool,
+    fnv: bool,
+}
+
+fn parse_scenario_run_args(argv: &[String]) -> Result<ScenarioRunArgs, String> {
+    let mut target = None;
+    let mut args = ScenarioRunArgs {
+        target: String::new(),
+        flows: None,
+        seed: None,
+        out: None,
+        metrics: false,
+        prom: false,
+        fnv: false,
+    };
+    let mut it = argv.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--flows" => args.flows = Some(parse_value(it.next(), "--flows")?),
+            "--seed" => args.seed = Some(parse_value(it.next(), "--seed")?),
+            "--out" => args.out = Some(PathBuf::from(it.next().ok_or("--out needs a value")?)),
+            "--threads" => {
+                let t: usize = parse_value(it.next(), "--threads")?;
+                crate::runner::set_thread_count(t);
+            }
+            "--metrics" => args.metrics = true,
+            "--prom" => args.prom = true,
+            "--fnv" => args.fnv = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other if target.is_none() && !other.starts_with('-') => {
+                target = Some(other.to_string());
+            }
+            other => return Err(format!("unknown argument `{other}` (try --help)")),
+        }
+    }
+    args.target = target.ok_or("scenario run needs a NAME or FILE")?;
+    Ok(args)
+}
+
+fn scenario_run(argv: &[String]) -> Result<(), String> {
+    let args = parse_scenario_run_args(argv)?;
+    if args.prom && !args.metrics {
+        return Err("--prom requires --metrics".to_string());
+    }
+    let spec = load_spec(&args.target)?;
+    let compiled =
+        spec.compile_with(args.seed, args.flows).map_err(|e| format!("{}: {e}", args.target))?;
+    let registry = if args.metrics { crate::obs::enable_metrics() } else { crate::obs::registry() };
+    let mut timer = PhaseTimer::new();
+    timer.start("run");
+    let out = args.out.as_deref();
+    let seed = compiled.runs[0].config.seed;
+    println!("# scenario `{}` — adapter {}", compiled.name, compiled.adapter.name());
+    println!("\nflows per run: {}; seed: {}\n", compiled.flows, seed);
+
+    // Each CSV artifact keeps the name the corresponding figure command
+    // writes, so spec-driven runs diff cleanly against figure runs.
+    let mut csvs: Vec<(String, String)> = Vec::new();
+    match compiled.adapter {
+        Adapter::Fig5 => {
+            let r = fig5::from_config(&compiled.runs[0].config);
+            println!("{}", r.to_markdown());
+            csvs.push(("fig5_placements.csv".into(), r.to_csv()));
+        }
+        Adapter::Fig6 => {
+            let r = fig6::from_compiled_runs(&compiled.runs, compiled.strategy, compiled.flows);
+            println!("{}", r.to_markdown());
+            csvs.push(("fig6_ratios.csv".into(), r.to_csv()));
+        }
+        Adapter::Fig7 => {
+            let r = fig7::from_config(&compiled.runs[0].config, compiled.strategy, compiled.flows);
+            println!("{}", r.to_markdown());
+            csvs.push(("fig7_notifications.csv".into(), r.to_csv()));
+        }
+        Adapter::Fig8 => {
+            let r = fig8::from_config(&compiled.runs[0].config, compiled.strategy, compiled.flows);
+            println!("{}", r.to_markdown());
+            csvs.push(("fig8_lifetime_cdf.csv".into(), r.to_csv()));
+        }
+        Adapter::Ext => {
+            // Mirror the figure command's batch sizing for the sweeps.
+            let n = compiled.flows.div_ceil(4).max(4);
+            let p = &compiled.ext;
+            println!("{}", ext::run_estimate_sensitivity_with(p, n, seed).to_markdown());
+            println!("{}", ext::run_oracle_comparison(n, seed).to_markdown());
+            println!("{}", ext::run_initial_status_with(p, n, seed).to_markdown());
+            println!("{}", ext::run_step_sweep_with(p, n, seed).to_markdown());
+            println!("{}", ext::run_relay_selection_with(p, n, seed).to_markdown());
+            println!("{}", ext::run_horizon_ablation(n, seed).to_markdown());
+            println!("{}", ext::run_hybrid_sweep_with(p, n, seed).to_markdown());
+            println!("{}", ext::run_multiflow_with(p, seed).to_markdown());
+        }
+        Adapter::Generic => {
+            let r = crate::scenario::run_generic(&compiled);
+            println!("{}", r.to_markdown());
+            csvs.push((format!("{}_cases.csv", compiled.name), r.to_csv()));
+        }
+    }
+    for (name, content) in &csvs {
+        write_artifact(out, name, content);
+        if args.fnv {
+            println!("fnv {name} {:#018x}", fnv1a64(content.as_bytes()));
+        }
+    }
+    timer.finish();
+
+    if args.metrics {
+        crate::obs::publish_memo_metrics(&registry);
+        let snapshot = registry.snapshot();
+        let spec_toml = spec.to_toml();
+        let manifest = RunManifest {
+            tool: "imobif-scenario".to_string(),
+            targets: vec![compiled.name.clone()],
+            config_hash: fnv1a64(
+                format!("scenario={spec_toml};flows={};seed={seed}", compiled.flows).as_bytes(),
+            ),
+            seed,
+            flows: u32::try_from(compiled.flows).unwrap_or(u32::MAX),
+            threads: crate::runner::thread_count(),
+            phases: timer.into_phases(),
+            trace: crate::obs::trace_health(&snapshot),
+            scenario: Some(ScenarioInfo {
+                name: compiled.name.clone(),
+                spec_hash: fnv1a64(spec_toml.as_bytes()),
+                adapter: compiled.adapter.name().to_string(),
+                runs: u32::try_from(compiled.runs.len()).unwrap_or(u32::MAX),
+            }),
+            metrics: snapshot,
+        };
         let artifact_dir = args.out.clone().unwrap_or_else(|| PathBuf::from("."));
         write_artifact(Some(&artifact_dir), "run_manifest.json", &manifest.render());
         if args.prom {
@@ -481,6 +702,7 @@ fn spans_cmd(argv: &[String]) -> Result<(), String> {
             threads: spec.threads,
             phases: timer.into_phases(),
             trace: crate::obs::trace_health(&snapshot),
+            scenario: None,
             metrics: snapshot,
         };
         write_artifact(out, "run_manifest.json", &manifest.render());
@@ -580,6 +802,69 @@ mod tests {
             spans_config_hash("flame", &d),
             spans_config_hash("flame", &SpansRunSpec { seed: 1, ..d })
         );
+    }
+
+    #[test]
+    fn scenario_commands_cover_the_lifecycle() {
+        // list / print / validate are pure spec-layer operations.
+        assert_eq!(run(&argv(&["scenario", "list"])), 0);
+        assert_eq!(run(&argv(&["scenario", "print", "fig6"])), 0);
+        assert_eq!(run(&argv(&["scenario", "print", "no-such-spec"])), 2);
+        assert_eq!(run(&argv(&["scenario"])), 2);
+        assert_eq!(run(&argv(&["scenario", "run"])), 2);
+        assert_eq!(run(&argv(&["scenario", "run", "churn", "--bogus"])), 2);
+
+        // validate accepts real files and rejects broken ones.
+        let dir = std::env::temp_dir().join(format!("imobif-scn-cli-{}", std::process::id()));
+        fs::create_dir_all(&dir).expect("temp dir");
+        let good = dir.join("good.toml");
+        fs::write(&good, crate::scenario::builtin_source("churn").unwrap()).unwrap();
+        let bad = dir.join("bad.toml");
+        fs::write(&bad, "name = \"b\"\n[base]\nrange = -3.0\n").unwrap();
+        let good_s = good.to_str().unwrap().to_string();
+        let bad_s = bad.to_str().unwrap().to_string();
+        assert_eq!(run(&argv(&["scenario", "validate", &good_s])), 0);
+        assert_eq!(run(&argv(&["scenario", "validate", &good_s, &bad_s])), 2);
+        let _ = fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn scenario_run_is_deterministic_and_writes_manifest() {
+        let dir1 = std::env::temp_dir().join(format!("imobif-scn-a-{}", std::process::id()));
+        let dir2 = std::env::temp_dir().join(format!("imobif-scn-b-{}", std::process::id()));
+        let d1 = dir1.to_str().unwrap().to_string();
+        let d2 = dir2.to_str().unwrap().to_string();
+        // Two cold runs of a new-family scenario must produce identical
+        // bytes: the determinism acceptance gate for the scenario engine.
+        crate::runner::clear_memos();
+        assert_eq!(
+            run(&argv(&["scenario", "run", "churn", "--flows", "2", "--metrics", "--out", &d1])),
+            0
+        );
+        crate::runner::clear_memos();
+        assert_eq!(
+            run(&argv(&["scenario", "run", "churn", "--flows", "2", "--metrics", "--out", &d2])),
+            0
+        );
+        let csv1 = fs::read_to_string(dir1.join("churn_cases.csv")).expect("csv written");
+        let csv2 = fs::read_to_string(dir2.join("churn_cases.csv")).expect("csv written");
+        assert_eq!(csv1, csv2, "repeat scenario runs must be byte-identical");
+        assert!(csv1.lines().count() > 1);
+
+        let manifest_text =
+            fs::read_to_string(dir1.join("run_manifest.json")).expect("manifest written");
+        let manifest = RunManifest::validate(&manifest_text).expect("manifest valid");
+        assert_eq!(manifest.tool, "imobif-scenario");
+        let scn = manifest.scenario.expect("scenario block present");
+        assert_eq!(scn.name, "churn");
+        assert_eq!(scn.adapter, "generic");
+        assert_eq!(scn.runs, 1);
+        assert_eq!(
+            scn.spec_hash,
+            fnv1a64(crate::scenario::builtin("churn").unwrap().to_toml().as_bytes())
+        );
+        let _ = fs::remove_dir_all(&dir1);
+        let _ = fs::remove_dir_all(&dir2);
     }
 
     #[test]

@@ -16,6 +16,102 @@ pub enum EnergyInit {
     /// random batteries ("we intentionally set low residual energy to
     /// produce instances with short system lifetime").
     Uniform(f64, f64),
+    /// Heterogeneous-battery population: each node independently gets the
+    /// `high`-joule battery with probability `high_fraction`, else the
+    /// `low`-joule one — mains-powered vs coin-cell mixes the paper never
+    /// tried (scenario-family extension).
+    TwoTier {
+        /// Battery of the well-provisioned tier (J).
+        high: f64,
+        /// Battery of the constrained tier (J); must be below `high`.
+        low: f64,
+        /// Probability a node lands in the high tier, in `[0, 1]`.
+        high_fraction: f64,
+    },
+}
+
+impl EnergyInit {
+    /// Bit-exact memo-key encoding: `(discriminant, param bits…)`. Every
+    /// float enters via `to_bits`, so near-miss configs never alias.
+    #[must_use]
+    pub fn key(&self) -> (u8, u64, u64, u64) {
+        match *self {
+            EnergyInit::Fixed(e) => (0, e.to_bits(), 0, 0),
+            EnergyInit::Uniform(lo, hi) => (1, lo.to_bits(), hi.to_bits(), 0),
+            EnergyInit::TwoTier { high, low, high_fraction } => {
+                (2, high.to_bits(), low.to_bits(), high_fraction.to_bits())
+            }
+        }
+    }
+}
+
+/// How node positions are generated — the pluggable topology families
+/// behind [`crate::topology::sample_positions`]. `Uniform` reproduces the
+/// paper's deployment bit-for-bit; the others are scenario-family
+/// extensions (clustered/urban hotspots, small-world lattices).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum TopologyFamily {
+    /// Independent uniform placement over the square arena (the paper's
+    /// deployment).
+    Uniform,
+    /// Urban hotspots: `clusters` cluster centers drawn uniformly, then
+    /// each node picks a center and scatters around it with a Gaussian of
+    /// standard deviation `spread` meters (clamped to the arena).
+    Clustered {
+        /// Number of hotspot centers (≥ 1).
+        clusters: u32,
+        /// Gaussian scatter around a center, in meters.
+        spread: f64,
+    },
+    /// Small-world structure (Lee & Holme): nodes sit on a jittered grid
+    /// lattice, and each node is independently rewired — resampled
+    /// uniformly over the arena — with probability `rewire`. `rewire = 0`
+    /// is a pure lattice, `rewire = 1` is statistically uniform.
+    SmallWorld {
+        /// Per-node rewiring probability, in `[0, 1]`.
+        rewire: f64,
+    },
+}
+
+impl TopologyFamily {
+    /// Bit-exact memo-key encoding (see [`EnergyInit::key`]).
+    #[must_use]
+    pub fn key(&self) -> (u8, u64, u64) {
+        match *self {
+            TopologyFamily::Uniform => (0, 0, 0),
+            TopologyFamily::Clustered { clusters, spread } => {
+                (1, u64::from(clusters), spread.to_bits())
+            }
+            TopologyFamily::SmallWorld { rewire } => (2, rewire.to_bits(), 0),
+        }
+    }
+}
+
+/// Node-failure (churn) schedule applied to an instance's relays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum ChurnModel {
+    /// No scheduled failures — the paper's setting.
+    None,
+    /// DTN-style intermittent infrastructure (Urgaonkar & Neely): each
+    /// relay independently fails after an exponentially distributed time
+    /// with mean `mean_secs`, lowered to a kernel kill event at instance
+    /// setup. Endpoints never churn (a dead source or destination makes
+    /// the flow meaningless, not merely degraded).
+    RelayExponential {
+        /// Mean time to failure per relay, in seconds.
+        mean_secs: f64,
+    },
+}
+
+impl ChurnModel {
+    /// Bit-exact memo-key encoding (see [`EnergyInit::key`]).
+    #[must_use]
+    pub fn key(&self) -> (u8, u64) {
+        match *self {
+            ChurnModel::None => (0, 0),
+            ChurnModel::RelayExponential { mean_secs } => (1, mean_secs.to_bits()),
+        }
+    }
 }
 
 /// Full description of one simulated scenario.
@@ -62,6 +158,11 @@ pub struct ScenarioConfig {
     pub initial_mobility_enabled: bool,
     /// Flow-length estimate multiplier (1.0 = perfect).
     pub estimate_factor: f64,
+    /// Node placement family (the paper uses [`TopologyFamily::Uniform`]).
+    pub topology: TopologyFamily,
+    /// Scheduled-failure model applied to relays ([`ChurnModel::None`] in
+    /// the paper).
+    pub churn: ChurnModel,
     /// Master random seed.
     pub seed: u64,
 }
@@ -91,6 +192,8 @@ impl ScenarioConfig {
             initial_energy: EnergyInit::Fixed(1e5),
             initial_mobility_enabled: false,
             estimate_factor: 1.0,
+            topology: TopologyFamily::Uniform,
+            churn: ChurnModel::None,
             seed: 42,
         }
     }
@@ -148,10 +251,43 @@ impl ScenarioConfig {
             EnergyInit::Uniform(lo, hi) if !(lo.is_finite() && hi > lo && lo >= 0.0) => {
                 return Err(EnergyError::InvalidParameter { name: "initial_energy" })
             }
+            EnergyInit::TwoTier { high, low, high_fraction }
+                if !(high.is_finite()
+                    && low.is_finite()
+                    && low > 0.0
+                    && high > low
+                    && (0.0..=1.0).contains(&high_fraction)) =>
+            {
+                return Err(EnergyError::InvalidParameter { name: "initial_energy" })
+            }
             _ => {}
         }
         if !(self.estimate_factor.is_finite() && self.estimate_factor > 0.0) {
             return Err(EnergyError::InvalidParameter { name: "estimate_factor" });
+        }
+        match self.topology {
+            TopologyFamily::Uniform => {}
+            TopologyFamily::Clustered { clusters, spread } => {
+                if clusters == 0 {
+                    return Err(EnergyError::InvalidParameter { name: "topology.clusters" });
+                }
+                if !(spread.is_finite() && spread > 0.0) {
+                    return Err(EnergyError::InvalidParameter { name: "topology.spread" });
+                }
+            }
+            TopologyFamily::SmallWorld { rewire } => {
+                if !(0.0..=1.0).contains(&rewire) {
+                    return Err(EnergyError::InvalidParameter { name: "topology.rewire" });
+                }
+            }
+        }
+        match self.churn {
+            ChurnModel::None => {}
+            ChurnModel::RelayExponential { mean_secs } => {
+                if !(mean_secs.is_finite() && mean_secs > 0.0) {
+                    return Err(EnergyError::InvalidParameter { name: "churn.mean_secs" });
+                }
+            }
         }
         // Model parameters validated by their constructors:
         let _ = self.tx_model()?;
@@ -236,6 +372,33 @@ mod tests {
         c = ScenarioConfig::paper_default();
         c.estimate_factor = 0.0;
         assert!(c.validate().is_err());
+        c = ScenarioConfig::paper_default();
+        c.initial_energy = EnergyInit::TwoTier { high: 10.0, low: 20.0, high_fraction: 0.5 };
+        assert!(c.validate().is_err());
+        c = ScenarioConfig::paper_default();
+        c.topology = TopologyFamily::Clustered { clusters: 0, spread: 20.0 };
+        assert!(c.validate().is_err());
+        c = ScenarioConfig::paper_default();
+        c.topology = TopologyFamily::SmallWorld { rewire: 1.5 };
+        assert!(c.validate().is_err());
+        c = ScenarioConfig::paper_default();
+        c.churn = ChurnModel::RelayExponential { mean_secs: 0.0 };
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn memo_keys_distinguish_variants() {
+        assert_ne!(EnergyInit::Fixed(1.0).key(), EnergyInit::Uniform(1.0, 2.0).key());
+        assert_ne!(
+            EnergyInit::TwoTier { high: 2.0, low: 1.0, high_fraction: 0.5 }.key(),
+            EnergyInit::Uniform(2.0, 1.0).key()
+        );
+        assert_ne!(TopologyFamily::Uniform.key(), TopologyFamily::SmallWorld { rewire: 0.0 }.key());
+        assert_ne!(
+            TopologyFamily::Clustered { clusters: 4, spread: 15.0 }.key(),
+            TopologyFamily::Clustered { clusters: 5, spread: 15.0 }.key()
+        );
+        assert_ne!(ChurnModel::None.key(), ChurnModel::RelayExponential { mean_secs: 200.0 }.key());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::config::ScenarioConfig;
 use crate::metrics::Summary;
 use crate::report::{fmt2, fmt4, markdown_table};
 use crate::runner::{run_batch, run_batches, BatchSpec, StrategyChoice};
+use crate::scenario::ExtParams;
 use crate::topology::draw_scenario;
 
 /// `ext_estimate`: sensitivity to inaccurate flow-length estimates (paper
@@ -21,11 +22,22 @@ pub struct EstimateSensitivity {
     pub rows: Vec<(f64, f64)>,
 }
 
-/// Runs the estimate-error sweep on the Fig. 6(c) setting. The five sweep
-/// points flatten into one [`run_batches`] pool so they run concurrently.
+/// Runs the estimate-error sweep with the paper's sweep points.
 #[must_use]
 pub fn run_estimate_sensitivity(n_flows: u64, seed: u64) -> EstimateSensitivity {
-    let factors = [0.1, 0.5, 1.0, 2.0, 10.0];
+    run_estimate_sensitivity_with(&ExtParams::paper(), n_flows, seed)
+}
+
+/// Runs the estimate-error sweep on the Fig. 6(c) setting over
+/// `params.estimate_factors`. The sweep points flatten into one
+/// [`run_batches`] pool so they run concurrently.
+#[must_use]
+pub fn run_estimate_sensitivity_with(
+    params: &ExtParams,
+    n_flows: u64,
+    seed: u64,
+) -> EstimateSensitivity {
+    let factors = &params.estimate_factors;
     let specs: Vec<BatchSpec> = factors
         .iter()
         .map(|&factor| {
@@ -137,12 +149,23 @@ pub struct InitialStatusAblation {
     pub cost_unaware_avg: f64,
 }
 
-/// Runs the initial-status ablation on the short-flow (Fig. 6(a)) setting,
-/// where a wrong initial "enabled" is most dangerous.
+/// Runs the initial-status ablation with the paper's short-flow setting.
 #[must_use]
 pub fn run_initial_status(n_flows: u64, seed: u64) -> InitialStatusAblation {
+    run_initial_status_with(&ExtParams::paper(), n_flows, seed)
+}
+
+/// Runs the initial-status ablation on short flows
+/// (`params.initial_status_mean_flow_bits`, Fig. 6(a)'s setting by
+/// default), where a wrong initial "enabled" is most dangerous.
+#[must_use]
+pub fn run_initial_status_with(
+    params: &ExtParams,
+    n_flows: u64,
+    seed: u64,
+) -> InitialStatusAblation {
     let cfg_of = |enabled: bool| ScenarioConfig {
-        mean_flow_bits: 8e5,
+        mean_flow_bits: params.initial_status_mean_flow_bits,
         initial_mobility_enabled: enabled,
         seed,
         ..ScenarioConfig::paper_default()
@@ -186,11 +209,17 @@ pub struct StepSweep {
     pub rows: Vec<(f64, f64)>,
 }
 
-/// Runs the movement-step ablation on the Fig. 6(c) setting; the three
-/// sweep points share one [`run_batches`] pool.
+/// Runs the movement-step ablation with the paper's sweep points.
 #[must_use]
 pub fn run_step_sweep(n_flows: u64, seed: u64) -> StepSweep {
-    let steps = [0.25, 1.0, 4.0];
+    run_step_sweep_with(&ExtParams::paper(), n_flows, seed)
+}
+
+/// Runs the movement-step ablation on the Fig. 6(c) setting over
+/// `params.steps`; the sweep points share one [`run_batches`] pool.
+#[must_use]
+pub fn run_step_sweep_with(params: &ExtParams, n_flows: u64, seed: u64) -> StepSweep {
+    let steps = &params.steps;
     let specs: Vec<BatchSpec> = steps
         .iter()
         .map(|&max_step| {
@@ -235,12 +264,24 @@ pub struct RelaySelectionStudy {
     pub flows: usize,
 }
 
-/// Runs the relay-selection study on fixed 1 MB flows (the planner's
-/// one-time movement investment needs a long flow to amortize, like any
-/// controlled-mobility scheme). The planner's energy is analytic (movement
-/// to slots + steady-state transmission); the baselines are measured.
+/// Runs the relay-selection study with the paper's parameters.
 #[must_use]
 pub fn run_relay_selection(n_flows: u64, seed: u64) -> RelaySelectionStudy {
+    run_relay_selection_with(&ExtParams::paper(), n_flows, seed)
+}
+
+/// Runs the relay-selection study on fixed-length flows
+/// (`params.relay_flow_bits`, 1 MB by default — the planner's one-time
+/// movement investment needs a long flow to amortize, like any
+/// controlled-mobility scheme), with a relay budget of `params.relay_max`.
+/// The planner's energy is analytic (movement to slots + steady-state
+/// transmission); the baselines are measured.
+#[must_use]
+pub fn run_relay_selection_with(
+    params: &ExtParams,
+    n_flows: u64,
+    seed: u64,
+) -> RelaySelectionStudy {
     let cfg = ScenarioConfig { seed, ..ScenarioConfig::paper_default() };
     let tx = cfg.tx_model().expect("valid");
     let mv = cfg.mobility_model().expect("valid");
@@ -250,7 +291,7 @@ pub fn run_relay_selection(n_flows: u64, seed: u64) -> RelaySelectionStudy {
     let mut relay_counts = Vec::new();
     for i in 0..n_flows {
         let mut draw = draw_scenario(&cfg, i);
-        draw.flow.flow_bits = 8_000_000; // fixed 1 MB
+        draw.flow.flow_bits = params.relay_flow_bits;
         let baseline =
             crate::runner::run_instance(&cfg, &draw, imobif::MobilityMode::NoMobility, &strategy);
         let informed =
@@ -264,7 +305,7 @@ pub fn run_relay_selection(n_flows: u64, seed: u64) -> RelaySelectionStudy {
             &tx,
             &mv,
             draw.flow.flow_bits as f64,
-            12,
+            params.relay_max,
         )
         .expect("valid endpoints");
         planned_ratios.push(plan.total_energy() / baseline.total_energy);
@@ -377,10 +418,17 @@ pub struct HybridSweep {
     pub rows: Vec<(f64, f64, f64)>,
 }
 
-/// Runs the hybrid-strategy sweep on the lifetime scenario, always-on
-/// mobility so the placement target (not the enable logic) is what varies.
+/// Runs the hybrid-strategy sweep with the paper's λ points.
 #[must_use]
 pub fn run_hybrid_sweep(n_flows: u64, seed: u64) -> HybridSweep {
+    run_hybrid_sweep_with(&ExtParams::paper(), n_flows, seed)
+}
+
+/// Runs the hybrid-strategy sweep over `params.lambdas` on the lifetime
+/// scenario, always-on mobility so the placement target (not the enable
+/// logic) is what varies.
+#[must_use]
+pub fn run_hybrid_sweep_with(params: &ExtParams, n_flows: u64, seed: u64) -> HybridSweep {
     use imobif::{HybridStrategy, MobilityMode, MobilityStrategy};
     use std::sync::Arc;
 
@@ -388,7 +436,8 @@ pub fn run_hybrid_sweep(n_flows: u64, seed: u64) -> HybridSweep {
     let model = cfg.tx_model().expect("valid");
     let alpha_prime =
         imobif_energy::fit_alpha_prime(&model, 1.0, cfg.range, 64).expect("valid range");
-    let rows = [0.0, 0.5, 1.0]
+    let rows = params
+        .lambdas
         .iter()
         .map(|&lambda| {
             let strategy: Arc<dyn MobilityStrategy> =
@@ -451,13 +500,22 @@ pub struct MultiFlowStudy {
     pub shared_nodes: usize,
 }
 
-/// Runs `n_concurrent` simultaneous 2 MB flows over one 100-node arena,
-/// comparing iMobif against the no-mobility baseline in the same world.
+/// Runs the multi-flow study with the paper's 2 MB per-flow length.
+#[must_use]
+pub fn run_multiflow(n_concurrent: u32, seed: u64) -> MultiFlowStudy {
+    let params = ExtParams { multiflow_concurrent: n_concurrent, ..ExtParams::paper() };
+    run_multiflow_with(&params, seed)
+}
+
+/// Runs `params.multiflow_concurrent` simultaneous flows of
+/// `params.multiflow_flow_bits` bits over one 100-node arena, comparing
+/// iMobif against the no-mobility baseline in the same world.
 ///
 /// Unlike the single-flow batches (which simulate only the path nodes),
 /// this study keeps the full arena alive so flows can share relays.
 #[must_use]
-pub fn run_multiflow(n_concurrent: u32, seed: u64) -> MultiFlowStudy {
+pub fn run_multiflow_with(params: &ExtParams, seed: u64) -> MultiFlowStudy {
+    let n_concurrent = params.multiflow_concurrent;
     use imobif::{install_flow, FlowSpec, ImobifApp, ImobifConfig, MobilityMode};
     use imobif_energy::Battery;
     use imobif_netsim::routing::{GreedyRouter, Router};
@@ -467,7 +525,7 @@ pub fn run_multiflow(n_concurrent: u32, seed: u64) -> MultiFlowStudy {
     use std::sync::Arc;
 
     let cfg = ScenarioConfig { seed, ..ScenarioConfig::paper_default() };
-    let flow_bits: u64 = 16_000_000; // 2 MB each
+    let flow_bits: u64 = params.multiflow_flow_bits;
     let mut rng = StdRng::seed_from_u64(seed);
     let positions = crate::topology::sample_positions(&cfg, &mut rng);
     let topo = TopologyView::new(positions.clone(), vec![true; positions.len()], cfg.range);

@@ -12,10 +12,11 @@ use imobif::MobilityMode;
 use imobif_geom::{Point2, Polyline};
 use serde::{Deserialize, Serialize};
 
-use crate::config::{EnergyInit, ScenarioConfig};
+use crate::config::ScenarioConfig;
 use crate::metrics::Summary;
 use crate::report::{csv_block, fmt2, fmt4, markdown_table};
 use crate::runner::{build_strategy, run_instance, StrategyChoice};
+use crate::scenario;
 use crate::topology::draw_scenario;
 
 /// One node's snapshot row.
@@ -70,22 +71,29 @@ pub struct Fig5Result {
     pub lifetime_ratio_spread: f64,
 }
 
-/// Runs the Fig. 5 experiment: one long flow, snapshotting placements
-/// before and after each strategy reaches (near) steady state.
+/// Runs the Fig. 5 experiment from the shipped `fig5` scenario spec (a
+/// long flow over unequal-but-ample batteries, so the lifetime panel shows
+/// energy-proportional spacing rather than deaths).
 #[must_use]
 pub fn run(seed: u64) -> Fig5Result {
-    // A long flow so the per-packet steps have time to converge.
-    let cfg = ScenarioConfig {
-        seed,
-        mean_flow_bits: 4e7,
-        // Unequal but ample batteries: the lifetime panel must show
-        // energy-proportional spacing (node size ∝ residual energy in the
-        // paper's plots), not deaths.
-        initial_energy: EnergyInit::Uniform(500.0, 2000.0),
-        ..ScenarioConfig::paper_default()
-    };
+    let compiled = scenario::builtin("fig5")
+        .expect("fig5 is a builtin")
+        .compile_with(Some(seed), None)
+        .expect("shipped fig5 spec is valid");
+    from_config(&compiled.runs[0].config)
+}
+
+/// Runs the placement snapshots for any configuration (the `fig5` adapter
+/// of `imobif scenario run`): one flow of exactly `mean_flow_bits` bits,
+/// snapshotting placements before and after each strategy reaches (near)
+/// steady state.
+#[must_use]
+pub fn from_config(cfg: &ScenarioConfig) -> Fig5Result {
+    let cfg = *cfg;
     let mut draw = draw_scenario(&cfg, 0);
-    draw.flow.flow_bits = 4e7 as u64; // fixed length: identical panels across strategies
+    // Fixed length (not an exponential draw): identical panels across
+    // strategies, and long enough for per-packet steps to converge.
+    draw.flow.flow_bits = cfg.mean_flow_bits as u64;
 
     let initial_positions: Vec<Point2> =
         draw.flow.path.iter().map(|&n| draw.positions[n.index()]).collect();

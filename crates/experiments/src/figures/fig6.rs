@@ -16,6 +16,7 @@ use crate::config::ScenarioConfig;
 use crate::metrics::{fraction_below, Summary};
 use crate::report::{csv_block, fmt2, fmt4, markdown_table};
 use crate::runner::{run_batch, run_batches, BatchSpec, CaseResult, StrategyChoice};
+use crate::scenario::{self, CompiledRun};
 
 /// One Fig. 6 panel's parameter set.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -140,12 +141,52 @@ pub struct Fig6Result {
     pub panels: Vec<Fig6Panel>,
 }
 
-/// Runs the whole figure. All five panels' cases flatten into one work
-/// queue ([`run_batches`]), so the panels run concurrently instead of one
-/// barrier-separated batch at a time — and panels sharing a topology (same
-/// seed, different k/α/mean) share the drawn scenarios.
+/// Runs the whole figure from the shipped `fig6` scenario spec. All five
+/// panels' cases flatten into one work queue ([`run_batches`]), so the
+/// panels run concurrently instead of one barrier-separated batch at a
+/// time — and panels sharing a topology (same seed, different k/α/mean)
+/// share the drawn scenarios.
 #[must_use]
 pub fn run(n_flows: u64, seed: u64) -> Fig6Result {
+    let compiled = scenario::builtin("fig6")
+        .expect("fig6 is a builtin")
+        .compile_with(Some(seed), Some(n_flows))
+        .expect("shipped fig6 spec is valid");
+    from_compiled_runs(&compiled.runs, compiled.strategy, compiled.flows)
+}
+
+/// Renders Fig. 6 panels from any compiled scenario's runs (the `fig6`
+/// adapter of `imobif scenario run`). Panel parameters (k, α, mean flow
+/// length) are read back off each run's config.
+#[must_use]
+pub fn from_compiled_runs(
+    runs: &[CompiledRun],
+    strategy: StrategyChoice,
+    n_flows: u64,
+) -> Fig6Result {
+    let specs: Vec<BatchSpec> = runs.iter().map(|r| (r.config, strategy)).collect();
+    let batches = run_batches(&specs, n_flows);
+    Fig6Result {
+        panels: runs
+            .iter()
+            .zip(batches)
+            .map(|(r, cases)| {
+                let variant = Fig6Variant {
+                    label: r.label.clone(),
+                    k: r.config.k,
+                    alpha: r.config.alpha,
+                    mean_flow_bits: r.config.mean_flow_bits,
+                };
+                panel_from_cases(variant, &cases)
+            })
+            .collect(),
+    }
+}
+
+/// The pre-scenario-layer inline path, kept verbatim for the bench suite's
+/// spec-vs-hardcoded paired gate. Must stay byte-identical to [`run`].
+#[must_use]
+pub fn run_hardcoded(n_flows: u64, seed: u64) -> Fig6Result {
     let vs = variants();
     let specs: Vec<BatchSpec> =
         vs.iter().map(|v| (variant_config(v, seed), StrategyChoice::MinEnergy)).collect();
@@ -241,6 +282,16 @@ mod tests {
         assert_eq!(v[0].mean_flow_bits, 8e5);
         assert!(v[1..].iter().all(|x| x.mean_flow_bits == 8e6));
         assert_eq!(v[4].alpha, 3.0);
+    }
+
+    #[test]
+    fn spec_path_matches_hardcoded_path() {
+        // The shipped fig6.toml must lower to exactly the configs the old
+        // inline code built — same memo keys, same results, same bytes.
+        let spec = run(4, 11);
+        let hard = run_hardcoded(4, 11);
+        assert_eq!(spec, hard);
+        assert_eq!(spec.to_csv(), hard.to_csv());
     }
 
     #[test]

@@ -10,6 +10,7 @@ use crate::config::ScenarioConfig;
 use crate::metrics::Summary;
 use crate::report::{csv_block, fmt2, markdown_table};
 use crate::runner::{run_batch, StrategyChoice};
+use crate::scenario;
 
 /// The Figure 7 reproduction: notification counts under iMobif.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -23,12 +24,23 @@ pub struct Fig7Result {
     pub histogram: Vec<u64>,
 }
 
-/// Runs Fig. 7: `n_flows` 1 MB-mean flows under the min-energy strategy,
-/// counting destination-originated notifications.
+/// Runs Fig. 7 from the shipped `fig7` scenario spec: `n_flows` 1 MB-mean
+/// flows under the min-energy strategy, counting destination-originated
+/// notifications.
 #[must_use]
 pub fn run(n_flows: u64, seed: u64) -> Fig7Result {
-    let cfg = ScenarioConfig { seed, ..ScenarioConfig::paper_default() };
-    let cases = run_batch(&cfg, n_flows, StrategyChoice::MinEnergy);
+    let compiled = scenario::builtin("fig7")
+        .expect("fig7 is a builtin")
+        .compile_with(Some(seed), Some(n_flows))
+        .expect("shipped fig7 spec is valid");
+    from_config(&compiled.runs[0].config, compiled.strategy, compiled.flows)
+}
+
+/// Runs the notification histogram for any configuration (the `fig7`
+/// adapter of `imobif scenario run`).
+#[must_use]
+pub fn from_config(cfg: &ScenarioConfig, strategy: StrategyChoice, n_flows: u64) -> Fig7Result {
+    let cases = run_batch(cfg, n_flows, strategy);
     let notifications: Vec<u64> = cases.iter().map(|c| c.informed.notifications).collect();
     let as_f: Vec<f64> = notifications.iter().map(|&n| n as f64).collect();
     let mut histogram = vec![0u64; 9];

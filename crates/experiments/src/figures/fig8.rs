@@ -14,6 +14,7 @@ use crate::config::ScenarioConfig;
 use crate::metrics::{cdf, fraction_below, Summary};
 use crate::report::{csv_block, fmt2, fmt4, markdown_table};
 use crate::runner::{run_batch, StrategyChoice};
+use crate::scenario;
 
 /// The Figure 8 reproduction.
 #[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
@@ -34,12 +35,23 @@ pub struct Fig8Result {
     pub informed_at_least_baseline: f64,
 }
 
-/// Runs Fig. 8: `n_flows` flows with the max-lifetime strategy and low
-/// random batteries, comparing lifetimes under the three approaches.
+/// Runs Fig. 8 from the shipped `fig8` scenario spec: `n_flows` flows with
+/// the max-lifetime strategy and low random batteries, comparing lifetimes
+/// under the three approaches.
 #[must_use]
 pub fn run(n_flows: u64, seed: u64) -> Fig8Result {
-    let cfg = ScenarioConfig { seed, ..ScenarioConfig::paper_lifetime() };
-    let cases = run_batch(&cfg, n_flows, StrategyChoice::MaxLifetime);
+    let compiled = scenario::builtin("fig8")
+        .expect("fig8 is a builtin")
+        .compile_with(Some(seed), Some(n_flows))
+        .expect("shipped fig8 spec is valid");
+    from_config(&compiled.runs[0].config, compiled.strategy, compiled.flows)
+}
+
+/// Runs the lifetime-ratio CDF for any configuration (the `fig8` adapter
+/// of `imobif scenario run`).
+#[must_use]
+pub fn from_config(cfg: &ScenarioConfig, strategy: StrategyChoice, n_flows: u64) -> Fig8Result {
+    let cases = run_batch(cfg, n_flows, strategy);
     let cu: Vec<f64> = cases.iter().map(|c| c.cost_unaware_lifetime_ratio()).collect();
     let inf: Vec<f64> = cases.iter().map(|c| c.informed_lifetime_ratio()).collect();
     Fig8Result {

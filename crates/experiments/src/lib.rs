@@ -44,6 +44,7 @@ pub mod obs;
 pub mod render;
 pub mod report;
 pub mod runner;
+pub mod scenario;
 pub mod spans_tools;
 pub mod topology;
 pub mod trace_tools;

@@ -13,7 +13,10 @@ use imobif_netsim::trace::TraceEvent;
 use imobif_netsim::{FlowId, NodeId, SimDuration, SimTime, World};
 use serde::{Deserialize, Serialize};
 
-use crate::config::{EnergyInit, ScenarioConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::config::{ChurnModel, ScenarioConfig};
 use crate::topology::{clear_draw_memo, draw_memo_counters, draw_scenario, TopologyDraw};
 
 /// Which of the paper's two strategies an experiment runs.
@@ -245,6 +248,23 @@ fn run_instance_inner(
     };
     install_flow(&mut world, &spec).expect("drawn paths are valid");
 
+    // Lower the churn schedule into kernel kill events. Deterministic per
+    // instance: the schedule rng is seeded from the scenario seed and the
+    // drawn flow's identity, so every mode of a case sees the same failure
+    // times regardless of arena reuse or thread scheduling.
+    if let ChurnModel::RelayExponential { mean_secs } = cfg.churn {
+        let mix = cfg.seed
+            ^ (draw.flow.src.index() as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+            ^ (draw.flow.dst.index() as u64).wrapping_mul(0xC2B2_AE3D_27D4_EB4F)
+            ^ draw.flow.flow_bits.wrapping_mul(0x1656_67B1_9E37_79F9);
+        let mut churn_rng = StdRng::seed_from_u64(mix);
+        for &relay in &ids[1..ids.len() - 1] {
+            let u: f64 = churn_rng.gen_range(0.0..1.0);
+            let t = -mean_secs * (1.0 - u).ln();
+            world.schedule_kill(relay, SimDuration::from_secs_f64(t));
+        }
+    }
+
     let total = draw.flow.flow_bits;
     let src = ids[0];
     let dst = *ids.last().expect("paths have >= 3 nodes");
@@ -368,7 +388,9 @@ struct CaseKey {
     packet_bits: u64,
     interval_bits: u64,
     max_step_bits: u64,
-    energy: (u8, u64, u64),
+    energy: (u8, u64, u64, u64),
+    topology: (u8, u64, u64),
+    churn: (u8, u64),
     initial_mobility_enabled: bool,
     estimate_bits: u64,
     seed: u64,
@@ -378,10 +400,6 @@ struct CaseKey {
 
 impl CaseKey {
     fn of(cfg: &ScenarioConfig, choice: StrategyChoice, index: u64) -> Self {
-        let energy = match cfg.initial_energy {
-            EnergyInit::Fixed(e) => (0, e.to_bits(), 0),
-            EnergyInit::Uniform(lo, hi) => (1, lo.to_bits(), hi.to_bits()),
-        };
         CaseKey {
             node_count: cfg.node_count,
             area_bits: cfg.area_side.to_bits(),
@@ -394,7 +412,9 @@ impl CaseKey {
             packet_bits: cfg.packet_bits,
             interval_bits: cfg.packet_interval_secs.to_bits(),
             max_step_bits: cfg.max_step.to_bits(),
-            energy,
+            energy: cfg.initial_energy.key(),
+            topology: cfg.topology.key(),
+            churn: cfg.churn.key(),
             initial_mobility_enabled: cfg.initial_mobility_enabled,
             estimate_bits: cfg.estimate_factor.to_bits(),
             seed: cfg.seed,
@@ -483,17 +503,15 @@ struct BaselineKey {
     mean_bits: u64,
     packet_bits: u64,
     interval_bits: u64,
-    energy: (u8, u64, u64),
+    energy: (u8, u64, u64, u64),
+    topology: (u8, u64, u64),
+    churn: (u8, u64),
     seed: u64,
     index: u64,
 }
 
 impl BaselineKey {
     fn of(cfg: &ScenarioConfig, index: u64) -> Self {
-        let energy = match cfg.initial_energy {
-            EnergyInit::Fixed(e) => (0, e.to_bits(), 0),
-            EnergyInit::Uniform(lo, hi) => (1, lo.to_bits(), hi.to_bits()),
-        };
         BaselineKey {
             node_count: cfg.node_count,
             area_bits: cfg.area_side.to_bits(),
@@ -504,7 +522,9 @@ impl BaselineKey {
             mean_bits: cfg.mean_flow_bits.to_bits(),
             packet_bits: cfg.packet_bits,
             interval_bits: cfg.packet_interval_secs.to_bits(),
-            energy,
+            energy: cfg.initial_energy.key(),
+            topology: cfg.topology.key(),
+            churn: cfg.churn.key(),
             seed: cfg.seed,
             index,
         }
@@ -882,6 +902,45 @@ mod tests {
         let first = run_batch(&cfg, 2, StrategyChoice::MinEnergy);
         let again = run_batch(&cfg, 2, StrategyChoice::MinEnergy);
         assert_eq!(first, again);
+    }
+
+    #[test]
+    fn churn_kills_relays_deterministically() {
+        // A tight failure schedule kills a relay long before the flow
+        // finishes; the run must record the death, and two runs of the same
+        // instance must agree bit-for-bit (the schedule rng is seeded from
+        // the draw, not from wall state).
+        let cfg = ScenarioConfig {
+            churn: ChurnModel::RelayExponential { mean_secs: 5.0 },
+            ..quick_cfg()
+        };
+        let draw = draw_scenario(&cfg, 0);
+        let strategy = build_strategy(&cfg, StrategyChoice::MinEnergy);
+        let a = run_instance(&cfg, &draw, MobilityMode::NoMobility, &strategy);
+        let b = run_instance(&cfg, &draw, MobilityMode::NoMobility, &strategy);
+        assert_eq!(a, b);
+        assert!(a.node_died, "5 s mean relay lifetime must end a {} bit flow", a.flow_bits);
+        assert!(a.lifetime_secs > 0.0);
+        // The no-churn run of the same draw survives — and must NOT be
+        // served from the churned run's memo slot (churn is in the keys).
+        let calm = quick_cfg();
+        let r = run_instance(&calm, &draw_scenario(&calm, 0), MobilityMode::NoMobility, &strategy);
+        assert!(!r.node_died);
+    }
+
+    #[test]
+    fn churned_batches_replay_from_memo_without_aliasing() {
+        let churned = ScenarioConfig {
+            seed: 909,
+            churn: ChurnModel::RelayExponential { mean_secs: 30.0 },
+            ..quick_cfg()
+        };
+        let calm = ScenarioConfig { seed: 909, ..quick_cfg() };
+        clear_memos();
+        let a = run_batch(&churned, 2, StrategyChoice::MinEnergy);
+        let b = run_batch(&calm, 2, StrategyChoice::MinEnergy);
+        assert_ne!(a, b, "churn must change outcomes, not alias the memo");
+        assert_eq!(a, run_batch(&churned, 2, StrategyChoice::MinEnergy));
     }
 
     #[test]

@@ -9,7 +9,7 @@ use imobif_netsim::{NodeId, TopologyView};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
-use crate::config::{EnergyInit, ScenarioConfig};
+use crate::config::{EnergyInit, ScenarioConfig, TopologyFamily};
 
 /// One randomly drawn flow: endpoints and the pinned greedy route.
 #[derive(Debug, Clone, PartialEq)]
@@ -36,7 +36,11 @@ pub struct TopologyDraw {
     pub flow: FlowDraw,
 }
 
-/// Samples node positions uniformly in the arena.
+/// Samples node positions per the config's [`TopologyFamily`].
+///
+/// The `Uniform` arm is the paper's deployment and consumes the rng stream
+/// exactly as the pre-scenario-layer code did, so memoized draws (and every
+/// pinned figure fingerprint) are bit-identical.
 ///
 /// # Panics
 ///
@@ -45,7 +49,45 @@ pub struct TopologyDraw {
 #[must_use]
 pub fn sample_positions(cfg: &ScenarioConfig, rng: &mut StdRng) -> Vec<Point2> {
     let arena = Rect::square(cfg.area_side).expect("validated area");
-    (0..cfg.node_count).map(|_| arena.sample_uniform(rng)).collect()
+    match cfg.topology {
+        TopologyFamily::Uniform => (0..cfg.node_count).map(|_| arena.sample_uniform(rng)).collect(),
+        TopologyFamily::Clustered { clusters, spread } => {
+            let centers: Vec<Point2> = (0..clusters).map(|_| arena.sample_uniform(rng)).collect();
+            (0..cfg.node_count)
+                .map(|_| {
+                    let c = centers[rng.gen_range(0..centers.len())];
+                    // Box–Muller: two uniforms → two independent gaussians.
+                    let u1: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+                    let u2: f64 = rng.gen_range(0.0..1.0);
+                    let r = (-2.0 * u1.ln()).sqrt() * spread;
+                    let theta = 2.0 * std::f64::consts::PI * u2;
+                    arena.clamp(Point2::new(c.x + r * theta.cos(), c.y + r * theta.sin()))
+                })
+                .collect()
+        }
+        TopologyFamily::SmallWorld { rewire } => {
+            // Jittered grid lattice; each node independently rewired to a
+            // uniform position with probability `rewire`.
+            let g = (cfg.node_count as f64).sqrt().ceil().max(1.0) as usize;
+            let cell = cfg.area_side / g as f64;
+            (0..cfg.node_count)
+                .map(|i| {
+                    let (col, row) = (i % g, i / g % g);
+                    let jx: f64 = rng.gen_range(-0.25..0.25) * cell;
+                    let jy: f64 = rng.gen_range(-0.25..0.25) * cell;
+                    let coin: f64 = rng.gen_range(0.0..1.0);
+                    if coin < rewire {
+                        arena.sample_uniform(rng)
+                    } else {
+                        arena.clamp(Point2::new(
+                            (col as f64 + 0.5) * cell + jx,
+                            (row as f64 + 0.5) * cell + jy,
+                        ))
+                    }
+                })
+                .collect()
+        }
+    }
 }
 
 /// Samples initial battery energies per the config.
@@ -55,6 +97,14 @@ pub fn sample_energies(cfg: &ScenarioConfig, rng: &mut StdRng) -> Vec<f64> {
         .map(|_| match cfg.initial_energy {
             EnergyInit::Fixed(e) => e,
             EnergyInit::Uniform(lo, hi) => rng.gen_range(lo..hi),
+            EnergyInit::TwoTier { high, low, high_fraction } => {
+                let coin: f64 = rng.gen_range(0.0..1.0);
+                if coin < high_fraction {
+                    high
+                } else {
+                    low
+                }
+            }
         })
         .collect()
 }
@@ -102,22 +152,20 @@ struct DrawKey {
     node_count: usize,
     area_bits: u64,
     range_bits: u64,
-    energy: (u8, u64, u64),
+    energy: (u8, u64, u64, u64),
+    topology: (u8, u64, u64),
 }
 
 impl DrawKey {
     fn of(cfg: &ScenarioConfig, index: u64) -> Self {
-        let energy = match cfg.initial_energy {
-            EnergyInit::Fixed(e) => (0, e.to_bits(), 0),
-            EnergyInit::Uniform(lo, hi) => (1, lo.to_bits(), hi.to_bits()),
-        };
         DrawKey {
             seed: cfg.seed,
             index,
             node_count: cfg.node_count,
             area_bits: cfg.area_side.to_bits(),
             range_bits: cfg.range.to_bits(),
-            energy,
+            energy: cfg.initial_energy.key(),
+            topology: cfg.topology.key(),
         }
     }
 }
@@ -277,6 +325,73 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(9);
         let es = sample_energies(&c, &mut rng);
         assert!(es.iter().all(|&e| (5.0..10.0).contains(&e)));
+    }
+
+    #[test]
+    fn two_tier_energies_use_both_tiers() {
+        let mut c = cfg();
+        c.initial_energy = EnergyInit::TwoTier { high: 100.0, low: 5.0, high_fraction: 0.3 };
+        let mut rng = StdRng::seed_from_u64(11);
+        let es = sample_energies(&c, &mut rng);
+        assert!(es.iter().all(|&e| e == 100.0 || e == 5.0));
+        let high = es.iter().filter(|&&e| e == 100.0).count();
+        assert!((10..60).contains(&high), "high tier count {high}");
+    }
+
+    #[test]
+    fn clustered_positions_concentrate_near_centers() {
+        let mut c = cfg();
+        c.topology = TopologyFamily::Clustered { clusters: 4, spread: 10.0 };
+        let mut rng = StdRng::seed_from_u64(2);
+        let pts = sample_positions(&c, &mut rng);
+        assert_eq!(pts.len(), c.node_count);
+        assert!(pts.iter().all(|p| p.x >= 0.0 && p.x <= 150.0 && p.y >= 0.0 && p.y <= 150.0));
+        // With tight clusters the mean nearest-neighbor distance drops well
+        // below the uniform deployment's.
+        let nn = |pts: &[Point2]| -> f64 {
+            pts.iter()
+                .enumerate()
+                .map(|(i, p)| {
+                    pts.iter()
+                        .enumerate()
+                        .filter(|&(j, _)| j != i)
+                        .map(|(_, q)| p.distance_to(*q))
+                        .fold(f64::INFINITY, f64::min)
+                })
+                .sum::<f64>()
+                / pts.len() as f64
+        };
+        let mut ur = StdRng::seed_from_u64(2);
+        let uniform = sample_positions(&cfg(), &mut ur);
+        assert!(nn(&pts) < nn(&uniform), "clustered layout should be denser");
+    }
+
+    #[test]
+    fn small_world_zero_rewire_is_a_lattice() {
+        let mut c = cfg();
+        c.topology = TopologyFamily::SmallWorld { rewire: 0.0 };
+        let mut rng = StdRng::seed_from_u64(3);
+        let pts = sample_positions(&c, &mut rng);
+        // 100 nodes on a 10×10 grid of 15 m cells: every node within
+        // cell/4 jitter of its cell center.
+        for (i, p) in pts.iter().enumerate() {
+            let cx = (i % 10) as f64 * 15.0 + 7.5;
+            let cy = (i / 10) as f64 * 15.0 + 7.5;
+            assert!((p.x - cx).abs() <= 3.75 + 1e-9 && (p.y - cy).abs() <= 3.75 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn family_draws_are_deterministic_and_distinct() {
+        let mut c = cfg();
+        c.topology = TopologyFamily::Clustered { clusters: 5, spread: 15.0 };
+        let a = draw_scenario(&c, 0);
+        clear_draw_memo();
+        let b = draw_scenario(&c, 0);
+        assert_eq!(a, b, "clustered draw must be memo-independent deterministic");
+        let mut sw = cfg();
+        sw.topology = TopologyFamily::SmallWorld { rewire: 0.1 };
+        assert_ne!(draw_scenario(&sw, 0), a, "families must not alias in the memo");
     }
 
     #[test]

@@ -22,6 +22,10 @@ pub(super) enum Event<M> {
     AppTimer { node: NodeId, tag: u64 },
     /// A periodic HELLO beacon due at `node`.
     HelloBeacon { node: NodeId },
+    /// An externally scheduled failure (churn / duty-cycle schedules): take
+    /// `node` out of service when the clock reaches the event, unless it
+    /// already died.
+    ScheduledKill { node: NodeId },
 }
 
 /// What an [`Effect::Timer`] wakes up when it fires.
@@ -259,6 +263,13 @@ impl<A: Application> World<A> {
                 beacon::hello_beacon(&mut self.core, node, &mut fx);
                 self.apply(&mut fx, None);
             }
+            Event::ScheduledKill { node } => {
+                if self.core.nodes.is_alive(node.index()) {
+                    let mut fx = EffectBuf::new();
+                    fx.push(Effect::Kill { node });
+                    self.apply(&mut fx, None);
+                }
+            }
         }
         true
     }
@@ -288,5 +299,14 @@ impl<A: Application> World<A> {
     /// drivers to kick off flow sources).
     pub fn schedule_timer(&mut self, node: NodeId, delay: SimDuration, tag: u64) {
         self.queue.push(self.core.time + delay, Event::AppTimer { node, tag });
+    }
+
+    /// Schedules `node` to fail (leave service) after `delay` — the hook
+    /// churn and duty-cycle schedules lower into. When the event fires it
+    /// flows through the ordinary [`Effect::Kill`] path, so the ledger
+    /// records the death and a `Died` trace event is emitted exactly as for
+    /// a battery death; a node that already died is left untouched.
+    pub fn schedule_kill(&mut self, node: NodeId, delay: SimDuration) {
+        self.queue.push(self.core.time + delay, Event::ScheduledKill { node });
     }
 }

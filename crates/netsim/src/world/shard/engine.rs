@@ -240,6 +240,12 @@ impl<A: Application> Shard<A> {
                 }
             }
             Event::HelloBeacon { node } => self.hello_beacon(sh, rep, xout, node),
+            Event::ScheduledKill { node } => {
+                let slot = sh.slot_of(node);
+                if self.nodes.is_alive(slot) {
+                    self.kill(slot, node, xout);
+                }
+            }
         }
     }
 

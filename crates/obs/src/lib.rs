@@ -29,7 +29,7 @@ pub mod registry;
 pub mod span;
 
 pub use json::Json;
-pub use manifest::{PhaseTimer, RunManifest, TraceHealth};
+pub use manifest::{PhaseTimer, RunManifest, ScenarioInfo, TraceHealth};
 pub use registry::{Counter, FloatCounter, Gauge, Histogram, MetricValue, Registry, Snapshot};
 pub use span::{PhaseAgg, Span, SpanClock, SpanSink, COORD_SHARD};
 

@@ -12,9 +12,11 @@ use std::time::Instant;
 use crate::json::Json;
 use crate::registry::Snapshot;
 
-/// Current schema. v2 added the `trace` ring-health block; v1 documents
-/// (without it) still parse, with the block defaulting to all-zero.
-pub const MANIFEST_SCHEMA_VERSION: u64 = 2;
+/// Current schema. v2 added the `trace` ring-health block; v3 added the
+/// optional `scenario` block (declarative-scenario runs). Older documents
+/// still parse: the trace block defaults to all-zero, the scenario block
+/// to absent.
+pub const MANIFEST_SCHEMA_VERSION: u64 = 3;
 
 /// Oldest schema version [`RunManifest::from_json`] still accepts.
 pub const MANIFEST_MIN_SCHEMA_VERSION: u64 = 1;
@@ -54,6 +56,51 @@ impl TraceHealth {
             trace_evicted: field("trace_evicted")?,
             spans_recorded: field("spans_recorded")?,
             spans_evicted: field("spans_evicted")?,
+        })
+    }
+}
+
+/// Provenance of a declarative-scenario run (schema v3): which spec
+/// produced the artifacts, hashed so manifest diffs catch spec edits.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScenarioInfo {
+    /// Scenario name (spec `name` field).
+    pub name: String,
+    /// FNV-1a 64 over the spec's canonical serialization.
+    pub spec_hash: u64,
+    /// Result adapter (`fig5`..`fig8`, `ext` or `generic`).
+    pub adapter: String,
+    /// Number of compiled runs.
+    pub runs: u32,
+}
+
+impl ScenarioInfo {
+    fn to_json(&self) -> Json {
+        Json::Obj(vec![
+            ("name".into(), Json::str(self.name.clone())),
+            ("spec_hash".into(), Json::hex(self.spec_hash)),
+            ("adapter".into(), Json::str(self.adapter.clone())),
+            ("runs".into(), Json::Num(self.runs as f64)),
+        ])
+    }
+
+    fn from_json(json: &Json) -> Result<ScenarioInfo, String> {
+        Ok(ScenarioInfo {
+            name: json
+                .get("name")
+                .and_then(Json::as_str)
+                .ok_or("scenario: missing name")?
+                .to_string(),
+            spec_hash: json
+                .get("spec_hash")
+                .and_then(Json::as_hex)
+                .ok_or("scenario: missing/invalid spec_hash")?,
+            adapter: json
+                .get("adapter")
+                .and_then(Json::as_str)
+                .ok_or("scenario: missing adapter")?
+                .to_string(),
+            runs: json.get("runs").and_then(Json::as_u64).ok_or("scenario: missing runs")? as u32,
         })
     }
 }
@@ -108,12 +155,15 @@ pub struct RunManifest {
     pub phases: Vec<(String, f64)>,
     /// Trace/span ring health (schema v2; zero for v1 documents).
     pub trace: TraceHealth,
+    /// Declarative-scenario provenance (schema v3; absent for figure runs
+    /// and for older documents).
+    pub scenario: Option<ScenarioInfo>,
     pub metrics: Snapshot,
 }
 
 impl RunManifest {
     pub fn to_json(&self) -> Json {
-        Json::Obj(vec![
+        let mut json = Json::Obj(vec![
             ("schema_version".into(), Json::Num(MANIFEST_SCHEMA_VERSION as f64)),
             ("tool".into(), Json::str(self.tool.clone())),
             (
@@ -140,7 +190,13 @@ impl RunManifest {
             ),
             ("trace".into(), self.trace.to_json()),
             ("metrics".into(), self.metrics.to_json()),
-        ])
+        ]);
+        if let Some(scenario) = &self.scenario {
+            let Json::Obj(entries) = &mut json else { unreachable!("built as an object") };
+            let at = entries.iter().position(|(k, _)| k == "metrics").expect("metrics present");
+            entries.insert(at, ("scenario".into(), scenario.to_json()));
+        }
+        json
     }
 
     pub fn render(&self) -> String {
@@ -161,6 +217,10 @@ impl RunManifest {
             Some(t) => TraceHealth::from_json(t)?,
             None if version < 2 => TraceHealth::default(),
             None => return Err("missing trace block (required from schema v2)".into()),
+        };
+        let scenario = match json.get("scenario") {
+            Some(s) => Some(ScenarioInfo::from_json(s)?),
+            None => None,
         };
         let targets = json
             .get("targets")
@@ -196,6 +256,7 @@ impl RunManifest {
             threads: json.get("threads").and_then(Json::as_u64).ok_or("missing threads")? as usize,
             phases,
             trace,
+            scenario,
             metrics: Snapshot::from_json(json.get("metrics").ok_or("missing metrics")?)?,
         })
     }
@@ -230,6 +291,7 @@ mod tests {
                 spans_recorded: 64,
                 spans_evicted: 0,
             },
+            scenario: None,
             metrics: reg.snapshot(),
         }
     }
@@ -248,7 +310,7 @@ mod tests {
         let good = m.render();
         assert!(RunManifest::validate(&good.replace("config_hash", "cfg")).is_err());
         assert!(RunManifest::validate(
-            &good.replace("\"schema_version\":2", "\"schema_version\":99")
+            &good.replace("\"schema_version\":3", "\"schema_version\":99")
         )
         .is_err());
         // v2 documents must carry the trace block.
@@ -270,6 +332,23 @@ mod tests {
         let back = RunManifest::validate(&json.render()).expect("v1 manifest still parses");
         assert_eq!(back.trace, TraceHealth::default());
         assert_eq!(back.metrics, m.metrics);
+    }
+
+    #[test]
+    fn scenario_block_round_trips_and_is_optional() {
+        let mut m = sample();
+        m.scenario = Some(ScenarioInfo {
+            name: "churn".into(),
+            spec_hash: 0x1234_5678_9abc_def0,
+            adapter: "generic".into(),
+            runs: 3,
+        });
+        let text = m.render();
+        assert!(text.contains("\"scenario\""));
+        let back = RunManifest::validate(&text).expect("valid manifest");
+        assert_eq!(back, m);
+        // A corrupt scenario block is an error, not a silent None.
+        assert!(RunManifest::validate(&text.replace("spec_hash", "spec_hsh")).is_err());
     }
 
     #[test]

@@ -67,6 +67,9 @@ echo "==> scaling bench smoke (scale_bench --smoke: allocation + determinism gat
 #     in-process ratio; disabled spans read no clock and build no span)
 #   - fig6 CSV bytes identical to the pre-observability tip with the
 #     registry disabled AND enabled
+#   - scenario-spec overhead: the spec-compiled fig6 path within 1% of the
+#     hard-coded path (paired in-process ratio), byte-identical CSV, and an
+#     allocation delta that does not grow with the flow count
 cargo run --release -q -p imobif-bench --bin scale_bench -- --smoke >/dev/null
 
 echo "==> spans flame smoke (collapsed stacks + SVG + sharded manifest)"
@@ -86,6 +89,20 @@ grep -q '"spans_recorded"' "$spans_dir/run_manifest.json"
 grep -q '^shard_epochs ' "$spans_dir/metrics.prom"
 cargo run --release -q -p imobif-experiments --bin imobif -- \
     manifest-check "$spans_dir/run_manifest.json"
+
+echo "==> scenario smoke (spec validation + spec-driven figure identity)"
+# Every shipped spec must validate (parse + compile + per-run config
+# checks), and a spec-driven fig6 run must still produce the pinned
+# pre-observability CSV bytes.
+cargo run --release -q -p imobif-experiments --bin imobif -- \
+    scenario validate examples/scenarios/*.toml
+scenario_fnv=$(cargo run --release -q -p imobif-experiments --bin imobif -- \
+    scenario run fig6 --flows 8 --seed 2025 --fnv | grep '^fnv fig6_ratios.csv')
+echo "    $scenario_fnv"
+[[ "$scenario_fnv" == *"0x67fde5856d8296c6"* ]] || {
+    echo "spec-driven fig6 CSV drifted from the pinned FNV" >&2
+    exit 1
+}
 
 if [[ "$SMOKE" == "1" ]]; then
     echo "==> ci OK (smoke subset)"

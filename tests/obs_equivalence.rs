@@ -105,6 +105,7 @@ fn manifest_round_trips_a_live_run() {
         threads: 1,
         phases: timer.into_phases(),
         trace: TraceHealth::default(),
+        scenario: None,
         metrics: reg.snapshot(),
     };
     let text = manifest.render();
